@@ -1,0 +1,165 @@
+//===- bench/BenchPrograms.h - Shared benchmark workloads -------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PPL workload generators shared by the benchmark binaries. Each stresses
+/// a different cost center of the logging instrumentation:
+///
+///  * compute   — tight arithmetic loops: instrumentation is amortized
+///                over many uninstrumented instructions (the paper's best
+///                case for the <15% claim);
+///  * calls     — many small subroutine invocations: one prelog+postlog
+///                per call, the worst case §5.4's knobs exist for;
+///  * sync      — semaphore-heavy critical sections: unit logs dominate;
+///  * pipeline  — multi-process message flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_BENCH_BENCHPROGRAMS_H
+#define PPD_BENCH_BENCHPROGRAMS_H
+
+#include "compiler/Compiler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace ppd::bench {
+
+inline std::string computeWorkload(unsigned Iters) {
+  return R"(
+func main() {
+  int i = 0;
+  int acc = 1;
+  while (i < )" +
+         std::to_string(Iters) + R"() {
+    acc = (acc * 31 + i) % 1000003;
+    if (acc % 2 == 0) acc = acc + 7;
+    i = i + 1;
+  }
+  print(acc);
+}
+)";
+}
+
+inline std::string callsWorkload(unsigned Calls) {
+  return R"(
+shared int total;
+func step(int x) {
+  total = total + x % 17;
+  return total;
+}
+func main() {
+  int i = 0;
+  int last = 0;
+  for (i = 0; i < )" +
+         std::to_string(Calls) + R"(; i = i + 1) last = step(i);
+  print(last);
+}
+)";
+}
+
+inline std::string syncWorkload(unsigned Rounds) {
+  return R"(
+shared int counter;
+sem lock = 1;
+sem done;
+func worker(int rounds) {
+  int i = 0;
+  for (i = 0; i < rounds; i = i + 1) {
+    P(lock);
+    counter = counter + 1;
+    V(lock);
+  }
+  V(done);
+}
+func main() {
+  spawn worker()" +
+         std::to_string(Rounds) + R"();
+  spawn worker()" +
+         std::to_string(Rounds) + R"();
+  P(done);
+  P(done);
+  print(counter);
+}
+)";
+}
+
+inline std::string pipelineWorkload(unsigned Messages) {
+  return R"(
+chan stage1[8];
+chan stage2[8];
+func transform() {
+  int i = 0;
+  for (i = 0; i < )" +
+         std::to_string(Messages) + R"(; i = i + 1)
+    send(stage2, recv(stage1) * 3 + 1);
+}
+func main() {
+  spawn transform();
+  int i = 0;
+  int sum = 0;
+  for (i = 0; i < )" +
+         std::to_string(Messages) + R"(; i = i + 1) {
+    send(stage1, i);
+    sum = sum + recv(stage2);
+  }
+  print(sum);
+}
+)";
+}
+
+/// A realistic mix (the shape the paper's <15% claim was measured on):
+/// compute-dominated workers that synchronize once per \p Grain loop
+/// iterations.
+inline std::string mixedWorkload(unsigned Rounds, unsigned Grain) {
+  std::string G = std::to_string(Grain);
+  return R"(
+shared int checkpoint;
+sem lock = 1;
+sem done;
+func worker(int rounds) {
+  int r = 0;
+  int acc = 1;
+  for (r = 0; r < rounds; r = r + 1) {
+    int i = 0;
+    while (i < )" + G + R"() {
+      acc = (acc * 31 + i) % 1000003;
+      i = i + 1;
+    }
+    P(lock);
+    checkpoint = checkpoint + acc % 101;
+    V(lock);
+  }
+  V(done);
+}
+func main() {
+  spawn worker()" + std::to_string(Rounds) + R"();
+  spawn worker()" + std::to_string(Rounds) + R"();
+  P(done);
+  P(done);
+  print(checkpoint);
+}
+)";
+}
+
+/// Compiles or aborts — benchmark setup code.
+inline std::unique_ptr<CompiledProgram>
+mustCompile(const std::string &Source, const CompileOptions &Options = {}) {
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, Options, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "benchmark program failed to compile:\n%s",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return Prog;
+}
+
+} // namespace ppd::bench
+
+#endif // PPD_BENCH_BENCHPROGRAMS_H

@@ -1,0 +1,127 @@
+//===- bench/bench_eblock_granularity.cpp - Experiment E3 -----------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// E3 reproduces §5.4's trade-off discussion:
+//
+//   "if we make the size of the e-blocks large in favor of the execution
+//    phase, the debugging phase performance will suffer. On the other
+//    hand, if we make the size of the e-blocks small in favor of the
+//    debugging phase, execution phase performance will suffer."
+//
+// The workload is one function with heavy loops. Partitioner configs
+// range from coarse (whole function = one e-block) to fine (loop e-blocks
+// + small segments). For each config:
+//
+//   * `exec_*`  — execution-phase wall time; LogBytes counts the log;
+//   * `debug_*` — debugging-phase cost of one flowback query at the *end*
+//                 of the function (replay of the interval containing the
+//                 last statement); ReplayInstr counts replayed
+//                 instructions. Coarse blocks must re-execute the loops to
+//                 answer; fine blocks replay only the final segment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchPrograms.h"
+
+#include "core/Controller.h"
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ppd;
+using namespace ppd::bench;
+
+namespace {
+
+/// A function with two heavy loops followed by a cheap epilogue — the
+/// flowback target sits in the epilogue.
+std::string granularityWorkload(unsigned Iters) {
+  std::string N = std::to_string(Iters);
+  return R"(
+shared int checksum;
+func main() {
+  int i = 0;
+  int a = 0;
+  while (i < )" + N + R"() { a = (a * 7 + i) % 99991; i = i + 1; }
+  int b = 0;
+  for (i = 0; i < )" + N + R"(; i = i + 1) b = (b + a * i) % 99991;
+  checksum = a + b;
+  int verdict = checksum % 97;
+  print(verdict);
+}
+)";
+}
+
+CompileOptions configOf(int Config) {
+  CompileOptions Opts;
+  switch (Config) {
+  case 0: // coarse: whole function is one e-block
+    break;
+  case 1: // loop e-blocks
+    Opts.EBlocks.LoopBlocks = true;
+    break;
+  case 2: // loop e-blocks + segments of ≤4 top-level statements
+    Opts.EBlocks.LoopBlocks = true;
+    Opts.EBlocks.SplitLargeFunctions = true;
+    Opts.EBlocks.MaxSegmentStmts = 4;
+    break;
+  case 3: // very fine: segments of ≤1 top-level statement
+    Opts.EBlocks.LoopBlocks = true;
+    Opts.EBlocks.SplitLargeFunctions = true;
+    Opts.EBlocks.MaxSegmentStmts = 1;
+    break;
+  }
+  return Opts;
+}
+
+void execPhase(benchmark::State &State) {
+  auto Prog = mustCompile(granularityWorkload(unsigned(State.range(1))),
+                          configOf(int(State.range(0))));
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  size_t LogBytes = 0;
+  for (auto _ : State) {
+    Machine M(*Prog, MOpts);
+    M.run();
+    LogBytes = M.log().byteSize();
+  }
+  State.counters["LogBytes"] = double(LogBytes);
+  State.counters["EBlocks"] = double(Prog->EBlocks.size());
+}
+
+void debugPhase(benchmark::State &State) {
+  auto Prog = mustCompile(granularityWorkload(unsigned(State.range(1))),
+                          configOf(int(State.range(0))));
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*Prog, MOpts);
+  M.run();
+  ExecutionLog Log = M.takeLog();
+
+  uint64_t ReplayInstr = 0;
+  for (auto _ : State) {
+    // A fresh debugging session each iteration: ask about the final print.
+    PpdController Controller(*Prog, Log);
+    DynNodeId Node = Controller.startAtLastEvent(0);
+    benchmark::DoNotOptimize(Controller.dependencesOf(Node).size());
+    ReplayInstr = Controller.stats().ReplayInstructions;
+  }
+  State.counters["ReplayInstr"] = double(ReplayInstr);
+}
+
+} // namespace
+
+// Args: {config, loop iterations}.
+BENCHMARK(execPhase)
+    ->Args({0, 5000})
+    ->Args({1, 5000})
+    ->Args({2, 5000})
+    ->Args({3, 5000});
+BENCHMARK(debugPhase)
+    ->Args({0, 5000})
+    ->Args({1, 5000})
+    ->Args({2, 5000})
+    ->Args({3, 5000});
+
+BENCHMARK_MAIN();

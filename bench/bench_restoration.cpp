@@ -1,0 +1,101 @@
+//===- bench/bench_restoration.cpp - Experiment E7 ------------------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// E7 exercises §5.7's state restoration: "we can restore the program state
+// by using the postlogs from postlog(1) up to postlog(i)". The cost of
+// restoring to interval i therefore grows with i (the prefix of postlogs
+// scanned), and a what-if replay from the restored point costs one
+// interval's re-execution — both measured here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchPrograms.h"
+
+#include "core/Controller.h"
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ppd;
+using namespace ppd::bench;
+
+namespace {
+
+std::string restorationWorkload(unsigned Calls) {
+  return R"(
+shared int state;
+shared int history[16];
+func mutate(int k) {
+  state = (state * 31 + k) % 99991;
+  history[k % 16] = state;
+}
+func main() {
+  int i = 0;
+  for (i = 0; i < )" +
+         std::to_string(Calls) + R"(; i = i + 1) mutate(i);
+  print(state);
+}
+)";
+}
+
+struct Session {
+  std::unique_ptr<CompiledProgram> Prog;
+  std::unique_ptr<PpdController> Controller;
+};
+
+Session prepare(unsigned Calls) {
+  Session S;
+  S.Prog = mustCompile(restorationWorkload(Calls));
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*S.Prog, MOpts);
+  M.run();
+  S.Controller = std::make_unique<PpdController>(*S.Prog, M.takeLog());
+  return S;
+}
+
+/// Restores to the interval given by the fraction range(1)/100 of the run.
+void restoreAtFraction(benchmark::State &State) {
+  auto S = prepare(unsigned(State.range(0)));
+  const auto &Intervals = S.Controller->logIndex().intervals(0);
+  uint32_t Target =
+      uint32_t((Intervals.size() - 1) * uint64_t(State.range(1)) / 100);
+
+  for (auto _ : State) {
+    RestoredState Restored = S.Controller->restoreGlobals(0, Target);
+    benchmark::DoNotOptimize(Restored.Shared.data());
+  }
+  State.counters["Intervals"] = double(Intervals.size());
+  State.counters["TargetInterval"] = double(Target);
+}
+
+void whatIfReplay(benchmark::State &State) {
+  auto S = prepare(unsigned(State.range(0)));
+  const auto &Intervals = S.Controller->logIndex().intervals(0);
+  uint32_t Target = uint32_t(Intervals.size() / 2);
+  VarId StateVar = InvalidId;
+  for (const VarInfo &Info : S.Prog->Symbols->Vars)
+    if (Info.Name == "state")
+      StateVar = Info.Id;
+
+  for (auto _ : State) {
+    ReplayResult Res =
+        S.Controller->whatIf(0, Target, {{0, StateVar, -1, 12345}});
+    benchmark::DoNotOptimize(Res.Instructions);
+  }
+}
+
+} // namespace
+
+// Args: {mutate calls, restore point as % of the run}.
+BENCHMARK(restoreAtFraction)
+    ->Args({200, 10})
+    ->Args({200, 50})
+    ->Args({200, 100})
+    ->Args({2000, 10})
+    ->Args({2000, 50})
+    ->Args({2000, 100});
+BENCHMARK(whatIfReplay)->Arg(200)->Arg(2000);
+
+BENCHMARK_MAIN();

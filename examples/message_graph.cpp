@@ -1,0 +1,109 @@
+//===- examples/message_graph.cpp - Fig 6.1 parallel dynamic graph --------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// Regenerates the paper's Fig 6.1: a parallel dynamic graph over three
+// processes communicating through blocking sends — including the n3/n4/n5
+// triple (send, receive, sender-unblock) and the zero-event internal edge
+// e4, plus the ordering queries §6.3 builds on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "pardyn/ParallelDynamicGraph.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace ppd;
+
+namespace {
+
+const char *Source = R"(
+shared int SV;
+chan toB;
+chan toC;
+
+func procB() {
+  int v = recv(toB);       // Fig 6.1's n4: receives P1's message
+  SV = SV + v;
+  send(toC, v * 2);
+}
+
+func procC() {
+  int w = recv(toC);
+  print(SV + w);
+}
+
+func main() {            // process P1
+  spawn procB();
+  spawn procC();
+  SV = 1;
+  send(toB, 10);           // blocking send: n3 ... unblocked at n5
+}
+)";
+
+} // namespace
+
+int main() {
+  std::printf("== PPD parallel dynamic graph (Fig 6.1) ==\n\n");
+
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, CompileOptions(), Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  // Pick a schedule where the send actually blocks (sender ahead of
+  // receiver), reproducing the figure's n3/n4/n5 structure.
+  MachineOptions MOpts;
+  for (uint64_t Seed = 1; Seed < 64; ++Seed) {
+    MOpts.Seed = Seed;
+    Machine Trial(*Prog, MOpts);
+    Trial.run();
+    bool Blocked = false;
+    for (const LogRecord &R : Trial.log().Procs[0].Records)
+      if (R.Kind == LogRecordKind::SyncEvent &&
+          R.Sync == SyncKind::ChanSendUnblock)
+        Blocked = true;
+    if (!Blocked)
+      continue;
+
+    std::printf("seed %llu: main's send blocked (Fig 6.1's n3/n5 pair)\n\n",
+                (unsigned long long)Seed);
+    ParallelDynamicGraph G(Trial.log(), Prog->Symbols->NumSharedVars);
+
+    for (uint32_t Pid = 0; Pid != G.numProcs(); ++Pid) {
+      std::printf("process %u sync nodes:", Pid);
+      for (const SyncNode &N : G.nodes(Pid))
+        std::printf(" %s", syncKindName(N.Kind));
+      std::printf("\n");
+    }
+
+    // e4: the sender's internal edge between send and unblock is empty.
+    for (uint32_t I = 0; I != G.nodes(0).size(); ++I) {
+      if (G.nodes(0)[I].Kind != SyncKind::ChanSendUnblock)
+        continue;
+      const InternalEdge &E4 = G.edge({0, I});
+      std::printf("\nsender's edge into the unblock node carries %u reads / "
+                  "%u writes (the paper's zero-event e4)\n",
+                  E4.Reads.size(), E4.Writes.size());
+    }
+
+    // Ordering queries: P1's write of SV happens-before procB's update,
+    // which happens-before procC's read.
+    std::printf("\nhappens-before samples:\n");
+    std::printf("  main.send -> procB.recv: %s\n",
+                G.happensBefore({0, 2}, {1, 1}) ? "yes" : "no");
+    std::printf("  procB.send -> procC.recv: %s\n",
+                G.happensBefore({1, 2}, {2, 1}) ? "yes" : "no");
+    std::printf("  main.send -> procC.recv (transitively): %s\n",
+                G.happensBefore({0, 2}, {2, 1}) ? "yes" : "no");
+
+    std::printf("\nparallel dynamic graph (DOT, Fig 6.1 style):\n%s\n",
+                G.dot(*Prog->Ast).c_str());
+    return 0;
+  }
+  std::printf("no schedule in the sweep blocked the sender; rerun\n");
+  return 1;
+}

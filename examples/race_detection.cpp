@@ -1,0 +1,110 @@
+//===- examples/race_detection.cpp - §6.4 race detection demo -------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// The paper's §6 scenario: co-operating processes updating a shared bank
+// account. Run the unsynchronized version — PPD flags the write/write
+// races from the execution log alone — then the semaphore-protected
+// version, whose execution instances are certified race-free (Def 6.4),
+// which is exactly what validates the logs for replay (§5.5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "core/Controller.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace ppd;
+
+namespace {
+
+const char *Racy = R"(
+shared int balance;
+chan done;
+func deposit(int times, int amount) {
+  int i = 0;
+  for (i = 0; i < times; i = i + 1)
+    balance = balance + amount;   // unprotected read-modify-write
+  send(done, 1);
+}
+func main() {
+  spawn deposit(20, 5);
+  spawn deposit(20, 3);
+  int a = recv(done);
+  int b = recv(done);
+  print(balance);
+}
+)";
+
+const char *Synchronized = R"(
+shared int balance;
+sem lock = 1;
+chan done;
+func deposit(int times, int amount) {
+  int i = 0;
+  for (i = 0; i < times; i = i + 1) {
+    P(lock);
+    balance = balance + amount;
+    V(lock);
+  }
+  send(done, 1);
+}
+func main() {
+  spawn deposit(20, 5);
+  spawn deposit(20, 3);
+  int a = recv(done);
+  int b = recv(done);
+  print(balance);
+}
+)";
+
+void analyze(const char *Name, const char *Source, uint64_t Seed) {
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, CompileOptions(), Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return;
+  }
+  MachineOptions MOpts;
+  MOpts.Seed = Seed;
+  MOpts.Quantum = 3; // aggressive preemption makes interleavings visible
+  Machine M(*Prog, MOpts);
+  M.run();
+  int64_t Balance = M.output().empty() ? -1 : M.output().back().Value;
+
+  PpdController Controller(*Prog, M.takeLog());
+  auto Naive = Controller.detectRaces(RaceAlgorithm::NaiveAllPairs);
+  auto Indexed = Controller.detectRaces(RaceAlgorithm::VarIndexed);
+
+  std::printf("%-14s seed %-4llu balance %-4lld  races %-3zu  "
+              "pairs: naive %llu vs indexed %llu\n",
+              Name, (unsigned long long)Seed, (long long)Balance,
+              Naive.Races.size(), (unsigned long long)Naive.PairsExamined,
+              (unsigned long long)Indexed.PairsExamined);
+
+  if (!Naive.Races.empty()) {
+    RaceDetector Detector(Controller.parallelGraph(), *Prog->Symbols);
+    std::printf("    first race: %s\n",
+                Detector.describe(Naive.Races.front(), *Prog->Ast).c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("== PPD race detection (paper §6.3/§6.4) ==\n\n");
+  std::printf("the correct sum is 20*5 + 20*3 = 160; racy schedules may "
+              "lose updates\n\n");
+  for (uint64_t Seed : {1, 7, 42})
+    analyze("unprotected", Racy, Seed);
+  std::printf("\n");
+  for (uint64_t Seed : {1, 7, 42})
+    analyze("with mutex", Synchronized, Seed);
+  std::printf("\nNote: PPD detects the race *potential* from the execution "
+              "instance's\nparallel dynamic graph even when the schedule "
+              "happened to produce 160 —\nthe paper's point that one cannot "
+              "tell which of two simultaneous edges\nran first.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- examples/sync_units.cpp - Fig 5.3 simplified static graph ----------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// Regenerates the paper's Fig 5.3: the simplified static program
+// dependence graph of subroutine foo3 (branching vs non-branching nodes)
+// and its synchronization units (Def 5.1), including the overlap the paper
+// points out (edges shared between units) and the shared-variable
+// prelogging decision per unit (§5.5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "lang/AstPrinter.h"
+
+#include <cstdio>
+
+using namespace ppd;
+
+namespace {
+
+/// Fig 5.3's foo3, transcribed to PPL, plus a semaphore-bearing sibling to
+/// show multi-unit partitioning.
+const char *Source = R"(
+shared int SV;
+sem m = 1;
+
+func foo3(int a, int b, int p, int q) {
+  int r = 0;
+  if (p == 1) {
+    if (q == 1) {
+      r = 1;
+    } else {
+      r = 2;
+    }
+  } else {
+    SV = a + b + SV;    // the shared access behind two branches
+    r = 3;
+  }
+  return r;
+}
+
+func locked(int a) {
+  int x = 0;
+  P(m);
+  x = SV + a;
+  V(m);
+  SV = SV - x;
+  return x;
+}
+
+func main() {
+  print(foo3(1, 2, 3, 4));
+  print(locked(5));
+}
+)";
+
+} // namespace
+
+int main() {
+  std::printf("== PPD simplified static graph & synchronization units "
+              "(Fig 5.3) ==\n\n");
+
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, CompileOptions(), Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  for (const auto &F : Prog->Ast->Funcs) {
+    const SimplifiedStaticGraph &Simp = *Prog->Simplified[F->Index];
+    const Cfg &G = *Prog->Cfgs[F->Index];
+    std::printf("function %s: %zu synchronization unit(s)\n",
+                F->Name.c_str(), Simp.units().size());
+    for (const SyncUnit &U : Simp.units()) {
+      std::string StartLabel =
+          U.Start == Cfg::EntryId
+              ? "ENTRY"
+              : AstPrinter::summarize(*Prog->Ast->stmt(G.node(U.Start).Stmt));
+      std::printf("  unit %u starts at %-22s members=%zu shared-prelog={",
+                  U.Id, StartLabel.c_str(), U.Members.size());
+      for (size_t I = 0; I != U.SharedReads.size(); ++I)
+        std::printf("%s%s", I ? ", " : "",
+                    Prog->Symbols->var(U.SharedReads[I]).Name.c_str());
+      std::printf("}\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("the paper's observation: foo3 needs exactly one additional "
+              "prelog for SV\nat its entry unit, because SV may be read on "
+              "the p!=1 path; `locked` logs SV\nonly in the units that can "
+              "actually read it.\n\n");
+
+  const FuncDecl *Foo3 = Prog->Ast->findFunc("foo3");
+  std::printf("simplified static graph of foo3 (DOT, Fig 5.3 style):\n%s\n",
+              Prog->Simplified[Foo3->Index]->dot(*Prog->Ast).c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- bytecode/Chunk.cpp -------------------------------------------------===//
+//
+// Part of PPD. See Chunk.h and Instr.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Chunk.h"
+
+using namespace ppd;
+
+const char *ppd::opName(Op Opcode) {
+  switch (Opcode) {
+  case Op::PushConst:
+    return "PushConst";
+  case Op::Pop:
+    return "Pop";
+  case Op::ToBool:
+    return "ToBool";
+  case Op::LoadLocal:
+    return "LoadLocal";
+  case Op::StoreLocal:
+    return "StoreLocal";
+  case Op::LoadLocalElem:
+    return "LoadLocalElem";
+  case Op::StoreLocalElem:
+    return "StoreLocalElem";
+  case Op::ZeroLocal:
+    return "ZeroLocal";
+  case Op::LoadShared:
+    return "LoadShared";
+  case Op::StoreShared:
+    return "StoreShared";
+  case Op::LoadSharedElem:
+    return "LoadSharedElem";
+  case Op::StoreSharedElem:
+    return "StoreSharedElem";
+  case Op::LoadPriv:
+    return "LoadPriv";
+  case Op::StorePriv:
+    return "StorePriv";
+  case Op::LoadPrivElem:
+    return "LoadPrivElem";
+  case Op::StorePrivElem:
+    return "StorePrivElem";
+  case Op::Add:
+    return "Add";
+  case Op::Sub:
+    return "Sub";
+  case Op::Mul:
+    return "Mul";
+  case Op::Div:
+    return "Div";
+  case Op::Mod:
+    return "Mod";
+  case Op::Neg:
+    return "Neg";
+  case Op::Not:
+    return "Not";
+  case Op::CmpEq:
+    return "CmpEq";
+  case Op::CmpNe:
+    return "CmpNe";
+  case Op::CmpLt:
+    return "CmpLt";
+  case Op::CmpLe:
+    return "CmpLe";
+  case Op::CmpGt:
+    return "CmpGt";
+  case Op::CmpGe:
+    return "CmpGe";
+  case Op::Jump:
+    return "Jump";
+  case Op::JumpIfFalse:
+    return "JumpIfFalse";
+  case Op::JumpIfTrue:
+    return "JumpIfTrue";
+  case Op::Call:
+    return "Call";
+  case Op::Ret:
+    return "Ret";
+  case Op::CallBuiltin:
+    return "CallBuiltin";
+  case Op::SemP:
+    return "SemP";
+  case Op::SemV:
+    return "SemV";
+  case Op::SendCh:
+    return "SendCh";
+  case Op::RecvCh:
+    return "RecvCh";
+  case Op::SpawnProc:
+    return "SpawnProc";
+  case Op::PrintVal:
+    return "PrintVal";
+  case Op::InputVal:
+    return "InputVal";
+  case Op::Prelog:
+    return "Prelog";
+  case Op::Postlog:
+    return "Postlog";
+  case Op::UnitLog:
+    return "UnitLog";
+  case Op::TraceStmt:
+    return "TraceStmt";
+  case Op::TraceCallBegin:
+    return "TraceCallBegin";
+  case Op::TraceCallEnd:
+    return "TraceCallEnd";
+  case Op::Halt:
+    return "Halt";
+  }
+  return "???";
+}
+
+std::string Chunk::disassemble(const std::string &Name) const {
+  std::string Out = "== " + Name + " ==\n";
+  for (uint32_t Pc = 0; Pc != size(); ++Pc) {
+    const Instr &I = Code[Pc];
+    Out += std::to_string(Pc);
+    Out += ":\t";
+    Out += opName(I.Opcode);
+    Out += " A=" + std::to_string(I.A);
+    Out += " B=" + std::to_string(I.B);
+    if (I.Imm != 0)
+      Out += " Imm=" + std::to_string(I.Imm);
+    if (Stmts[Pc] != InvalidId)
+      Out += "\t; s" + std::to_string(Stmts[Pc]);
+    Out += '\n';
+  }
+  return Out;
+}

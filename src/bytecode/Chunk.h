@@ -1,0 +1,65 @@
+//===- bytecode/Chunk.h - Code containers and disassembly -------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chunk holds one function's bytecode plus a pc → StmtId map used for
+/// error attribution (a failing instruction must name the source statement,
+/// since that statement becomes the root of the flowback session).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_BYTECODE_CHUNK_H
+#define PPD_BYTECODE_CHUNK_H
+
+#include "bytecode/Instr.h"
+#include "lang/Ast.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+class Chunk {
+public:
+  /// Appends \p I, tagged with the statement being compiled; returns its pc.
+  uint32_t emit(Instr I, StmtId Stmt) {
+    Code.push_back(I);
+    Stmts.push_back(Stmt);
+    return uint32_t(Code.size() - 1);
+  }
+
+  /// Patches the A operand (jump target) of the instruction at \p Pc.
+  void patchA(uint32_t Pc, int32_t Value) {
+    assert(Pc < Code.size() && "patch out of range");
+    Code[Pc].A = Value;
+  }
+
+  const Instr &at(uint32_t Pc) const {
+    assert(Pc < Code.size() && "pc out of range");
+    return Code[Pc];
+  }
+
+  /// Source statement of the instruction at \p Pc (InvalidId for prologue
+  /// code).
+  StmtId stmtAt(uint32_t Pc) const {
+    assert(Pc < Stmts.size() && "pc out of range");
+    return Stmts[Pc];
+  }
+
+  uint32_t size() const { return uint32_t(Code.size()); }
+
+  /// Human-readable listing, one instruction per line.
+  std::string disassemble(const std::string &Name) const;
+
+private:
+  std::vector<Instr> Code;
+  std::vector<StmtId> Stmts;
+};
+
+} // namespace ppd
+
+#endif // PPD_BYTECODE_CHUNK_H

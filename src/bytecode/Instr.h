@@ -1,0 +1,124 @@
+//===- bytecode/Instr.h - PPD bytecode instruction set ----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack-bytecode instruction set both compiled artifacts share. The
+/// Compiler/Linker of the paper's preparatory phase (Fig 3.1) emits two
+/// versions of every function from one code generator:
+///
+///   * the *object code*, carrying Prelog/Postlog/UnitLog instrumentation
+///     that produces the execution-phase log, and
+///   * the *emulation package*, carrying TraceStmt/TraceCall*
+///     instrumentation that regenerates fine-grained traces when the PPD
+///     controller replays a log interval during the debugging phase.
+///
+/// Encoding: fixed-width instructions with two 32-bit operands (A, B) and
+/// one 64-bit immediate. Memory operands: A = storage offset (frame slot,
+/// shared-memory offset, or private-global offset), B = the VarId, so
+/// logging and tracing can attribute every access to a source variable
+/// without lookups. Jump targets are absolute indices into the function's
+/// chunk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_BYTECODE_INSTR_H
+#define PPD_BYTECODE_INSTR_H
+
+#include <cstdint>
+
+namespace ppd {
+
+enum class Op : uint8_t {
+  // Stack.
+  PushConst, ///< push Imm
+  Pop,       ///< drop top
+  ToBool,    ///< top = (top != 0)
+
+  // Locals (frame slots). A = slot, B = VarId, Imm = array size (Elem ops).
+  LoadLocal,
+  StoreLocal,
+  LoadLocalElem,  ///< pops index, pushes value
+  StoreLocalElem, ///< pops value then index
+  ZeroLocal,      ///< zero-fills slots [A, A+Imm)
+
+  // Shared globals (simulated shared memory). A = offset, B = VarId.
+  LoadShared,
+  StoreShared,
+  LoadSharedElem,
+  StoreSharedElem,
+
+  // Private (per-process) globals. A = offset, B = VarId.
+  LoadPriv,
+  StorePriv,
+  LoadPrivElem,
+  StorePrivElem,
+
+  // Arithmetic / comparison (pop 2 push 1, except Neg/Not pop 1 push 1).
+  Add,
+  Sub,
+  Mul,
+  Div, ///< traps on divide by zero
+  Mod, ///< traps on modulo by zero
+  Neg,
+  Not,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+
+  // Control flow. A = absolute target pc within the chunk.
+  Jump,
+  JumpIfFalse, ///< pops condition
+  JumpIfTrue,  ///< pops condition
+
+  // Calls. A = function index, B = argc (args pushed left-to-right).
+  Call,
+  Ret,         ///< pops return value; every function returns a value
+  CallBuiltin, ///< A = Builtin kind, B = argc
+
+  // Parallel constructs.
+  SemP,      ///< A = semaphore id; may block
+  SemV,      ///< A = semaphore id
+  SendCh,    ///< A = channel id; pops value; may block (capacity 0/full)
+  RecvCh,    ///< A = channel id; pushes value; may block
+  SpawnProc, ///< A = function index, B = argc; pops args
+  PrintVal,  ///< pops and records program output
+  InputVal,  ///< pushes next input value; logged during execution
+
+  // Instrumentation: object code only.
+  Prelog,  ///< A = e-block id; logs values of USED(A)
+  Postlog, ///< A = e-block id, B = flags (bit0: exits function, return
+           ///< value on stack top is captured without popping)
+  UnitLog, ///< A = synchronization-unit id; logs the unit's shared reads
+
+  // Instrumentation: emulation package only.
+  TraceStmt,      ///< A = StmtId; begins a trace event
+  TraceCallBegin, ///< A = function index, B = StmtId of the call site
+  TraceCallEnd,   ///< A = function index; return value on stack top
+
+  Halt, ///< terminates the process; emitted after the root frame returns.
+};
+
+/// Postlog flag bits.
+enum PostlogFlags : uint32_t {
+  PostlogExitsFunction = 1u << 0,
+};
+
+struct Instr {
+  Op Opcode;
+  int32_t A = 0;
+  int32_t B = 0;
+  int64_t Imm = 0;
+};
+
+/// Mnemonic for \p Opcode (e.g. "LoadLocal").
+const char *opName(Op Opcode);
+
+} // namespace ppd
+
+#endif // PPD_BYTECODE_INSTR_H

@@ -1,0 +1,169 @@
+//===- cfg/Cfg.cpp --------------------------------------------------------===//
+//
+// Part of PPD. See Cfg.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/AstPrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppd;
+
+Cfg::Cfg(const Program &P, const FuncDecl &F) : P(P), F(&F) {
+  CfgNodeId Entry = addNode(CfgNodeKind::Entry, InvalidId);
+  CfgNodeId Exit = addNode(CfgNodeKind::Exit, InvalidId);
+  assert(Entry == EntryId && Exit == ExitId && "synthetic nodes misplaced");
+  (void)Entry;
+  (void)Exit;
+
+  std::vector<Pending> Dangling =
+      buildStmt(*F.Body, {{EntryId, /*Label=*/-1}});
+  connect(Dangling, ExitId);
+  computeRpo();
+}
+
+CfgNodeId Cfg::addNode(CfgNodeKind Kind, StmtId Stmt) {
+  CfgNodeId Id = CfgNodeId(Nodes.size());
+  Nodes.push_back({Kind, Stmt, {}, {}});
+  if (Stmt != InvalidId)
+    StmtToNode[Stmt] = Id;
+  return Id;
+}
+
+void Cfg::connect(const std::vector<Pending> &Sources, CfgNodeId To) {
+  for (const Pending &Src : Sources) {
+    Nodes[Src.From].Succs.push_back({To, Src.Label});
+    Nodes[To].Preds.push_back(Src.From);
+  }
+}
+
+std::vector<Cfg::Pending> Cfg::buildStmt(const Stmt &S,
+                                         std::vector<Pending> In) {
+  switch (S.getKind()) {
+  case StmtKind::Block: {
+    // Statements after a `return` still get (disconnected) nodes so that
+    // the statement table and the CFG node space stay aligned; they simply
+    // have no predecessors.
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->Body)
+      In = buildStmt(*Child, std::move(In));
+    return In;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    CfgNodeId Cond = addNode(CfgNodeKind::Stmt, S.Id);
+    connect(In, Cond);
+    std::vector<Pending> ThenExits =
+        buildStmt(*I->Then, {{Cond, /*Label=*/1}});
+    std::vector<Pending> Out = std::move(ThenExits);
+    if (I->Else) {
+      std::vector<Pending> ElseExits =
+          buildStmt(*I->Else, {{Cond, /*Label=*/0}});
+      Out.insert(Out.end(), ElseExits.begin(), ElseExits.end());
+    } else {
+      Out.push_back({Cond, /*Label=*/0});
+    }
+    return Out;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    CfgNodeId Cond = addNode(CfgNodeKind::Stmt, S.Id);
+    connect(In, Cond);
+    std::vector<Pending> BodyExits =
+        buildStmt(*W->Body, {{Cond, /*Label=*/1}});
+    connect(BodyExits, Cond); // back edge
+    return {{Cond, /*Label=*/0}};
+  }
+  case StmtKind::For: {
+    const auto *Fo = cast<ForStmt>(&S);
+    if (Fo->Init)
+      In = buildStmt(*Fo->Init, std::move(In));
+    // The For node itself is the condition test; a constant-true loop when
+    // Cond is null still gets the node (it reads nothing, always true).
+    CfgNodeId Cond = addNode(CfgNodeKind::Stmt, S.Id);
+    connect(In, Cond);
+    std::vector<Pending> BodyExits =
+        buildStmt(*Fo->Body, {{Cond, /*Label=*/1}});
+    if (Fo->Step)
+      BodyExits = buildStmt(*Fo->Step, std::move(BodyExits));
+    connect(BodyExits, Cond); // back edge
+    return {{Cond, /*Label=*/0}};
+  }
+  case StmtKind::Return: {
+    CfgNodeId Node = addNode(CfgNodeKind::Stmt, S.Id);
+    connect(In, Node);
+    Nodes[Node].Succs.push_back({ExitId, -1});
+    Nodes[ExitId].Preds.push_back(Node);
+    return {}; // nothing dangles past a return
+  }
+  default: {
+    // Straight-line statement.
+    CfgNodeId Node = addNode(CfgNodeKind::Stmt, S.Id);
+    connect(In, Node);
+    return {{Node, /*Label=*/-1}};
+  }
+  }
+}
+
+void Cfg::computeRpo() {
+  std::vector<bool> Visited(Nodes.size(), false);
+  std::vector<CfgNodeId> PostOrder;
+  PostOrder.reserve(Nodes.size());
+
+  // Iterative DFS from ENTRY.
+  std::vector<std::pair<CfgNodeId, size_t>> Stack;
+  Stack.push_back({EntryId, 0});
+  Visited[EntryId] = true;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    if (NextSucc < Nodes[Node].Succs.size()) {
+      CfgNodeId Succ = Nodes[Node].Succs[NextSucc++].Node;
+      if (!Visited[Succ]) {
+        Visited[Succ] = true;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  // Append unreachable nodes (e.g. statements after a return) for
+  // completeness; analyses may skip them but every node must appear.
+  for (CfgNodeId Id = 0; Id != Nodes.size(); ++Id)
+    if (!Visited[Id])
+      Rpo.push_back(Id);
+}
+
+std::string Cfg::dump(const Program &P) const {
+  std::string Out;
+  for (CfgNodeId Id = 0; Id != Nodes.size(); ++Id) {
+    const CfgNode &N = Nodes[Id];
+    Out += "n" + std::to_string(Id);
+    switch (N.Kind) {
+    case CfgNodeKind::Entry:
+      Out += "[ENTRY]";
+      break;
+    case CfgNodeKind::Exit:
+      Out += "[EXIT]";
+      break;
+    case CfgNodeKind::Stmt:
+      Out += "[" + AstPrinter::summarize(*P.stmt(N.Stmt)) + "]";
+      break;
+    }
+    Out += " ->";
+    for (const CfgSucc &S : N.Succs) {
+      Out += " n" + std::to_string(S.Node);
+      if (S.Label == 1)
+        Out += "(true)";
+      else if (S.Label == 0)
+        Out += "(false)";
+    }
+    Out += '\n';
+  }
+  return Out;
+}

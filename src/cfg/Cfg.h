@@ -1,0 +1,97 @@
+//===- cfg/Cfg.h - Control-flow graphs --------------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graphs over statements. One CFG node per
+/// executable statement (structural BlockStmt nodes are skipped), plus
+/// synthetic ENTRY and EXIT nodes — matching the ENTRY/EXIT nodes of the
+/// paper's dependence graphs (§4.2). Branch successors carry true/false
+/// labels so control-dependence edges can be labelled in graph output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_CFG_CFG_H
+#define PPD_CFG_CFG_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppd {
+
+/// Index of a node within one Cfg.
+using CfgNodeId = uint32_t;
+
+enum class CfgNodeKind { Entry, Exit, Stmt };
+
+/// A labelled CFG edge endpoint. Label: -1 unconditional, 0 false branch,
+/// 1 true branch.
+struct CfgSucc {
+  CfgNodeId Node;
+  int Label;
+};
+
+struct CfgNode {
+  CfgNodeKind Kind = CfgNodeKind::Stmt;
+  StmtId Stmt = InvalidId; ///< valid for Kind == Stmt.
+  std::vector<CfgSucc> Succs;
+  std::vector<CfgNodeId> Preds;
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+public:
+  /// Builds the CFG of \p F; \p P supplies the statement table.
+  Cfg(const Program &P, const FuncDecl &F);
+
+  static constexpr CfgNodeId EntryId = 0;
+  static constexpr CfgNodeId ExitId = 1;
+
+  const CfgNode &node(CfgNodeId Id) const { return Nodes[Id]; }
+  unsigned size() const { return unsigned(Nodes.size()); }
+  const FuncDecl &func() const { return *F; }
+
+  /// The CFG node for \p Id, or InvalidId if the statement is structural
+  /// (BlockStmt) or belongs to another function.
+  CfgNodeId nodeOf(StmtId Id) const {
+    auto It = StmtToNode.find(Id);
+    return It == StmtToNode.end() ? InvalidId : It->second;
+  }
+
+  /// Nodes in reverse post-order from ENTRY (unreachable nodes appended at
+  /// the end so every node appears exactly once).
+  const std::vector<CfgNodeId> &reversePostOrder() const { return Rpo; }
+
+  /// Human-readable dump for tests: one line per node,
+  /// `n3[s12] -> n4, n7(true)`.
+  std::string dump(const Program &P) const;
+
+private:
+  /// A dangling edge awaiting its destination node.
+  struct Pending {
+    CfgNodeId From;
+    int Label;
+  };
+
+  CfgNodeId addNode(CfgNodeKind Kind, StmtId Stmt);
+  void connect(const std::vector<Pending> &Sources, CfgNodeId To);
+  /// Wires \p S (and nested statements) after \p In; returns the dangling
+  /// exits of S.
+  std::vector<Pending> buildStmt(const Stmt &S, std::vector<Pending> In);
+  void computeRpo();
+
+  const Program &P;
+  const FuncDecl *F;
+  std::vector<CfgNode> Nodes;
+  std::unordered_map<StmtId, CfgNodeId> StmtToNode;
+  std::vector<CfgNodeId> Rpo;
+};
+
+} // namespace ppd
+
+#endif // PPD_CFG_CFG_H

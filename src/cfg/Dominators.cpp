@@ -1,0 +1,132 @@
+//===- cfg/Dominators.cpp -------------------------------------------------===//
+//
+// Part of PPD. See Dominators.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <cassert>
+
+using namespace ppd;
+
+namespace {
+
+/// Direction-abstracted view of the CFG edges.
+struct GraphView {
+  const Cfg &G;
+  bool Post;
+
+  /// Edges pointing toward the root ("predecessors" in analysis space).
+  std::vector<CfgNodeId> preds(CfgNodeId Node) const {
+    std::vector<CfgNodeId> Out;
+    if (!Post) {
+      Out = G.node(Node).Preds;
+    } else {
+      for (const CfgSucc &S : G.node(Node).Succs)
+        Out.push_back(S.Node);
+    }
+    return Out;
+  }
+
+  std::vector<CfgNodeId> succs(CfgNodeId Node) const {
+    std::vector<CfgNodeId> Out;
+    if (!Post) {
+      for (const CfgSucc &S : G.node(Node).Succs)
+        Out.push_back(S.Node);
+    } else {
+      Out = G.node(Node).Preds;
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+DomTree::DomTree(const Cfg &G, bool Post) {
+  Root = Post ? Cfg::ExitId : Cfg::EntryId;
+  unsigned N = G.size();
+  Idom.assign(N, InvalidId);
+  Level.assign(N, InvalidId);
+
+  GraphView View{G, Post};
+
+  // Reverse post-order from the root in analysis direction.
+  std::vector<bool> Visited(N, false);
+  std::vector<CfgNodeId> PostOrder;
+  std::vector<std::pair<CfgNodeId, size_t>> Stack;
+  std::vector<std::vector<CfgNodeId>> Succs(N);
+  for (CfgNodeId Id = 0; Id != N; ++Id)
+    Succs[Id] = View.succs(Id);
+
+  Stack.push_back({Root, 0});
+  Visited[Root] = true;
+  while (!Stack.empty()) {
+    auto &[Node, Next] = Stack.back();
+    if (Next < Succs[Node].size()) {
+      CfgNodeId S = Succs[Node][Next++];
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+
+  std::vector<CfgNodeId> Rpo(PostOrder.rbegin(), PostOrder.rend());
+  std::vector<uint32_t> RpoIndex(N, InvalidId);
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Cooper–Harvey–Kennedy: iterate to fixpoint intersecting predecessor
+  // dominators in RPO-index space.
+  auto Intersect = [&](CfgNodeId A, CfgNodeId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[Root] = Root; // temporary self-loop eases Intersect
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (CfgNodeId Node : Rpo) {
+      if (Node == Root)
+        continue;
+      CfgNodeId NewIdom = InvalidId;
+      for (CfgNodeId Pred : View.preds(Node)) {
+        if (!Visited[Pred] || Idom[Pred] == InvalidId)
+          continue;
+        NewIdom = NewIdom == InvalidId ? Pred : Intersect(Pred, NewIdom);
+      }
+      if (NewIdom != InvalidId && Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  Idom[Root] = InvalidId;
+
+  // Levels for dominance queries: process in RPO so parents come first.
+  Level[Root] = 0;
+  for (CfgNodeId Node : Rpo) {
+    if (Node == Root || Idom[Node] == InvalidId)
+      continue;
+    assert(Level[Idom[Node]] != InvalidId && "idom processed after child");
+    Level[Node] = Level[Idom[Node]] + 1;
+  }
+}
+
+bool DomTree::dominates(CfgNodeId A, CfgNodeId B) const {
+  if (Level[A] == InvalidId || Level[B] == InvalidId)
+    return false;
+  while (Level[B] > Level[A])
+    B = Idom[B];
+  return A == B;
+}

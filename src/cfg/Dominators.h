@@ -1,0 +1,55 @@
+//===- cfg/Dominators.h - (Post)dominator trees -----------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees over a Cfg, computed with the
+/// Cooper–Harvey–Kennedy iterative algorithm. Postdominators feed the
+/// Ferrante–Ottenstein–Warren control-dependence construction the static
+/// program dependence graph (§4.1) is built from.
+///
+/// Nodes that cannot reach the tree's root in the analysis direction (e.g.
+/// statements of an infinite loop, for the postdominator tree) have no
+/// immediate dominator; queries on them return InvalidId and dominates() is
+/// false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_CFG_DOMINATORS_H
+#define PPD_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <vector>
+
+namespace ppd {
+
+class DomTree {
+public:
+  /// Builds the dominator tree of \p G; with \p Post set, the postdominator
+  /// tree (rooted at EXIT, over reversed edges).
+  DomTree(const Cfg &G, bool Post);
+
+  CfgNodeId root() const { return Root; }
+
+  /// Immediate dominator of \p Node, or InvalidId for the root and for
+  /// nodes unreachable in the analysis direction.
+  CfgNodeId idom(CfgNodeId Node) const { return Idom[Node]; }
+
+  /// Reflexive dominance test. False whenever either node is unreachable.
+  bool dominates(CfgNodeId A, CfgNodeId B) const;
+
+  /// Depth of \p Node below the root, or InvalidId if unreachable.
+  uint32_t level(CfgNodeId Node) const { return Level[Node]; }
+
+private:
+  CfgNodeId Root;
+  std::vector<CfgNodeId> Idom;  ///< indexed by node id.
+  std::vector<uint32_t> Level;  ///< indexed by node id.
+};
+
+} // namespace ppd
+
+#endif // PPD_CFG_DOMINATORS_H

@@ -1,0 +1,440 @@
+//===- compiler/CodeGen.cpp -----------------------------------------------===//
+//
+// Part of PPD. See CodeGen.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CodeGen.h"
+
+using namespace ppd;
+
+CodeGen::CodeGen(const Program &P, const SymbolTable &Symbols,
+                 CompiledProgram &Out)
+    : P(P), Symbols(Symbols), Out(Out) {}
+
+uint32_t CodeGen::emit(GenState &S, Op Opcode, int32_t A, int32_t B,
+                       int64_t Imm) {
+  return S.Code->emit({Opcode, A, B, Imm}, S.CurStmt);
+}
+
+void CodeGen::genLoad(VarId Var, GenState &S) {
+  const VarInfo &Info = Symbols.var(Var);
+  assert(!Info.isArray() && "whole-array loads are rejected by sema");
+  switch (Info.Kind) {
+  case VarKind::SharedGlobal:
+    emit(S, Op::LoadShared, int32_t(Info.Offset), int32_t(Var));
+    return;
+  case VarKind::PrivateGlobal:
+    emit(S, Op::LoadPriv, int32_t(Info.Offset), int32_t(Var));
+    return;
+  case VarKind::Param:
+  case VarKind::Local:
+    emit(S, Op::LoadLocal, int32_t(Info.Offset), int32_t(Var));
+    return;
+  }
+}
+
+void CodeGen::genLoadElem(VarId Var, GenState &S) {
+  const VarInfo &Info = Symbols.var(Var);
+  assert(Info.isArray() && "element load of a scalar");
+  switch (Info.Kind) {
+  case VarKind::SharedGlobal:
+    emit(S, Op::LoadSharedElem, int32_t(Info.Offset), int32_t(Var),
+         Info.ArraySize);
+    return;
+  case VarKind::PrivateGlobal:
+    emit(S, Op::LoadPrivElem, int32_t(Info.Offset), int32_t(Var),
+         Info.ArraySize);
+    return;
+  case VarKind::Param:
+  case VarKind::Local:
+    emit(S, Op::LoadLocalElem, int32_t(Info.Offset), int32_t(Var),
+         Info.ArraySize);
+    return;
+  }
+}
+
+void CodeGen::genAssignTarget(VarId Var, bool HasIndex, GenState &S) {
+  const VarInfo &Info = Symbols.var(Var);
+  if (HasIndex) {
+    switch (Info.Kind) {
+    case VarKind::SharedGlobal:
+      emit(S, Op::StoreSharedElem, int32_t(Info.Offset), int32_t(Var),
+           Info.ArraySize);
+      return;
+    case VarKind::PrivateGlobal:
+      emit(S, Op::StorePrivElem, int32_t(Info.Offset), int32_t(Var),
+           Info.ArraySize);
+      return;
+    case VarKind::Param:
+    case VarKind::Local:
+      emit(S, Op::StoreLocalElem, int32_t(Info.Offset), int32_t(Var),
+           Info.ArraySize);
+      return;
+    }
+  }
+  switch (Info.Kind) {
+  case VarKind::SharedGlobal:
+    emit(S, Op::StoreShared, int32_t(Info.Offset), int32_t(Var));
+    return;
+  case VarKind::PrivateGlobal:
+    emit(S, Op::StorePriv, int32_t(Info.Offset), int32_t(Var));
+    return;
+  case VarKind::Param:
+  case VarKind::Local:
+    emit(S, Op::StoreLocal, int32_t(Info.Offset), int32_t(Var));
+    return;
+  }
+}
+
+void CodeGen::genExpr(const Expr &E, GenState &S) {
+  switch (E.getKind()) {
+  case ExprKind::IntLit:
+    emit(S, Op::PushConst, 0, 0, cast<IntLitExpr>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    genLoad(cast<VarRefExpr>(&E)->Var, S);
+    return;
+  case ExprKind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(&E);
+    genExpr(*A->Index, S);
+    genLoadElem(A->Var, S);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    genExpr(*U->Operand, S);
+    emit(S, U->Op == UnaryOp::Neg ? Op::Neg : Op::Not);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    if (B->Op == BinaryOp::And) {
+      // a && b: short-circuit, producing 0/1.
+      genExpr(*B->Lhs, S);
+      uint32_t ToFalse = emit(S, Op::JumpIfFalse);
+      genExpr(*B->Rhs, S);
+      emit(S, Op::ToBool);
+      uint32_t ToEnd = emit(S, Op::Jump);
+      S.Code->patchA(ToFalse, int32_t(S.Code->size()));
+      emit(S, Op::PushConst, 0, 0, 0);
+      S.Code->patchA(ToEnd, int32_t(S.Code->size()));
+      return;
+    }
+    if (B->Op == BinaryOp::Or) {
+      genExpr(*B->Lhs, S);
+      uint32_t ToTrue = emit(S, Op::JumpIfTrue);
+      genExpr(*B->Rhs, S);
+      emit(S, Op::ToBool);
+      uint32_t ToEnd = emit(S, Op::Jump);
+      S.Code->patchA(ToTrue, int32_t(S.Code->size()));
+      emit(S, Op::PushConst, 0, 0, 1);
+      S.Code->patchA(ToEnd, int32_t(S.Code->size()));
+      return;
+    }
+    genExpr(*B->Lhs, S);
+    genExpr(*B->Rhs, S);
+    switch (B->Op) {
+    case BinaryOp::Add:
+      emit(S, Op::Add);
+      return;
+    case BinaryOp::Sub:
+      emit(S, Op::Sub);
+      return;
+    case BinaryOp::Mul:
+      emit(S, Op::Mul);
+      return;
+    case BinaryOp::Div:
+      emit(S, Op::Div);
+      return;
+    case BinaryOp::Mod:
+      emit(S, Op::Mod);
+      return;
+    case BinaryOp::Eq:
+      emit(S, Op::CmpEq);
+      return;
+    case BinaryOp::Ne:
+      emit(S, Op::CmpNe);
+      return;
+    case BinaryOp::Lt:
+      emit(S, Op::CmpLt);
+      return;
+    case BinaryOp::Le:
+      emit(S, Op::CmpLe);
+      return;
+    case BinaryOp::Gt:
+      emit(S, Op::CmpGt);
+      return;
+    case BinaryOp::Ge:
+      emit(S, Op::CmpGe);
+      return;
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break; // handled above
+    }
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    for (const ExprPtr &Arg : C->Args)
+      genExpr(*Arg, S);
+    if (C->BuiltinKind != Builtin::None) {
+      emit(S, Op::CallBuiltin, int32_t(C->BuiltinKind),
+           int32_t(C->Args.size()));
+      return;
+    }
+    uint32_t Callee = C->ResolvedFunc->Index;
+    if (S.Emu)
+      emit(S, Op::TraceCallBegin, int32_t(Callee), int32_t(S.CurStmt));
+    emit(S, Op::Call, int32_t(Callee), int32_t(C->Args.size()));
+    if (S.Emu)
+      emit(S, Op::TraceCallEnd, int32_t(Callee));
+    return;
+  }
+  case ExprKind::Recv:
+    emit(S, Op::RecvCh, int32_t(cast<RecvExpr>(&E)->Chan));
+    return;
+  case ExprKind::Input:
+    emit(S, Op::InputVal);
+    return;
+  }
+}
+
+void CodeGen::maybeUnitLog(const Stmt &St, GenState &S) {
+  if (!S.Emu && !Out.Options.Instrument)
+    return;
+  auto It = S.UnitAtStmt->find(St.Id);
+  if (It != S.UnitAtStmt->end())
+    emit(S, Op::UnitLog, int32_t(It->second));
+}
+
+/// Emits \p Opcode unless logging instrumentation is disabled for this
+/// artifact (object code with Instrument=false).
+uint32_t CodeGen::emitLogOp(GenState &S, Op Opcode, int32_t A, int32_t B) {
+  if (!S.Emu && !Out.Options.Instrument)
+    return S.Code->size();
+  return emit(S, Opcode, A, B);
+}
+
+void CodeGen::genStmt(const Stmt &St, GenState &S) {
+  StmtId Saved = S.CurStmt;
+  S.CurStmt = St.Id;
+  // Every executable statement begins a trace event in the emulation
+  // package. Blocks are structural; a For's event is emitted at its loop
+  // top (after the init statement) so each condition evaluation — and only
+  // those — is an event.
+  if (S.Emu && !isa<BlockStmt>(&St) && !isa<ForStmt>(&St))
+    emit(S, Op::TraceStmt, int32_t(St.Id));
+
+  switch (St.getKind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&St)->Body)
+      genStmt(*Child, S);
+    break;
+
+  case StmtKind::VarDecl: {
+    const auto *D = cast<VarDeclStmt>(&St);
+    const VarInfo &Info = Symbols.var(D->Var);
+    if (D->isArray()) {
+      emit(S, Op::ZeroLocal, int32_t(Info.Offset), int32_t(D->Var),
+           D->ArraySize);
+      break;
+    }
+    if (D->Init)
+      genExpr(*D->Init, S);
+    else
+      emit(S, Op::PushConst, 0, 0, 0);
+    emit(S, Op::StoreLocal, int32_t(Info.Offset), int32_t(D->Var));
+    maybeUnitLog(St, S); // init may contain a logged call / recv
+    break;
+  }
+
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(&St);
+    if (A->Index)
+      genExpr(*A->Index, S);
+    genExpr(*A->Value, S);
+    genAssignTarget(A->Var, A->Index != nullptr, S);
+    maybeUnitLog(St, S);
+    break;
+  }
+
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&St);
+    genExpr(*I->Cond, S);
+    maybeUnitLog(St, S); // boundary (recv/logged call in condition)
+    uint32_t ToElse = emit(S, Op::JumpIfFalse);
+    genStmt(*I->Then, S);
+    if (I->Else) {
+      uint32_t ToEnd = emit(S, Op::Jump);
+      S.Code->patchA(ToElse, int32_t(S.Code->size()));
+      genStmt(*I->Else, S);
+      S.Code->patchA(ToEnd, int32_t(S.Code->size()));
+    } else {
+      S.Code->patchA(ToElse, int32_t(S.Code->size()));
+    }
+    break;
+  }
+
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(&St);
+    // The prologue TraceStmt sits right before the condition; jumping back
+    // to it makes every iteration's predicate evaluation a fresh event.
+    uint32_t LoopTop = S.Emu ? S.Code->size() - 1 : S.Code->size();
+    genExpr(*W->Cond, S);
+    maybeUnitLog(St, S);
+    uint32_t ToExit = emit(S, Op::JumpIfFalse);
+    genStmt(*W->Body, S);
+    emit(S, Op::Jump, int32_t(LoopTop));
+    S.Code->patchA(ToExit, int32_t(S.Code->size()));
+    break;
+  }
+
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&St);
+    if (F->Init)
+      genStmt(*F->Init, S);
+    S.CurStmt = St.Id;
+    uint32_t LoopTop;
+    if (S.Emu)
+      LoopTop = emit(S, Op::TraceStmt, int32_t(St.Id));
+    else
+      LoopTop = S.Code->size();
+    if (F->Cond)
+      genExpr(*F->Cond, S);
+    else
+      emit(S, Op::PushConst, 0, 0, 1);
+    maybeUnitLog(St, S);
+    uint32_t ToExit = emit(S, Op::JumpIfFalse);
+    genStmt(*F->Body, S);
+    if (F->Step)
+      genStmt(*F->Step, S);
+    emit(S, Op::Jump, int32_t(LoopTop));
+    S.Code->patchA(ToExit, int32_t(S.Code->size()));
+    break;
+  }
+
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&St);
+    if (R->Value)
+      genExpr(*R->Value, S);
+    else
+      emit(S, Op::PushConst, 0, 0, 0);
+    maybeUnitLog(St, S);
+    if (S.CurrentEBlock != InvalidId)
+      emitLogOp(S, Op::Postlog, int32_t(S.CurrentEBlock),
+                PostlogExitsFunction);
+    emit(S, Op::Ret);
+    break;
+  }
+
+  case StmtKind::Expr:
+    genExpr(*cast<ExprStmt>(&St)->Call, S);
+    emit(S, Op::Pop);
+    maybeUnitLog(St, S);
+    break;
+
+  case StmtKind::P:
+    emit(S, Op::SemP, int32_t(cast<PStmt>(&St)->SemId));
+    maybeUnitLog(St, S);
+    break;
+
+  case StmtKind::V:
+    emit(S, Op::SemV, int32_t(cast<VStmt>(&St)->SemId));
+    maybeUnitLog(St, S);
+    break;
+
+  case StmtKind::Send: {
+    const auto *M = cast<SendStmt>(&St);
+    genExpr(*M->Value, S);
+    emit(S, Op::SendCh, int32_t(M->Chan));
+    maybeUnitLog(St, S);
+    break;
+  }
+
+  case StmtKind::Spawn: {
+    const auto *Sp = cast<SpawnStmt>(&St);
+    for (const ExprPtr &Arg : Sp->Args)
+      genExpr(*Arg, S);
+    emit(S, Op::SpawnProc, int32_t(Sp->ResolvedFunc->Index),
+         int32_t(Sp->Args.size()));
+    maybeUnitLog(St, S);
+    break;
+  }
+
+  case StmtKind::Print:
+    genExpr(*cast<PrintStmt>(&St)->Value, S);
+    emit(S, Op::PrintVal);
+    maybeUnitLog(St, S);
+    break;
+  }
+  S.CurStmt = Saved;
+}
+
+void CodeGen::genOneArtifact(const FuncDecl &F,
+                             const std::vector<uint32_t> &RegionEBlockIds,
+                             GenState &S) {
+  const FuncPlan &FP = Out.Plan.Funcs[F.Index];
+
+  if (!FP.Logged) {
+    for (const StmtPtr &Top : F.Body->Body)
+      genStmt(*Top, S);
+    S.CurStmt = InvalidId;
+    emit(S, Op::PushConst, 0, 0, 0);
+    emit(S, Op::Ret);
+    return;
+  }
+
+  assert(FP.Regions.size() == RegionEBlockIds.size() &&
+         "region/e-block mismatch");
+  for (size_t R = 0; R != FP.Regions.size(); ++R) {
+    const EBlockRegion &Region = FP.Regions[R];
+    uint32_t EbId = RegionEBlockIds[R];
+    EBlockInfo &Info = Out.EBlocks[EbId];
+    uint32_t EntryPc = S.Code->size();
+    if (S.Emu)
+      Info.EmuEntryPc = EntryPc;
+    else
+      Info.ObjectEntryPc = EntryPc;
+
+    S.CurStmt = InvalidId;
+    emitLogOp(S, Op::Prelog, int32_t(EbId));
+    S.CurrentEBlock = EbId;
+
+    for (const Stmt *Top : Region.TopStmts)
+      genStmt(*Top, S);
+
+    // Segment/loop boundary postlog (flag 0); a trailing return inside the
+    // region already emitted an exits-function postlog and left this
+    // unreachable. The final region's boundary postlog is the implicit
+    // return's, below.
+    S.CurStmt = InvalidId;
+    if (R + 1 != FP.Regions.size())
+      emitLogOp(S, Op::Postlog, int32_t(EbId), 0);
+  }
+
+  // Implicit return, owned by the last region.
+  S.CurStmt = InvalidId;
+  emit(S, Op::PushConst, 0, 0, 0);
+  emitLogOp(S, Op::Postlog, int32_t(RegionEBlockIds.back()),
+       PostlogExitsFunction);
+  emit(S, Op::Ret);
+}
+
+void CodeGen::genFunction(
+    const FuncDecl &F, const std::vector<uint32_t> &RegionEBlockIds,
+    const std::unordered_map<StmtId, uint32_t> &UnitAtStmt) {
+  CompiledFunction &CF = Out.Funcs[F.Index];
+
+  GenState Obj;
+  Obj.Code = &CF.Object;
+  Obj.Emu = false;
+  Obj.UnitAtStmt = &UnitAtStmt;
+  genOneArtifact(F, RegionEBlockIds, Obj);
+
+  GenState Emu;
+  Emu.Code = &CF.Emu;
+  Emu.Emu = true;
+  Emu.UnitAtStmt = &UnitAtStmt;
+  genOneArtifact(F, RegionEBlockIds, Emu);
+}

@@ -1,0 +1,73 @@
+//===- compiler/CodeGen.h - Bytecode generation -----------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates both instrumentation artifacts for one function from one walk
+/// structure: the *object code* (Prelog/Postlog/UnitLog) and the
+/// *emulation package* (adds TraceStmt/TraceCallBegin/TraceCallEnd). Both
+/// runs perform the same statement walk, so the sequence of log-record
+/// producing instructions is identical by construction — the property the
+/// replay engine's linear log cursor relies on (§5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_COMPILER_CODEGEN_H
+#define PPD_COMPILER_CODEGEN_H
+
+#include "compiler/CompiledProgram.h"
+
+#include <unordered_map>
+
+namespace ppd {
+
+class CodeGen {
+public:
+  CodeGen(const Program &P, const SymbolTable &Symbols,
+          CompiledProgram &Out);
+
+  /// Emits both chunks of \p F into Out.Funcs[F.Index], recording e-block
+  /// entry pcs in Out.EBlocks. \p RegionEBlockIds maps the function's
+  /// region index to its global e-block id; \p UnitAtStmt maps a boundary
+  /// statement to the global id of the unit starting there (only present
+  /// when the unit logs something).
+  void genFunction(const FuncDecl &F,
+                   const std::vector<uint32_t> &RegionEBlockIds,
+                   const std::unordered_map<StmtId, uint32_t> &UnitAtStmt);
+
+private:
+  struct GenState {
+    Chunk *Code = nullptr;
+    bool Emu = false;
+    /// Innermost enclosing e-block (for Postlog at returns); InvalidId in
+    /// unlogged functions.
+    uint32_t CurrentEBlock = InvalidId;
+    /// Statement currently being compiled (tags instructions).
+    StmtId CurStmt = InvalidId;
+    const std::unordered_map<StmtId, uint32_t> *UnitAtStmt = nullptr;
+  };
+
+  uint32_t emit(GenState &S, Op Opcode, int32_t A = 0, int32_t B = 0,
+                int64_t Imm = 0);
+  uint32_t emitLogOp(GenState &S, Op Opcode, int32_t A = 0, int32_t B = 0);
+  void genExpr(const Expr &E, GenState &S);
+  void genStmt(const Stmt &St, GenState &S);
+  void genAssignTarget(VarId Var, bool HasIndex, GenState &S);
+  void genLoad(VarId Var, GenState &S);
+  void genLoadElem(VarId Var, GenState &S);
+  /// Emits the UnitLog for the unit starting at \p St, if any.
+  void maybeUnitLog(const Stmt &St, GenState &S);
+  void genOneArtifact(const FuncDecl &F,
+                      const std::vector<uint32_t> &RegionEBlockIds,
+                      GenState &S);
+
+  const Program &P;
+  const SymbolTable &Symbols;
+  CompiledProgram &Out;
+};
+
+} // namespace ppd
+
+#endif // PPD_COMPILER_CODEGEN_H

@@ -1,0 +1,45 @@
+//===- compiler/Compiler.h - Preparatory-phase driver -----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Compiler/Linker of the paper's preparatory phase (Fig 3.1). One
+/// call runs the full pipeline — parse, semantic analysis, call graph,
+/// interprocedural MOD/REF, program database, e-block partitioning,
+/// per-function CFG / static PDG / simplified static graph with
+/// synchronization units, USED/DEFINED summaries, and code generation of
+/// both artifacts — and returns the CompiledProgram that the execution
+/// phase (vm/) and debugging phase (core/) operate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_COMPILER_COMPILER_H
+#define PPD_COMPILER_COMPILER_H
+
+#include "compiler/CompiledProgram.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace ppd {
+
+class Compiler {
+public:
+  /// Compiles PPL source text. Returns null (with diagnostics) on any
+  /// lexical, syntactic, or semantic error.
+  static std::unique_ptr<CompiledProgram>
+  compile(const std::string &Source, const CompileOptions &Options,
+          DiagnosticEngine &Diags);
+
+  /// Compiles an already-parsed program (takes ownership).
+  static std::unique_ptr<CompiledProgram>
+  compile(std::unique_ptr<Program> Ast, const CompileOptions &Options,
+          DiagnosticEngine &Diags);
+};
+
+} // namespace ppd
+
+#endif // PPD_COMPILER_COMPILER_H

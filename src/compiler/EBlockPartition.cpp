@@ -1,0 +1,84 @@
+//===- compiler/EBlockPartition.cpp ---------------------------------------===//
+//
+// Part of PPD. See EBlockPartition.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/EBlockPartition.h"
+
+#include "sema/Accesses.h"
+
+#include <algorithm>
+
+using namespace ppd;
+
+unsigned ppd::countStmts(const Stmt &S) {
+  unsigned N = 0;
+  forEachStmt(S, [&](const Stmt &) { ++N; });
+  return N;
+}
+
+PartitionPlan ppd::planEBlocks(const Program &P, const CallGraph &CG,
+                               const EBlockOptions &Options) {
+  PartitionPlan Plan;
+  Plan.Funcs.resize(P.Funcs.size());
+
+  // Which functions must stay logged no matter what: process roots.
+  std::vector<bool> MustLog(P.Funcs.size(), false);
+  if (const FuncDecl *Main = P.findFunc("main"))
+    MustLog[Main->Index] = true;
+  for (const FuncDecl *Spawned : CG.spawnTargets())
+    MustLog[Spawned->Index] = true;
+
+  for (const auto &F : P.Funcs) {
+    FuncPlan &FP = Plan.Funcs[F->Index];
+
+    if (Options.LeafInheritance && !MustLog[F->Index] && CG.isLeaf(*F) &&
+        countStmts(*F->Body) <= Options.LeafMaxStmts &&
+        !CG.callers(*F).empty()) {
+      FP.Logged = false;
+      continue;
+    }
+
+    FP.Logged = true;
+
+    // Walk the top-level statement list, cutting at loop regions and (when
+    // splitting) at segment size limits.
+    EBlockRegion Segment;
+    unsigned SegmentTopCount = 0;
+    auto FlushSegment = [&] {
+      if (!Segment.TopStmts.empty()) {
+        FP.Regions.push_back(std::move(Segment));
+        Segment = EBlockRegion();
+        SegmentTopCount = 0;
+      }
+    };
+
+    for (const StmtPtr &Top : F->Body->Body) {
+      bool IsLoop = isa<WhileStmt>(Top.get()) || isa<ForStmt>(Top.get());
+      if (Options.LoopBlocks && IsLoop &&
+          countStmts(*Top) >= Options.LoopMinStmts) {
+        FlushSegment();
+        EBlockRegion Loop;
+        Loop.Kind = EBlockKind::Loop;
+        Loop.TopStmts.push_back(Top.get());
+        FP.Regions.push_back(std::move(Loop));
+        continue;
+      }
+      if (Options.SplitLargeFunctions &&
+          SegmentTopCount >= Options.MaxSegmentStmts)
+        FlushSegment();
+      Segment.TopStmts.push_back(Top.get());
+      ++SegmentTopCount;
+    }
+    FlushSegment();
+
+    // The last region must be a FunctionSegment so the implicit return has
+    // an owner; append an empty one after a trailing loop (or for an empty
+    // body).
+    if (FP.Regions.empty() ||
+        FP.Regions.back().Kind != EBlockKind::FunctionSegment)
+      FP.Regions.push_back(EBlockRegion());
+  }
+  return Plan;
+}

@@ -1,0 +1,103 @@
+//===- compiler/EBlockPartition.h - E-block planning ------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides how the program is divided into *emulation blocks* (§5.4). The
+/// options reproduce the paper's three refinements over the natural
+/// one-e-block-per-subroutine rule:
+///
+///   * **leaf inheritance** — "it may be better not to make e-blocks out of
+///     the small subroutines that correspond to leaf nodes in the call
+///     graph"; their direct ancestors inherit their USED/DEFINED sets and
+///     log on their behalf;
+///   * **loop e-blocks** — long-running for/while loops become their own
+///     e-blocks "so that the debugging phase can proceed without excessive
+///     time spent in re-executing the loops";
+///   * **splitting large subroutines** — "we can act conservatively to
+///     construct several e-blocks out of such a large subroutine".
+///
+/// A logged function's body is planned as an ordered list of single-entry
+/// *regions* over its top-level statement list: plain segments and loop
+/// regions. Regions are disjoint and sequential, so their dynamic log
+/// intervals are sequential too; only calls nest intervals (Fig 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_COMPILER_EBLOCKPARTITION_H
+#define PPD_COMPILER_EBLOCKPARTITION_H
+
+#include "lang/Ast.h"
+#include "sema/CallGraph.h"
+
+#include <vector>
+
+namespace ppd {
+
+/// Tuning knobs for the partitioner; the defaults reproduce the paper's
+/// natural choice (one e-block per subroutine). bench_eblock_granularity
+/// sweeps these for experiment E3.
+struct EBlockOptions {
+  /// Unlog small call-graph leaves; callers inherit their sets.
+  bool LeafInheritance = false;
+  /// A leaf is "small" when its body has at most this many statements.
+  unsigned LeafMaxStmts = 8;
+  /// Make top-level loops their own e-blocks.
+  bool LoopBlocks = false;
+  /// Only loops whose bodies have at least this many statements qualify.
+  unsigned LoopMinStmts = 0;
+  /// Split function bodies into segments of bounded size.
+  bool SplitLargeFunctions = false;
+  /// Maximum top-level statements per segment when splitting.
+  unsigned MaxSegmentStmts = 50;
+};
+
+enum class EBlockKind {
+  FunctionSegment, ///< a run of top-level statements (possibly the whole
+                   ///< body; possibly empty, owning only the implicit
+                   ///< return)
+  Loop,            ///< one top-level while/for loop
+};
+
+/// One single-entry region of a function body.
+struct EBlockRegion {
+  EBlockKind Kind = EBlockKind::FunctionSegment;
+  /// The top-level statements covered (empty only for a trailing segment
+  /// that owns just the implicit return). For Loop: exactly one loop
+  /// statement.
+  std::vector<const Stmt *> TopStmts;
+};
+
+/// The e-block plan of one function.
+struct FuncPlan {
+  /// False for inherited leaves: no prelogs/postlogs of their own.
+  bool Logged = true;
+  /// Regions in execution order; empty iff !Logged.
+  std::vector<EBlockRegion> Regions;
+};
+
+struct PartitionPlan {
+  std::vector<FuncPlan> Funcs; ///< by FuncDecl::Index.
+
+  bool isLogged(const FuncDecl &F) const { return Funcs[F.Index].Logged; }
+};
+
+/// Computes the plan. Invariants guaranteed:
+///  * `main` and all spawn targets are logged (they are process roots, and
+///    replay must be able to start at their entries);
+///  * every logged function's last region is a FunctionSegment (it owns the
+///    implicit return, so every return path emits an exits-function
+///    postlog);
+///  * only call-graph leaves are unlogged, so every unlogged body replays
+///    inline within some logged caller.
+PartitionPlan planEBlocks(const Program &P, const CallGraph &CG,
+                          const EBlockOptions &Options);
+
+/// Number of statements in the subtree of \p S (including itself).
+unsigned countStmts(const Stmt &S);
+
+} // namespace ppd
+
+#endif // PPD_COMPILER_EBLOCKPARTITION_H

@@ -1,0 +1,368 @@
+//===- core/Controller.cpp ------------------------------------------------===//
+//
+// Part of PPD. See Controller.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Controller.h"
+
+#include <algorithm>
+
+using namespace ppd;
+
+PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log)
+    : Prog(Prog), Log(std::move(Log)), Index(this->Log), Engine(Prog),
+      Builder(Prog, Graph) {}
+
+const ReplayResult *PpdController::replayOf(uint32_t Pid,
+                                            uint32_t IntervalIdx) const {
+  auto It = Cache.find({Pid, IntervalIdx});
+  return It == Cache.end() ? nullptr : &It->second.Replay;
+}
+
+const BuiltFragment *PpdController::ensureInterval(uint32_t Pid,
+                                                   uint32_t IntervalIdx) {
+  auto It = Cache.find({Pid, IntervalIdx});
+  if (It != Cache.end())
+    return &It->second.Fragment;
+
+  assert(IntervalIdx < Index.intervals(Pid).size() &&
+         "interval index out of range");
+  const LogInterval &Interval = Index.intervals(Pid)[IntervalIdx];
+
+  CacheEntry Entry;
+  Entry.Replay = Engine.replay(Log, Pid, Interval);
+  ++Stats.Replays;
+  Stats.ReplayInstructions += Entry.Replay.Instructions;
+  if (!Entry.Replay.Ok)
+    return nullptr;
+  Stats.EventsTraced += Entry.Replay.Events.Events.size();
+  Stats.TraceBytes += Entry.Replay.Events.byteSize();
+
+  Entry.Fragment =
+      Builder.addInterval(Pid, IntervalIdx, Entry.Replay.Events);
+  // Give the entry node a descriptive label.
+  const EBlockInfo &EBlock = Prog.eblock(Interval.EBlock);
+  Graph.node(Entry.Fragment.EntryNode).Label =
+      "ENTRY " + Prog.func(EBlock.Func).Name + " [p" + std::to_string(Pid) +
+      " i" + std::to_string(IntervalIdx) + "]";
+  Graph.markInterval(Pid, IntervalIdx);
+
+  auto [Pos, Inserted] =
+      Cache.emplace(std::make_pair(Pid, IntervalIdx), std::move(Entry));
+  assert(Inserted && "interval cached twice");
+  spliceSyncEdges(Pid, IntervalIdx);
+  return &Pos->second.Fragment;
+}
+
+DynNodeId PpdController::startAtFailure(uint32_t Pid) {
+  const LogInterval *Open = Index.lastOpenInterval(Pid);
+  if (!Open)
+    return InvalidId;
+  const BuiltFragment *Fragment = ensureInterval(Pid, Open->Index);
+  return Fragment ? Fragment->LastNode : InvalidId;
+}
+
+DynNodeId PpdController::startAtLastEvent(uint32_t Pid) {
+  if (const LogInterval *Open = Index.lastOpenInterval(Pid))
+    if (const BuiltFragment *Fragment = ensureInterval(Pid, Open->Index))
+      return Fragment->LastNode;
+  // All intervals closed: the process's last event lives in the interval
+  // whose postlog was written last (the outermost/final segment), not in
+  // the interval with the highest number (that's the most deeply nested
+  // call).
+  const LogInterval *Latest = nullptr;
+  for (const LogInterval &Interval : Index.intervals(Pid))
+    if (!Latest || Interval.PostlogRecord > Latest->PostlogRecord)
+      Latest = &Interval;
+  if (!Latest)
+    return InvalidId;
+  const BuiltFragment *Fragment = ensureInterval(Pid, Latest->Index);
+  return Fragment ? Fragment->LastNode : InvalidId;
+}
+
+std::vector<DynEdge> PpdController::dependencesOf(DynNodeId Node) {
+  // Resolve any cross-process reads still pending on this node.
+  const DynNode &N = Graph.node(Node);
+  if (N.Pid != InvalidId && N.Interval != InvalidId) {
+    auto It = Cache.find({N.Pid, N.Interval});
+    if (It != Cache.end()) {
+      std::vector<UnresolvedRead> &Pending = It->second.Fragment.Unresolved;
+      for (auto ReadIt = Pending.begin(); ReadIt != Pending.end();) {
+        if (ReadIt->Node == Node) {
+          resolveCrossRead(N.Pid, *ReadIt);
+          ReadIt = Pending.erase(ReadIt);
+        } else {
+          ++ReadIt;
+        }
+      }
+    }
+  }
+  return Graph.inEdges(Node);
+}
+
+unsigned PpdController::resolveAllCrossReads() {
+  unsigned Resolutions = 0;
+  // Fragments may be added while resolving; iterate until stable.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (auto &[Key, Entry] : Cache) {
+      if (Entry.Fragment.Unresolved.empty())
+        continue;
+      std::vector<UnresolvedRead> Pending;
+      Pending.swap(Entry.Fragment.Unresolved);
+      for (const UnresolvedRead &Read : Pending) {
+        resolveCrossRead(Key.first, Read);
+        ++Resolutions;
+      }
+      Changed = true;
+      break; // Cache may have grown; restart iteration.
+    }
+  }
+  return Resolutions;
+}
+
+CrossReadResolution
+PpdController::resolveCrossRead(uint32_t ReaderPid,
+                                const UnresolvedRead &Read) {
+  CrossReadResolution Result;
+  const ParallelDynamicGraph &PG = parallelGraph();
+  uint32_t SharedIdx = Prog.Symbols->var(Read.Var).SharedIndex;
+
+  EdgeRef ReaderEdge = PG.edgeContaining(ReaderPid, Read.LogCursor);
+  if (!ReaderEdge.valid()) {
+    // Before the first sync node or no edges: treat as initial state.
+    DynNode N;
+    N.Kind = DynNodeKind::Initial;
+    N.Label = "initial " + Prog.Symbols->var(Read.Var).Name;
+    DynNodeId Init = Graph.addNode(std::move(N));
+    Graph.addEdge({DynEdgeKind::CrossData, Init, Read.Node, Read.Var, -1});
+    Result.Outcome = CrossReadResolution::Kind::Initial;
+    Result.Producer = Init;
+    return Result;
+  }
+
+  EdgeRef RaceWitness;
+  EdgeRef Producer =
+      PG.lastWriterBefore(ReaderEdge, SharedIdx, &RaceWitness);
+
+  if (RaceWitness.valid()) {
+    DynNode N;
+    N.Kind = DynNodeKind::Unresolved;
+    N.Label = "RACE on " + Prog.Symbols->var(Read.Var).Name + " (p" +
+              std::to_string(RaceWitness.Pid) + ")";
+    DynNodeId RaceNode = Graph.addNode(std::move(N));
+    Graph.addEdge(
+        {DynEdgeKind::CrossData, RaceNode, Read.Node, Read.Var, -1});
+    Result.Outcome = CrossReadResolution::Kind::Race;
+    Result.RaceEdge = RaceWitness;
+    return Result;
+  }
+
+  if (!Producer.valid()) {
+    DynNode N;
+    N.Kind = DynNodeKind::Initial;
+    N.Label = "initial " + Prog.Symbols->var(Read.Var).Name;
+    DynNodeId Init = Graph.addNode(std::move(N));
+    Graph.addEdge({DynEdgeKind::CrossData, Init, Read.Node, Read.Var, -1});
+    Result.Outcome = CrossReadResolution::Kind::Initial;
+    Result.Producer = Init;
+    return Result;
+  }
+
+  DynNodeId Writer = materializeWriter(Producer, Read.Var, Read.Index);
+  if (Writer == InvalidId) {
+    Result.Outcome = CrossReadResolution::Kind::Unknown;
+    return Result;
+  }
+  Graph.addEdge({DynEdgeKind::CrossData, Writer, Read.Node, Read.Var, -1});
+  Result.Outcome = CrossReadResolution::Kind::Resolved;
+  Result.Producer = Writer;
+  return Result;
+}
+
+DynNodeId PpdController::materializeWriter(EdgeRef Producer, VarId Var,
+                                           int64_t Index) {
+  const ParallelDynamicGraph &PG = parallelGraph();
+  const std::vector<SyncNode> &ProcNodes = PG.nodes(Producer.Pid);
+  uint32_t Begin = ProcNodes[Producer.EndNode - 1].RecordIdx;
+  uint32_t End = ProcNodes[Producer.EndNode].RecordIdx;
+
+  // Locate the log interval covering the edge's record span and trace it.
+  const LogInterval *Interval = this->Index.enclosing(Producer.Pid, End);
+  if (!Interval)
+    return InvalidId;
+  const BuiltFragment *Fragment =
+      ensureInterval(Producer.Pid, Interval->Index);
+  if (!Fragment)
+    return InvalidId;
+  const ReplayResult *Replay = replayOf(Producer.Pid, Interval->Index);
+
+  // Last event within the edge's record span writing the variable.
+  DynNodeId Best = InvalidId;
+  for (const TraceEvent &E : Replay->Events.Events) {
+    if (E.LogCursor <= Begin || E.LogCursor > End)
+      continue;
+    bool WritesVar = false;
+    if (E.Kind == TraceEventKind::Stmt) {
+      for (const TraceAccess &W : E.Writes)
+        if (W.Var == Var && (W.Index == Index || W.Index < 0 || Index < 0))
+          WritesVar = true;
+    } else if (E.Kind == TraceEventKind::CallSkipped) {
+      WritesVar = Prog.ModRef.Mod[E.Callee].contains(Var);
+    }
+    if (WritesVar && E.Index < Fragment->EventNodes.size())
+      Best = Fragment->EventNodes[E.Index];
+  }
+  return Best;
+}
+
+const ParallelDynamicGraph &PpdController::parallelGraph() {
+  if (!ParGraph)
+    ParGraph = std::make_unique<ParallelDynamicGraph>(
+        Log, Prog.Symbols->NumSharedVars);
+  return *ParGraph;
+}
+
+RaceDetectionResult PpdController::detectRaces(RaceAlgorithm Algorithm) {
+  RaceDetector Detector(parallelGraph(), *Prog.Symbols);
+  return Detector.detect(Algorithm);
+}
+
+DynNodeId PpdController::expandCall(DynNodeId SubGraphNode) {
+  const DynNode &N = Graph.node(SubGraphNode);
+  if (N.Kind != DynNodeKind::SubGraph || N.Expanded)
+    return InvalidId;
+  auto It = Cache.find({N.Pid, N.Interval});
+  if (It == Cache.end())
+    return InvalidId;
+  for (const SkippedCall &Skip : It->second.Fragment.Skipped) {
+    if (Skip.Node != SubGraphNode)
+      continue;
+    const LogInterval *Nested =
+        Index.intervalAtRecord(N.Pid, Skip.CalleeRecordsAt);
+    if (!Nested)
+      return InvalidId;
+    const BuiltFragment *Fragment = ensureInterval(N.Pid, Nested->Index);
+    if (!Fragment)
+      return InvalidId;
+    Graph.node(SubGraphNode).Expanded = true;
+    Graph.addEdge({DynEdgeKind::Flow, SubGraphNode, Fragment->EntryNode,
+                   InvalidId, -1});
+    return Fragment->EntryNode;
+  }
+  return InvalidId;
+}
+
+DynNodeId PpdController::eventNodeNear(uint32_t Pid, uint32_t RecordIdx,
+                                       StmtId Stmt) {
+  const LogInterval *Interval = Index.enclosing(Pid, RecordIdx);
+  if (!Interval)
+    return InvalidId;
+  auto It = Cache.find({Pid, Interval->Index});
+  if (It == Cache.end())
+    return InvalidId;
+  const ReplayResult &Replay = It->second.Replay;
+  const BuiltFragment &Fragment = It->second.Fragment;
+  DynNodeId Best = InvalidId;
+  for (const TraceEvent &E : Replay.Events.Events) {
+    if (E.Stmt != Stmt || E.LogCursor > RecordIdx)
+      continue;
+    if (E.Index < Fragment.EventNodes.size())
+      Best = Fragment.EventNodes[E.Index];
+  }
+  return Best;
+}
+
+void PpdController::spliceSyncEdges(uint32_t Pid, uint32_t IntervalIdx) {
+  // Add synchronization edges whose endpoints both have traced fragments.
+  const ParallelDynamicGraph &PG = parallelGraph();
+  const LogInterval &Interval = Index.intervals(Pid)[IntervalIdx];
+  uint32_t End = Interval.PostlogRecord == InvalidId
+                     ? uint32_t(Log.Procs[Pid].Records.size())
+                     : Interval.PostlogRecord;
+
+  for (uint32_t NodeIdx = 0; NodeIdx != PG.nodes(Pid).size(); ++NodeIdx) {
+    const SyncNode &N = PG.nodes(Pid)[NodeIdx];
+    if (N.RecordIdx < Interval.PrelogRecord || N.RecordIdx > End)
+      continue;
+    // Edge into this node (partner → here).
+    SyncNodeRef Partner = PG.partnerOf({Pid, NodeIdx});
+    if (Partner.valid()) {
+      const SyncNode &PN = PG.node(Partner);
+      DynNodeId From =
+          eventNodeNear(Partner.Pid, PN.RecordIdx, PN.Stmt);
+      DynNodeId To = eventNodeNear(Pid, N.RecordIdx, N.Stmt);
+      if (From != InvalidId && To != InvalidId)
+        Graph.addEdge({DynEdgeKind::Sync, From, To, InvalidId, -1});
+    }
+    // Edges out of this node: partners in other processes pointing here.
+    for (uint32_t OtherPid = 0; OtherPid != PG.numProcs(); ++OtherPid) {
+      if (OtherPid == Pid)
+        continue;
+      for (uint32_t OtherIdx = 0; OtherIdx != PG.nodes(OtherPid).size();
+           ++OtherIdx) {
+        SyncNodeRef OtherPartner = PG.partnerOf({OtherPid, OtherIdx});
+        if (!(OtherPartner == SyncNodeRef{Pid, NodeIdx}))
+          continue;
+        const SyncNode &ON = PG.nodes(OtherPid)[OtherIdx];
+        DynNodeId From = eventNodeNear(Pid, N.RecordIdx, N.Stmt);
+        DynNodeId To = eventNodeNear(OtherPid, ON.RecordIdx, ON.Stmt);
+        if (From != InvalidId && To != InvalidId)
+          Graph.addEdge({DynEdgeKind::Sync, From, To, InvalidId, -1});
+      }
+    }
+  }
+}
+
+ReplayResult
+PpdController::whatIf(uint32_t Pid, uint32_t IntervalIdx,
+                      const std::vector<ReplayOverride> &Overrides) {
+  assert(IntervalIdx < Index.intervals(Pid).size() &&
+         "interval index out of range");
+  ReplayOptions Options;
+  Options.Overrides = Overrides;
+  ++Stats.Replays;
+  return Engine.replay(Log, Pid, Index.intervals(Pid)[IntervalIdx],
+                       Options);
+}
+
+RestoredState PpdController::restoreGlobals(uint32_t Pid,
+                                            uint32_t UptoInterval) const {
+  RestoredState State;
+  State.Shared.assign(Prog.Symbols->SharedMemorySize, 0);
+  State.PrivateGlobals.assign(Prog.Symbols->PrivateGlobalSize, 0);
+  for (const VarInfo &Info : Prog.Symbols->Vars) {
+    if (Info.Kind == VarKind::SharedGlobal && !Info.isArray())
+      State.Shared[Info.Offset] = Info.Init;
+    if (Info.Kind == VarKind::PrivateGlobal && !Info.isArray())
+      State.PrivateGlobals[Info.Offset] = Info.Init;
+  }
+
+  assert(UptoInterval < Index.intervals(Pid).size() &&
+         "interval index out of range");
+  uint32_t EndRecord = Index.intervals(Pid)[UptoInterval].PostlogRecord;
+  if (EndRecord == InvalidId)
+    EndRecord = uint32_t(Log.Procs[Pid].Records.size());
+
+  // §5.7: "the accumulation of the information carried by all the postlogs
+  // from postlog(1) up to postlog(i) is the same as the program state at
+  // the time postlog(i) is made." (Globals; unit logs refresh shared
+  // values read from other processes.)
+  const std::vector<LogRecord> &Records = Log.Procs[Pid].Records;
+  for (uint32_t Idx = 0; Idx <= EndRecord && Idx < Records.size(); ++Idx) {
+    const LogRecord &R = Records[Idx];
+    if (R.Kind != LogRecordKind::Postlog && R.Kind != LogRecordKind::UnitLog)
+      continue;
+    for (const VarValue &V : R.Vars) {
+      const VarInfo &Info = Prog.Symbols->var(V.Var);
+      if (Info.Kind == VarKind::SharedGlobal)
+        std::copy(V.Values.begin(), V.Values.end(),
+                  State.Shared.begin() + Info.Offset);
+      else if (Info.Kind == VarKind::PrivateGlobal)
+        std::copy(V.Values.begin(), V.Values.end(),
+                  State.PrivateGlobals.begin() + Info.Offset);
+    }
+  }
+  return State;
+}

@@ -1,0 +1,117 @@
+//===- core/DeadlockAnalyzer.cpp ------------------------------------------===//
+//
+// Part of PPD. See DeadlockAnalyzer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeadlockAnalyzer.h"
+
+#include <map>
+
+using namespace ppd;
+
+DeadlockReport DeadlockAnalyzer::analyze(const DeadlockInfo &Info) const {
+  DeadlockReport Report;
+
+  // Semaphore balances per process: acquires minus signals.
+  unsigned NumSems = unsigned(Prog.SemInit.size());
+  std::vector<std::vector<int64_t>> Balance(
+      Log.Procs.size(), std::vector<int64_t>(NumSems, 0));
+  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
+    for (const LogRecord &R : Log.Procs[Pid].Records) {
+      if (R.Kind != LogRecordKind::SyncEvent)
+        continue;
+      if (R.Sync == SyncKind::SemAcquire)
+        ++Balance[Pid][R.Id];
+      else if (R.Sync == SyncKind::SemSignal)
+        --Balance[Pid][R.Id];
+    }
+  }
+
+  auto HoldersOf = [&](uint32_t Sem) {
+    std::vector<uint32_t> Holders;
+    for (uint32_t Pid = 0; Pid != Balance.size(); ++Pid)
+      if (Sem < Balance[Pid].size() && Balance[Pid][Sem] > 0)
+        Holders.push_back(Pid);
+    return Holders;
+  };
+
+  std::map<uint32_t, std::vector<uint32_t>> WaitsOn; // pid → holder pids
+  for (const DeadlockInfo::WaitEdge &W : Info.Blocked) {
+    DeadlockReport::Wait Wait;
+    Wait.Pid = W.Pid;
+    Wait.Status = W.Status;
+    Wait.Object = W.Object;
+    if (W.Status == ProcStatus::BlockedSem) {
+      Wait.Holders = HoldersOf(W.Object);
+      WaitsOn[W.Pid] = Wait.Holders;
+    }
+    Report.Waits.push_back(std::move(Wait));
+  }
+
+  // Cycle detection over the wait-for graph (DFS with path marking).
+  std::map<uint32_t, int> Mark; // 0 unvisited, 1 on path, 2 done
+  std::vector<uint32_t> Path;
+  std::function<bool(uint32_t)> Dfs = [&](uint32_t Pid) -> bool {
+    Mark[Pid] = 1;
+    Path.push_back(Pid);
+    for (uint32_t Next : WaitsOn[Pid]) {
+      if (Mark[Next] == 1) {
+        // Found a cycle: trim the path prefix before Next.
+        auto It = std::find(Path.begin(), Path.end(), Next);
+        Report.Cycle.assign(It, Path.end());
+        return true;
+      }
+      if (Mark[Next] == 0 && WaitsOn.count(Next) && Dfs(Next))
+        return true;
+    }
+    Path.pop_back();
+    Mark[Pid] = 2;
+    return false;
+  };
+  for (const auto &[Pid, Holders] : WaitsOn)
+    if (Mark[Pid] == 0 && Dfs(Pid))
+      break;
+
+  return Report;
+}
+
+std::string DeadlockReport::str(const Program &P) const {
+  std::string Out;
+  for (const Wait &W : Waits) {
+    Out += "process " + std::to_string(W.Pid) + " blocked ";
+    switch (W.Status) {
+    case ProcStatus::BlockedSem:
+      Out += "on P(" +
+             (W.Object < P.Sems.size() ? P.Sems[W.Object].Name
+                                       : std::to_string(W.Object)) +
+             ")";
+      if (!W.Holders.empty()) {
+        Out += ", held by";
+        for (uint32_t H : W.Holders)
+          Out += " p" + std::to_string(H);
+      }
+      break;
+    case ProcStatus::BlockedSend:
+      Out += "sending on channel " +
+             (W.Object < P.Chans.size() ? P.Chans[W.Object].Name
+                                        : std::to_string(W.Object));
+      break;
+    case ProcStatus::BlockedRecv:
+      Out += "receiving on channel " +
+             (W.Object < P.Chans.size() ? P.Chans[W.Object].Name
+                                        : std::to_string(W.Object));
+      break;
+    default:
+      Out += "(unknown)";
+    }
+    Out += "\n";
+  }
+  if (hasCycle()) {
+    Out += "wait-for cycle:";
+    for (uint32_t Pid : Cycle)
+      Out += " p" + std::to_string(Pid);
+    Out += "\n";
+  }
+  return Out;
+}

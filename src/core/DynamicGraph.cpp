@@ -1,0 +1,142 @@
+//===- core/DynamicGraph.cpp ----------------------------------------------===//
+//
+// Part of PPD. See DynamicGraph.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicGraph.h"
+
+#include "lang/AstPrinter.h"
+#include "support/DotWriter.h"
+
+#include <deque>
+
+using namespace ppd;
+
+DynNodeId DynamicGraph::addNode(DynNode Node) {
+  Node.Id = DynNodeId(Nodes.size());
+  if (Node.Pid != InvalidId && Node.Event != InvalidId)
+    ByEvent[{Node.Pid, Node.Interval, Node.Event}] = Node.Id;
+  Nodes.push_back(std::move(Node));
+  In.emplace_back();
+  Out.emplace_back();
+  return Nodes.back().Id;
+}
+
+void DynamicGraph::addEdge(DynEdge Edge) {
+  assert(Edge.From < Nodes.size() && Edge.To < Nodes.size() &&
+         "edge endpoints must exist");
+  uint32_t Idx = uint32_t(Edges.size());
+  In[Edge.To].push_back(Idx);
+  Out[Edge.From].push_back(Idx);
+  Edges.push_back(Edge);
+}
+
+std::vector<DynEdge> DynamicGraph::inEdges(DynNodeId Id) const {
+  std::vector<DynEdge> Result;
+  for (uint32_t Idx : In[Id])
+    Result.push_back(Edges[Idx]);
+  return Result;
+}
+
+std::vector<DynEdge> DynamicGraph::outEdges(DynNodeId Id) const {
+  std::vector<DynEdge> Result;
+  for (uint32_t Idx : Out[Id])
+    Result.push_back(Edges[Idx]);
+  return Result;
+}
+
+DynNodeId DynamicGraph::nodeOfEvent(uint32_t Pid, uint32_t Interval,
+                                    uint32_t Event) const {
+  auto It = ByEvent.find({Pid, Interval, Event});
+  return It == ByEvent.end() ? InvalidId : It->second;
+}
+
+std::string DynamicGraph::dot(const Program & /*P: labels are prebuilt*/,
+                              const std::vector<DynNodeId> &Roots) const {
+  // Select nodes: everything, or the backward slice from the roots.
+  std::vector<bool> Keep(Nodes.size(), Roots.empty());
+  if (!Roots.empty()) {
+    std::deque<DynNodeId> Work(Roots.begin(), Roots.end());
+    for (DynNodeId Id : Roots)
+      Keep[Id] = true;
+    while (!Work.empty()) {
+      DynNodeId Id = Work.front();
+      Work.pop_front();
+      for (uint32_t EdgeIdx : In[Id]) {
+        // The backward slice follows dependences only; flow edges are mere
+        // execution order and would drag in every earlier event.
+        if (Edges[EdgeIdx].Kind == DynEdgeKind::Flow)
+          continue;
+        DynNodeId From = Edges[EdgeIdx].From;
+        if (!Keep[From]) {
+          Keep[From] = true;
+          Work.push_back(From);
+        }
+      }
+    }
+  }
+
+  DotWriter W("dynamic_graph");
+  auto Name = [](DynNodeId Id) { return "d" + std::to_string(Id); };
+
+  for (const DynNode &N : Nodes) {
+    if (!Keep[N.Id])
+      continue;
+    std::string Label = N.Label;
+    if (N.HasValue)
+      Label += "\n= " + std::to_string(N.Value);
+    std::vector<std::string> Attrs;
+    switch (N.Kind) {
+    case DynNodeKind::Entry:
+      Attrs.push_back("shape=box");
+      break;
+    case DynNodeKind::Singular:
+      Attrs.push_back("shape=ellipse");
+      break;
+    case DynNodeKind::SubGraph:
+      // Fig 4.1 draws sub-graph nodes as double circles.
+      Attrs.push_back("shape=doublecircle");
+      break;
+    case DynNodeKind::Param:
+      Attrs.push_back("shape=plaintext");
+      break;
+    case DynNodeKind::Initial:
+    case DynNodeKind::Unresolved:
+      Attrs.push_back("shape=box");
+      Attrs.push_back("style=dotted");
+      break;
+    }
+    W.node(Name(N.Id), Label, Attrs);
+  }
+
+  for (const DynEdge &E : Edges) {
+    if (!Keep[E.From] || !Keep[E.To])
+      continue;
+    std::vector<std::string> Attrs;
+    switch (E.Kind) {
+    case DynEdgeKind::Data:
+      break; // solid, the default
+    case DynEdgeKind::Control:
+      Attrs.push_back("style=dashed");
+      if (E.Branch == 1)
+        Attrs.push_back("label=\"T\"");
+      else if (E.Branch == 0)
+        Attrs.push_back("label=\"F\"");
+      break;
+    case DynEdgeKind::Flow:
+      Attrs.push_back("style=dotted");
+      Attrs.push_back("arrowhead=open");
+      break;
+    case DynEdgeKind::Sync:
+      Attrs.push_back("style=bold");
+      Attrs.push_back("color=blue");
+      break;
+    case DynEdgeKind::CrossData:
+      Attrs.push_back("color=red");
+      break;
+    }
+    W.edge(Name(E.From), Name(E.To), Attrs);
+  }
+  return W.str();
+}

@@ -1,0 +1,131 @@
+//===- core/DynamicGraph.h - §4.2 dynamic dependence graph ------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *dynamic program dependence graph* (§4.2, Fig 4.1): actual run-time
+/// dependences between program events. Node kinds mirror the paper's —
+/// ENTRY/EXIT nodes, *singular* nodes (one statement execution, carrying
+/// the assigned or predicate value), *sub-graph* nodes (one call,
+/// expandable on demand), plus the %n parameter-binding nodes of Fig 4.1
+/// (including the "fictional" nodes for expression arguments) and
+/// synthetic Initial/Unresolved nodes standing for values that flowed in
+/// from outside the traced region.
+///
+/// The graph is built *incrementally*: the PPD controller appends node
+/// fragments per replayed log interval and splices cross-interval and
+/// cross-process edges as the user's queries demand (§3.2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_CORE_DYNAMICGRAPH_H
+#define PPD_CORE_DYNAMICGRAPH_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ppd {
+
+class Program;
+
+using DynNodeId = uint32_t;
+
+enum class DynNodeKind : uint8_t {
+  Entry,     ///< e-block/interval entry (labelled with the function)
+  Singular,  ///< one executed statement
+  SubGraph,  ///< one call — expanded or not
+  Param,     ///< %n parameter binding (Fig 4.1)
+  Initial,   ///< value present before the traced region / program start
+  Unresolved ///< value produced by another process/interval, not yet
+             ///< traced (expand via the controller)
+};
+
+enum class DynEdgeKind : uint8_t {
+  Data,    ///< value flow (paper: solid arrow)
+  Control, ///< control dependence (paper: dashed arrow)
+  Flow,    ///< execution order between consecutive events
+  Sync,    ///< synchronization edge (cross-process)
+  CrossData ///< data dependence resolved across processes (§6.3)
+};
+
+struct DynNode {
+  DynNodeId Id = InvalidId;
+  DynNodeKind Kind = DynNodeKind::Singular;
+  /// Event identity: process, log interval, event index within the
+  /// interval's trace. Synthetic nodes use InvalidId components.
+  uint32_t Pid = InvalidId;
+  uint32_t Interval = InvalidId;
+  uint32_t Event = InvalidId;
+  StmtId Stmt = InvalidId;
+  /// The associated value (assigned value, predicate outcome, return
+  /// value, parameter value) — §4.2 associates one with every node.
+  int64_t Value = 0;
+  bool HasValue = false;
+  /// Enclosing sub-graph node, or InvalidId at top level.
+  DynNodeId Parent = InvalidId;
+  /// SubGraph nodes: callee and whether the detail was generated.
+  uint32_t Callee = InvalidId;
+  bool Expanded = false;
+  std::string Label;
+};
+
+struct DynEdge {
+  DynEdgeKind Kind = DynEdgeKind::Data;
+  DynNodeId From = InvalidId;
+  DynNodeId To = InvalidId;
+  VarId Var = InvalidId; ///< Data/CrossData: the variable carrying the value.
+  int8_t Branch = -1;    ///< Control: 1 = true arm, 0 = false arm.
+};
+
+class DynamicGraph {
+public:
+  DynNodeId addNode(DynNode Node);
+  void addEdge(DynEdge Edge);
+
+  const DynNode &node(DynNodeId Id) const { return Nodes[Id]; }
+  DynNode &node(DynNodeId Id) { return Nodes[Id]; }
+  unsigned numNodes() const { return unsigned(Nodes.size()); }
+  const std::vector<DynEdge> &edges() const { return Edges; }
+
+  /// Incoming edges of \p Id (the flowback direction).
+  std::vector<DynEdge> inEdges(DynNodeId Id) const;
+  /// Outgoing edges of \p Id (forward flow).
+  std::vector<DynEdge> outEdges(DynNodeId Id) const;
+
+  /// Looks up the node of event (pid, interval, event), or InvalidId.
+  DynNodeId nodeOfEvent(uint32_t Pid, uint32_t Interval,
+                        uint32_t Event) const;
+
+  /// True if the interval's fragment was already added.
+  bool hasInterval(uint32_t Pid, uint32_t Interval) const {
+    return TracedIntervals.count({Pid, Interval}) != 0;
+  }
+  void markInterval(uint32_t Pid, uint32_t Interval) {
+    TracedIntervals.insert({Pid, Interval});
+  }
+
+  /// Graphviz rendering of the whole graph (or, with \p Roots nonempty,
+  /// of the backward slice from those nodes) in Fig 4.1's style: solid
+  /// data edges, dashed control edges.
+  std::string dot(const Program &P,
+                  const std::vector<DynNodeId> &Roots = {}) const;
+
+private:
+  std::vector<DynNode> Nodes;
+  std::vector<DynEdge> Edges;
+  std::vector<std::vector<uint32_t>> In;  ///< edge indices by target.
+  std::vector<std::vector<uint32_t>> Out; ///< edge indices by source.
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, DynNodeId> ByEvent;
+  std::set<std::pair<uint32_t, uint32_t>> TracedIntervals;
+};
+
+} // namespace ppd
+
+#endif // PPD_CORE_DYNAMICGRAPH_H

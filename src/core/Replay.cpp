@@ -1,0 +1,753 @@
+//===- core/Replay.cpp ----------------------------------------------------===//
+//
+// Part of PPD. See Replay.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Replay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ppd;
+
+namespace {
+
+/// Integer square root (floor), mirroring the VM's builtin.
+int64_t isqrt(int64_t X) {
+  assert(X >= 0 && "isqrt of negative value");
+  int64_t R = int64_t(std::sqrt(double(X)));
+  while (R > 0 && R * R > X)
+    --R;
+  while ((R + 1) * (R + 1) <= X)
+    ++R;
+  return R;
+}
+
+struct RFrame {
+  uint32_t Func = 0;
+  uint32_t ReturnPc = 0;
+  uint32_t StackBase = 0;
+  std::vector<int64_t> Slots;
+  uint32_t OpenEvent = InvalidId;
+};
+
+/// The single-process replay interpreter.
+class Replayer {
+public:
+  Replayer(const CompiledProgram &Prog, const ExecutionLog &Log,
+           uint32_t Pid, const LogInterval &Interval,
+           const ReplayOptions &Options)
+      : Prog(Prog), Records(Log.Procs[Pid].Records), Pid(Pid),
+        Interval(Interval), Options(Options) {}
+
+  ReplayResult run();
+
+private:
+  enum class StepOutcome { Continue, Stop };
+
+  const Chunk &chunk() const { return Prog.func(Frames.back().Func).Emu; }
+
+  void finish(bool OkFlag) {
+    Result.Ok = OkFlag;
+    Done = true;
+  }
+  void diverge(const std::string &Message) {
+    if (WhatIf) {
+      Result.Diverged = true;
+      return;
+    }
+    Result.Error = Message;
+    finish(false);
+  }
+
+  /// Consumes the next record if it has the expected shape; returns null
+  /// otherwise. At end-of-log sets Partial and stops (the process stopped
+  /// mid-interval). Under what-if divergence, synthesis is the caller's
+  /// job.
+  /// True when the cursor sits at the end of what actually executed: the
+  /// log is exhausted or a Stop marker (machine freeze) is next.
+  bool atExecutionEnd() const {
+    return Cursor >= Records.size() ||
+           Records[Cursor].Kind == LogRecordKind::Stop;
+  }
+
+  const LogRecord *consume(LogRecordKind Kind) {
+    if (atExecutionEnd()) {
+      if (!WhatIf) {
+        Result.Partial = true;
+        finish(true);
+      }
+      return nullptr;
+    }
+    const LogRecord &R = Records[Cursor];
+    if (R.Kind != Kind)
+      return nullptr;
+    ++Cursor;
+    return &R;
+  }
+
+  const LogRecord *consumeSync(SyncKind Kind) {
+    if (atExecutionEnd()) {
+      if (!WhatIf) {
+        Result.Partial = true;
+        finish(true);
+      }
+      return nullptr;
+    }
+    if (Records[Cursor].Kind == LogRecordKind::SyncEvent &&
+        Records[Cursor].Sync == Kind)
+      return &Records[Cursor++];
+    return nullptr;
+  }
+
+  void restoreVars(const LogRecord &R) {
+    for (const VarValue &V : R.Vars)
+      writeVarWhole(V.Var, V.Values);
+  }
+
+  void writeVarWhole(VarId Var, const std::vector<int64_t> &Values) {
+    const VarInfo &Info = Prog.Symbols->var(Var);
+    int64_t *Base = baseOf(Info);
+    if (!Base)
+      return;
+    std::copy(Values.begin(), Values.end(), Base);
+  }
+
+  int64_t *baseOf(const VarInfo &Info) {
+    switch (Info.Kind) {
+    case VarKind::SharedGlobal:
+      return &Shared[Info.Offset];
+    case VarKind::PrivateGlobal:
+      return &Priv[Info.Offset];
+    case VarKind::Param:
+    case VarKind::Local:
+      // Restoration targets the interval's own function frame (the root);
+      // callee locals of skipped intervals are ignored.
+      if (!Info.Func || Info.Func->Index != RootFunc)
+        return nullptr;
+      return &Frames.front().Slots[Info.Offset];
+    }
+    return nullptr;
+  }
+
+  /// Applies the global (shared + per-process) values of a skipped
+  /// interval's postlog.
+  void applyPostlogGlobals(const LogRecord &R) {
+    for (const VarValue &V : R.Vars) {
+      const VarInfo &Info = Prog.Symbols->var(V.Var);
+      if (!Info.isGlobal())
+        continue;
+      writeVarWhole(V.Var, V.Values);
+    }
+  }
+
+  TraceEvent *openEvent() {
+    uint32_t Idx = Frames.back().OpenEvent;
+    return Idx == InvalidId ? nullptr : &Result.Events.Events[Idx];
+  }
+  void traceRead(VarId Var, int64_t Value, int64_t Index) {
+    if (TraceEvent *E = openEvent())
+      E->Reads.push_back({Var, Value, Index});
+  }
+  void traceWrite(VarId Var, int64_t Value, int64_t Index) {
+    if (TraceEvent *E = openEvent())
+      E->Writes.push_back({Var, Value, Index});
+  }
+
+  void failHere(RuntimeErrorKind Kind, StmtId Stmt) {
+    Result.FailureHit = true;
+    Result.Failure = {Kind, Pid, Stmt};
+    finish(true); // reproducing the failure is a *successful* replay
+  }
+
+  void applyOverrides() {
+    for (const ReplayOverride &O : Options.Overrides) {
+      if (O.AtEvent != Result.Events.Events.size())
+        continue;
+      const VarInfo &Info = Prog.Symbols->var(O.Var);
+      int64_t *Base = baseOf(Info);
+      if (!Base)
+        continue;
+      uint32_t Offset = O.Index < 0 ? 0 : uint32_t(O.Index);
+      if (Offset < Info.slotCount())
+        Base[Offset] = O.Value;
+    }
+  }
+
+  void skipNestedCall(uint32_t Callee, StmtId Stmt);
+  StepOutcome step();
+
+  const CompiledProgram &Prog;
+  const std::vector<LogRecord> &Records;
+  uint32_t Pid;
+  const LogInterval &Interval;
+  const ReplayOptions &Options;
+
+  ReplayResult Result;
+  bool Done = false;
+  bool WhatIf = false;
+
+  std::vector<RFrame> Frames;
+  std::vector<int64_t> Stack;
+  std::vector<int64_t> Shared;
+  std::vector<int64_t> Priv;
+  uint32_t Pc = 0;
+  uint32_t Cursor = 0;
+  uint32_t RootFunc = 0;
+};
+
+void Replayer::skipNestedCall(uint32_t Callee, StmtId Stmt) {
+  // Where the nested invocation's records begin: the controller uses this
+  // to locate the interval when the user expands the sub-graph node.
+  uint32_t StartCursor = Cursor;
+  // The next records must be the nested invocation's intervals (Fig 5.2).
+  if (atExecutionEnd() || Records[Cursor].Kind != LogRecordKind::Prelog) {
+    if (atExecutionEnd() && !WhatIf) {
+      Result.Partial = true;
+      finish(true);
+      return;
+    }
+    diverge("expected nested interval prelog at call");
+    if (WhatIf) {
+      // Synthesize: pop args, push 0.
+      uint32_t Argc = Prog.func(Callee).NumParams;
+      Stack.resize(Stack.size() - Argc);
+      Stack.push_back(0);
+    }
+    return;
+  }
+
+  int64_t RetVal = 0;
+  bool SawExit = false;
+  unsigned Depth = 0;
+  while (Cursor < Records.size()) {
+    const LogRecord &R = Records[Cursor++];
+    if (R.Kind == LogRecordKind::Prelog) {
+      ++Depth;
+    } else if (R.Kind == LogRecordKind::Postlog) {
+      if (Depth == 0) {
+        diverge("unbalanced postlog while skipping nested call");
+        return;
+      }
+      --Depth;
+      if (Depth == 0) {
+        // A directly nested interval completed: its effects on globals
+        // become visible to the caller.
+        applyPostlogGlobals(R);
+        if (R.Flags & PostlogExitsFunction) {
+          RetVal = R.Value;
+          SawExit = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!SawExit) {
+    // The callee never returned: execution stopped inside it. The caller
+    // cannot continue either.
+    Result.Partial = true;
+    finish(true);
+    return;
+  }
+
+  uint32_t Argc = Prog.func(Callee).NumParams;
+  assert(Stack.size() >= Argc && "call arguments missing");
+  std::vector<int64_t> Args(Stack.end() - Argc, Stack.end());
+  Stack.resize(Stack.size() - Argc);
+  Stack.push_back(RetVal);
+
+  TraceEvent E;
+  E.Kind = TraceEventKind::CallSkipped;
+  E.Pid = Pid;
+  E.Stmt = Stmt;
+  E.Callee = Callee;
+  E.Value = RetVal;
+  E.Args = std::move(Args);
+  E.LogCursor = StartCursor;
+  Result.Events.append(std::move(E));
+}
+
+Replayer::StepOutcome Replayer::step() {
+  const Chunk &Code = chunk();
+  assert(Pc < Code.size() && "replay pc out of range");
+  const Instr I = Code.at(Pc);
+  StmtId Stmt = Code.stmtAt(Pc);
+  ++Pc;
+
+  auto Push = [&](int64_t V) { Stack.push_back(V); };
+  auto Pop = [&]() {
+    assert(!Stack.empty() && "operand stack underflow in replay");
+    int64_t V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  bool IsShared = false;
+  switch (I.Opcode) {
+  case Op::PushConst:
+    Push(I.Imm);
+    return StepOutcome::Continue;
+  case Op::Pop:
+    Pop();
+    return StepOutcome::Continue;
+  case Op::ToBool:
+    Stack.back() = Stack.back() != 0;
+    return StepOutcome::Continue;
+
+  case Op::LoadLocal: {
+    int64_t V = Frames.back().Slots[I.A];
+    Push(V);
+    traceRead(VarId(I.B), V, -1);
+    return StepOutcome::Continue;
+  }
+  case Op::StoreLocal: {
+    int64_t V = Pop();
+    Frames.back().Slots[I.A] = V;
+    traceWrite(VarId(I.B), V, -1);
+    return StepOutcome::Continue;
+  }
+  case Op::LoadLocalElem: {
+    int64_t Idx = Pop();
+    if (Idx < 0 || Idx >= I.Imm) {
+      failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
+      return StepOutcome::Stop;
+    }
+    int64_t V = Frames.back().Slots[I.A + Idx];
+    Push(V);
+    traceRead(VarId(I.B), V, Idx);
+    return StepOutcome::Continue;
+  }
+  case Op::StoreLocalElem: {
+    int64_t V = Pop();
+    int64_t Idx = Pop();
+    if (Idx < 0 || Idx >= I.Imm) {
+      failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
+      return StepOutcome::Stop;
+    }
+    Frames.back().Slots[I.A + Idx] = V;
+    traceWrite(VarId(I.B), V, Idx);
+    return StepOutcome::Continue;
+  }
+  case Op::ZeroLocal:
+    std::fill_n(Frames.back().Slots.begin() + I.A, I.Imm, 0);
+    traceWrite(VarId(I.B), 0, -1);
+    return StepOutcome::Continue;
+
+  case Op::LoadShared:
+  case Op::LoadSharedElem:
+    IsShared = true;
+    [[fallthrough]];
+  case Op::LoadPriv:
+  case Op::LoadPrivElem: {
+    std::vector<int64_t> &Mem = IsShared ? Shared : Priv;
+    int64_t Idx = -1;
+    uint32_t Offset = uint32_t(I.A);
+    if (I.Opcode == Op::LoadSharedElem || I.Opcode == Op::LoadPrivElem) {
+      Idx = Pop();
+      if (Idx < 0 || Idx >= I.Imm) {
+        failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
+        return StepOutcome::Stop;
+      }
+      Offset += uint32_t(Idx);
+    }
+    int64_t V = Mem[Offset];
+    Push(V);
+    traceRead(VarId(I.B), V, Idx);
+    return StepOutcome::Continue;
+  }
+  case Op::StoreShared:
+  case Op::StoreSharedElem:
+    IsShared = true;
+    [[fallthrough]];
+  case Op::StorePriv:
+  case Op::StorePrivElem: {
+    std::vector<int64_t> &Mem = IsShared ? Shared : Priv;
+    int64_t V = Pop();
+    int64_t Idx = -1;
+    uint32_t Offset = uint32_t(I.A);
+    if (I.Opcode == Op::StoreSharedElem || I.Opcode == Op::StorePrivElem) {
+      Idx = Pop();
+      if (Idx < 0 || Idx >= I.Imm) {
+        failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
+        return StepOutcome::Stop;
+      }
+      Offset += uint32_t(Idx);
+    }
+    Mem[Offset] = V;
+    traceWrite(VarId(I.B), V, Idx);
+    return StepOutcome::Continue;
+  }
+
+  case Op::Add: {
+    int64_t B = Pop(), A = Pop();
+    Push(A + B);
+    return StepOutcome::Continue;
+  }
+  case Op::Sub: {
+    int64_t B = Pop(), A = Pop();
+    Push(A - B);
+    return StepOutcome::Continue;
+  }
+  case Op::Mul: {
+    int64_t B = Pop(), A = Pop();
+    Push(A * B);
+    return StepOutcome::Continue;
+  }
+  case Op::Div: {
+    int64_t B = Pop(), A = Pop();
+    if (B == 0) {
+      failHere(RuntimeErrorKind::DivideByZero, Stmt);
+      return StepOutcome::Stop;
+    }
+    Push(A / B);
+    return StepOutcome::Continue;
+  }
+  case Op::Mod: {
+    int64_t B = Pop(), A = Pop();
+    if (B == 0) {
+      failHere(RuntimeErrorKind::ModuloByZero, Stmt);
+      return StepOutcome::Stop;
+    }
+    Push(A % B);
+    return StepOutcome::Continue;
+  }
+  case Op::Neg:
+    Stack.back() = -Stack.back();
+    return StepOutcome::Continue;
+  case Op::Not:
+    Stack.back() = Stack.back() == 0;
+    return StepOutcome::Continue;
+  case Op::CmpEq: {
+    int64_t B = Pop(), A = Pop();
+    Push(A == B);
+    return StepOutcome::Continue;
+  }
+  case Op::CmpNe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A != B);
+    return StepOutcome::Continue;
+  }
+  case Op::CmpLt: {
+    int64_t B = Pop(), A = Pop();
+    Push(A < B);
+    return StepOutcome::Continue;
+  }
+  case Op::CmpLe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A <= B);
+    return StepOutcome::Continue;
+  }
+  case Op::CmpGt: {
+    int64_t B = Pop(), A = Pop();
+    Push(A > B);
+    return StepOutcome::Continue;
+  }
+  case Op::CmpGe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A >= B);
+    return StepOutcome::Continue;
+  }
+
+  case Op::Jump:
+    Pc = uint32_t(I.A);
+    return StepOutcome::Continue;
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue: {
+    int64_t Cond = Pop();
+    if (TraceEvent *E = openEvent()) {
+      E->IsPredicate = true;
+      E->BranchTaken = Cond != 0;
+    }
+    bool Taken = I.Opcode == Op::JumpIfFalse ? Cond == 0 : Cond != 0;
+    if (Taken)
+      Pc = uint32_t(I.A);
+    return StepOutcome::Continue;
+  }
+
+  case Op::Call: {
+    uint32_t Callee = uint32_t(I.A);
+    if (Prog.func(Callee).Logged) {
+      skipNestedCall(Callee, Stmt);
+      return Done ? StepOutcome::Stop : StepOutcome::Continue;
+    }
+    // Inherited leaf: re-execute inline through the emulation package.
+    std::vector<int64_t> Args(Stack.end() - I.B, Stack.end());
+    Stack.resize(Stack.size() - I.B);
+    RFrame Fr;
+    Fr.Func = Callee;
+    Fr.ReturnPc = Pc;
+    Fr.StackBase = uint32_t(Stack.size());
+    Fr.Slots.assign(Prog.func(Callee).FrameSize, 0);
+    std::copy(Args.begin(), Args.end(), Fr.Slots.begin());
+    Frames.push_back(std::move(Fr));
+    Pc = 0;
+    return StepOutcome::Continue;
+  }
+  case Op::Ret: {
+    int64_t ReturnValue = Pop();
+    if (Frames.size() == 1) {
+      // Root return without a postlog stop: only possible for unlogged
+      // root replay, which the controller never requests.
+      Result.HasReturn = true;
+      Result.ReturnValue = ReturnValue;
+      finish(true);
+      return StepOutcome::Stop;
+    }
+    RFrame Top = std::move(Frames.back());
+    Frames.pop_back();
+    Stack.resize(Top.StackBase);
+    Stack.push_back(ReturnValue);
+    Pc = Top.ReturnPc;
+    return StepOutcome::Continue;
+  }
+  case Op::CallBuiltin: {
+    switch (Builtin(I.A)) {
+    case Builtin::Sqrt: {
+      int64_t X = Pop();
+      if (X < 0) {
+        failHere(RuntimeErrorKind::NegativeSqrt, Stmt);
+        return StepOutcome::Stop;
+      }
+      Push(isqrt(X));
+      return StepOutcome::Continue;
+    }
+    case Builtin::Abs: {
+      int64_t X = Pop();
+      Push(X < 0 ? -X : X);
+      return StepOutcome::Continue;
+    }
+    case Builtin::Min: {
+      int64_t B = Pop(), A = Pop();
+      Push(std::min(A, B));
+      return StepOutcome::Continue;
+    }
+    case Builtin::Max: {
+      int64_t B = Pop(), A = Pop();
+      Push(std::max(A, B));
+      return StepOutcome::Continue;
+    }
+    case Builtin::None:
+      break;
+    }
+    assert(false && "unknown builtin in replay");
+    return StepOutcome::Continue;
+  }
+
+  case Op::SemP:
+    if (!consumeSync(SyncKind::SemAcquire) && !Done && !WhatIf)
+      diverge("missing P record");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  case Op::SemV:
+    if (!consumeSync(SyncKind::SemSignal) && !Done && !WhatIf)
+      diverge("missing V record");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+
+  case Op::SendCh: {
+    Pop(); // the sent value leaves this process
+    if (!consumeSync(SyncKind::ChanSend) && !Done && !WhatIf)
+      diverge("missing send record");
+    if (!Done)
+      consumeSync(SyncKind::ChanSendUnblock); // present iff the send blocked
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  case Op::RecvCh: {
+    if (const LogRecord *R = consumeSync(SyncKind::ChanRecv)) {
+      Push(R->Value);
+      return StepOutcome::Continue;
+    }
+    if (Done)
+      return StepOutcome::Stop;
+    diverge("missing receive record");
+    if (WhatIf)
+      Push(0);
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  case Op::SpawnProc: {
+    Stack.resize(Stack.size() - I.B);
+    if (!consumeSync(SyncKind::SpawnChild) && !Done && !WhatIf)
+      diverge("missing spawn record");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+
+  case Op::PrintVal: {
+    int64_t Value = Pop();
+    Result.Output.push_back({Pid, Value, Stmt});
+    return StepOutcome::Continue;
+  }
+  case Op::InputVal: {
+    if (const LogRecord *R = consume(LogRecordKind::Input)) {
+      Push(R->Value);
+      return StepOutcome::Continue;
+    }
+    if (Done)
+      return StepOutcome::Stop;
+    diverge("missing input record");
+    if (WhatIf)
+      Push(0);
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+
+  case Op::Prelog: {
+    // Only the interval's own prelog is ever executed (nested logged calls
+    // are skipped; unlogged callees have none).
+    if (uint32_t(I.A) != Interval.EBlock) {
+      diverge("unexpected prelog");
+      return Done ? StepOutcome::Stop : StepOutcome::Continue;
+    }
+    if (const LogRecord *R = consume(LogRecordKind::Prelog))
+      restoreVars(*R);
+    else if (!Done && !WhatIf)
+      diverge("missing prelog record");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  case Op::Postlog: {
+    // Reaching a postlog in the root frame ends the interval.
+    if (uint32_t(I.A) != Interval.EBlock) {
+      diverge("unexpected postlog");
+      return Done ? StepOutcome::Stop : StepOutcome::Continue;
+    }
+    if ((I.B & PostlogExitsFunction) && !Stack.empty()) {
+      Result.HasReturn = true;
+      Result.ReturnValue = Stack.back();
+    }
+    // Verify the replayed values against the logged postlog. Shared
+    // variables are excluded: even on a race-free instance another process
+    // may write a shared variable between our last synchronized access and
+    // the postlog capture, so the logged value can legitimately postdate
+    // ours. Reads remain faithful regardless — they are re-seeded from
+    // unit logs at every synchronization-unit entry (§5.5).
+    if (!WhatIf) {
+      if (const LogRecord *R = consume(LogRecordKind::Postlog)) {
+        for (const VarValue &V : R->Vars) {
+          const VarInfo &Info = Prog.Symbols->var(V.Var);
+          if (Info.isShared())
+            continue;
+          const int64_t *Base = baseOf(Info);
+          if (!Base)
+            continue;
+          for (size_t K = 0; K != V.Values.size(); ++K)
+            if (Base[K] != V.Values[K])
+              Result.PostlogMismatches.push_back(
+                  {V.Var, int64_t(K), V.Values[K], Base[K]});
+        }
+      }
+    }
+    finish(true);
+    return StepOutcome::Stop;
+  }
+  case Op::UnitLog: {
+    if (const LogRecord *R = consume(LogRecordKind::UnitLog)) {
+      if (R->Id != uint32_t(I.A)) {
+        --Cursor; // put it back; report divergence
+        diverge("unit record id mismatch");
+      } else {
+        restoreVars(*R);
+      }
+    } else if (!Done && !WhatIf) {
+      diverge("missing unit record");
+    }
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+
+  case Op::TraceStmt: {
+    // A Stop marker at the cursor means the machine froze with this
+    // process somewhere in the record-free tail. Stop the replay when the
+    // marker's statement comes up (breakpoints fire before the statement
+    // executes, so its event must not be fabricated); a marker without a
+    // statement stops immediately.
+    if (!WhatIf && Cursor < Records.size() &&
+        Records[Cursor].Kind == LogRecordKind::Stop &&
+        (Records[Cursor].Stmt == InvalidId ||
+         Records[Cursor].Stmt == StmtId(I.A))) {
+      Result.Partial = true;
+      finish(true);
+      return StepOutcome::Stop;
+    }
+    applyOverrides();
+    TraceEvent E;
+    E.Kind = TraceEventKind::Stmt;
+    E.Pid = Pid;
+    E.Stmt = StmtId(I.A);
+    E.LogCursor = Cursor;
+    Frames.back().OpenEvent = Result.Events.append(std::move(E)).Index;
+    return StepOutcome::Continue;
+  }
+  case Op::TraceCallBegin: {
+    // Logged callees become CallSkipped events at the Call instruction.
+    if (Prog.func(uint32_t(I.A)).Logged)
+      return StepOutcome::Continue;
+    TraceEvent E;
+    E.Kind = TraceEventKind::CallBegin;
+    E.Pid = Pid;
+    E.Stmt = StmtId(I.B);
+    E.Callee = uint32_t(I.A);
+    uint32_t Argc = Prog.func(uint32_t(I.A)).NumParams;
+    E.Args.assign(Stack.end() - Argc, Stack.end());
+    E.LogCursor = Cursor;
+    Result.Events.append(std::move(E));
+    return StepOutcome::Continue;
+  }
+  case Op::TraceCallEnd: {
+    if (Prog.func(uint32_t(I.A)).Logged)
+      return StepOutcome::Continue;
+    TraceEvent E;
+    E.Kind = TraceEventKind::CallEnd;
+    E.Pid = Pid;
+    E.Callee = uint32_t(I.A);
+    E.Value = Stack.back();
+    E.LogCursor = Cursor;
+    Result.Events.append(std::move(E));
+    return StepOutcome::Continue;
+  }
+
+  case Op::Halt:
+    finish(true);
+    return StepOutcome::Stop;
+  }
+  assert(false && "unknown opcode in replay");
+  return StepOutcome::Stop;
+}
+
+ReplayResult Replayer::run() {
+  WhatIf = !Options.Overrides.empty();
+
+  const EBlockInfo &EBlock = Prog.eblock(Interval.EBlock);
+  RootFunc = EBlock.Func;
+
+  Shared.assign(Prog.Symbols->SharedMemorySize, 0);
+  Priv.assign(Prog.Symbols->PrivateGlobalSize, 0);
+
+  RFrame Root;
+  Root.Func = RootFunc;
+  Root.Slots.assign(Prog.func(RootFunc).FrameSize, 0);
+  Frames.push_back(std::move(Root));
+
+  Pc = EBlock.EmuEntryPc;
+  Cursor = Interval.PrelogRecord;
+
+  while (!Done) {
+    if (Result.Instructions++ >= Options.MaxInstructions) {
+      Result.Error = "replay instruction budget exceeded";
+      Result.Ok = false;
+      break;
+    }
+    if (step() == StepOutcome::Stop)
+      break;
+  }
+
+  Result.Shared = std::move(Shared);
+  Result.PrivateGlobals = std::move(Priv);
+  Result.RootSlots = std::move(Frames.front().Slots);
+  return Result;
+}
+
+} // namespace
+
+ReplayResult ReplayEngine::replay(const ExecutionLog &Log, uint32_t Pid,
+                                  const LogInterval &Interval,
+                                  const ReplayOptions &Options) const {
+  Replayer R(Prog, Log, Pid, Interval, Options);
+  return R.run();
+}

@@ -1,0 +1,85 @@
+//===- dataflow/ModRef.h - Interprocedural MOD/REF --------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural side-effect analysis in the style the paper cites
+/// (Cooper–Kennedy [2], Banning [22]): for every function F, MOD(F) is the
+/// set of *global* variables that executing F may write and REF(F) the set
+/// it may read, including effects of transitively called functions.
+/// Parameters are by-value and locals are invisible to callers, so only
+/// globals appear in the summaries.
+///
+/// The computation is a fixpoint over the call graph's bottom-up order —
+/// a single pass suffices for acyclic call graphs; recursion iterates to
+/// convergence.
+///
+/// The analysis is templated over the set representation (BitVarSet or
+/// ListVarSet) to support experiment E6, the paper's §7 remark that
+/// bit-masks "can have a large payoff" over list structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_DATAFLOW_MODREF_H
+#define PPD_DATAFLOW_MODREF_H
+
+#include "lang/Ast.h"
+#include "sema/Accesses.h"
+#include "sema/CallGraph.h"
+#include "sema/Symbols.h"
+#include "support/VarSet.h"
+
+#include <vector>
+
+namespace ppd {
+
+template <VariableSet Set> struct ModRefResult {
+  /// Indexed by FuncDecl::Index; elements are VarIds of globals.
+  std::vector<Set> Mod;
+  std::vector<Set> Ref;
+};
+
+/// Computes MOD/REF summaries for every function of \p P.
+template <VariableSet Set>
+ModRefResult<Set> computeModRef(const Program &P, const SymbolTable &Symbols,
+                                const CallGraph &CG) {
+  unsigned N = unsigned(P.Funcs.size());
+  ModRefResult<Set> Result;
+  Result.Mod.resize(N);
+  Result.Ref.resize(N);
+
+  // Local (direct) contributions: global accesses of each function's own
+  // statements.
+  for (const auto &F : P.Funcs) {
+    Set &Mod = Result.Mod[F->Index];
+    Set &Ref = Result.Ref[F->Index];
+    forEachStmt(*F->Body, [&](const Stmt &S) {
+      StmtAccesses Acc = collectStmtAccesses(S);
+      for (VarId V : Acc.Reads)
+        if (Symbols.var(V).isGlobal())
+          Ref.insert(V);
+      for (VarId V : Acc.Writes)
+        if (Symbols.var(V).isGlobal())
+          Mod.insert(V);
+    });
+  }
+
+  // Propagate callee summaries bottom-up; iterate for recursive SCCs.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const FuncDecl *F : CG.bottomUpOrder()) {
+      for (const FuncDecl *Callee : CG.callees(*F)) {
+        Changed |= Result.Mod[F->Index].unionWith(Result.Mod[Callee->Index]);
+        Changed |= Result.Ref[F->Index].unionWith(Result.Ref[Callee->Index]);
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace ppd
+
+#endif // PPD_DATAFLOW_MODREF_H

@@ -1,0 +1,501 @@
+//===- lang/Ast.h - PPL abstract syntax trees -------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for PPL. Statements carry dense per-program ids
+/// (StmtId) assigned at parse time; these ids are the node identities of the
+/// static and dynamic program dependence graphs (paper §4) and the targets
+/// of the program database. Name references carry resolution slots (VarId,
+/// function pointers, semaphore/channel ids) that semantic analysis fills
+/// in; the slots are InvalidId until then.
+///
+/// The hierarchy uses LLVM-style kind discriminators with isa/cast/dyn_cast
+/// helpers instead of C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LANG_AST_H
+#define PPD_LANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+using StmtId = uint32_t;
+using VarId = uint32_t;
+/// Sentinel for unresolved/absent ids.
+inline constexpr uint32_t InvalidId = ~0u;
+
+class FuncDecl;
+
+//===----------------------------------------------------------------------===//
+// Casting helpers
+//===----------------------------------------------------------------------===//
+
+/// Minimal isa/cast/dyn_cast over nodes exposing `getKind()` and a static
+/// `ClassKind`. (We deliberately mirror LLVM's opt-in RTTI style.)
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa on null node");
+  return Node->getKind() == To::ClassKind;
+}
+
+template <typename To, typename From> To *cast(From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible node kind");
+  return static_cast<To *>(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible node kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Node) {
+  return isa<To>(Node) ? static_cast<To *>(Node) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  VarRef,
+  ArrayIndex,
+  Unary,
+  Binary,
+  Call,
+  Recv,
+  Input,
+};
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::IntLit;
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Value(Value) {}
+
+  int64_t Value;
+};
+
+/// A reference to a scalar variable (local, parameter, or global).
+class VarRefExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::VarRef;
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  VarId Var = InvalidId; // filled by sema
+};
+
+/// `a[i]` — PPL arrays are 1-D with a compile-time size.
+class ArrayIndexExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::ArrayIndex;
+  ArrayIndexExpr(std::string Name, ExprPtr Index, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Name(std::move(Name)), Index(std::move(Index)) {}
+
+  std::string Name;
+  ExprPtr Index;
+  VarId Var = InvalidId; // filled by sema
+};
+
+enum class UnaryOp { Neg, Not };
+
+class UnaryExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::Unary;
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And, // short-circuiting
+  Or,  // short-circuiting
+};
+
+/// Spelling of a binary operator ("+", "==" ...), for printing.
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::Binary;
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Op(Op), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {
+  }
+
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+/// Built-in pure functions usable in expressions. `sqrt` is the integer
+/// square root from the paper's Fig 4.1 example.
+enum class Builtin { None, Sqrt, Abs, Min, Max };
+
+/// A call `f(a, b)` to a user function or a pure builtin. Calls may appear
+/// in expressions (value used) or as expression statements (value dropped).
+class CallExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::Call;
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Callee(std::move(Callee)), Args(std::move(Args)) {
+  }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FuncDecl *ResolvedFunc = nullptr;  // filled by sema (user functions)
+  Builtin BuiltinKind = Builtin::None; // or one of the builtins
+};
+
+/// `recv(c)` — receives the next message from channel c; blocks when empty.
+class RecvExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::Recv;
+  RecvExpr(std::string Channel, SourceLoc Loc)
+      : Expr(ClassKind, Loc), Channel(std::move(Channel)) {}
+
+  std::string Channel;
+  uint32_t Chan = InvalidId; // filled by sema
+};
+
+/// `input()` — reads the next value of the process's input stream. Input
+/// values are always logged (paper §3.2.2: replay uses "the same input as
+/// originally fed to the program").
+class InputExpr : public Expr {
+public:
+  static constexpr ExprKind ClassKind = ExprKind::Input;
+  explicit InputExpr(SourceLoc Loc) : Expr(ClassKind, Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Block,
+  VarDecl,
+  Assign,
+  If,
+  While,
+  For,
+  Return,
+  Expr, // call whose value is discarded
+  P,
+  V,
+  Send,
+  Spawn,
+  Print,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+
+  StmtKind getKind() const { return Kind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Dense per-program id; index into Program::Stmts.
+  StmtId Id = InvalidId;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Block;
+  explicit BlockStmt(SourceLoc Loc) : Stmt(ClassKind, Loc) {}
+
+  std::vector<StmtPtr> Body;
+};
+
+/// `int x = e;` or `int a[n];` — declares a function-local variable.
+class VarDeclStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::VarDecl;
+  VarDeclStmt(std::string Name, int64_t ArraySize, ExprPtr Init, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Name(std::move(Name)), ArraySize(ArraySize),
+        Init(std::move(Init)) {}
+
+  std::string Name;
+  int64_t ArraySize; // -1 for scalars
+  ExprPtr Init;      // may be null
+  VarId Var = InvalidId;
+
+  bool isArray() const { return ArraySize >= 0; }
+};
+
+/// `x = e;` or `a[i] = e;`.
+class AssignStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Assign;
+  AssignStmt(std::string Name, ExprPtr Index, ExprPtr Value, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Name(std::move(Name)), Index(std::move(Index)),
+        Value(std::move(Value)) {}
+
+  std::string Name;
+  ExprPtr Index; // null for scalar targets
+  ExprPtr Value;
+  VarId Var = InvalidId;
+};
+
+class IfStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::If;
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // may be null
+};
+
+class WhileStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::While;
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// `for (init; cond; step) body` — init and step are assignments.
+class ForStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::For;
+  ForStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+
+  StmtPtr Init; // may be null; AssignStmt or VarDeclStmt
+  ExprPtr Cond; // may be null (infinite loop)
+  StmtPtr Step; // may be null; AssignStmt
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Return;
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value; // may be null
+};
+
+/// A call evaluated for effect only, e.g. `update(x);`.
+class ExprStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Expr;
+  ExprStmt(ExprPtr Callee, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Call(std::move(Callee)) {}
+
+  ExprPtr Call; // always a CallExpr after parsing
+};
+
+/// `P(s);` — semaphore wait.
+class PStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::P;
+  PStmt(std::string Sem, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Sem(std::move(Sem)) {}
+
+  std::string Sem;
+  uint32_t SemId = InvalidId;
+};
+
+/// `V(s);` — semaphore signal.
+class VStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::V;
+  VStmt(std::string Sem, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Sem(std::move(Sem)) {}
+
+  std::string Sem;
+  uint32_t SemId = InvalidId;
+};
+
+/// `send(c, e);` — enqueues a message. On a capacity-0 channel the sender
+/// blocks until the receiver takes the message (the paper's blocking send,
+/// Fig 6.1 nodes n3/n4/n5); on a bounded channel it blocks only when full.
+class SendStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Send;
+  SendStmt(std::string Channel, ExprPtr Value, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Channel(std::move(Channel)),
+        Value(std::move(Value)) {}
+
+  std::string Channel;
+  ExprPtr Value;
+  uint32_t Chan = InvalidId;
+};
+
+/// `spawn f(a, b);` — creates a co-operating process running f.
+class SpawnStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Spawn;
+  SpawnStmt(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Callee(std::move(Callee)), Args(std::move(Args)) {
+  }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FuncDecl *ResolvedFunc = nullptr;
+};
+
+/// `print(e);` — the externally visible output where failures are observed.
+class PrintStmt : public Stmt {
+public:
+  static constexpr StmtKind ClassKind = StmtKind::Print;
+  PrintStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(ClassKind, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and the program
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  std::string Name;
+  SourceLoc Loc;
+  VarId Var = InvalidId;
+};
+
+class FuncDecl {
+public:
+  FuncDecl(std::string Name, std::vector<Param> Params,
+           std::unique_ptr<BlockStmt> Body, SourceLoc Loc)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        Body(std::move(Body)), Loc(Loc) {}
+
+  std::string Name;
+  std::vector<Param> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+  /// Dense index within Program::Funcs.
+  uint32_t Index = InvalidId;
+};
+
+/// A top-level variable. `shared` globals live in the simulated shared
+/// memory and are visible to all processes; plain globals are per-process
+/// (each spawned process starts from the initializers).
+struct GlobalDecl {
+  std::string Name;
+  bool Shared = false;
+  int64_t ArraySize = -1; // -1 for scalars
+  int64_t Init = 0;
+  SourceLoc Loc;
+  VarId Var = InvalidId;
+
+  bool isArray() const { return ArraySize >= 0; }
+};
+
+/// `sem s = n;` — counting semaphore; always shared.
+struct SemDecl {
+  std::string Name;
+  int64_t Init = 0;
+  SourceLoc Loc;
+  uint32_t Id = InvalidId;
+};
+
+/// `chan c[n];` — FIFO message channel with capacity n (0 = blocking send).
+struct ChanDecl {
+  std::string Name;
+  int64_t Capacity = 0;
+  SourceLoc Loc;
+  uint32_t Id = InvalidId;
+};
+
+/// One parsed PPL compilation unit plus its statement table. The statement
+/// table gives every Stmt a dense id so later phases can use flat arrays.
+class Program {
+public:
+  std::vector<GlobalDecl> Globals;
+  std::vector<SemDecl> Sems;
+  std::vector<ChanDecl> Chans;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  /// All statements, indexed by StmtId.
+  std::vector<Stmt *> Stmts;
+
+  /// Registers \p S in the statement table, assigning its id.
+  void registerStmt(Stmt *S) {
+    assert(S && "registering null statement");
+    S->Id = StmtId(Stmts.size());
+    Stmts.push_back(S);
+  }
+
+  Stmt *stmt(StmtId Id) const {
+    assert(Id < Stmts.size() && "statement id out of range");
+    return Stmts[Id];
+  }
+
+  /// Finds a function by name, or null.
+  FuncDecl *findFunc(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  unsigned numStmts() const { return unsigned(Stmts.size()); }
+};
+
+} // namespace ppd
+
+#endif // PPD_LANG_AST_H

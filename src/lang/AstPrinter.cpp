@@ -1,0 +1,343 @@
+//===- lang/AstPrinter.cpp ------------------------------------------------===//
+//
+// Part of PPD. See AstPrinter.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+using namespace ppd;
+
+void AstPrinter::indentTo(unsigned Indent, std::string &Out) {
+  Out.append(Indent * 2, ' ');
+}
+
+void AstPrinter::printExpr(const Expr &E, std::string &Out) {
+  switch (E.getKind()) {
+  case ExprKind::IntLit:
+    Out += std::to_string(cast<IntLitExpr>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    Out += cast<VarRefExpr>(&E)->Name;
+    return;
+  case ExprKind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(&E);
+    Out += A->Name;
+    Out += '[';
+    printExpr(*A->Index, Out);
+    Out += ']';
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    Out += U->Op == UnaryOp::Neg ? "-" : "!";
+    bool Paren = U->Operand->getKind() == ExprKind::Binary;
+    if (Paren)
+      Out += '(';
+    printExpr(*U->Operand, Out);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    auto PrintSide = [&](const Expr &Side) {
+      bool Paren = Side.getKind() == ExprKind::Binary;
+      if (Paren)
+        Out += '(';
+      printExpr(Side, Out);
+      if (Paren)
+        Out += ')';
+    };
+    PrintSide(*B->Lhs);
+    Out += ' ';
+    Out += binaryOpSpelling(B->Op);
+    Out += ' ';
+    PrintSide(*B->Rhs);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    Out += C->Callee;
+    Out += '(';
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExpr(*C->Args[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::Recv:
+    Out += "recv(";
+    Out += cast<RecvExpr>(&E)->Channel;
+    Out += ')';
+    return;
+  case ExprKind::Input:
+    Out += "input()";
+    return;
+  }
+}
+
+void AstPrinter::printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
+  switch (S.getKind()) {
+  case StmtKind::Block: {
+    indentTo(Indent, Out);
+    Out += "{\n";
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->Body)
+      printStmt(*Child, Indent + 1, Out);
+    indentTo(Indent, Out);
+    Out += "}\n";
+    return;
+  }
+  case StmtKind::VarDecl: {
+    const auto *D = cast<VarDeclStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "int ";
+    Out += D->Name;
+    if (D->isArray()) {
+      Out += '[';
+      Out += std::to_string(D->ArraySize);
+      Out += ']';
+    }
+    if (D->Init) {
+      Out += " = ";
+      printExpr(*D->Init, Out);
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    indentTo(Indent, Out);
+    Out += A->Name;
+    if (A->Index) {
+      Out += '[';
+      printExpr(*A->Index, Out);
+      Out += ']';
+    }
+    Out += " = ";
+    printExpr(*A->Value, Out);
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "if (";
+    printExpr(*I->Cond, Out);
+    Out += ")\n";
+    printStmt(*I->Then, Indent + 1, Out);
+    if (I->Else) {
+      indentTo(Indent, Out);
+      Out += "else\n";
+      printStmt(*I->Else, Indent + 1, Out);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "while (";
+    printExpr(*W->Cond, Out);
+    Out += ")\n";
+    printStmt(*W->Body, Indent + 1, Out);
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "for (";
+    if (F->Init)
+      Out += summarize(*F->Init);
+    Out += "; ";
+    if (F->Cond)
+      printExpr(*F->Cond, Out);
+    Out += "; ";
+    if (F->Step)
+      Out += summarize(*F->Step);
+    Out += ")\n";
+    printStmt(*F->Body, Indent + 1, Out);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "return";
+    if (R->Value) {
+      Out += ' ';
+      printExpr(*R->Value, Out);
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Expr: {
+    indentTo(Indent, Out);
+    printExpr(*cast<ExprStmt>(&S)->Call, Out);
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::P: {
+    indentTo(Indent, Out);
+    Out += "P(";
+    Out += cast<PStmt>(&S)->Sem;
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::V: {
+    indentTo(Indent, Out);
+    Out += "V(";
+    Out += cast<VStmt>(&S)->Sem;
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Send: {
+    const auto *M = cast<SendStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "send(";
+    Out += M->Channel;
+    Out += ", ";
+    printExpr(*M->Value, Out);
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Spawn: {
+    const auto *Sp = cast<SpawnStmt>(&S);
+    indentTo(Indent, Out);
+    Out += "spawn ";
+    Out += Sp->Callee;
+    Out += '(';
+    for (size_t I = 0; I != Sp->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExpr(*Sp->Args[I], Out);
+    }
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Print: {
+    indentTo(Indent, Out);
+    Out += "print(";
+    printExpr(*cast<PrintStmt>(&S)->Value, Out);
+    Out += ");\n";
+    return;
+  }
+  }
+}
+
+std::string AstPrinter::print(const Expr &E) {
+  std::string Out;
+  printExpr(E, Out);
+  return Out;
+}
+
+std::string AstPrinter::print(const Stmt &S) {
+  std::string Out;
+  printStmt(S, 0, Out);
+  return Out;
+}
+
+std::string AstPrinter::print(const Program &P) {
+  std::string Out;
+  for (const GlobalDecl &G : P.Globals) {
+    if (G.Shared)
+      Out += "shared ";
+    Out += "int ";
+    Out += G.Name;
+    if (G.isArray()) {
+      Out += '[';
+      Out += std::to_string(G.ArraySize);
+      Out += ']';
+    }
+    if (G.Init != 0) {
+      Out += " = ";
+      Out += std::to_string(G.Init);
+    }
+    Out += ";\n";
+  }
+  for (const SemDecl &S : P.Sems) {
+    Out += "sem ";
+    Out += S.Name;
+    if (S.Init != 0) {
+      Out += " = ";
+      Out += std::to_string(S.Init);
+    }
+    Out += ";\n";
+  }
+  for (const ChanDecl &C : P.Chans) {
+    Out += "chan ";
+    Out += C.Name;
+    if (C.Capacity != 0) {
+      Out += '[';
+      Out += std::to_string(C.Capacity);
+      Out += ']';
+    }
+    Out += ";\n";
+  }
+  for (const auto &F : P.Funcs) {
+    Out += "func ";
+    Out += F->Name;
+    Out += '(';
+    for (size_t I = 0; I != F->Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "int ";
+      Out += F->Params[I].Name;
+    }
+    Out += ")\n";
+    printStmt(*F->Body, 0, Out);
+  }
+  return Out;
+}
+
+std::string AstPrinter::summarize(const Stmt &S) {
+  AstPrinter Printer;
+  switch (S.getKind()) {
+  case StmtKind::Block:
+    return "{...}";
+  case StmtKind::VarDecl: {
+    const auto *D = cast<VarDeclStmt>(&S);
+    std::string Out = "int " + D->Name;
+    if (D->Init) {
+      Out += " = ";
+      Out += Printer.print(*D->Init);
+    }
+    return Out;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    std::string Out = A->Name;
+    if (A->Index)
+      Out += "[" + Printer.print(*A->Index) + "]";
+    Out += " = " + Printer.print(*A->Value);
+    return Out;
+  }
+  case StmtKind::If:
+    return "if (" + Printer.print(*cast<IfStmt>(&S)->Cond) + ")";
+  case StmtKind::While:
+    return "while (" + Printer.print(*cast<WhileStmt>(&S)->Cond) + ")";
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    return "for (...; " + (F->Cond ? Printer.print(*F->Cond) : "") + "; ...)";
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    return R->Value ? "return " + Printer.print(*R->Value) : "return";
+  }
+  case StmtKind::Expr:
+    return Printer.print(*cast<ExprStmt>(&S)->Call);
+  case StmtKind::P:
+    return "P(" + cast<PStmt>(&S)->Sem + ")";
+  case StmtKind::V:
+    return "V(" + cast<VStmt>(&S)->Sem + ")";
+  case StmtKind::Send: {
+    const auto *M = cast<SendStmt>(&S);
+    return "send(" + M->Channel + ", " + Printer.print(*M->Value) + ")";
+  }
+  case StmtKind::Spawn:
+    return "spawn " + cast<SpawnStmt>(&S)->Callee + "(...)";
+  case StmtKind::Print:
+    return "print(" + Printer.print(*cast<PrintStmt>(&S)->Value) + ")";
+  }
+  return "?";
+}

@@ -1,0 +1,47 @@
+//===- lang/AstPrinter.h - PPL pretty printer -------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ASTs back to PPL source text. Used by tests (parse/print
+/// round-trip stability) and by the debugger UI to show program text next
+/// to dependence-graph nodes (the paper's §7 interface requirement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LANG_ASTPRINTER_H
+#define PPD_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace ppd {
+
+/// Pretty-prints PPL ASTs with 2-space indentation.
+class AstPrinter {
+public:
+  /// Renders a whole program.
+  std::string print(const Program &P);
+
+  /// Renders one expression.
+  std::string print(const Expr &E);
+
+  /// Renders one statement (with trailing newline).
+  std::string print(const Stmt &S);
+
+  /// One-line summary of a statement, e.g. `d = SubD(a, b, a + b + c)`; used
+  /// as dependence-graph node labels.
+  static std::string summarize(const Stmt &S);
+
+private:
+  void printStmt(const Stmt &S, unsigned Indent, std::string &Out);
+  void printExpr(const Expr &E, std::string &Out);
+  void indentTo(unsigned Indent, std::string &Out);
+};
+
+} // namespace ppd
+
+#endif // PPD_LANG_ASTPRINTER_H

@@ -1,0 +1,286 @@
+//===- lang/Lexer.cpp -----------------------------------------------------===//
+//
+// Part of PPD. See Lexer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ppd;
+
+const char *ppd::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwFunc:
+    return "'func'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwShared:
+    return "'shared'";
+  case TokenKind::KwSem:
+    return "'sem'";
+  case TokenKind::KwChan:
+    return "'chan'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwSend:
+    return "'send'";
+  case TokenKind::KwRecv:
+    return "'recv'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwInput:
+    return "'input'";
+  case TokenKind::KwP:
+    return "'P'";
+  case TokenKind::KwV:
+    return "'V'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  int64_t Value = 0;
+  bool Overflow = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    int Digit = advance() - '0';
+    if (Value > (INT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    Diags.error(Loc, "integer literal does not fit in 64 bits");
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.Value = Value;
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"func", TokenKind::KwFunc},     {"int", TokenKind::KwInt},
+      {"shared", TokenKind::KwShared}, {"sem", TokenKind::KwSem},
+      {"chan", TokenKind::KwChan},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+      {"spawn", TokenKind::KwSpawn},   {"send", TokenKind::KwSend},
+      {"recv", TokenKind::KwRecv},     {"print", TokenKind::KwPrint},
+      {"input", TokenKind::KwInput},   {"P", TokenKind::KwP},
+      {"V", TokenKind::KwV},
+  };
+
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc);
+
+  Token T = makeToken(TokenKind::Identifier, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Loc);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign, Loc);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Loc);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Loc);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    Diags.error(Loc, "expected '&&'; PPL has no bitwise operators");
+    return lex();
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    Diags.error(Loc, "expected '||'; PPL has no bitwise operators");
+    return lex();
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lex();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(lex());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,55 @@
+//===- lang/Lexer.h - PPL lexer ---------------------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for PPL. Comments are `//` to end of line and
+/// `/* ... */`. Unknown characters produce a diagnostic and are skipped so
+/// that the parser always sees a well-formed stream terminated by Eof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LANG_LEXER_H
+#define PPD_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token (Eof forever once exhausted).
+  Token lex();
+
+  /// Lexes the entire buffer; the last element is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc here() const { return SourceLoc(Line, Column); }
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace ppd
+
+#endif // PPD_LANG_LEXER_H

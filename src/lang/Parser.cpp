@@ -1,0 +1,646 @@
+//===- lang/Parser.cpp ----------------------------------------------------===//
+//
+// Part of PPD. See Parser.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+using namespace ppd;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must be Eof-terminated");
+}
+
+std::unique_ptr<Program> Parser::parse(const std::string &Source,
+                                       DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseProgram();
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+  return Tokens[Index];
+}
+
+const Token &Parser::previous() const {
+  assert(Pos > 0 && "no previous token");
+  return Tokens[Pos - 1];
+}
+
+Token Parser::advance() {
+  Token T = peek();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
+                              " " + Context + ", found " +
+                              tokenKindName(peek().Kind));
+  return false;
+}
+
+/// Skips tokens until a likely statement boundary so parsing can continue.
+void Parser::synchronizeStmt() {
+  while (!check(TokenKind::Eof)) {
+    if (match(TokenKind::Semicolon))
+      return;
+    switch (peek().Kind) {
+    case TokenKind::RBrace:
+    case TokenKind::KwIf:
+    case TokenKind::KwWhile:
+    case TokenKind::KwFor:
+    case TokenKind::KwReturn:
+    case TokenKind::KwFunc:
+      return;
+    default:
+      advance();
+    }
+  }
+}
+
+void Parser::synchronizeTop() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::KwFunc) &&
+         !check(TokenKind::KwInt) && !check(TokenKind::KwShared) &&
+         !check(TokenKind::KwSem) && !check(TokenKind::KwChan))
+    advance();
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto P = std::make_unique<Program>();
+  Prog = P.get();
+  while (!check(TokenKind::Eof)) {
+    unsigned Before = Diags.errorCount();
+    parseTopDecl(*P);
+    if (Diags.errorCount() != Before)
+      synchronizeTop();
+  }
+  Prog = nullptr;
+  if (Diags.hasErrors())
+    return nullptr;
+  return P;
+}
+
+void Parser::parseTopDecl(Program &P) {
+  if (match(TokenKind::KwShared)) {
+    if (!expect(TokenKind::KwInt, "after 'shared'"))
+      return;
+    parseGlobal(P, /*Shared=*/true);
+    return;
+  }
+  if (match(TokenKind::KwInt)) {
+    parseGlobal(P, /*Shared=*/false);
+    return;
+  }
+  if (match(TokenKind::KwSem)) {
+    parseSem(P);
+    return;
+  }
+  if (match(TokenKind::KwChan)) {
+    parseChan(P);
+    return;
+  }
+  if (match(TokenKind::KwFunc)) {
+    parseFunc(P);
+    return;
+  }
+  Diags.error(peek().Loc,
+              std::string("expected a top-level declaration, found ") +
+                  tokenKindName(peek().Kind));
+  advance();
+}
+
+void Parser::parseGlobal(Program &P, bool Shared) {
+  GlobalDecl G;
+  G.Shared = Shared;
+  G.Loc = peek().Loc;
+  if (!expect(TokenKind::Identifier, "in global declaration"))
+    return;
+  G.Name = previous().Text;
+  if (match(TokenKind::LBracket)) {
+    if (!expect(TokenKind::IntLiteral, "as array size"))
+      return;
+    G.ArraySize = previous().Value;
+    if (G.ArraySize <= 0)
+      Diags.error(previous().Loc, "array size must be positive");
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return;
+  }
+  if (match(TokenKind::Assign)) {
+    bool Negative = match(TokenKind::Minus);
+    if (!expect(TokenKind::IntLiteral, "as global initializer"))
+      return;
+    G.Init = Negative ? -previous().Value : previous().Value;
+    if (G.isArray())
+      Diags.error(previous().Loc,
+                  "array globals cannot have scalar initializers");
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+  P.Globals.push_back(std::move(G));
+}
+
+void Parser::parseSem(Program &P) {
+  SemDecl S;
+  S.Loc = peek().Loc;
+  if (!expect(TokenKind::Identifier, "in semaphore declaration"))
+    return;
+  S.Name = previous().Text;
+  if (match(TokenKind::Assign)) {
+    if (!expect(TokenKind::IntLiteral, "as semaphore initial value"))
+      return;
+    S.Init = previous().Value;
+    if (S.Init < 0)
+      Diags.error(previous().Loc, "semaphore initial value must be >= 0");
+  }
+  expect(TokenKind::Semicolon, "after semaphore declaration");
+  P.Sems.push_back(std::move(S));
+}
+
+void Parser::parseChan(Program &P) {
+  ChanDecl C;
+  C.Loc = peek().Loc;
+  if (!expect(TokenKind::Identifier, "in channel declaration"))
+    return;
+  C.Name = previous().Text;
+  if (match(TokenKind::LBracket)) {
+    if (!expect(TokenKind::IntLiteral, "as channel capacity"))
+      return;
+    C.Capacity = previous().Value;
+    if (C.Capacity < 0)
+      Diags.error(previous().Loc, "channel capacity must be >= 0");
+    if (!expect(TokenKind::RBracket, "after channel capacity"))
+      return;
+  }
+  expect(TokenKind::Semicolon, "after channel declaration");
+  P.Chans.push_back(std::move(C));
+}
+
+void Parser::parseFunc(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  if (!expect(TokenKind::Identifier, "as function name"))
+    return;
+  std::string Name = previous().Text;
+
+  std::vector<Param> Params;
+  if (!expect(TokenKind::LParen, "after function name"))
+    return;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!expect(TokenKind::KwInt, "before parameter name"))
+        return;
+      if (!expect(TokenKind::Identifier, "as parameter name"))
+        return;
+      Params.push_back({previous().Text, previous().Loc, InvalidId});
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameter list"))
+    return;
+
+  if (!check(TokenKind::LBrace)) {
+    Diags.error(peek().Loc, "expected '{' to begin function body");
+    return;
+  }
+  StmtPtr Body = parseBlock();
+  auto *BodyBlock = cast<BlockStmt>(Body.release());
+  P.Funcs.push_back(std::make_unique<FuncDecl>(
+      std::move(Name), std::move(Params),
+      std::unique_ptr<BlockStmt>(BodyBlock), Loc));
+  P.Funcs.back()->Index = uint32_t(P.Funcs.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  auto Block = std::make_unique<BlockStmt>(Loc);
+  Prog->registerStmt(Block.get());
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    unsigned Before = Diags.errorCount();
+    StmtPtr S = parseStmt();
+    if (S)
+      Block->Body.push_back(std::move(S));
+    if (Diags.errorCount() != Before)
+      synchronizeStmt();
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwInt:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwP: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::LParen, "after 'P'");
+    expect(TokenKind::Identifier, "as semaphore name");
+    std::string Sem = previous().Text;
+    expect(TokenKind::RParen, "after semaphore name");
+    expect(TokenKind::Semicolon, "after P operation");
+    auto S = std::make_unique<PStmt>(std::move(Sem), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+  case TokenKind::KwV: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::LParen, "after 'V'");
+    expect(TokenKind::Identifier, "as semaphore name");
+    std::string Sem = previous().Text;
+    expect(TokenKind::RParen, "after semaphore name");
+    expect(TokenKind::Semicolon, "after V operation");
+    auto S = std::make_unique<VStmt>(std::move(Sem), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+  case TokenKind::KwSend: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::LParen, "after 'send'");
+    expect(TokenKind::Identifier, "as channel name");
+    std::string Chan = previous().Text;
+    expect(TokenKind::Comma, "after channel name");
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::RParen, "after message value");
+    expect(TokenKind::Semicolon, "after send");
+    auto S = std::make_unique<SendStmt>(std::move(Chan), std::move(Value), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+  case TokenKind::KwSpawn: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Identifier, "as spawned function name");
+    std::string Callee = previous().Text;
+    expect(TokenKind::LParen, "after spawned function name");
+    std::vector<ExprPtr> Args = parseArgs();
+    expect(TokenKind::RParen, "after spawn arguments");
+    expect(TokenKind::Semicolon, "after spawn");
+    auto S =
+        std::make_unique<SpawnStmt>(std::move(Callee), std::move(Args), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+  case TokenKind::KwPrint: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::LParen, "after 'print'");
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::RParen, "after print argument");
+    expect(TokenKind::Semicolon, "after print");
+    auto S = std::make_unique<PrintStmt>(std::move(Value), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+  default:
+    return parseAssignOrCallStmt();
+  }
+}
+
+StmtPtr Parser::parseVarDecl() {
+  SourceLoc Loc = advance().Loc; // 'int'
+  if (!expect(TokenKind::Identifier, "as variable name"))
+    return nullptr;
+  std::string Name = previous().Text;
+  int64_t ArraySize = -1;
+  if (match(TokenKind::LBracket)) {
+    if (!expect(TokenKind::IntLiteral, "as array size"))
+      return nullptr;
+    ArraySize = previous().Value;
+    if (ArraySize <= 0)
+      Diags.error(previous().Loc, "array size must be positive");
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return nullptr;
+  }
+  ExprPtr Init;
+  if (match(TokenKind::Assign)) {
+    if (ArraySize >= 0)
+      Diags.error(previous().Loc, "array locals cannot have initializers");
+    Init = parseExpr();
+  }
+  expect(TokenKind::Semicolon, "after variable declaration");
+  auto S = std::make_unique<VarDeclStmt>(std::move(Name), ArraySize,
+                                         std::move(Init), Loc);
+  Prog->registerStmt(S.get());
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = advance().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  // Register the if node before its children so a predicate's StmtId is
+  // smaller than the ids of statements it controls; several analyses rely
+  // on parents preceding children in the statement table.
+  auto S = std::make_unique<IfStmt>(std::move(Cond), nullptr, nullptr, Loc);
+  Prog->registerStmt(S.get());
+  S->Then = parseStmt();
+  if (match(TokenKind::KwElse))
+    S->Else = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = advance().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  auto S = std::make_unique<WhileStmt>(std::move(Cond), nullptr, Loc);
+  Prog->registerStmt(S.get());
+  S->Body = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = advance().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  StmtPtr Init;
+  if (!check(TokenKind::Semicolon)) {
+    if (check(TokenKind::KwInt)) {
+      Diags.error(peek().Loc, "declarations are not allowed in for "
+                              "initializers; declare before the loop");
+      return nullptr;
+    }
+    Init = parseSimpleAssign("in for initializer");
+  }
+  expect(TokenKind::Semicolon, "after for initializer");
+
+  ExprPtr Cond;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpr();
+  expect(TokenKind::Semicolon, "after for condition");
+
+  StmtPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseSimpleAssign("in for step");
+  expect(TokenKind::RParen, "after for clauses");
+
+  auto S = std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), nullptr, Loc);
+  Prog->registerStmt(S.get());
+  S->Body = parseStmt();
+  return S;
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = advance().Loc; // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semicolon))
+    Value = parseExpr();
+  expect(TokenKind::Semicolon, "after return");
+  auto S = std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  Prog->registerStmt(S.get());
+  return S;
+}
+
+StmtPtr Parser::parseSimpleAssign(const char *Context) {
+  if (!expect(TokenKind::Identifier, Context))
+    return nullptr;
+  SourceLoc Loc = previous().Loc;
+  std::string Name = previous().Text;
+  ExprPtr Index;
+  if (match(TokenKind::LBracket)) {
+    Index = parseExpr();
+    expect(TokenKind::RBracket, "after array index");
+  }
+  if (!expect(TokenKind::Assign, Context))
+    return nullptr;
+  ExprPtr Value = parseExpr();
+  auto S = std::make_unique<AssignStmt>(std::move(Name), std::move(Index),
+                                        std::move(Value), Loc);
+  Prog->registerStmt(S.get());
+  return S;
+}
+
+StmtPtr Parser::parseAssignOrCallStmt() {
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, std::string("expected a statement, found ") +
+                                tokenKindName(peek().Kind));
+    advance();
+    return nullptr;
+  }
+
+  // Distinguish `f(...)` calls from `x = ...` / `a[i] = ...` assignments.
+  if (peek(1).is(TokenKind::LParen)) {
+    SourceLoc Loc = peek().Loc;
+    std::string Callee = advance().Text;
+    advance(); // '('
+    std::vector<ExprPtr> Args = parseArgs();
+    expect(TokenKind::RParen, "after call arguments");
+    expect(TokenKind::Semicolon, "after call statement");
+    auto Call =
+        std::make_unique<CallExpr>(std::move(Callee), std::move(Args), Loc);
+    auto S = std::make_unique<ExprStmt>(std::move(Call), Loc);
+    Prog->registerStmt(S.get());
+    return S;
+  }
+
+  StmtPtr S = parseSimpleAssign("in assignment");
+  expect(TokenKind::Semicolon, "after assignment");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr Lhs = parseAnd();
+  while (match(TokenKind::PipePipe)) {
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseAnd();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr Lhs = parseEquality();
+  while (match(TokenKind::AmpAmp)) {
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseEquality();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr Lhs = parseComparison();
+  for (;;) {
+    BinaryOp Op;
+    if (match(TokenKind::EqEq))
+      Op = BinaryOp::Eq;
+    else if (match(TokenKind::NotEq))
+      Op = BinaryOp::Ne;
+    else
+      return Lhs;
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseComparison();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr Lhs = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    if (match(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (match(TokenKind::LessEq))
+      Op = BinaryOp::Le;
+    else if (match(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (match(TokenKind::GreaterEq))
+      Op = BinaryOp::Ge;
+    else
+      return Lhs;
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseAdditive();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  for (;;) {
+    BinaryOp Op;
+    if (match(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (match(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return Lhs;
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseMultiplicative();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    if (match(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (match(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (match(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return Lhs;
+    SourceLoc Loc = previous().Loc;
+    ExprPtr Rhs = parseUnary();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (match(TokenKind::Minus)) {
+    SourceLoc Loc = previous().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  }
+  if (match(TokenKind::Bang)) {
+    SourceLoc Loc = previous().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  if (match(TokenKind::IntLiteral))
+    return std::make_unique<IntLitExpr>(previous().Value, previous().Loc);
+
+  if (match(TokenKind::LParen)) {
+    ExprPtr Inner = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+
+  if (match(TokenKind::KwRecv)) {
+    SourceLoc Loc = previous().Loc;
+    expect(TokenKind::LParen, "after 'recv'");
+    expect(TokenKind::Identifier, "as channel name");
+    std::string Chan = previous().Text;
+    expect(TokenKind::RParen, "after channel name");
+    return std::make_unique<RecvExpr>(std::move(Chan), Loc);
+  }
+
+  if (match(TokenKind::KwInput)) {
+    SourceLoc Loc = previous().Loc;
+    expect(TokenKind::LParen, "after 'input'");
+    expect(TokenKind::RParen, "after 'input('");
+    return std::make_unique<InputExpr>(Loc);
+  }
+
+  if (match(TokenKind::Identifier)) {
+    SourceLoc Loc = previous().Loc;
+    std::string Name = previous().Text;
+    if (match(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgs();
+      expect(TokenKind::RParen, "after call arguments");
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    if (match(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      return std::make_unique<ArrayIndexExpr>(std::move(Name),
+                                              std::move(Index), Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+
+  Diags.error(peek().Loc, std::string("expected an expression, found ") +
+                              tokenKindName(peek().Kind));
+  advance();
+  return std::make_unique<IntLitExpr>(0, peek().Loc);
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  if (check(TokenKind::RParen))
+    return Args;
+  do {
+    Args.push_back(parseExpr());
+  } while (match(TokenKind::Comma));
+  return Args;
+}

@@ -1,0 +1,88 @@
+//===- lang/Parser.h - PPL parser -------------------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a Program. On syntax errors the
+/// parser reports a diagnostic and synchronizes at statement boundaries, so
+/// one run reports as many independent errors as possible. parseProgram
+/// returns null iff any error was emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LANG_PARSER_H
+#define PPD_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace ppd {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a whole compilation unit. Returns null if any diagnostics of
+  /// error severity were emitted.
+  std::unique_ptr<Program> parseProgram();
+
+  /// Convenience: lex + parse \p Source in one call.
+  static std::unique_ptr<Program> parse(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &previous() const;
+  Token advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeStmt();
+  void synchronizeTop();
+
+  // Top-level declarations.
+  void parseTopDecl(Program &P);
+  void parseGlobal(Program &P, bool Shared);
+  void parseSem(Program &P);
+  void parseChan(Program &P);
+  void parseFunc(Program &P);
+
+  // Statements. All returned statements are registered in the program's
+  // statement table.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseSimpleAssign(const char *Context); // no trailing ';'
+  StmtPtr parseAssignOrCallStmt();
+
+  // Expressions by precedence.
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  Program *Prog = nullptr;
+};
+
+} // namespace ppd
+
+#endif // PPD_LANG_PARSER_H

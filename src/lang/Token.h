@@ -1,0 +1,95 @@
+//===- lang/Token.h - PPL tokens --------------------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for PPL, the small C-like parallel language PPD debugs. PPL
+/// plays the role of the C dialect in the paper: sequential core (ints,
+/// arrays, functions, control flow) plus the parallel constructs the paper's
+/// §5/§6 analyses target — `shared` variables, semaphores with P/V,
+/// message channels with send/recv, and `spawn`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LANG_TOKEN_H
+#define PPD_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ppd {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwFunc,
+  KwInt,
+  KwShared,
+  KwSem,
+  KwChan,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwSpawn,
+  KwSend,
+  KwRecv,
+  KwPrint,
+  KwInput,
+  KwP,
+  KwV,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+
+  // Operators.
+  Assign,    // =
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Slash,     // /
+  Percent,   // %
+  EqEq,      // ==
+  NotEq,     // !=
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  AmpAmp,    // &&
+  PipePipe,  // ||
+  Bang,      // !
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is only meaningful for identifiers; Value only for
+/// integer literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t Value = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace ppd
+
+#endif // PPD_LANG_TOKEN_H

@@ -1,0 +1,359 @@
+//===- log/ExecutionLog.cpp -----------------------------------------------===//
+//
+// Part of PPD. See ExecutionLog.h and LogRecord.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "log/ExecutionLog.h"
+
+#include "bytecode/Instr.h"
+
+#include <cstdio>
+
+using namespace ppd;
+
+const char *ppd::syncKindName(SyncKind Kind) {
+  switch (Kind) {
+  case SyncKind::ProcStart:
+    return "ProcStart";
+  case SyncKind::ProcEnd:
+    return "ProcEnd";
+  case SyncKind::SemAcquire:
+    return "P";
+  case SyncKind::SemSignal:
+    return "V";
+  case SyncKind::ChanSend:
+    return "send";
+  case SyncKind::ChanSendUnblock:
+    return "send-unblock";
+  case SyncKind::ChanRecv:
+    return "recv";
+  case SyncKind::SpawnChild:
+    return "spawn";
+  }
+  return "?";
+}
+
+size_t LogRecord::byteSize() const {
+  // Approximate a compact binary encoding: 1-byte kind tag plus the fields
+  // each kind actually needs.
+  size_t Size = 1;
+  switch (Kind) {
+  case LogRecordKind::Prelog:
+  case LogRecordKind::UnitLog:
+    Size += 4; // id
+    break;
+  case LogRecordKind::Postlog:
+    Size += 4 + 1; // id + flags
+    if (Flags & PostlogExitsFunction)
+      Size += 8; // return value
+    break;
+  case LogRecordKind::Input:
+    Size += 8;
+    break;
+  case LogRecordKind::SyncEvent:
+    Size += 1 + 4 + 8 + 8 + 8 + 4; // sync, id, seq, partner, value, stmt
+    Size += 4 * (ReadSet.size() + WriteSet.size());
+    break;
+  case LogRecordKind::Stop:
+    break; // tag only
+  }
+  for (const VarValue &V : Vars)
+    Size += 4 + 8 * V.Values.size();
+  return Size;
+}
+
+size_t ProcessLog::byteSize() const {
+  size_t Size = 4 + 4 + 8 * Args.size();
+  for (const LogRecord &R : Records)
+    Size += R.byteSize();
+  return Size;
+}
+
+size_t ExecutionLog::byteSize() const {
+  size_t Size = 0;
+  for (const ProcessLog &P : Procs)
+    Size += P.byteSize();
+  return Size;
+}
+
+//===----------------------------------------------------------------------===//
+// Binary serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t Magic = 0x5050444cu; // "PPDL"
+constexpr uint32_t Version = 1;
+
+class Writer {
+public:
+  explicit Writer(FILE *File) : File(File) {}
+  bool ok() const { return !Failed; }
+
+  void u8(uint8_t V) { raw(&V, 1); }
+  void u32(uint32_t V) { raw(&V, 4); }
+  void u64(uint64_t V) { raw(&V, 8); }
+  void i64(int64_t V) { raw(&V, 8); }
+
+private:
+  void raw(const void *Data, size_t Size) {
+    if (!Failed && std::fwrite(Data, 1, Size, File) != Size)
+      Failed = true;
+  }
+  FILE *File;
+  bool Failed = false;
+};
+
+class Reader {
+public:
+  explicit Reader(FILE *File) : File(File) {}
+  bool ok() const { return !Failed; }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, 4);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+  int64_t i64() {
+    int64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+
+  /// Guards vector resizes against corrupt counts.
+  bool plausibleCount(uint64_t N) {
+    if (N <= (1u << 28))
+      return true;
+    Failed = true;
+    return false;
+  }
+
+private:
+  void raw(void *Data, size_t Size) {
+    if (!Failed && std::fread(Data, 1, Size, File) != Size)
+      Failed = true;
+  }
+  FILE *File;
+  bool Failed = false;
+};
+
+void writeRecord(Writer &W, const LogRecord &R) {
+  W.u8(uint8_t(R.Kind));
+  W.u32(R.Id);
+  W.u32(R.Flags);
+  W.i64(R.Value);
+  W.u64(R.Seq);
+  W.u64(R.PartnerSeq);
+  W.u8(uint8_t(R.Sync));
+  W.u32(R.Stmt);
+  W.u32(uint32_t(R.Vars.size()));
+  for (const VarValue &V : R.Vars) {
+    W.u32(V.Var);
+    W.u32(uint32_t(V.Values.size()));
+    for (int64_t Value : V.Values)
+      W.i64(Value);
+  }
+  W.u32(uint32_t(R.ReadSet.size()));
+  for (uint32_t S : R.ReadSet)
+    W.u32(S);
+  W.u32(uint32_t(R.WriteSet.size()));
+  for (uint32_t S : R.WriteSet)
+    W.u32(S);
+}
+
+bool readRecord(Reader &R, LogRecord &Out) {
+  Out.Kind = LogRecordKind(R.u8());
+  Out.Id = R.u32();
+  Out.Flags = R.u32();
+  Out.Value = R.i64();
+  Out.Seq = R.u64();
+  Out.PartnerSeq = R.u64();
+  Out.Sync = SyncKind(R.u8());
+  Out.Stmt = R.u32();
+  uint32_t NumVars = R.u32();
+  if (!R.plausibleCount(NumVars))
+    return false;
+  Out.Vars.resize(NumVars);
+  for (VarValue &V : Out.Vars) {
+    V.Var = R.u32();
+    uint32_t NumValues = R.u32();
+    if (!R.plausibleCount(NumValues))
+      return false;
+    V.Values.resize(NumValues);
+    for (int64_t &Value : V.Values)
+      Value = R.i64();
+  }
+  uint32_t NumRead = R.u32();
+  if (!R.plausibleCount(NumRead))
+    return false;
+  Out.ReadSet.resize(NumRead);
+  for (uint32_t &S : Out.ReadSet)
+    S = R.u32();
+  uint32_t NumWrite = R.u32();
+  if (!R.plausibleCount(NumWrite))
+    return false;
+  Out.WriteSet.resize(NumWrite);
+  for (uint32_t &S : Out.WriteSet)
+    S = R.u32();
+  return R.ok();
+}
+
+} // namespace
+
+bool ExecutionLog::save(const std::string &Path) const {
+  FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  Writer W(File);
+  W.u32(Magic);
+  W.u32(Version);
+  W.u32(uint32_t(Procs.size()));
+  for (const ProcessLog &P : Procs) {
+    W.u32(P.Pid);
+    W.u32(P.RootFunc);
+    W.u32(uint32_t(P.Args.size()));
+    for (int64_t A : P.Args)
+      W.i64(A);
+    W.u32(uint32_t(P.Records.size()));
+    for (const LogRecord &R : P.Records)
+      writeRecord(W, R);
+  }
+  W.u32(uint32_t(Output.size()));
+  for (const OutputRecord &O : Output) {
+    W.u32(O.Pid);
+    W.i64(O.Value);
+    W.u32(O.Stmt);
+  }
+  bool Ok = W.ok();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+bool ExecutionLog::load(const std::string &Path, ExecutionLog &Out) {
+  FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Reader R(File);
+  bool Ok = R.u32() == Magic && R.u32() == Version;
+  if (Ok) {
+    uint32_t NumProcs = R.u32();
+    Ok = R.plausibleCount(NumProcs);
+    if (Ok)
+      Out.Procs.resize(NumProcs);
+    for (ProcessLog &P : Out.Procs) {
+      if (!Ok)
+        break;
+      P.Pid = R.u32();
+      P.RootFunc = R.u32();
+      uint32_t NumArgs = R.u32();
+      Ok = R.plausibleCount(NumArgs);
+      if (!Ok)
+        break;
+      P.Args.resize(NumArgs);
+      for (int64_t &A : P.Args)
+        A = R.i64();
+      uint32_t NumRecords = R.u32();
+      Ok = R.plausibleCount(NumRecords);
+      if (!Ok)
+        break;
+      P.Records.resize(NumRecords);
+      for (LogRecord &Rec : P.Records)
+        if (!readRecord(R, Rec)) {
+          Ok = false;
+          break;
+        }
+    }
+  }
+  if (Ok) {
+    uint32_t NumOutput = R.u32();
+    Ok = R.plausibleCount(NumOutput);
+    if (Ok) {
+      Out.Output.resize(NumOutput);
+      for (OutputRecord &O : Out.Output) {
+        O.Pid = R.u32();
+        O.Value = R.i64();
+        O.Stmt = R.u32();
+      }
+    }
+  }
+  Ok = Ok && R.ok();
+  std::fclose(File);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// LogIndex
+//===----------------------------------------------------------------------===//
+
+LogIndex::LogIndex(const ExecutionLog &Log) {
+  Intervals.resize(Log.Procs.size());
+  OpenIntervals.resize(Log.Procs.size());
+
+  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
+    const std::vector<LogRecord> &Records = Log.Procs[Pid].Records;
+    std::vector<uint32_t> Stack; // interval indices
+    for (uint32_t Idx = 0; Idx != Records.size(); ++Idx) {
+      const LogRecord &R = Records[Idx];
+      if (R.Kind == LogRecordKind::Prelog) {
+        LogInterval Interval;
+        Interval.Index = uint32_t(Intervals[Pid].size());
+        Interval.EBlock = R.Id;
+        Interval.PrelogRecord = Idx;
+        Interval.PostlogRecord = InvalidId;
+        Interval.Parent = Stack.empty() ? InvalidId : Stack.back();
+        Interval.Depth = uint32_t(Stack.size());
+        Stack.push_back(Interval.Index);
+        Intervals[Pid].push_back(Interval);
+      } else if (R.Kind == LogRecordKind::Postlog) {
+        assert(!Stack.empty() && "postlog without open interval");
+        LogInterval &Interval = Intervals[Pid][Stack.back()];
+        assert(Interval.EBlock == R.Id && "postlog/prelog e-block mismatch");
+        Interval.PostlogRecord = Idx;
+        Interval.ExitsFunction = (R.Flags & PostlogExitsFunction) != 0;
+        Stack.pop_back();
+      }
+    }
+    OpenIntervals[Pid] = std::move(Stack);
+  }
+}
+
+const LogInterval *LogIndex::intervalAtRecord(uint32_t Pid,
+                                              uint32_t RecordIdx) const {
+  for (const LogInterval &Interval : Intervals[Pid])
+    if (Interval.PrelogRecord == RecordIdx)
+      return &Interval;
+  return nullptr;
+}
+
+const LogInterval *LogIndex::enclosing(uint32_t Pid,
+                                       uint32_t RecordIdx) const {
+  const LogInterval *Best = nullptr;
+  for (const LogInterval &Interval : Intervals[Pid]) {
+    if (Interval.PrelogRecord > RecordIdx)
+      break;
+    uint32_t End = Interval.PostlogRecord == InvalidId
+                       ? ~0u
+                       : Interval.PostlogRecord;
+    if (RecordIdx <= End)
+      if (!Best || Interval.Depth >= Best->Depth)
+        Best = &Interval;
+  }
+  return Best;
+}
+
+const LogInterval *LogIndex::lastOpenInterval(uint32_t Pid) const {
+  if (OpenIntervals[Pid].empty())
+    return nullptr;
+  return &Intervals[Pid][OpenIntervals[Pid].back()];
+}

@@ -1,0 +1,216 @@
+//===- pardyn/ParallelDynamicGraph.cpp ------------------------------------===//
+//
+// Part of PPD. See ParallelDynamicGraph.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pardyn/ParallelDynamicGraph.h"
+
+#include "lang/Ast.h"
+#include "lang/AstPrinter.h"
+#include "support/DotWriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppd;
+
+ParallelDynamicGraph::ParallelDynamicGraph(const ExecutionLog &Log,
+                                           unsigned NumSharedVars)
+    : NumShared(NumSharedVars) {
+  Nodes.resize(Log.Procs.size());
+  Edges.resize(Log.Procs.size());
+
+  // Collect sync nodes and internal edges per process.
+  uint64_t MaxSeq = 0;
+  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
+    const ProcessLog &PL = Log.Procs[Pid];
+    for (uint32_t Idx = 0; Idx != PL.Records.size(); ++Idx) {
+      const LogRecord &R = PL.Records[Idx];
+      if (R.Kind != LogRecordKind::SyncEvent)
+        continue;
+      SyncNode N;
+      N.Kind = R.Sync;
+      N.Object = R.Id;
+      N.Seq = R.Seq;
+      N.PartnerSeq = R.PartnerSeq;
+      N.Stmt = R.Stmt;
+      N.RecordIdx = Idx;
+      MaxSeq = std::max(MaxSeq, R.Seq);
+
+      if (!Nodes[Pid].empty()) {
+        InternalEdge E;
+        E.Pid = Pid;
+        E.EndNode = uint32_t(Nodes[Pid].size());
+        for (uint32_t S : R.ReadSet)
+          E.Reads.insert(S);
+        for (uint32_t S : R.WriteSet)
+          E.Writes.insert(S);
+        Edges[Pid].push_back(std::move(E));
+      }
+      Nodes[Pid].push_back(std::move(N));
+    }
+  }
+
+  // Seq lookup table.
+  BySeq.assign(size_t(MaxSeq) + 1, SyncNodeRef());
+  for (uint32_t Pid = 0; Pid != Nodes.size(); ++Pid)
+    for (uint32_t Idx = 0; Idx != Nodes[Pid].size(); ++Idx)
+      BySeq[Nodes[Pid][Idx].Seq] = {Pid, Idx};
+
+  // Vector clocks, processed in global seq order — a topological order of
+  // the graph, since every synchronization edge goes from a lower to a
+  // higher sequence number.
+  std::vector<SyncNodeRef> Order;
+  for (const SyncNodeRef &Ref : BySeq)
+    if (Ref.valid())
+      Order.push_back(Ref);
+
+  for (const SyncNodeRef &Ref : Order) {
+    SyncNode &N = Nodes[Ref.Pid][Ref.Index];
+    N.Clock.assign(Nodes.size(), 0);
+    if (Ref.Index > 0) {
+      const SyncNode &Prev = Nodes[Ref.Pid][Ref.Index - 1];
+      N.Clock = Prev.Clock;
+    }
+    if (N.PartnerSeq != NoPartner) {
+      assert(N.PartnerSeq < BySeq.size() && BySeq[N.PartnerSeq].valid() &&
+             "dangling partner sequence");
+      const SyncNode &Partner = node(BySeq[N.PartnerSeq]);
+      assert(!Partner.Clock.empty() && "partner processed after dependent");
+      for (size_t I = 0; I != N.Clock.size(); ++I)
+        N.Clock[I] = std::max(N.Clock[I], Partner.Clock[I]);
+    }
+    N.Clock[Ref.Pid] = Ref.Index + 1;
+  }
+}
+
+std::vector<EdgeRef> ParallelDynamicGraph::allEdges() const {
+  std::vector<EdgeRef> Out;
+  for (uint32_t Pid = 0; Pid != Edges.size(); ++Pid)
+    for (uint32_t I = 0; I != Edges[Pid].size(); ++I)
+      Out.push_back({Pid, I + 1});
+  return Out;
+}
+
+SyncNodeRef ParallelDynamicGraph::partnerOf(SyncNodeRef Ref) const {
+  const SyncNode &N = node(Ref);
+  if (N.PartnerSeq == NoPartner || N.PartnerSeq >= BySeq.size())
+    return SyncNodeRef();
+  return BySeq[N.PartnerSeq];
+}
+
+bool ParallelDynamicGraph::happensBefore(SyncNodeRef A, SyncNodeRef B) const {
+  if (A == B)
+    return false;
+  // A → B iff B's clock covers A in A's own process: the clock component
+  // VC[p] counts how many of p's nodes happen-before-or-equal the owner.
+  return node(B).Clock[A.Pid] >= A.Index + 1;
+}
+
+bool ParallelDynamicGraph::edgeHappensBefore(EdgeRef A, EdgeRef B) const {
+  // end(A) = A.EndNode; start(B) = B.EndNode - 1.
+  SyncNodeRef EndA{A.Pid, A.EndNode};
+  SyncNodeRef StartB{B.Pid, B.EndNode - 1};
+  if (EndA == StartB)
+    return true; // same node: A's end is B's start (consecutive edges)
+  return happensBefore(EndA, StartB);
+}
+
+bool ParallelDynamicGraph::simultaneous(EdgeRef A, EdgeRef B) const {
+  if (A.Pid == B.Pid)
+    return false; // same process: always ordered
+  return !edgeHappensBefore(A, B) && !edgeHappensBefore(B, A);
+}
+
+EdgeRef ParallelDynamicGraph::edgeContaining(uint32_t Pid,
+                                             uint32_t RecordIdx) const {
+  const std::vector<SyncNode> &ProcNodes = Nodes[Pid];
+  for (uint32_t I = 1; I < ProcNodes.size(); ++I)
+    if (RecordIdx > ProcNodes[I - 1].RecordIdx &&
+        RecordIdx <= ProcNodes[I].RecordIdx)
+      return {Pid, I};
+  // Past the last sync node: the process stopped mid-edge. Treat the open
+  // tail as an edge ending at a virtual node after the last one — callers
+  // that only need ordering can use the last node conservatively. We
+  // return the edge ending at the last node if the position is beyond it.
+  if (!ProcNodes.empty() && RecordIdx > ProcNodes.back().RecordIdx &&
+      ProcNodes.size() >= 2)
+    return {Pid, uint32_t(ProcNodes.size() - 1)};
+  return EdgeRef();
+}
+
+EdgeRef ParallelDynamicGraph::lastWriterBefore(EdgeRef Reader,
+                                               uint32_t SharedIdx,
+                                               EdgeRef *RaceWitness) const {
+  if (RaceWitness)
+    *RaceWitness = EdgeRef();
+  EdgeRef Best;
+  for (uint32_t Pid = 0; Pid != Edges.size(); ++Pid) {
+    for (uint32_t I = 0; I != Edges[Pid].size(); ++I) {
+      const InternalEdge &E = Edges[Pid][I];
+      if (!E.Writes.contains(SharedIdx))
+        continue;
+      EdgeRef Ref{Pid, I + 1};
+      if (Ref == Reader)
+        continue;
+      if (Pid == Reader.Pid) {
+        // Same process: ordered by position.
+        if (Ref.EndNode > Reader.EndNode)
+          continue;
+      } else if (simultaneous(Ref, Reader)) {
+        if (RaceWitness)
+          *RaceWitness = Ref;
+        continue;
+      } else if (!edgeHappensBefore(Ref, Reader)) {
+        continue; // strictly after the reader
+      }
+      if (!Best.valid() || edgeHappensBefore(Best, Ref))
+        Best = Ref;
+    }
+  }
+  return Best;
+}
+
+std::string ParallelDynamicGraph::dot(const Program &P) const {
+  DotWriter W("parallel_dynamic_graph");
+  auto NodeId = [](uint32_t Pid, uint32_t Idx) {
+    return "p" + std::to_string(Pid) + "_n" + std::to_string(Idx);
+  };
+
+  for (uint32_t Pid = 0; Pid != Nodes.size(); ++Pid) {
+    W.beginCluster("p" + std::to_string(Pid),
+                   "process " + std::to_string(Pid));
+    for (uint32_t Idx = 0; Idx != Nodes[Pid].size(); ++Idx) {
+      const SyncNode &N = Nodes[Pid][Idx];
+      std::string Label = syncKindName(N.Kind);
+      if (N.Stmt != InvalidId)
+        Label += "\n" + AstPrinter::summarize(*P.stmt(N.Stmt));
+      W.node(NodeId(Pid, Idx), Label, {"shape=circle"});
+      if (Idx > 0) {
+        const InternalEdge &E = Edges[Pid][Idx - 1];
+        std::string Attr = "style=bold";
+        std::string EdgeLabel;
+        if (!E.Reads.empty())
+          EdgeLabel += "R:" + std::to_string(E.Reads.size());
+        if (!E.Writes.empty())
+          EdgeLabel += " W:" + std::to_string(E.Writes.size());
+        std::vector<std::string> Attrs = {Attr};
+        if (!EdgeLabel.empty())
+          Attrs.push_back("label=\"" + DotWriter::escape(EdgeLabel) + "\"");
+        W.edge(NodeId(Pid, Idx - 1), NodeId(Pid, Idx), Attrs);
+      }
+    }
+    W.endCluster();
+  }
+
+  // Synchronization edges across processes.
+  for (uint32_t Pid = 0; Pid != Nodes.size(); ++Pid)
+    for (uint32_t Idx = 0; Idx != Nodes[Pid].size(); ++Idx) {
+      SyncNodeRef Partner = partnerOf({Pid, Idx});
+      if (Partner.valid())
+        W.edge(NodeId(Partner.Pid, Partner.Index), NodeId(Pid, Idx),
+               {"style=dashed", "constraint=false"});
+    }
+  return W.str();
+}

@@ -1,0 +1,145 @@
+//===- pardyn/ParallelDynamicGraph.h - §6 superstructure --------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *parallel dynamic program dependence graph* (§4.3, §6.1, Fig 6.1):
+/// the subset of the dynamic graph that abstracts process interactions —
+/// synchronization nodes connected by internal edges (within a process)
+/// and synchronization edges (between processes). It is built directly
+/// from the execution log's sync-event records; as the paper notes, it can
+/// be constructed during execution, with the detailed local dependences
+/// filled in later by replay.
+///
+/// Ordering uses Lamport happens-before [25] computed as vector clocks:
+/// node A → node B iff A's clock is componentwise ≤ B's. Edges are ordered
+/// by Def §6.1: e1 → e2 iff end(e1) → start(e2). Internal edges carry the
+/// shared READ/WRITE sets recorded at execution time (Def 6.2), the inputs
+/// to race detection (Defs 6.3/6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_PARDYN_PARALLELDYNAMICGRAPH_H
+#define PPD_PARDYN_PARALLELDYNAMICGRAPH_H
+
+#include "log/ExecutionLog.h"
+#include "support/VarSet.h"
+
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+class SymbolTable;
+class Program;
+
+/// Identifies a synchronization node: process + position in that process's
+/// sync-node sequence.
+struct SyncNodeRef {
+  uint32_t Pid = InvalidId;
+  uint32_t Index = InvalidId;
+
+  bool valid() const { return Pid != InvalidId; }
+  friend bool operator==(SyncNodeRef A, SyncNodeRef B) {
+    return A.Pid == B.Pid && A.Index == B.Index;
+  }
+};
+
+struct SyncNode {
+  SyncKind Kind = SyncKind::ProcStart;
+  uint32_t Object = 0;       ///< semaphore/channel/function id.
+  uint64_t Seq = 0;          ///< global sequence number.
+  uint64_t PartnerSeq = NoPartner;
+  StmtId Stmt = InvalidId;
+  uint32_t RecordIdx = 0;    ///< index of the record in the process log.
+  /// Vector clock: VC[p] = number of p's sync nodes that happen-before or
+  /// equal this node.
+  std::vector<uint32_t> Clock;
+};
+
+/// The internal edge ending at node Index of process Pid (Index >= 1; the
+/// edge's start node is Index-1).
+struct InternalEdge {
+  uint32_t Pid = 0;
+  uint32_t EndNode = 0;
+  BitVarSet Reads;  ///< SharedIndex bits (Def 6.2 READ_SET).
+  BitVarSet Writes; ///< SharedIndex bits (WRITE_SET).
+};
+
+/// Identifies an internal edge: (pid, end-node index).
+struct EdgeRef {
+  uint32_t Pid = InvalidId;
+  uint32_t EndNode = InvalidId;
+
+  bool valid() const { return Pid != InvalidId; }
+  friend bool operator==(EdgeRef A, EdgeRef B) {
+    return A.Pid == B.Pid && A.EndNode == B.EndNode;
+  }
+};
+
+class ParallelDynamicGraph {
+public:
+  ParallelDynamicGraph(const ExecutionLog &Log, unsigned NumSharedVars);
+
+  unsigned numProcs() const { return unsigned(Nodes.size()); }
+  const std::vector<SyncNode> &nodes(uint32_t Pid) const {
+    return Nodes[Pid];
+  }
+  const SyncNode &node(SyncNodeRef Ref) const {
+    return Nodes[Ref.Pid][Ref.Index];
+  }
+  const std::vector<InternalEdge> &edges(uint32_t Pid) const {
+    return Edges[Pid];
+  }
+  const InternalEdge &edge(EdgeRef Ref) const {
+    return Edges[Ref.Pid][Ref.EndNode - 1];
+  }
+  /// All internal edges of all processes.
+  std::vector<EdgeRef> allEdges() const;
+
+  /// Synchronization-edge source of \p Ref (the partner node), if any.
+  SyncNodeRef partnerOf(SyncNodeRef Ref) const;
+
+  /// Happens-before over nodes (Lamport ordering; reflexive-false).
+  bool happensBefore(SyncNodeRef A, SyncNodeRef B) const;
+
+  /// Edge ordering, Def §6.1: e1 → e2 iff end(e1) → start(e2). start(e) is
+  /// the node preceding the edge, end(e) its EndNode.
+  bool edgeHappensBefore(EdgeRef A, EdgeRef B) const;
+
+  /// Def 6.1: neither e1 → e2 nor e2 → e1.
+  bool simultaneous(EdgeRef A, EdgeRef B) const;
+
+  /// The internal edge of process \p Pid whose record span contains log
+  /// record \p RecordIdx; invalid if the position precedes the first sync
+  /// node (cannot happen: ProcStart is record 0) or the process has no
+  /// edge there yet.
+  EdgeRef edgeContaining(uint32_t Pid, uint32_t RecordIdx) const;
+
+  /// The latest internal edge (in the happens-before order) that writes
+  /// shared variable \p SharedIdx and happens-before \p Reader. Sets
+  /// \p RaceWitness when a writing edge *simultaneous* with Reader exists
+  /// (the §6.3 situation where "we cannot tell which happened first").
+  /// Skips Reader itself and other edges of Reader's process that don't
+  /// precede it.
+  EdgeRef lastWriterBefore(EdgeRef Reader, uint32_t SharedIdx,
+                           EdgeRef *RaceWitness = nullptr) const;
+
+  /// Graphviz rendering in the style of Fig 6.1: one column per process,
+  /// synchronization edges across.
+  std::string dot(const Program &P) const;
+
+private:
+  std::vector<std::vector<SyncNode>> Nodes;     ///< per pid.
+  std::vector<std::vector<InternalEdge>> Edges; ///< per pid; edge i ends
+                                                ///< at node i+1.
+  /// Seq → node lookup.
+  std::vector<SyncNodeRef> BySeq;
+  unsigned NumShared;
+};
+
+} // namespace ppd
+
+#endif // PPD_PARDYN_PARALLELDYNAMICGRAPH_H

@@ -1,0 +1,187 @@
+//===- pardyn/RaceDetector.cpp --------------------------------------------===//
+//
+// Part of PPD. See RaceDetector.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pardyn/RaceDetector.h"
+
+#include "lang/AstPrinter.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+using namespace ppd;
+
+RaceDetector::RaceDetector(const ParallelDynamicGraph &Graph,
+                           const SymbolTable &Symbols)
+    : Graph(Graph), Symbols(Symbols) {
+  SharedToVar.assign(Symbols.NumSharedVars, InvalidId);
+  for (const VarInfo &Info : Symbols.Vars)
+    if (Info.SharedIndex != InvalidId)
+      SharedToVar[Info.SharedIndex] = Info.Id;
+}
+
+Race RaceDetector::makeRace(EdgeRef A, EdgeRef B, uint32_t SharedIdx,
+                            RaceKind Kind) const {
+  // Canonical order so both algorithms produce identical race lists.
+  if (B.Pid < A.Pid || (B.Pid == A.Pid && B.EndNode < A.EndNode))
+    std::swap(A, B);
+  Race R;
+  R.SharedIdx = SharedIdx;
+  R.Var = SharedToVar[SharedIdx];
+  R.First = A;
+  R.Second = B;
+  R.Kind = Kind;
+  return R;
+}
+
+void RaceDetector::classifyPair(EdgeRef A, EdgeRef B,
+                                std::vector<Race> &Out) const {
+  const InternalEdge &EA = Graph.edge(A);
+  const InternalEdge &EB = Graph.edge(B);
+
+  // Def 6.3: write/write and read/write conflicts per shared variable.
+  BitVarSet WW = EA.Writes;
+  WW.intersectWith(EB.Writes);
+  for (unsigned S : WW.toVector())
+    Out.push_back(makeRace(A, B, S, RaceKind::WriteWrite));
+
+  BitVarSet RW = EA.Reads;
+  RW.intersectWith(EB.Writes);
+  for (unsigned S : RW.toVector())
+    if (!WW.contains(S))
+      Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
+
+  BitVarSet WR = EA.Writes;
+  WR.intersectWith(EB.Reads);
+  for (unsigned S : WR.toVector())
+    if (!WW.contains(S) && !RW.contains(S))
+      Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
+}
+
+RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm) const {
+  RaceDetectionResult Result;
+  std::vector<EdgeRef> All = Graph.allEdges();
+
+  if (Algorithm == RaceAlgorithm::NaiveAllPairs) {
+    for (size_t I = 0; I != All.size(); ++I) {
+      for (size_t J = I + 1; J != All.size(); ++J) {
+        if (All[I].Pid == All[J].Pid)
+          continue;
+        ++Result.PairsExamined;
+        if (!Graph.simultaneous(All[I], All[J]))
+          continue;
+        classifyPair(All[I], All[J], Result.Races);
+      }
+    }
+  } else {
+    // VarIndexed: bucket edges by the shared variables they access; only
+    // pairs sharing a variable with a potential conflict are ordered.
+    std::vector<std::vector<EdgeRef>> ReadersOf(SharedToVar.size());
+    std::vector<std::vector<EdgeRef>> WritersOf(SharedToVar.size());
+    for (const EdgeRef &E : All) {
+      const InternalEdge &Edge = Graph.edge(E);
+      for (unsigned S : Edge.Reads.toVector())
+        ReadersOf[S].push_back(E);
+      for (unsigned S : Edge.Writes.toVector())
+        WritersOf[S].push_back(E);
+    }
+
+    // A pair may conflict on several variables; examine it once. Edges
+    // pack into 32 bits (pid in the high byte), pairs into 64 — a hashed
+    // set keeps the dedup off the critical path.
+    std::unordered_set<uint64_t> Seen;
+    Seen.reserve(All.size() * 4);
+    auto Pack = [](EdgeRef E) {
+      return (uint64_t(E.Pid) << 24) | E.EndNode;
+    };
+    auto Key = [&](EdgeRef A, EdgeRef B) {
+      uint64_t KA = Pack(A), KB = Pack(B);
+      return KA < KB ? (KA << 32) | KB : (KB << 32) | KA;
+    };
+
+    for (uint32_t S = 0; S != SharedToVar.size(); ++S) {
+      auto Examine = [&](EdgeRef A, EdgeRef B) {
+        if (A.Pid == B.Pid)
+          return;
+        if (!Seen.insert(Key(A, B)).second)
+          return;
+        ++Result.PairsExamined;
+        if (!Graph.simultaneous(A, B))
+          return;
+        classifyPair(A, B, Result.Races);
+      };
+      for (size_t I = 0; I != WritersOf[S].size(); ++I)
+        for (size_t J = I + 1; J != WritersOf[S].size(); ++J)
+          Examine(WritersOf[S][I], WritersOf[S][J]);
+      for (const EdgeRef &W : WritersOf[S])
+        for (const EdgeRef &R : ReadersOf[S])
+          Examine(W, R);
+    }
+  }
+
+  // Canonical result order, independent of discovery order.
+  std::sort(Result.Races.begin(), Result.Races.end(),
+            [](const Race &A, const Race &B) {
+              auto KeyOf = [](const Race &R) {
+                return std::make_tuple(R.SharedIdx, R.First.Pid,
+                                       R.First.EndNode, R.Second.Pid,
+                                       R.Second.EndNode, uint8_t(R.Kind));
+              };
+              return KeyOf(A) < KeyOf(B);
+            });
+  Result.Races.erase(std::unique(Result.Races.begin(), Result.Races.end()),
+                     Result.Races.end());
+  return Result;
+}
+
+std::string RaceDetector::describe(const Race &R, const Program &P) const {
+  std::string Out = R.Kind == RaceKind::WriteWrite ? "write/write"
+                                                   : "read/write";
+  Out += " race on shared variable '";
+  Out += Symbols.var(R.Var).Name;
+  Out += "' between process " + std::to_string(R.First.Pid);
+  const SyncNode &N1 = Graph.node({R.First.Pid, R.First.EndNode});
+  if (N1.Stmt != InvalidId)
+    Out += " (edge ending at " + AstPrinter::summarize(*P.stmt(N1.Stmt)) +
+           ")";
+  Out += " and process " + std::to_string(R.Second.Pid);
+  const SyncNode &N2 = Graph.node({R.Second.Pid, R.Second.EndNode});
+  if (N2.Stmt != InvalidId)
+    Out += " (edge ending at " + AstPrinter::summarize(*P.stmt(N2.Stmt)) +
+           ")";
+  return Out;
+}
+
+std::string RaceDetector::summarize(const RaceDetectionResult &Result,
+                                    const Program &P) const {
+  if (Result.raceFree())
+    return "race-free execution instance (Def 6.4)\n";
+
+  // Group by (variable, kind, the statements ending the two edges): the
+  // many per-iteration edges of a loop collapse into one line.
+  std::map<std::tuple<VarId, uint8_t, StmtId, StmtId>, unsigned> Groups;
+  for (const Race &R : Result.Races) {
+    StmtId S1 = Graph.node({R.First.Pid, R.First.EndNode}).Stmt;
+    StmtId S2 = Graph.node({R.Second.Pid, R.Second.EndNode}).Stmt;
+    if (S2 < S1)
+      std::swap(S1, S2);
+    ++Groups[{R.Var, uint8_t(R.Kind), S1, S2}];
+  }
+
+  std::string Out;
+  for (const auto &[Key, Count] : Groups) {
+    const auto &[Var, Kind, S1, S2] = Key;
+    Out += RaceKind(Kind) == RaceKind::WriteWrite ? "write/write"
+                                                  : "read/write";
+    Out += " race on shared variable '" + Symbols.var(Var).Name + "'";
+    if (S1 != InvalidId)
+      Out += " near " + AstPrinter::summarize(*P.stmt(S1));
+    if (S2 != InvalidId && S2 != S1)
+      Out += " / " + AstPrinter::summarize(*P.stmt(S2));
+    Out += "  (x" + std::to_string(Count) + ")\n";
+  }
+  return Out;
+}

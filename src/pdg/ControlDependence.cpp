@@ -1,0 +1,38 @@
+//===- pdg/ControlDependence.cpp ------------------------------------------===//
+//
+// Part of PPD. See ControlDependence.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdg/ControlDependence.h"
+
+using namespace ppd;
+
+ControlDependence::ControlDependence(const Cfg &G, const DomTree &PostDom) {
+  Parents.resize(G.size());
+
+  for (CfgNodeId A = 0; A != G.size(); ++A) {
+    for (const CfgSucc &Succ : G.node(A).Succs) {
+      CfgNodeId B = Succ.Node;
+      // Walk the postdominator tree from B up to (not including)
+      // ipostdom(A); every node on the way is control dependent on A.
+      CfgNodeId Stop = PostDom.idom(A);
+      CfgNodeId Runner = B;
+      while (Runner != Stop && Runner != InvalidId) {
+        Parents[Runner].push_back({A, Succ.Label});
+        if (Runner == PostDom.root())
+          break;
+        Runner = PostDom.idom(Runner);
+      }
+    }
+  }
+
+  // Nodes with no governing branch are control dependent on ENTRY; this
+  // gives the dynamic graph its ENTRY→top-level-statement edges.
+  for (CfgNodeId Node = 0; Node != G.size(); ++Node) {
+    if (Node == Cfg::EntryId)
+      continue;
+    if (Parents[Node].empty())
+      Parents[Node].push_back({Cfg::EntryId, -1});
+  }
+}

@@ -1,0 +1,53 @@
+//===- pdg/ControlDependence.h - Control-dependence edges -------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control dependences per Ferrante–Ottenstein–Warren [17], computed from
+/// the Cfg and its postdominator tree: node N is control dependent on
+/// branch B (with edge label L) iff B's L-successor path always reaches N
+/// but B does not, i.e. N postdominates a successor of B without
+/// postdominating B. These are the control-dependence edges of the static
+/// program dependence graph (§4.1) and, instantiated per execution, of the
+/// dynamic graph (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_PDG_CONTROLDEPENDENCE_H
+#define PPD_PDG_CONTROLDEPENDENCE_H
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <vector>
+
+namespace ppd {
+
+/// One control-dependence parent: the branch node and the branch label
+/// (1 = true arm, 0 = false arm, -1 = unconditional, only for ENTRY).
+struct ControlDep {
+  CfgNodeId Branch;
+  int Label;
+};
+
+class ControlDependence {
+public:
+  /// \p PostDom must be the postdominator tree of \p G.
+  ControlDependence(const Cfg &G, const DomTree &PostDom);
+
+  /// The control-dependence parents of \p Node (usually one; loop
+  /// predicates may depend on themselves). Nodes with no governing branch
+  /// depend on ENTRY.
+  const std::vector<ControlDep> &parents(CfgNodeId Node) const {
+    return Parents[Node];
+  }
+
+private:
+  std::vector<std::vector<ControlDep>> Parents;
+};
+
+} // namespace ppd
+
+#endif // PPD_PDG_CONTROLDEPENDENCE_H

@@ -1,0 +1,98 @@
+//===- pdg/SimplifiedStaticGraph.h - §5.5 simplified graph ------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *simplified static program dependence graph* (§5.5, Fig
+/// 5.3): the subset of the static graph with only flow edges and only the
+/// nodes relevant to parallel behaviour —
+///
+///   non-branching nodes: ENTRY, EXIT, synchronization operations (P, V,
+///   send, recv, spawn) and calls to logged subroutines;
+///   branching nodes: if/while/for predicates.
+///
+/// From it we derive the *synchronization units* (Def 5.1): all edges
+/// reachable from a given non-branching node without passing through
+/// another non-branching node. A unit's shared-read set tells the object
+/// code which shared variables to capture in the unit's additional prelog
+/// (the §5.5 mechanism that makes per-process replay deterministic on
+/// race-free executions); units therefore carry the shared variables that
+/// may be read within them, including REF of *unlogged* callees, whose
+/// execution is inlined into the caller's replay.
+///
+/// Units may overlap (the paper's Fig 5.3 units share e8 and e9); we store
+/// memberships per unit, not a partition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_PDG_SIMPLIFIEDSTATICGRAPH_H
+#define PPD_PDG_SIMPLIFIEDSTATICGRAPH_H
+
+#include "cfg/Cfg.h"
+#include "dataflow/ModRef.h"
+#include "sema/Symbols.h"
+#include "support/VarSet.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+/// One synchronization unit of a function.
+struct SyncUnit {
+  /// Function-local unit id (the compiler assigns program-wide ids).
+  uint32_t Id = 0;
+  /// The non-branching node the unit starts at.
+  CfgNodeId Start = InvalidId;
+  /// Statements reachable without crossing another non-branching node
+  /// (terminating boundary nodes included, conservatively).
+  std::vector<CfgNodeId> Members;
+  /// Shared variables that may be read inside the unit — the contents of
+  /// the unit's additional prelog.
+  std::vector<VarId> SharedReads;
+};
+
+class SimplifiedStaticGraph {
+public:
+  /// \p IsLogged tells whether a called function is its own e-block (its
+  /// calls become unit boundaries) or is inlined into the caller's logs.
+  SimplifiedStaticGraph(const Program &P, const SymbolTable &Symbols,
+                        const Cfg &G, const ModRefResult<BitVarSet> &MR,
+                        const std::function<bool(const FuncDecl &)> &IsLogged);
+
+  /// True if \p Node is a non-branching node of the simplified graph
+  /// (a synchronization-unit boundary).
+  bool isBoundary(CfgNodeId Node) const { return Boundary[Node]; }
+
+  const std::vector<SyncUnit> &units() const { return Units; }
+
+  /// The unit starting at boundary node \p Node, or null.
+  const SyncUnit *unitStartingAt(CfgNodeId Node) const;
+
+  /// Graphviz rendering in the style of Fig 5.3: filled squares for
+  /// non-branching nodes, circles for branching nodes.
+  std::string dot(const Program &P) const;
+
+private:
+  void computeBoundaries(const Program &P,
+                         const std::function<bool(const FuncDecl &)> &IsLogged);
+  void buildUnits(const Program &P, const SymbolTable &Symbols,
+                  const ModRefResult<BitVarSet> &MR,
+                  const std::function<bool(const FuncDecl &)> &IsLogged);
+
+  const Cfg &G;
+  std::vector<bool> Boundary;  ///< by node id.
+  std::vector<bool> Branching; ///< by node id.
+  std::vector<SyncUnit> Units;
+};
+
+/// True if evaluating \p E performs a receive (recv is a synchronization
+/// point wherever it appears).
+bool exprContainsRecv(const Expr &E);
+
+} // namespace ppd
+
+#endif // PPD_PDG_SIMPLIFIEDSTATICGRAPH_H

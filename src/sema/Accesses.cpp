@@ -1,0 +1,171 @@
+//===- sema/Accesses.cpp --------------------------------------------------===//
+//
+// Part of PPD. See Accesses.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Accesses.h"
+
+#include <algorithm>
+
+using namespace ppd;
+
+/// Removes duplicates while keeping first-occurrence order.
+template <typename T> static void dedupePreservingOrder(std::vector<T> &V) {
+  std::vector<T> Seen;
+  auto End = std::remove_if(V.begin(), V.end(), [&](const T &E) {
+    if (std::find(Seen.begin(), Seen.end(), E) != Seen.end())
+      return true;
+    Seen.push_back(E);
+    return false;
+  });
+  V.erase(End, V.end());
+}
+
+void ppd::collectExprReads(const Expr &E, std::vector<VarId> &Reads,
+                           std::vector<const FuncDecl *> &Callees) {
+  switch (E.getKind()) {
+  case ExprKind::IntLit:
+  case ExprKind::Input:
+  case ExprKind::Recv:
+    return;
+  case ExprKind::VarRef: {
+    const auto *V = cast<VarRefExpr>(&E);
+    if (V->Var != InvalidId)
+      Reads.push_back(V->Var);
+    return;
+  }
+  case ExprKind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(&E);
+    if (A->Var != InvalidId)
+      Reads.push_back(A->Var);
+    collectExprReads(*A->Index, Reads, Callees);
+    return;
+  }
+  case ExprKind::Unary:
+    collectExprReads(*cast<UnaryExpr>(&E)->Operand, Reads, Callees);
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    collectExprReads(*B->Lhs, Reads, Callees);
+    collectExprReads(*B->Rhs, Reads, Callees);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    for (const ExprPtr &Arg : C->Args)
+      collectExprReads(*Arg, Reads, Callees);
+    if (C->ResolvedFunc)
+      Callees.push_back(C->ResolvedFunc);
+    return;
+  }
+  }
+}
+
+void ppd::forEachStmt(const Stmt &S,
+                      const std::function<void(const Stmt &)> &Fn) {
+  Fn(S);
+  switch (S.getKind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->Body)
+      forEachStmt(*Child, Fn);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    forEachStmt(*I->Then, Fn);
+    if (I->Else)
+      forEachStmt(*I->Else, Fn);
+    return;
+  }
+  case StmtKind::While:
+    forEachStmt(*cast<WhileStmt>(&S)->Body, Fn);
+    return;
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->Init)
+      forEachStmt(*F->Init, Fn);
+    if (F->Step)
+      forEachStmt(*F->Step, Fn);
+    forEachStmt(*F->Body, Fn);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+static StmtAccesses collectStmtAccessesImpl(const Stmt &S) {
+  StmtAccesses Out;
+  switch (S.getKind()) {
+  case StmtKind::Block:
+    return Out;
+  case StmtKind::VarDecl: {
+    const auto *D = cast<VarDeclStmt>(&S);
+    if (D->Init)
+      collectExprReads(*D->Init, Out.Reads, Out.Callees);
+    if (D->Var != InvalidId)
+      Out.Writes.push_back(D->Var);
+    return Out;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    collectExprReads(*A->Value, Out.Reads, Out.Callees);
+    if (A->Index) {
+      collectExprReads(*A->Index, Out.Reads, Out.Callees);
+      // Weak update: element store preserves the rest of the array.
+      if (A->Var != InvalidId)
+        Out.Reads.push_back(A->Var);
+    }
+    if (A->Var != InvalidId)
+      Out.Writes.push_back(A->Var);
+    return Out;
+  }
+  case StmtKind::If:
+    collectExprReads(*cast<IfStmt>(&S)->Cond, Out.Reads, Out.Callees);
+    return Out;
+  case StmtKind::While:
+    collectExprReads(*cast<WhileStmt>(&S)->Cond, Out.Reads, Out.Callees);
+    return Out;
+  case StmtKind::For: {
+    // The For node itself owns only the condition; Init/Step are separate
+    // registered statements with their own accesses.
+    const auto *F = cast<ForStmt>(&S);
+    if (F->Cond)
+      collectExprReads(*F->Cond, Out.Reads, Out.Callees);
+    return Out;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    if (R->Value)
+      collectExprReads(*R->Value, Out.Reads, Out.Callees);
+    return Out;
+  }
+  case StmtKind::Expr:
+    collectExprReads(*cast<ExprStmt>(&S)->Call, Out.Reads, Out.Callees);
+    return Out;
+  case StmtKind::P:
+  case StmtKind::V:
+    return Out;
+  case StmtKind::Send:
+    collectExprReads(*cast<SendStmt>(&S)->Value, Out.Reads, Out.Callees);
+    return Out;
+  case StmtKind::Spawn: {
+    const auto *Sp = cast<SpawnStmt>(&S);
+    for (const ExprPtr &Arg : Sp->Args)
+      collectExprReads(*Arg, Out.Reads, Out.Callees);
+    return Out;
+  }
+  case StmtKind::Print:
+    collectExprReads(*cast<PrintStmt>(&S)->Value, Out.Reads, Out.Callees);
+    return Out;
+  }
+  return Out;
+}
+
+StmtAccesses ppd::collectStmtAccesses(const Stmt &S) {
+  StmtAccesses Out = collectStmtAccessesImpl(S);
+  dedupePreservingOrder(Out.Reads);
+  dedupePreservingOrder(Out.Writes);
+  dedupePreservingOrder(Out.Callees);
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- sema/Accesses.h - Per-statement variable accesses --------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, per statement, the variables it may read and may write — the
+/// building blocks of the paper's USED/DEFINED sets (§5.1) and of the
+/// program database. Conventions (documented as the paper's §7 "pointers and
+/// aliases" caveat; PPL has arrays but no pointers):
+///
+///  * `a[i] = e` both reads and writes array `a` (a weak update: the rest of
+///    the array flows through), and reads everything `i` and `e` read.
+///  * `int a[n];` (a local array declaration) strongly writes `a` — the VM
+///    zero-fills it.
+///  * Calls contribute their argument expressions' reads only; the callee's
+///    own effects are added interprocedurally by the MOD/REF analysis
+///    (dataflow/ModRef.h) exactly as the paper prescribes with
+///    inter-procedural analysis [2].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SEMA_ACCESSES_H
+#define PPD_SEMA_ACCESSES_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <vector>
+
+namespace ppd {
+
+/// Direct (intra-statement, non-transitive) accesses of one statement.
+struct StmtAccesses {
+  std::vector<VarId> Reads;
+  std::vector<VarId> Writes;
+  /// Functions invoked directly by this statement (calls in expressions).
+  /// Spawn targets are *not* included: a spawned body runs in another
+  /// process, not within this statement's dynamic extent.
+  std::vector<const FuncDecl *> Callees;
+};
+
+/// Collects the direct accesses of \p S. Does not recurse into nested
+/// statements (a block/if/while contributes only its own condition reads).
+/// Requires a resolved AST (sema must have run).
+StmtAccesses collectStmtAccesses(const Stmt &S);
+
+/// Collects the variables read by \p E into \p Reads and the user functions
+/// it calls into \p Callees.
+void collectExprReads(const Expr &E, std::vector<VarId> &Reads,
+                      std::vector<const FuncDecl *> &Callees);
+
+/// Invokes \p Fn on \p S and every statement nested within it, in pre-order
+/// (lexical order).
+void forEachStmt(const Stmt &S, const std::function<void(const Stmt &)> &Fn);
+
+} // namespace ppd
+
+#endif // PPD_SEMA_ACCESSES_H

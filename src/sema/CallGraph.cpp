@@ -1,0 +1,144 @@
+//===- sema/CallGraph.cpp -------------------------------------------------===//
+//
+// Part of PPD. See CallGraph.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/CallGraph.h"
+
+#include "sema/Accesses.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ppd;
+
+namespace {
+
+/// Iterative Tarjan SCC over function indices.
+class TarjanScc {
+public:
+  TarjanScc(const std::vector<std::vector<unsigned>> &Adj)
+      : SccOf(Adj.size(), 0), Adj(Adj), Index(Adj.size(), Unvisited),
+        LowLink(Adj.size(), 0), OnStack(Adj.size(), false) {}
+
+  void run() {
+    for (unsigned V = 0; V != Adj.size(); ++V)
+      if (Index[V] == Unvisited)
+        strongConnect(V);
+  }
+
+  std::vector<unsigned> SccOf;
+  unsigned NumSccs = 0;
+  /// Members per SCC, filled in completion (reverse topological) order.
+  std::vector<std::vector<unsigned>> Members;
+
+private:
+  static constexpr unsigned Unvisited = ~0u;
+
+  void strongConnect(unsigned Root) {
+    // Explicit stack of (node, next-edge-index) to avoid deep recursion on
+    // long call chains.
+    std::vector<std::pair<unsigned, size_t>> Work;
+    Work.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Work.empty()) {
+      auto &[V, EdgeIdx] = Work.back();
+      if (EdgeIdx < Adj[V].size()) {
+        unsigned W = Adj[V][EdgeIdx++];
+        if (Index[W] == Unvisited) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          Work.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+        continue;
+      }
+      // All edges of V handled: maybe emit an SCC, then propagate lowlink.
+      if (LowLink[V] == Index[V]) {
+        Members.emplace_back();
+        unsigned W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccOf[W] = NumSccs;
+          Members.back().push_back(W);
+        } while (W != V);
+        ++NumSccs;
+      }
+      Work.pop_back();
+      if (!Work.empty()) {
+        unsigned Parent = Work.back().first;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<unsigned>> &Adj;
+  std::vector<unsigned> Index;
+  std::vector<unsigned> LowLink;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+};
+
+} // namespace
+
+CallGraph::CallGraph(const Program &P) {
+  unsigned N = unsigned(P.Funcs.size());
+  Callees.resize(N);
+  Callers.resize(N);
+  Recursive.assign(N, false);
+  SccIds.assign(N, 0);
+
+  std::set<const FuncDecl *> SpawnSet;
+  std::vector<std::set<unsigned>> CalleeSets(N);
+  std::vector<bool> SelfLoop(N, false);
+
+  for (const auto &F : P.Funcs) {
+    forEachStmt(*F->Body, [&](const Stmt &S) {
+      StmtAccesses Acc = collectStmtAccesses(S);
+      for (const FuncDecl *Callee : Acc.Callees) {
+        CalleeSets[F->Index].insert(Callee->Index);
+        if (Callee == F.get())
+          SelfLoop[F->Index] = true;
+      }
+      if (const auto *Sp = dyn_cast<SpawnStmt>(&S))
+        if (Sp->ResolvedFunc)
+          SpawnSet.insert(Sp->ResolvedFunc);
+    });
+  }
+
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J : CalleeSets[I]) {
+      Adj[I].push_back(J);
+      Callees[I].push_back(P.Funcs[J].get());
+      Callers[J].push_back(P.Funcs[I].get());
+    }
+
+  Spawned.assign(SpawnSet.begin(), SpawnSet.end());
+  std::sort(Spawned.begin(), Spawned.end(),
+            [](const FuncDecl *A, const FuncDecl *B) {
+              return A->Index < B->Index;
+            });
+
+  TarjanScc Scc(Adj);
+  Scc.run();
+  for (unsigned I = 0; I != N; ++I) {
+    SccIds[I] = Scc.SccOf[I];
+    Recursive[I] = SelfLoop[I] || Scc.Members[Scc.SccOf[I]].size() > 1;
+  }
+
+  // Tarjan emits SCCs callees-first, so concatenating member lists gives a
+  // bottom-up traversal order.
+  for (const std::vector<unsigned> &Scc : Scc.Members)
+    for (unsigned V : Scc)
+      BottomUp.push_back(P.Funcs[V].get());
+}

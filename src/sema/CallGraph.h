@@ -1,0 +1,77 @@
+//===- sema/CallGraph.h - Program call graph --------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph over user functions. It distinguishes ordinary calls from
+/// `spawn` edges (a spawned function runs as a new process). Consumers:
+///
+///  * interprocedural MOD/REF analysis (bottom-up over SCCs),
+///  * the e-block partitioner's *leaf inheritance* rule (§5.4: small leaf
+///    subroutines don't log; their direct ancestors inherit their USED and
+///    DEFINED sets and log for them),
+///  * the PPD controller, to locate which functions can run as processes.
+///
+/// SCCs are computed with Tarjan's algorithm so recursion is handled; a
+/// function is a "leaf" only if it calls no user function at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SEMA_CALLGRAPH_H
+#define PPD_SEMA_CALLGRAPH_H
+
+#include "lang/Ast.h"
+
+#include <vector>
+
+namespace ppd {
+
+class CallGraph {
+public:
+  /// Builds the call graph of \p P (requires a resolved AST).
+  explicit CallGraph(const Program &P);
+
+  /// Functions directly called (not spawned) by \p F, deduplicated.
+  const std::vector<const FuncDecl *> &callees(const FuncDecl &F) const {
+    return Callees[F.Index];
+  }
+
+  /// Functions that directly call \p F.
+  const std::vector<const FuncDecl *> &callers(const FuncDecl &F) const {
+    return Callers[F.Index];
+  }
+
+  /// Functions started with `spawn` anywhere in the program.
+  const std::vector<const FuncDecl *> &spawnTargets() const {
+    return Spawned;
+  }
+
+  /// True if \p F calls no user function.
+  bool isLeaf(const FuncDecl &F) const { return Callees[F.Index].empty(); }
+
+  /// True if \p F can (transitively) reach itself — part of a nontrivial
+  /// SCC or directly self-recursive.
+  bool isRecursive(const FuncDecl &F) const { return Recursive[F.Index]; }
+
+  /// SCC id of \p F; ids are in reverse topological order (callees first).
+  unsigned sccId(const FuncDecl &F) const { return SccIds[F.Index]; }
+
+  /// Functions in bottom-up (callees-before-callers) order.
+  const std::vector<const FuncDecl *> &bottomUpOrder() const {
+    return BottomUp;
+  }
+
+private:
+  std::vector<std::vector<const FuncDecl *>> Callees;
+  std::vector<std::vector<const FuncDecl *>> Callers;
+  std::vector<const FuncDecl *> Spawned;
+  std::vector<bool> Recursive;
+  std::vector<unsigned> SccIds;
+  std::vector<const FuncDecl *> BottomUp;
+};
+
+} // namespace ppd
+
+#endif // PPD_SEMA_CALLGRAPH_H

@@ -1,0 +1,72 @@
+//===- sema/ProgramDatabase.cpp -------------------------------------------===//
+//
+// Part of PPD. See ProgramDatabase.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/ProgramDatabase.h"
+
+#include "sema/Accesses.h"
+
+using namespace ppd;
+
+ProgramDatabase::ProgramDatabase(const Program &P, const SymbolTable &Symbols)
+    : Symbols(Symbols) {
+  Sites.resize(Symbols.numVars());
+  Owner.assign(P.numStmts(), nullptr);
+
+  for (const auto &F : P.Funcs) {
+    forEachStmt(*F->Body, [&](const Stmt &S) {
+      Owner[S.Id] = F.get();
+      StmtAccesses Acc = collectStmtAccesses(S);
+      for (VarId V : Acc.Reads)
+        Sites[V].Uses.push_back(S.Id);
+      for (VarId V : Acc.Writes)
+        Sites[V].Defs.push_back(S.Id);
+    });
+  }
+}
+
+std::vector<VarId> ProgramDatabase::lookup(const std::string &Name) const {
+  std::vector<VarId> Out;
+  for (const VarInfo &Info : Symbols.Vars)
+    if (Info.Name == Name)
+      Out.push_back(Info.Id);
+  return Out;
+}
+
+std::string ProgramDatabase::dump(const Program &P) const {
+  std::string Out;
+  for (const VarInfo &Info : Symbols.Vars) {
+    Out += Info.Name;
+    switch (Info.Kind) {
+    case VarKind::SharedGlobal:
+      Out += " (shared global)";
+      break;
+    case VarKind::PrivateGlobal:
+      Out += " (global)";
+      break;
+    case VarKind::Param:
+      Out += " (param of " + Info.Func->Name + ")";
+      break;
+    case VarKind::Local:
+      Out += " (local of " + Info.Func->Name + ")";
+      break;
+    }
+    Out += " defs:[";
+    const VarSites &S = Sites[Info.Id];
+    for (size_t I = 0; I != S.Defs.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += std::to_string(P.stmt(S.Defs[I])->getLoc().Line);
+    }
+    Out += "] uses:[";
+    for (size_t I = 0; I != S.Uses.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += std::to_string(P.stmt(S.Uses[I])->getLoc().Line);
+    }
+    Out += "]\n";
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- sema/ProgramDatabase.h - The paper's program database ----*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "program database" of the preparatory phase (paper §3.2.1/§4.1):
+/// per-identifier information that the PPD controller consults while
+/// building dynamic graphs — "the places where an identifier is defined or
+/// used", plus the semantic-analysis results (the MOD/REF sets live in
+/// dataflow/ModRef.h and are attached here once computed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SEMA_PROGRAMDATABASE_H
+#define PPD_SEMA_PROGRAMDATABASE_H
+
+#include "lang/Ast.h"
+#include "sema/Symbols.h"
+
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+/// Definition/use sites of one variable.
+struct VarSites {
+  std::vector<StmtId> Defs; ///< statements that may write the variable.
+  std::vector<StmtId> Uses; ///< statements that may read the variable.
+};
+
+class ProgramDatabase {
+public:
+  /// Builds the database for \p P (requires resolved AST and symbols).
+  ProgramDatabase(const Program &P, const SymbolTable &Symbols);
+
+  const VarSites &sites(VarId Var) const {
+    assert(Var < Sites.size() && "variable id out of range");
+    return Sites[Var];
+  }
+
+  /// All variables named \p Name (several scopes may reuse a name).
+  std::vector<VarId> lookup(const std::string &Name) const;
+
+  /// The function whose body contains \p Id, or null for no owner.
+  const FuncDecl *owningFunc(StmtId Id) const {
+    assert(Id < Owner.size() && "statement id out of range");
+    return Owner[Id];
+  }
+
+  /// Human-readable dump, one variable per line; used by the ppd tool's
+  /// `info var` command and by tests.
+  std::string dump(const Program &P) const;
+
+private:
+  const SymbolTable &Symbols;
+  std::vector<VarSites> Sites;        ///< indexed by VarId.
+  std::vector<const FuncDecl *> Owner; ///< indexed by StmtId.
+};
+
+} // namespace ppd
+
+#endif // PPD_SEMA_PROGRAMDATABASE_H

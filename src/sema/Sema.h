@@ -1,0 +1,73 @@
+//===- sema/Sema.h - PPL semantic analysis ----------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and semantic checking for PPL. Fills the resolution
+/// slots in the AST (VarRefExpr::Var, CallExpr::ResolvedFunc, PStmt::SemId,
+/// ...), builds the SymbolTable with storage layout, and enforces PPL's
+/// rules:
+///   - every name must resolve; no redeclaration within a scope,
+///   - scalars are not indexed, arrays are only used indexed,
+///   - call/spawn arity matches; `main` exists and takes no parameters,
+///   - spawned functions take only scalar arguments,
+///   - builtins (sqrt, abs, min, max) have fixed arity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SEMA_SEMA_H
+#define PPD_SEMA_SEMA_H
+
+#include "lang/Ast.h"
+#include "sema/Symbols.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppd {
+
+class Sema {
+public:
+  Sema(Program &P, DiagnosticEngine &Diags);
+
+  /// Runs all checks. Returns the symbol table, or null if errors were
+  /// reported (the AST may then be partially resolved).
+  std::unique_ptr<SymbolTable> run();
+
+private:
+  void declareGlobals();
+  void declareSemsAndChans();
+  void checkFunction(FuncDecl &F);
+  void checkStmt(Stmt &S, FuncDecl &F);
+  void checkExpr(Expr &E, FuncDecl &F);
+  void checkLValue(const std::string &Name, Expr *Index, SourceLoc Loc,
+                   VarId &OutVar, FuncDecl &F);
+  void checkCallArgs(CallExpr &Call, FuncDecl &F);
+
+  VarId declareVar(VarInfo Info);
+  /// Looks up \p Name through the active local scopes, then globals.
+  /// Returns InvalidId when not found.
+  VarId lookupVar(const std::string &Name) const;
+
+  void pushScope();
+  void popScope();
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<SymbolTable> Symbols;
+
+  std::unordered_map<std::string, VarId> GlobalScope;
+  std::vector<std::unordered_map<std::string, VarId>> LocalScopes;
+  std::unordered_map<std::string, uint32_t> SemIds;
+  std::unordered_map<std::string, uint32_t> ChanIds;
+  FrameInfo *CurrentFrame = nullptr;
+};
+
+} // namespace ppd
+
+#endif // PPD_SEMA_SEMA_H

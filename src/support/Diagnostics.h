@@ -1,0 +1,62 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the PPL front end and the semantic
+/// analyses. Diagnostics are collected (never thrown); callers inspect
+/// hasErrors() after each phase. Messages follow the LLVM style: lower-case
+/// first letter, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_DIAGNOSTICS_H
+#define PPD_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted while processing one compilation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Concatenates all diagnostics, one per line. Handy in tests and tools.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_DIAGNOSTICS_H

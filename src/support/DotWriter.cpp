@@ -1,0 +1,76 @@
+//===- support/DotWriter.cpp ----------------------------------------------===//
+//
+// Part of PPD. See DotWriter.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DotWriter.h"
+
+using namespace ppd;
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+std::string DotWriter::escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void DotWriter::line(const std::string &Text) {
+  Body.append(Indent * 2, ' ');
+  Body += Text;
+  Body += '\n';
+}
+
+void DotWriter::node(const std::string &Id, const std::string &Label,
+                     const std::vector<std::string> &Attrs) {
+  std::string Text = "\"" + escape(Id) + "\" [label=\"" + escape(Label) + "\"";
+  for (const std::string &A : Attrs) {
+    Text += ", ";
+    Text += A;
+  }
+  Text += "];";
+  line(Text);
+}
+
+void DotWriter::edge(const std::string &From, const std::string &To,
+                     const std::vector<std::string> &Attrs) {
+  std::string Text = "\"" + escape(From) + "\" -> \"" + escape(To) + "\"";
+  if (!Attrs.empty()) {
+    Text += " [";
+    for (size_t I = 0; I != Attrs.size(); ++I) {
+      if (I)
+        Text += ", ";
+      Text += Attrs[I];
+    }
+    Text += "]";
+  }
+  Text += ";";
+  line(Text);
+}
+
+void DotWriter::beginCluster(const std::string &Id, const std::string &Label) {
+  line("subgraph \"cluster_" + escape(Id) + "\" {");
+  ++Indent;
+  line("label=\"" + escape(Label) + "\";");
+}
+
+void DotWriter::endCluster() {
+  --Indent;
+  line("}");
+}
+
+void DotWriter::raw(const std::string &Line) { line(Line); }
+
+std::string DotWriter::str() const {
+  return "digraph \"" + escape(Name) + "\" {\n" + Body + "}\n";
+}

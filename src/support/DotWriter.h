@@ -1,0 +1,62 @@
+//===- support/DotWriter.h - Graphviz emission helper -----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny helper for emitting Graphviz DOT text. The paper's debugger is
+/// fundamentally graphical (Figs 4.1, 5.3, 6.1 are all graphs shown to the
+/// user); every graph structure in PPD can render itself through this
+/// writer so the examples can regenerate the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_DOTWRITER_H
+#define PPD_SUPPORT_DOTWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+/// Accumulates a DOT digraph. Node and edge attributes are passed as
+/// preformatted `key=value` strings (quoting of labels is handled here).
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName);
+
+  /// Escapes text for use inside a double-quoted DOT string.
+  static std::string escape(const std::string &Text);
+
+  /// Adds a node with label \p Label and optional extra attributes such as
+  /// "shape=box" or "style=dashed".
+  void node(const std::string &Id, const std::string &Label,
+            const std::vector<std::string> &Attrs = {});
+
+  /// Adds a directed edge From -> To.
+  void edge(const std::string &From, const std::string &To,
+            const std::vector<std::string> &Attrs = {});
+
+  /// Opens a cluster subgraph (e.g. one per process in the parallel dynamic
+  /// graph). Nodes added before endCluster() belong to it.
+  void beginCluster(const std::string &Id, const std::string &Label);
+  void endCluster();
+
+  /// Adds a raw line verbatim (rank constraints etc.).
+  void raw(const std::string &Line);
+
+  /// Final DOT text.
+  std::string str() const;
+
+private:
+  std::string Name;
+  std::string Body;
+  unsigned Indent = 1;
+
+  void line(const std::string &Text);
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_DOTWRITER_H

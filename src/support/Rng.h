@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic SplitMix64 generator. The VM scheduler uses
+/// it to model the non-deterministic interleavings of a shared-memory
+/// multiprocessor: a fixed seed reproduces one "execution instance" of the
+/// paper exactly, different seeds exercise different interleavings. Nothing
+/// in PPD consults wall-clock randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_RNG_H
+#define PPD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ppd {
+
+/// SplitMix64: tiny, fast, and good enough for scheduling decisions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_RNG_H

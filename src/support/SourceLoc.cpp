@@ -1,0 +1,21 @@
+//===- support/SourceLoc.cpp ----------------------------------------------===//
+//
+// Part of PPD. See SourceLoc.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+using namespace ppd;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<invalid>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string SourceRange::str() const {
+  if (!isValid())
+    return "<invalid>";
+  return Begin.str() + "-" + End.str();
+}

@@ -1,0 +1,67 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi, "A Mechanism for Efficient
+// Debugging of Parallel Programs" (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions and ranges in PPL source
+/// text. Every AST node, diagnostic, program-database entry and dependence
+/// graph node carries a SourceLoc so that the debugger can always point the
+/// user back at program text (a requirement the paper states in §7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_SOURCELOC_H
+#define PPD_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ppd {
+
+/// A (line, column) position in a source buffer. Lines and columns are
+/// 1-based; a default-constructed SourceLoc is invalid.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend constexpr bool operator!=(SourceLoc A, SourceLoc B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+
+  /// Renders as "line:col", or "<invalid>" for the sentinel.
+  std::string str() const;
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLoc Begin, SourceLoc End)
+      : Begin(Begin), End(End) {}
+  explicit constexpr SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  constexpr bool isValid() const { return Begin.isValid(); }
+
+  std::string str() const;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_SOURCELOC_H

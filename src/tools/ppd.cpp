@@ -1,0 +1,388 @@
+//===- tools/ppd.cpp - The PPD command-line debugger ----------------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi, "A Mechanism for Efficient
+// Debugging of Parallel Programs" (PLDI 1988).
+//
+// Drives all three phases of the paper from the command line:
+//
+//   ppd compile <file.ppl> [options]   preparatory phase: static artifacts
+//   ppd run     <file.ppl> [options]   execution phase: run + write the log
+//   ppd races   <file.ppl> [options]   run, then §6.4 race detection
+//   ppd debug   <file.ppl> [options]   debugging phase: interactive
+//                                      flowback session (reads commands
+//                                      from stdin; pipe-friendly)
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "core/Controller.h"
+#include "core/DeadlockAnalyzer.h"
+#include "core/DebugSession.h"
+#include "lang/AstPrinter.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ppd;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  uint64_t Seed = 1;
+  uint32_t Quantum = 8;
+  std::vector<std::vector<int64_t>> Inputs;
+  std::string LogPath;
+  std::string Mode = "logging";
+  std::string Algorithm = "indexed";
+  bool DumpDisassembly = false;
+  bool DumpPdg = false;
+  bool DumpSimplified = false;
+  bool DumpDatabase = false;
+  bool LeafInheritance = false;
+  bool LoopBlocks = false;
+  std::vector<uint32_t> BreakLines;
+};
+
+void usage() {
+  std::fprintf(stderr, R"(usage: ppd <command> <file.ppl> [options]
+
+commands:
+  compile   preparatory phase: report the static artifacts
+  run       execution phase: run the object code, generate the log
+  races     run, then detect races on the execution instance
+  debug     debugging phase: interactive flowback session
+
+options:
+  --seed N              scheduler seed (default 1); one seed = one
+                        execution instance
+  --quantum N           preemption quantum in instructions (default 8)
+  --input v,v,...       input stream for the next process (repeatable:
+                        first use feeds pid 0, second pid 1, ...)
+  --break LINE          halt the machine when any process reaches a
+                        statement on this source line (repeatable)
+  --save-log PATH       (run) write the execution log to PATH
+  --log PATH            (debug) load the log instead of re-running
+  --mode M              (run) plain | logging | fulltrace
+  --algorithm A         (races) naive | indexed
+  --leaf-inheritance    partitioner: unlog small call-graph leaves
+  --loop-blocks         partitioner: loops become their own e-blocks
+  --dump-ir             (compile) disassemble both artifacts
+  --dump-pdg            (compile) static PDGs as DOT
+  --dump-simplified     (compile) simplified static graphs + sync units
+  --dump-db             (compile) the program database
+)");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--quantum") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Quantum = uint32_t(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--input") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::vector<int64_t> Stream;
+      std::stringstream Ss(V);
+      std::string Item;
+      while (std::getline(Ss, Item, ','))
+        Stream.push_back(std::strtoll(Item.c_str(), nullptr, 10));
+      Opts.Inputs.push_back(std::move(Stream));
+    } else if (Arg == "--save-log" || Arg == "--log") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.LogPath = V;
+    } else if (Arg == "--mode") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Mode = V;
+    } else if (Arg == "--algorithm") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Algorithm = V;
+    } else if (Arg == "--dump-ir") {
+      Opts.DumpDisassembly = true;
+    } else if (Arg == "--dump-pdg") {
+      Opts.DumpPdg = true;
+    } else if (Arg == "--dump-simplified") {
+      Opts.DumpSimplified = true;
+    } else if (Arg == "--dump-db") {
+      Opts.DumpDatabase = true;
+    } else if (Arg == "--break") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BreakLines.push_back(uint32_t(std::strtoul(V, nullptr, 10)));
+    } else if (Arg == "--leaf-inheritance") {
+      Opts.LeafInheritance = true;
+    } else if (Arg == "--loop-blocks") {
+      Opts.LoopBlocks = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<CompiledProgram> compileFile(const CliOptions &Opts) {
+  std::ifstream In(Opts.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+    return nullptr;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  CompileOptions COpts;
+  COpts.EBlocks.LeafInheritance = Opts.LeafInheritance;
+  COpts.EBlocks.LoopBlocks = Opts.LoopBlocks;
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Buffer.str(), COpts, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return nullptr;
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+  return Prog;
+}
+
+int cmdCompile(const CliOptions &Opts) {
+  auto Prog = compileFile(Opts);
+  if (!Prog)
+    return 1;
+  std::printf("%s: %zu function(s), %zu e-block(s), %zu sync unit(s), "
+              "%u variable(s), %u shared\n",
+              Opts.File.c_str(), Prog->Funcs.size(), Prog->EBlocks.size(),
+              Prog->Units.size(), Prog->Symbols->numVars(),
+              Prog->Symbols->NumSharedVars);
+  for (const EBlockInfo &E : Prog->EBlocks) {
+    std::printf("  e-block %u in %s (%s): USED={", E.Id,
+                Prog->func(E.Func).Name.c_str(),
+                E.Kind == EBlockKind::Loop ? "loop" : "segment");
+    for (size_t I = 0; I != E.Used.size(); ++I)
+      std::printf("%s%s", I ? "," : "",
+                  Prog->Symbols->var(E.Used[I]).Name.c_str());
+    std::printf("} DEFINED={");
+    for (size_t I = 0; I != E.Defined.size(); ++I)
+      std::printf("%s%s", I ? "," : "",
+                  Prog->Symbols->var(E.Defined[I]).Name.c_str());
+    std::printf("}\n");
+  }
+  if (Opts.DumpDisassembly)
+    for (const CompiledFunction &F : Prog->Funcs) {
+      std::printf("\n%s",
+                  F.Object.disassemble(F.Name + " [object]").c_str());
+      std::printf("\n%s", F.Emu.disassemble(F.Name + " [emu]").c_str());
+    }
+  if (Opts.DumpPdg)
+    for (const auto &F : Prog->Ast->Funcs)
+      std::printf("\n%s", Prog->Pdgs[F->Index]->dot(*Prog->Ast).c_str());
+  if (Opts.DumpSimplified)
+    for (const auto &F : Prog->Ast->Funcs)
+      std::printf("\n%s",
+                  Prog->Simplified[F->Index]->dot(*Prog->Ast).c_str());
+  if (Opts.DumpDatabase)
+    std::printf("\n%s", Prog->Database->dump(*Prog->Ast).c_str());
+  return 0;
+}
+
+MachineOptions machineOptions(const CliOptions &Opts,
+                              const CompiledProgram &Prog) {
+  MachineOptions MOpts;
+  MOpts.Seed = Opts.Seed;
+  MOpts.Quantum = Opts.Quantum;
+  MOpts.ProcessInputs = Opts.Inputs;
+  if (Opts.Mode == "plain")
+    MOpts.Mode = RunMode::Plain;
+  else if (Opts.Mode == "fulltrace")
+    MOpts.Mode = RunMode::FullTrace;
+  else
+    MOpts.Mode = RunMode::Logging;
+  for (uint32_t Line : Opts.BreakLines) {
+    bool Found = false;
+    for (StmtId Id = 0; Id != Prog.Ast->numStmts(); ++Id)
+      if (Prog.Ast->stmt(Id)->getLoc().Line == Line &&
+          !isa<BlockStmt>(Prog.Ast->stmt(Id))) {
+        MOpts.Breakpoints.push_back(Id);
+        Found = true;
+      }
+    if (!Found)
+      std::fprintf(stderr, "warning: no statement on line %u\n", Line);
+  }
+  return MOpts;
+}
+
+void reportRun(const CompiledProgram &Prog, const Machine &M,
+               const RunResult &Result) {
+  for (const OutputRecord &O : M.output())
+    std::printf("[p%u] %lld\n", O.Pid, (long long)O.Value);
+  switch (Result.Outcome) {
+  case RunResult::Status::Completed:
+    std::printf("-- completed: %llu steps, %zu process(es), log %zu "
+                "bytes\n",
+                (unsigned long long)Result.Steps, M.processes().size(),
+                M.log().byteSize());
+    break;
+  case RunResult::Status::Failed:
+    std::printf("-- FAILED: %s\n", Result.Error.str().c_str());
+    if (Result.Error.Stmt != InvalidId)
+      std::printf("   at: %s (line %u)\n",
+                  AstPrinter::summarize(*Prog.Ast->stmt(Result.Error.Stmt))
+                      .c_str(),
+                  Prog.Ast->stmt(Result.Error.Stmt)->getLoc().Line);
+    break;
+  case RunResult::Status::Deadlock: {
+    std::printf("-- DEADLOCK after %llu steps\n",
+                (unsigned long long)Result.Steps);
+    DeadlockAnalyzer Analyzer(Prog, M.log());
+    std::printf("%s",
+                Analyzer.analyze(Result.Deadlock).str(*Prog.Ast).c_str());
+    break;
+  }
+  case RunResult::Status::StepLimit:
+    std::printf("-- step limit reached\n");
+    break;
+  case RunResult::Status::Breakpoint:
+    std::printf("-- BREAKPOINT: process %u at %s (line %u)\n",
+                Result.BreakPid,
+                AstPrinter::summarize(*Prog.Ast->stmt(Result.BreakStmt))
+                    .c_str(),
+                Prog.Ast->stmt(Result.BreakStmt)->getLoc().Line);
+    break;
+  }
+}
+
+int cmdRun(const CliOptions &Opts) {
+  auto Prog = compileFile(Opts);
+  if (!Prog)
+    return 1;
+  Machine M(*Prog, machineOptions(Opts, *Prog));
+  RunResult Result = M.run();
+  reportRun(*Prog, M, Result);
+  if (!Opts.LogPath.empty()) {
+    if (!M.log().save(Opts.LogPath)) {
+      std::fprintf(stderr, "error: cannot write log to %s\n",
+                   Opts.LogPath.c_str());
+      return 1;
+    }
+    std::printf("-- log written to %s\n", Opts.LogPath.c_str());
+  }
+  return Result.Outcome == RunResult::Status::Completed ? 0 : 2;
+}
+
+int cmdRaces(const CliOptions &Opts) {
+  auto Prog = compileFile(Opts);
+  if (!Prog)
+    return 1;
+  Machine M(*Prog, machineOptions(Opts, *Prog));
+  RunResult Result = M.run();
+  reportRun(*Prog, M, Result);
+
+  PpdController Controller(*Prog, M.takeLog());
+  RaceAlgorithm Algorithm = Opts.Algorithm == "naive"
+                                ? RaceAlgorithm::NaiveAllPairs
+                                : RaceAlgorithm::VarIndexed;
+  auto Races = Controller.detectRaces(Algorithm);
+  if (Races.raceFree()) {
+    std::printf("-- execution instance is race-free (Def 6.4); %llu edge "
+                "pair(s) examined\n",
+                (unsigned long long)Races.PairsExamined);
+    return 0;
+  }
+  RaceDetector Detector(Controller.parallelGraph(), *Prog->Symbols);
+  std::printf("-- %zu race(s) found (%llu pair(s) examined):\n",
+              Races.Races.size(),
+              (unsigned long long)Races.PairsExamined);
+  for (const Race &R : Races.Races)
+    std::printf("   %s\n", Detector.describe(R, *Prog->Ast).c_str());
+  return 3;
+}
+
+//===----------------------------------------------------------------------===//
+// The interactive debugging phase
+//===----------------------------------------------------------------------===//
+
+int cmdDebug(const CliOptions &Opts) {
+  auto Prog = compileFile(Opts);
+  if (!Prog)
+    return 1;
+
+  ExecutionLog Log;
+  if (!Opts.LogPath.empty()) {
+    if (!ExecutionLog::load(Opts.LogPath, Log)) {
+      std::fprintf(stderr, "error: cannot load log %s\n",
+                   Opts.LogPath.c_str());
+      return 1;
+    }
+    std::printf("loaded log: %zu process(es)\n", Log.Procs.size());
+  } else {
+    Machine M(*Prog, machineOptions(Opts, *Prog));
+    RunResult Result = M.run();
+    reportRun(*Prog, M, Result);
+    Log = M.takeLog();
+  }
+
+  PpdController Controller(*Prog, std::move(Log));
+  DebugSession Session(*Prog, Controller);
+  std::printf("PPD debugging phase. Type 'help' for commands.\n");
+  std::string Line;
+  while (std::printf("(ppd) "), std::fflush(stdout),
+         std::getline(std::cin, Line)) {
+    if (Line == "quit" || Line == "q")
+      break;
+    std::fputs(Session.execute(Line).c_str(), stdout);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return 64;
+  }
+  if (Opts.Command == "compile")
+    return cmdCompile(Opts);
+  if (Opts.Command == "run")
+    return cmdRun(Opts);
+  if (Opts.Command == "races")
+    return cmdRaces(Opts);
+  if (Opts.Command == "debug")
+    return cmdDebug(Opts);
+  usage();
+  return 64;
+}

@@ -1,0 +1,801 @@
+//===- vm/Machine.cpp -----------------------------------------------------===//
+//
+// Part of PPD. See Machine.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ppd;
+
+const char *ppd::runtimeErrorName(RuntimeErrorKind Kind) {
+  switch (Kind) {
+  case RuntimeErrorKind::None:
+    return "none";
+  case RuntimeErrorKind::DivideByZero:
+    return "divide by zero";
+  case RuntimeErrorKind::ModuloByZero:
+    return "modulo by zero";
+  case RuntimeErrorKind::IndexOutOfBounds:
+    return "array index out of bounds";
+  case RuntimeErrorKind::NegativeSqrt:
+    return "sqrt of a negative value";
+  case RuntimeErrorKind::InputExhausted:
+    return "input exhausted";
+  case RuntimeErrorKind::StackOverflow:
+    return "call stack overflow";
+  }
+  return "?";
+}
+
+std::string RuntimeError::str() const {
+  std::string Out = "process ";
+  Out += std::to_string(Pid);
+  Out += ": ";
+  Out += runtimeErrorName(Kind);
+  if (Stmt != InvalidId)
+    Out += " at s" + std::to_string(Stmt);
+  return Out;
+}
+
+/// Integer square root (floor), defined for nonnegative inputs.
+static int64_t isqrt(int64_t X) {
+  assert(X >= 0 && "isqrt of negative value");
+  int64_t R = int64_t(std::sqrt(double(X)));
+  while (R > 0 && R * R > X)
+    --R;
+  while ((R + 1) * (R + 1) <= X)
+    ++R;
+  return R;
+}
+
+Machine::Machine(const CompiledProgram &Prog, MachineOptions Options)
+    : Prog(Prog), Options(std::move(Options)), SchedRng(this->Options.Seed) {
+  BreakSet.insert(this->Options.Breakpoints.begin(),
+                  this->Options.Breakpoints.end());
+  // Shared memory with initial values.
+  Shared.assign(Prog.Symbols->SharedMemorySize, 0);
+  for (const VarInfo &Info : Prog.Symbols->Vars)
+    if (Info.Kind == VarKind::SharedGlobal && !Info.isArray())
+      Shared[Info.Offset] = Info.Init;
+
+  for (int64_t Init : Prog.SemInit) {
+    Semaphore S;
+    S.Count = Init;
+    Sems.push_back(std::move(S));
+  }
+  for (int64_t Capacity : Prog.ChanCapacity) {
+    Channel C;
+    C.Capacity = Capacity;
+    Chans.push_back(std::move(C));
+  }
+
+  spawnProcess(Prog.MainIndex, {}, NoPartner);
+}
+
+const Chunk &Machine::chunkOf(const Process &P) const {
+  const CompiledFunction &F = Prog.func(P.Frames.back().Func);
+  return tracing() ? F.Emu : F.Object;
+}
+
+uint32_t Machine::spawnProcess(uint32_t Func, std::vector<int64_t> Args,
+                               uint64_t ParentSpawnSeq) {
+  uint32_t Pid = uint32_t(Procs.size());
+  Procs.emplace_back();
+  Process &P = Procs.back();
+  P.Pid = Pid;
+
+  P.PrivateGlobals.assign(Prog.Symbols->PrivateGlobalSize, 0);
+  for (const VarInfo &Info : Prog.Symbols->Vars)
+    if (Info.Kind == VarKind::PrivateGlobal && !Info.isArray())
+      P.PrivateGlobals[Info.Offset] = Info.Init;
+
+  if (Pid < Options.ProcessInputs.size())
+    P.Inputs.assign(Options.ProcessInputs[Pid].begin(),
+                    Options.ProcessInputs[Pid].end());
+
+  Log.Procs.emplace_back();
+  Log.Procs.back().Pid = Pid;
+  Log.Procs.back().RootFunc = Func;
+  Log.Procs.back().Args = Args;
+  Traces.emplace_back();
+
+  pushFrame(P, Func, std::move(Args), /*ReturnPc=*/0);
+
+  if (logging()) {
+    uint64_t Seq;
+    emitSync(P, SyncKind::ProcStart, Func, InvalidId, Seq, ParentSpawnSeq);
+  }
+  return Pid;
+}
+
+void Machine::pushFrame(Process &P, uint32_t Func, std::vector<int64_t> Args,
+                        uint32_t ReturnPc) {
+  const CompiledFunction &F = Prog.func(Func);
+  Frame Fr;
+  Fr.Func = Func;
+  Fr.ReturnPc = ReturnPc;
+  Fr.StackBase = uint32_t(P.Stack.size());
+  Fr.Slots.assign(F.FrameSize, 0);
+  assert(Args.size() == F.NumParams && "arity checked by sema");
+  std::copy(Args.begin(), Args.end(), Fr.Slots.begin());
+  P.Frames.push_back(std::move(Fr));
+  P.Pc = 0;
+}
+
+std::vector<int64_t> Machine::popArgs(Process &P, uint32_t Argc) {
+  assert(P.Stack.size() >= Argc && "operand stack underflow");
+  std::vector<int64_t> Args(P.Stack.end() - Argc, P.Stack.end());
+  P.Stack.resize(P.Stack.size() - Argc);
+  return Args;
+}
+
+void Machine::fail(Process &P, RuntimeErrorKind Kind, StmtId Stmt) {
+  P.Status = ProcStatus::Failed;
+  P.Error = {Kind, P.Pid, Stmt};
+}
+
+//===----------------------------------------------------------------------===//
+// Logging helpers
+//===----------------------------------------------------------------------===//
+
+LogRecord &Machine::appendRecord(Process &P, LogRecordKind Kind) {
+  ProcessLog &PL = Log.Procs[P.Pid];
+  PL.Records.emplace_back();
+  PL.Records.back().Kind = Kind;
+  return PL.Records.back();
+}
+
+void Machine::captureVars(Process &P, const std::vector<VarId> &Vars,
+                          LogRecord &Record) {
+  for (VarId Var : Vars) {
+    const VarInfo &Info = Prog.Symbols->var(Var);
+    VarValue Value;
+    Value.Var = Var;
+    uint32_t Count = Info.slotCount();
+    const int64_t *Base = nullptr;
+    switch (Info.Kind) {
+    case VarKind::SharedGlobal:
+      Base = &Shared[Info.Offset];
+      break;
+    case VarKind::PrivateGlobal:
+      Base = &P.PrivateGlobals[Info.Offset];
+      break;
+    case VarKind::Param:
+    case VarKind::Local:
+      // USED/DEFINED sets only name variables of the function the e-block
+      // lives in, so the top frame is the right one.
+      Base = &P.Frames.back().Slots[Info.Offset];
+      break;
+    }
+    Value.Values.assign(Base, Base + Count);
+    Record.Vars.push_back(std::move(Value));
+  }
+}
+
+void Machine::emitSync(Process &P, SyncKind Kind, uint32_t Object,
+                       StmtId Stmt, uint64_t &SeqOut, uint64_t Partner,
+                       int64_t Value) {
+  SeqOut = NextSyncSeq++;
+  if (!logging())
+    return;
+  LogRecord &R = appendRecord(P, LogRecordKind::SyncEvent);
+  R.Sync = Kind;
+  R.Id = Object;
+  R.Stmt = Stmt;
+  R.Seq = SeqOut;
+  R.PartnerSeq = Partner;
+  R.Value = Value;
+  // The internal edge ending at this synchronization node (Def 6.2).
+  for (unsigned S : P.EdgeReads.toVector())
+    R.ReadSet.push_back(S);
+  for (unsigned S : P.EdgeWrites.toVector())
+    R.WriteSet.push_back(S);
+  P.EdgeReads.clear();
+  P.EdgeWrites.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing helpers (FullTrace mode)
+//===----------------------------------------------------------------------===//
+
+TraceEvent *Machine::openEventOf(Process &P) {
+  if (!tracing())
+    return nullptr;
+  uint32_t Idx = P.Frames.back().OpenEvent;
+  if (Idx == InvalidId)
+    return nullptr;
+  return &Traces[P.Pid].Events[Idx];
+}
+
+void Machine::traceRead(Process &P, VarId Var, int64_t Value, int64_t Index) {
+  if (TraceEvent *E = openEventOf(P))
+    E->Reads.push_back({Var, Value, Index});
+}
+
+void Machine::traceWrite(Process &P, VarId Var, int64_t Value,
+                         int64_t Index) {
+  if (TraceEvent *E = openEventOf(P))
+    E->Writes.push_back({Var, Value, Index});
+}
+
+//===----------------------------------------------------------------------===//
+// The interpreter
+//===----------------------------------------------------------------------===//
+
+bool Machine::step(Process &P) {
+  const Chunk &Code = chunkOf(P);
+  assert(P.Pc < Code.size() && "pc out of range");
+  const Instr I = Code.at(P.Pc);
+  StmtId Stmt = Code.stmtAt(P.Pc);
+
+  // Breakpoints fire on the transition into a new statement, before any of
+  // its instructions execute — the "user intervention" halt that begins a
+  // debugging session (§3.2.2).
+  if (Stmt != P.CurrentStmt) {
+    P.CurrentStmt = Stmt;
+    if (Stmt != InvalidId && !BreakSet.empty() && BreakSet.count(Stmt)) {
+      BreakHit = true;
+      BreakPid = P.Pid;
+      BreakStmt = Stmt;
+      return false;
+    }
+  }
+  ++P.Pc;
+
+  auto Push = [&](int64_t V) { P.Stack.push_back(V); };
+  auto Pop = [&]() {
+    assert(!P.Stack.empty() && "operand stack underflow");
+    int64_t V = P.Stack.back();
+    P.Stack.pop_back();
+    return V;
+  };
+
+  bool IsShared = false;
+  switch (I.Opcode) {
+  case Op::PushConst:
+    Push(I.Imm);
+    return true;
+  case Op::Pop:
+    Pop();
+    return true;
+  case Op::ToBool:
+    P.Stack.back() = P.Stack.back() != 0;
+    return true;
+
+  case Op::LoadLocal: {
+    int64_t V = P.Frames.back().Slots[I.A];
+    Push(V);
+    traceRead(P, VarId(I.B), V, -1);
+    return true;
+  }
+  case Op::StoreLocal: {
+    int64_t V = Pop();
+    P.Frames.back().Slots[I.A] = V;
+    traceWrite(P, VarId(I.B), V, -1);
+    return true;
+  }
+  case Op::LoadLocalElem: {
+    int64_t Idx = Pop();
+    if (Idx < 0 || Idx >= I.Imm) {
+      fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
+      return false;
+    }
+    int64_t V = P.Frames.back().Slots[I.A + Idx];
+    Push(V);
+    traceRead(P, VarId(I.B), V, Idx);
+    return true;
+  }
+  case Op::StoreLocalElem: {
+    int64_t V = Pop();
+    int64_t Idx = Pop();
+    if (Idx < 0 || Idx >= I.Imm) {
+      fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
+      return false;
+    }
+    P.Frames.back().Slots[I.A + Idx] = V;
+    traceWrite(P, VarId(I.B), V, Idx);
+    return true;
+  }
+  case Op::ZeroLocal: {
+    std::fill_n(P.Frames.back().Slots.begin() + I.A, I.Imm, 0);
+    traceWrite(P, VarId(I.B), 0, -1);
+    return true;
+  }
+
+  case Op::LoadShared:
+  case Op::LoadSharedElem:
+    IsShared = true;
+    [[fallthrough]];
+  case Op::LoadPriv:
+  case Op::LoadPrivElem: {
+    std::vector<int64_t> &Mem = IsShared ? Shared : P.PrivateGlobals;
+    int64_t Idx = -1;
+    uint32_t Offset = uint32_t(I.A);
+    if (I.Opcode == Op::LoadSharedElem || I.Opcode == Op::LoadPrivElem) {
+      Idx = Pop();
+      if (Idx < 0 || Idx >= I.Imm) {
+        fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
+        return false;
+      }
+      Offset += uint32_t(Idx);
+    }
+    int64_t V = Mem[Offset];
+    Push(V);
+    traceRead(P, VarId(I.B), V, Idx);
+    if (IsShared && logging())
+      P.EdgeReads.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+    return true;
+  }
+
+  case Op::StoreShared:
+  case Op::StoreSharedElem:
+    IsShared = true;
+    [[fallthrough]];
+  case Op::StorePriv:
+  case Op::StorePrivElem: {
+    std::vector<int64_t> &Mem = IsShared ? Shared : P.PrivateGlobals;
+    int64_t V = Pop();
+    int64_t Idx = -1;
+    uint32_t Offset = uint32_t(I.A);
+    if (I.Opcode == Op::StoreSharedElem || I.Opcode == Op::StorePrivElem) {
+      Idx = Pop();
+      if (Idx < 0 || Idx >= I.Imm) {
+        fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
+        return false;
+      }
+      Offset += uint32_t(Idx);
+    }
+    Mem[Offset] = V;
+    traceWrite(P, VarId(I.B), V, Idx);
+    if (IsShared && logging())
+      P.EdgeWrites.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+    return true;
+  }
+
+  case Op::Add: {
+    int64_t B = Pop(), A = Pop();
+    Push(A + B);
+    return true;
+  }
+  case Op::Sub: {
+    int64_t B = Pop(), A = Pop();
+    Push(A - B);
+    return true;
+  }
+  case Op::Mul: {
+    int64_t B = Pop(), A = Pop();
+    Push(A * B);
+    return true;
+  }
+  case Op::Div: {
+    int64_t B = Pop(), A = Pop();
+    if (B == 0) {
+      fail(P, RuntimeErrorKind::DivideByZero, Stmt);
+      return false;
+    }
+    Push(A / B);
+    return true;
+  }
+  case Op::Mod: {
+    int64_t B = Pop(), A = Pop();
+    if (B == 0) {
+      fail(P, RuntimeErrorKind::ModuloByZero, Stmt);
+      return false;
+    }
+    Push(A % B);
+    return true;
+  }
+  case Op::Neg:
+    P.Stack.back() = -P.Stack.back();
+    return true;
+  case Op::Not:
+    P.Stack.back() = P.Stack.back() == 0;
+    return true;
+  case Op::CmpEq: {
+    int64_t B = Pop(), A = Pop();
+    Push(A == B);
+    return true;
+  }
+  case Op::CmpNe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A != B);
+    return true;
+  }
+  case Op::CmpLt: {
+    int64_t B = Pop(), A = Pop();
+    Push(A < B);
+    return true;
+  }
+  case Op::CmpLe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A <= B);
+    return true;
+  }
+  case Op::CmpGt: {
+    int64_t B = Pop(), A = Pop();
+    Push(A > B);
+    return true;
+  }
+  case Op::CmpGe: {
+    int64_t B = Pop(), A = Pop();
+    Push(A >= B);
+    return true;
+  }
+
+  case Op::Jump:
+    P.Pc = uint32_t(I.A);
+    return true;
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue: {
+    int64_t Cond = Pop();
+    if (TraceEvent *E = openEventOf(P)) {
+      E->IsPredicate = true;
+      E->BranchTaken = Cond != 0;
+    }
+    bool Taken = I.Opcode == Op::JumpIfFalse ? Cond == 0 : Cond != 0;
+    if (Taken)
+      P.Pc = uint32_t(I.A);
+    return true;
+  }
+
+  case Op::Call: {
+    if (P.Frames.size() >= 4096) {
+      fail(P, RuntimeErrorKind::StackOverflow, Stmt);
+      return false;
+    }
+    std::vector<int64_t> Args = popArgs(P, uint32_t(I.B));
+    pushFrame(P, uint32_t(I.A), std::move(Args), P.Pc);
+    return true;
+  }
+  case Op::Ret: {
+    int64_t Result = Pop();
+    Frame Top = std::move(P.Frames.back());
+    P.Frames.pop_back();
+    P.Stack.resize(Top.StackBase);
+    if (P.Frames.empty()) {
+      if (logging()) {
+        uint64_t Seq;
+        emitSync(P, SyncKind::ProcEnd, 0, Stmt, Seq);
+      }
+      P.Status = ProcStatus::Done;
+      return false;
+    }
+    Push(Result);
+    P.Pc = Top.ReturnPc;
+    return true;
+  }
+  case Op::CallBuiltin: {
+    switch (Builtin(I.A)) {
+    case Builtin::Sqrt: {
+      int64_t X = Pop();
+      if (X < 0) {
+        fail(P, RuntimeErrorKind::NegativeSqrt, Stmt);
+        return false;
+      }
+      Push(isqrt(X));
+      return true;
+    }
+    case Builtin::Abs: {
+      int64_t X = Pop();
+      Push(X < 0 ? -X : X);
+      return true;
+    }
+    case Builtin::Min: {
+      int64_t B = Pop(), A = Pop();
+      Push(std::min(A, B));
+      return true;
+    }
+    case Builtin::Max: {
+      int64_t B = Pop(), A = Pop();
+      Push(std::max(A, B));
+      return true;
+    }
+    case Builtin::None:
+      break;
+    }
+    assert(false && "unknown builtin");
+    return true;
+  }
+
+  case Op::SemP: {
+    Semaphore &S = Sems[I.A];
+    if (S.Count > 0) {
+      uint64_t Partner = NoPartner;
+      if (S.PendingVEdge && S.PendingVPid != P.Pid)
+        Partner = S.PendingVSeq;
+      S.PendingVEdge = false;
+      --S.Count;
+      uint64_t Seq;
+      emitSync(P, SyncKind::SemAcquire, uint32_t(I.A), Stmt, Seq, Partner);
+      return true;
+    }
+    S.PendingVEdge = false;
+    S.Waiters.push_back(P.Pid);
+    P.Status = ProcStatus::BlockedSem;
+    P.WaitObject = uint32_t(I.A);
+    return false;
+  }
+  case Op::SemV: {
+    Semaphore &S = Sems[I.A];
+    uint64_t VSeq;
+    emitSync(P, SyncKind::SemSignal, uint32_t(I.A), Stmt, VSeq);
+    if (!S.Waiters.empty()) {
+      // Direct handoff: the V unblocks a blocked P (§6.2.1 rule 1).
+      uint32_t WaiterPid = S.Waiters.front();
+      S.Waiters.pop_front();
+      Process &W = Procs[WaiterPid];
+      uint64_t WSeq;
+      // The waiter's P statement is the instruction before its (already
+      // advanced) pc.
+      StmtId WStmt = chunkOf(W).stmtAt(W.Pc - 1);
+      emitSync(W, SyncKind::SemAcquire, uint32_t(I.A), WStmt, WSeq, VSeq);
+      W.Status = ProcStatus::Runnable;
+      W.WaitObject = InvalidId;
+      S.PendingVEdge = false;
+      return true;
+    }
+    bool WasZero = S.Count == 0;
+    ++S.Count;
+    S.PendingVEdge = WasZero;
+    S.PendingVSeq = VSeq;
+    S.PendingVPid = P.Pid;
+    return true;
+  }
+
+  case Op::SendCh: {
+    Channel &C = Chans[I.A];
+    int64_t Value = Pop();
+    uint64_t SendSeq;
+    emitSync(P, SyncKind::ChanSend, uint32_t(I.A), Stmt, SendSeq);
+    if (!C.BlockedReceivers.empty()) {
+      // Hand the message straight to a waiting receiver.
+      uint32_t ReceiverPid = C.BlockedReceivers.front();
+      C.BlockedReceivers.pop_front();
+      Process &R = Procs[ReceiverPid];
+      uint64_t RecvSeq;
+      StmtId RStmt = chunkOf(R).stmtAt(R.Pc - 1);
+      emitSync(R, SyncKind::ChanRecv, uint32_t(I.A), RStmt, RecvSeq, SendSeq,
+               Value);
+      R.Stack.push_back(Value);
+      R.Status = ProcStatus::Runnable;
+      R.WaitObject = InvalidId;
+      return true;
+    }
+    if (int64_t(C.Queue.size()) < C.Capacity) {
+      C.Queue.push_back({Value, SendSeq});
+      return true;
+    }
+    // Blocking send (Fig 6.1: node n3; the unblock event n5 follows the
+    // matching receive).
+    P.PendingSendValue = Value;
+    P.PendingSendSeq = SendSeq;
+    P.PendingSendStmt = Stmt;
+    C.BlockedSenders.push_back(P.Pid);
+    P.Status = ProcStatus::BlockedSend;
+    P.WaitObject = uint32_t(I.A);
+    return false;
+  }
+  case Op::RecvCh: {
+    Channel &C = Chans[I.A];
+    auto UnblockSender = [&](uint64_t RecvSeq, bool IntoQueue) {
+      if (C.BlockedSenders.empty())
+        return;
+      uint32_t SenderPid = C.BlockedSenders.front();
+      C.BlockedSenders.pop_front();
+      Process &Sender = Procs[SenderPid];
+      if (IntoQueue)
+        C.Queue.push_back({Sender.PendingSendValue, Sender.PendingSendSeq});
+      uint64_t USeq;
+      emitSync(Sender, SyncKind::ChanSendUnblock, uint32_t(I.A),
+               Sender.PendingSendStmt, USeq, RecvSeq);
+      Sender.Status = ProcStatus::Runnable;
+      Sender.WaitObject = InvalidId;
+    };
+
+    if (!C.Queue.empty()) {
+      Message M = C.Queue.front();
+      C.Queue.pop_front();
+      uint64_t RecvSeq;
+      emitSync(P, SyncKind::ChanRecv, uint32_t(I.A), Stmt, RecvSeq, M.SendSeq,
+               M.Value);
+      Push(M.Value);
+      UnblockSender(RecvSeq, /*IntoQueue=*/true);
+      return true;
+    }
+    if (!C.BlockedSenders.empty()) {
+      // Capacity-0 rendezvous: take the pending message directly.
+      uint32_t SenderPid = C.BlockedSenders.front();
+      Process &Sender = Procs[SenderPid];
+      uint64_t RecvSeq;
+      emitSync(P, SyncKind::ChanRecv, uint32_t(I.A), Stmt, RecvSeq,
+               Sender.PendingSendSeq, Sender.PendingSendValue);
+      Push(Sender.PendingSendValue);
+      UnblockSender(RecvSeq, /*IntoQueue=*/false);
+      return true;
+    }
+    P.Status = ProcStatus::BlockedRecv;
+    P.WaitObject = uint32_t(I.A);
+    C.BlockedReceivers.push_back(P.Pid);
+    return false;
+  }
+
+  case Op::SpawnProc: {
+    std::vector<int64_t> Args = popArgs(P, uint32_t(I.B));
+    uint32_t ChildPid = uint32_t(Procs.size());
+    uint64_t Seq;
+    emitSync(P, SyncKind::SpawnChild, uint32_t(I.A), Stmt, Seq, NoPartner,
+             int64_t(ChildPid));
+    spawnProcess(uint32_t(I.A), std::move(Args), Seq);
+    return true;
+  }
+
+  case Op::PrintVal: {
+    int64_t Value = Pop();
+    Log.Output.push_back({P.Pid, Value, Stmt});
+    return true;
+  }
+  case Op::InputVal: {
+    if (P.Inputs.empty()) {
+      fail(P, RuntimeErrorKind::InputExhausted, Stmt);
+      return false;
+    }
+    int64_t Value = P.Inputs.front();
+    P.Inputs.pop_front();
+    if (logging()) {
+      LogRecord &R = appendRecord(P, LogRecordKind::Input);
+      R.Value = Value;
+    }
+    Push(Value);
+    return true;
+  }
+
+  case Op::Prelog: {
+    if (Options.Mode == RunMode::Logging) {
+      LogRecord &R = appendRecord(P, LogRecordKind::Prelog);
+      R.Id = uint32_t(I.A);
+      captureVars(P, Prog.eblock(uint32_t(I.A)).Used, R);
+    }
+    return true;
+  }
+  case Op::Postlog: {
+    if (Options.Mode == RunMode::Logging) {
+      LogRecord &R = appendRecord(P, LogRecordKind::Postlog);
+      R.Id = uint32_t(I.A);
+      R.Flags = uint32_t(I.B);
+      if (I.B & PostlogExitsFunction) {
+        assert(!P.Stack.empty() && "return value expected on stack");
+        R.Value = P.Stack.back();
+      }
+      captureVars(P, Prog.eblock(uint32_t(I.A)).Defined, R);
+    }
+    return true;
+  }
+  case Op::UnitLog: {
+    if (Options.Mode == RunMode::Logging) {
+      LogRecord &R = appendRecord(P, LogRecordKind::UnitLog);
+      R.Id = uint32_t(I.A);
+      captureVars(P, Prog.unit(uint32_t(I.A)).SharedReads, R);
+    }
+    return true;
+  }
+
+  case Op::TraceStmt: {
+    if (tracing()) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::Stmt;
+      E.Pid = P.Pid;
+      E.Stmt = StmtId(I.A);
+      P.Frames.back().OpenEvent = Traces[P.Pid].append(std::move(E)).Index;
+    }
+    return true;
+  }
+  case Op::TraceCallBegin: {
+    if (tracing()) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::CallBegin;
+      E.Pid = P.Pid;
+      E.Stmt = StmtId(I.B);
+      E.Callee = uint32_t(I.A);
+      uint32_t Argc = Prog.func(uint32_t(I.A)).NumParams;
+      assert(P.Stack.size() >= Argc && "call arguments missing");
+      E.Args.assign(P.Stack.end() - Argc, P.Stack.end());
+      Traces[P.Pid].append(std::move(E));
+    }
+    return true;
+  }
+  case Op::TraceCallEnd: {
+    if (tracing()) {
+      TraceEvent E;
+      E.Kind = TraceEventKind::CallEnd;
+      E.Pid = P.Pid;
+      E.Callee = uint32_t(I.A);
+      E.Value = P.Stack.back();
+      Traces[P.Pid].append(std::move(E));
+    }
+    return true;
+  }
+
+  case Op::Halt:
+    P.Status = ProcStatus::Done;
+    return false;
+  }
+  assert(false && "unknown opcode");
+  return false;
+}
+
+RunResult Machine::run() {
+  RunResult Result;
+  // Any non-completed outcome freezes the machine mid-flight; Stop markers
+  // let replay halt each process exactly where it actually stopped instead
+  // of running ahead deterministically.
+  auto Freeze = [&](RunResult::Status Outcome) {
+    Result.Outcome = Outcome;
+    Result.Steps = Steps;
+    if (logging())
+      for (const Process &P : Procs) {
+        // The failed process gets no marker: its log already ends at the
+        // failure, which replay re-derives (the flowback root).
+        if (P.Status == ProcStatus::Done || P.Status == ProcStatus::Failed)
+          continue;
+        LogRecord &R = Log.Procs[P.Pid].Records.emplace_back();
+        R.Kind = LogRecordKind::Stop;
+        // Which statement the process was in/about to enter: lets replay
+        // stop at the right occurrence, not merely at the right record.
+        R.Stmt = P.CurrentStmt;
+      }
+    return Result;
+  };
+
+  for (;;) {
+    if (BreakHit) {
+      Result.BreakPid = BreakPid;
+      Result.BreakStmt = BreakStmt;
+      return Freeze(RunResult::Status::Breakpoint);
+    }
+    // A failure freezes the machine: the program "halts due to an error"
+    // and the debugging phase takes over (§3.2.2).
+    for (const Process &P : Procs)
+      if (P.Status == ProcStatus::Failed) {
+        Result.Error = P.Error;
+        return Freeze(RunResult::Status::Failed);
+      }
+
+    std::vector<uint32_t> Runnable;
+    bool AnyBlocked = false;
+    for (const Process &P : Procs) {
+      if (P.Status == ProcStatus::Runnable)
+        Runnable.push_back(P.Pid);
+      else if (P.Status != ProcStatus::Done)
+        AnyBlocked = true;
+    }
+
+    if (Runnable.empty()) {
+      if (!AnyBlocked) {
+        Result.Outcome = RunResult::Status::Completed;
+        Result.Steps = Steps;
+        return Result;
+      }
+      for (const Process &P : Procs)
+        if (P.Status == ProcStatus::BlockedSem ||
+            P.Status == ProcStatus::BlockedSend ||
+            P.Status == ProcStatus::BlockedRecv)
+          Result.Deadlock.Blocked.push_back(
+              {P.Pid, P.Status, P.WaitObject});
+      return Freeze(RunResult::Status::Deadlock);
+    }
+
+    uint32_t Pid = Runnable[SchedRng.nextBelow(Runnable.size())];
+    for (uint32_t Slice = 0; Slice != Options.Quantum; ++Slice) {
+      if (Steps >= Options.MaxSteps)
+        return Freeze(RunResult::Status::StepLimit);
+      ++Steps;
+      if (!step(Procs[Pid]))
+        break;
+    }
+  }
+}

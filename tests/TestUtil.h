@@ -1,0 +1,99 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of PPD test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_TESTS_TESTUTIL_H
+#define PPD_TESTS_TESTUTIL_H
+
+#include "compiler/Compiler.h"
+#include "lang/Parser.h"
+#include "sema/Sema.h"
+#include "support/Diagnostics.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ppd::test {
+
+/// A parsed and semantically checked program.
+struct Checked {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<SymbolTable> Symbols;
+  DiagnosticEngine Diags;
+};
+
+/// Parses and runs sema on \p Source, failing the current test on any
+/// diagnostic.
+inline Checked check(const std::string &Source) {
+  Checked Out;
+  Out.Prog = Parser::parse(Source, Out.Diags);
+  EXPECT_TRUE(Out.Prog != nullptr) << Out.Diags.str();
+  if (!Out.Prog)
+    return Out;
+  Sema S(*Out.Prog, Out.Diags);
+  Out.Symbols = S.run();
+  EXPECT_TRUE(Out.Symbols != nullptr) << Out.Diags.str();
+  return Out;
+}
+
+/// Finds the unique variable named \p Name, failing the test if absent or
+/// ambiguous... returns InvalidId on failure.
+inline VarId varNamed(const SymbolTable &Symbols, const std::string &Name) {
+  VarId Found = InvalidId;
+  for (const VarInfo &Info : Symbols.Vars) {
+    if (Info.Name != Name)
+      continue;
+    EXPECT_EQ(Found, InvalidId) << "ambiguous variable name " << Name;
+    Found = Info.Id;
+  }
+  EXPECT_NE(Found, InvalidId) << "no variable named " << Name;
+  return Found;
+}
+
+/// Compiles \p Source, failing the test on diagnostics.
+inline std::unique_ptr<CompiledProgram>
+compileOk(const std::string &Source, const CompileOptions &Options = {}) {
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, Options, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+/// One compiled-and-executed program.
+struct Ran {
+  std::unique_ptr<CompiledProgram> Prog;
+  RunResult Result;
+  ExecutionLog Log;
+  std::vector<int64_t> PrintedValues;
+};
+
+/// Compiles and runs \p Source; by default expects successful completion.
+inline Ran runProgram(const std::string &Source, uint64_t Seed = 1,
+                      MachineOptions MOpts = {},
+                      const CompileOptions &COpts = {},
+                      bool ExpectCompleted = true) {
+  Ran Out;
+  Out.Prog = compileOk(Source, COpts);
+  if (!Out.Prog)
+    return Out;
+  MOpts.Seed = Seed;
+  Machine M(*Out.Prog, MOpts);
+  Out.Result = M.run();
+  if (ExpectCompleted) {
+    EXPECT_EQ(int(Out.Result.Outcome), int(RunResult::Status::Completed))
+        << Out.Result.Error.str();
+  }
+  Out.Log = M.takeLog();
+  for (const OutputRecord &O : Out.Log.Output)
+    Out.PrintedValues.push_back(O.Value);
+  return Out;
+}
+
+} // namespace ppd::test
+
+#endif // PPD_TESTS_TESTUTIL_H

@@ -1,0 +1,229 @@
+//===- tests/cfg_test.cpp - CFG and dominator tests -----------------------===//
+//
+// Part of PPD test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "cfg/Cfg.h"
+#include "cfg/Dominators.h"
+
+#include <gtest/gtest.h>
+
+using namespace ppd;
+using namespace ppd::test;
+
+namespace {
+
+/// Returns the Cfg node of the \p Index'th statement (in statement-table
+/// order) of function \p Name whose kind matches \p Kind.
+CfgNodeId nthNodeOfKind(const Checked &C, const Cfg &G, StmtKind Kind,
+                        unsigned Index = 0) {
+  unsigned Seen = 0;
+  for (StmtId Id = 0; Id != C.Prog->numStmts(); ++Id) {
+    const Stmt *S = C.Prog->stmt(Id);
+    if (S->getKind() != Kind || G.nodeOf(Id) == InvalidId)
+      continue;
+    if (Seen++ == Index)
+      return G.nodeOf(Id);
+  }
+  ADD_FAILURE() << "no such node";
+  return InvalidId;
+}
+
+TEST(CfgTest, StraightLine) {
+  auto C = check("func main() { int a = 1; int b = 2; print(a + b); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  // ENTRY, EXIT, 3 statements.
+  EXPECT_EQ(G.size(), 5u);
+  // ENTRY has one successor; chain reaches EXIT.
+  CfgNodeId Cur = Cfg::EntryId;
+  for (int Steps = 0; Steps != 4; ++Steps) {
+    ASSERT_EQ(G.node(Cur).Succs.size(), 1u);
+    Cur = G.node(Cur).Succs[0].Node;
+  }
+  EXPECT_EQ(Cur, Cfg::ExitId);
+}
+
+TEST(CfgTest, IfElseDiamond) {
+  auto C = check(
+      "func main() { int x = input(); if (x > 0) x = 1; else x = 2; "
+      "print(x); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId If = nthNodeOfKind(C, G, StmtKind::If);
+  ASSERT_EQ(G.node(If).Succs.size(), 2u);
+  int Labels = 0;
+  for (const CfgSucc &S : G.node(If).Succs)
+    Labels += S.Label;
+  EXPECT_EQ(Labels, 1) << "one true and one false successor";
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+  EXPECT_EQ(G.node(Print).Preds.size(), 2u) << "join point";
+}
+
+TEST(CfgTest, IfWithoutElseFallsThrough) {
+  auto C = check("func main() { int x = 1; if (x) x = 2; print(x); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId If = nthNodeOfKind(C, G, StmtKind::If);
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+  bool FalseEdgeToPrint = false;
+  for (const CfgSucc &S : G.node(If).Succs)
+    if (S.Label == 0 && S.Node == Print)
+      FalseEdgeToPrint = true;
+  EXPECT_TRUE(FalseEdgeToPrint);
+}
+
+TEST(CfgTest, WhileLoopBackEdge) {
+  auto C = check("func main() { int i = 0; while (i < 3) i = i + 1; }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId While = nthNodeOfKind(C, G, StmtKind::While);
+  CfgNodeId Body = nthNodeOfKind(C, G, StmtKind::Assign, 0);
+  ASSERT_EQ(G.node(Body).Succs.size(), 1u);
+  EXPECT_EQ(G.node(Body).Succs[0].Node, While) << "back edge to condition";
+  EXPECT_EQ(G.node(While).Preds.size(), 2u);
+}
+
+TEST(CfgTest, ForLoopStructure) {
+  auto C = check(
+      "func main() { int i = 0; for (i = 0; i < 3; i = i + 1) print(i); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId For = nthNodeOfKind(C, G, StmtKind::For);
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+  // for-cond true edge goes to the body.
+  bool TrueToBody = false;
+  for (const CfgSucc &S : G.node(For).Succs)
+    if (S.Label == 1 && S.Node == Print)
+      TrueToBody = true;
+  EXPECT_TRUE(TrueToBody);
+  // print -> step -> cond.
+  ASSERT_EQ(G.node(Print).Succs.size(), 1u);
+  CfgNodeId Step = G.node(Print).Succs[0].Node;
+  ASSERT_EQ(G.node(Step).Succs.size(), 1u);
+  EXPECT_EQ(G.node(Step).Succs[0].Node, For);
+}
+
+TEST(CfgTest, ReturnGoesToExitAndTailUnreachable) {
+  auto C = check("func f() { return 1; } func main() { f(); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId Ret = nthNodeOfKind(C, G, StmtKind::Return);
+  ASSERT_EQ(G.node(Ret).Succs.size(), 1u);
+  EXPECT_EQ(G.node(Ret).Succs[0].Node, Cfg::ExitId);
+}
+
+TEST(CfgTest, EarlyReturnLeavesRestUnreachable) {
+  auto C = check("func main() { return; print(1); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+  EXPECT_TRUE(G.node(Print).Preds.empty());
+}
+
+TEST(CfgTest, RpoCoversAllNodesOnce) {
+  auto C = check(R"(
+func main() {
+  int i = 0;
+  while (i < 10) {
+    if (i % 2 == 0) print(i);
+    i = i + 1;
+  }
+  return;
+}
+)");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  const auto &Rpo = G.reversePostOrder();
+  EXPECT_EQ(Rpo.size(), G.size());
+  std::vector<bool> Seen(G.size(), false);
+  for (CfgNodeId Id : Rpo) {
+    EXPECT_FALSE(Seen[Id]);
+    Seen[Id] = true;
+  }
+  EXPECT_EQ(Rpo[0], Cfg::EntryId);
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators
+//===----------------------------------------------------------------------===//
+
+TEST(DomTest, DiamondDominance) {
+  auto C = check(
+      "func main() { int x = input(); if (x) x = 1; else x = 2; print(x); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  DomTree Dom(G, /*Post=*/false);
+  CfgNodeId If = nthNodeOfKind(C, G, StmtKind::If);
+  CfgNodeId Then = nthNodeOfKind(C, G, StmtKind::Assign, 0);
+  CfgNodeId Else = nthNodeOfKind(C, G, StmtKind::Assign, 1);
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+
+  EXPECT_TRUE(Dom.dominates(If, Then));
+  EXPECT_TRUE(Dom.dominates(If, Else));
+  EXPECT_TRUE(Dom.dominates(If, Print));
+  EXPECT_FALSE(Dom.dominates(Then, Print));
+  EXPECT_EQ(Dom.idom(Print), If);
+  EXPECT_TRUE(Dom.dominates(Cfg::EntryId, Cfg::ExitId));
+  EXPECT_EQ(Dom.idom(Cfg::EntryId), InvalidId);
+}
+
+TEST(DomTest, PostDominance) {
+  auto C = check(
+      "func main() { int x = input(); if (x) x = 1; else x = 2; print(x); }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  DomTree PostDom(G, /*Post=*/true);
+  CfgNodeId If = nthNodeOfKind(C, G, StmtKind::If);
+  CfgNodeId Then = nthNodeOfKind(C, G, StmtKind::Assign, 0);
+  CfgNodeId Print = nthNodeOfKind(C, G, StmtKind::Print);
+
+  EXPECT_TRUE(PostDom.dominates(Print, If));
+  EXPECT_TRUE(PostDom.dominates(Print, Then));
+  EXPECT_FALSE(PostDom.dominates(Then, If))
+      << "the then-arm does not postdominate the branch";
+  EXPECT_EQ(PostDom.idom(If), Print);
+  EXPECT_EQ(PostDom.root(), Cfg::ExitId);
+}
+
+TEST(DomTest, LoopConditionPostdominatesBody) {
+  auto C = check("func main() { int i = 0; while (i < 3) i = i + 1; }");
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  DomTree PostDom(G, /*Post=*/true);
+  CfgNodeId While = nthNodeOfKind(C, G, StmtKind::While);
+  CfgNodeId Body = nthNodeOfKind(C, G, StmtKind::Assign, 0);
+  EXPECT_TRUE(PostDom.dominates(While, Body));
+  EXPECT_FALSE(PostDom.dominates(Body, While));
+}
+
+// Property: on arbitrary structured programs, idom(n) strictly dominates n
+// and every node (reachable) is dominated by ENTRY.
+class DomPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomPropertyTest, IdomInvariants) {
+  // Generate a nest of ifs/whiles of the given depth.
+  int Depth = GetParam();
+  std::string Source = "func main() { int x = input();\n";
+  for (int I = 0; I != Depth; ++I)
+    Source += (I % 2 == 0) ? "if (x > " + std::to_string(I) + ") {\n"
+                           : "while (x < " + std::to_string(100 + I) + ") {\n";
+  Source += "x = x + 1;\n";
+  for (int I = 0; I != Depth; ++I) {
+    if (Depth % 2 == 1 && I == 0)
+      Source += "x = x * 2;\n";
+    Source += "}\n";
+  }
+  Source += "print(x); }\n";
+
+  auto C = check(Source);
+  ASSERT_TRUE(C.Symbols);
+  Cfg G(*C.Prog, *C.Prog->Funcs[0]);
+  DomTree Dom(G, /*Post=*/false);
+  for (CfgNodeId Node = 0; Node != G.size(); ++Node) {
+    if (Node == Cfg::EntryId || Dom.level(Node) == InvalidId)
+      continue;
+    CfgNodeId Idom = Dom.idom(Node);
+    ASSERT_NE(Idom, InvalidId);
+    EXPECT_TRUE(Dom.dominates(Idom, Node));
+    EXPECT_NE(Idom, Node);
+    EXPECT_TRUE(Dom.dominates(Cfg::EntryId, Node));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DomPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/lexer_test.cpp - Lexer tests ---------------------------------===//
+//
+// Part of PPD test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ppd;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source, Diags))
+    Out.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::Eof}));
+  EXPECT_EQ(kinds("   \n\t  "), (std::vector<TokenKind>{TokenKind::Eof}));
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kinds("func int shared sem chan if else while for return"),
+            (std::vector<TokenKind>{
+                TokenKind::KwFunc, TokenKind::KwInt, TokenKind::KwShared,
+                TokenKind::KwSem, TokenKind::KwChan, TokenKind::KwIf,
+                TokenKind::KwElse, TokenKind::KwWhile, TokenKind::KwFor,
+                TokenKind::KwReturn, TokenKind::Eof}));
+  EXPECT_EQ(kinds("spawn send recv print input P V"),
+            (std::vector<TokenKind>{
+                TokenKind::KwSpawn, TokenKind::KwSend, TokenKind::KwRecv,
+                TokenKind::KwPrint, TokenKind::KwInput, TokenKind::KwP,
+                TokenKind::KwV, TokenKind::Eof}));
+}
+
+TEST(LexerTest, IdentifiersVsKeywords) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("Px vP func_ _if", Diags);
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "Px");
+  EXPECT_EQ(Tokens[3].Text, "_if");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("0 42 9223372036854775807", Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].Value, 0);
+  EXPECT_EQ(Tokens[1].Value, 42);
+  EXPECT_EQ(Tokens[2].Value, INT64_MAX);
+}
+
+TEST(LexerTest, OverflowingLiteralDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("9223372036854775808", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(kinds("= == != < <= > >= && || ! + - * / %"),
+            (std::vector<TokenKind>{
+                TokenKind::Assign, TokenKind::EqEq, TokenKind::NotEq,
+                TokenKind::Less, TokenKind::LessEq, TokenKind::Greater,
+                TokenKind::GreaterEq, TokenKind::AmpAmp, TokenKind::PipePipe,
+                TokenKind::Bang, TokenKind::Plus, TokenKind::Minus,
+                TokenKind::Star, TokenKind::Slash, TokenKind::Percent,
+                TokenKind::Eof}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  EXPECT_EQ(kinds("a // line comment\n b /* block\n comment */ c"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier,
+                                    TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a /* never ends", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("ab\n  cd", Diags);
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLoc(2, 3));
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosedAndSkipped) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The '@' is skipped; lexing continues.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, SingleAmpersandDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

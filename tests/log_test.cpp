@@ -1,0 +1,198 @@
+//===- tests/log_test.cpp - Log structure and serialization ---------------===//
+//
+// Part of PPD test suite: log-interval structure (Figs 5.1/5.2), the
+// open-interval rule (§5.3), binary save/load round trips, byte-size
+// accounting (experiment E2's currency).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace ppd;
+using namespace ppd::test;
+
+namespace {
+
+TEST(LogTest, NestedIntervalsMirrorCallNesting) {
+  auto R = runProgram(R"(
+func inner(int x) { return x + 1; }
+func outer(int x) { return inner(x) * 2; }
+func main() { print(outer(10)); }
+)");
+  LogIndex Index(R.Log);
+  const auto &Intervals = Index.intervals(0);
+  // main, outer, inner — one interval each.
+  ASSERT_EQ(Intervals.size(), 3u);
+
+  // Intervals are numbered by prelog order: main(0), outer(1), inner(2);
+  // inner nests in outer nests in main (Fig 5.2).
+  EXPECT_EQ(Intervals[0].Depth, 0u);
+  EXPECT_EQ(Intervals[1].Depth, 1u);
+  EXPECT_EQ(Intervals[2].Depth, 2u);
+  EXPECT_EQ(Intervals[1].Parent, Intervals[0].Index);
+  EXPECT_EQ(Intervals[2].Parent, Intervals[1].Index);
+  for (const LogInterval &Interval : Intervals) {
+    EXPECT_NE(Interval.PostlogRecord, InvalidId);
+    EXPECT_LT(Interval.PrelogRecord, Interval.PostlogRecord);
+    EXPECT_TRUE(Interval.ExitsFunction);
+  }
+  EXPECT_EQ(Index.lastOpenInterval(0), nullptr);
+}
+
+TEST(LogTest, LoopsMakeRepeatedIntervalsOfOneEBlock) {
+  auto R = runProgram(R"(
+func f(int x) { return x; }
+func main() {
+  int i = 0;
+  int s = 0;
+  for (i = 0; i < 4; i = i + 1) s = s + f(i);
+  print(s);
+}
+)");
+  LogIndex Index(R.Log);
+  // "a given e-block of a program may have several corresponding log
+  // intervals during execution" (§5.1): f's e-block has 4 intervals.
+  unsigned FIntervals = 0;
+  uint32_t FEBlock = InvalidId;
+  for (const LogInterval &Interval : Index.intervals(0)) {
+    if (Interval.Depth != 1)
+      continue;
+    ++FIntervals;
+    if (FEBlock == InvalidId)
+      FEBlock = Interval.EBlock;
+    EXPECT_EQ(Interval.EBlock, FEBlock);
+  }
+  EXPECT_EQ(FIntervals, 4u);
+}
+
+TEST(LogTest, FailureLeavesOpenIntervalStack) {
+  auto R = runProgram(R"(
+func crash(int x) { int z = 0; return x / z; }
+func middle(int x) { return crash(x); }
+func main() { print(middle(3)); }
+)",
+                      1, {}, {}, /*ExpectCompleted=*/false);
+  ASSERT_EQ(int(R.Result.Outcome), int(RunResult::Status::Failed));
+  LogIndex Index(R.Log);
+  // All three intervals are open; the *last* prelog without a postlog is
+  // crash's (§5.3: where the debugging session starts).
+  const LogInterval *Open = Index.lastOpenInterval(0);
+  ASSERT_NE(Open, nullptr);
+  EXPECT_EQ(Open->Depth, 2u);
+  const EBlockInfo &EBlock = R.Prog->eblock(Open->EBlock);
+  EXPECT_EQ(R.Prog->func(EBlock.Func).Name, "crash");
+}
+
+TEST(LogTest, EnclosingFindsInnermostInterval) {
+  auto R = runProgram(R"(
+func g(int x) { return x + 1; }
+func main() { print(g(1)); }
+)");
+  LogIndex Index(R.Log);
+  const auto &Intervals = Index.intervals(0);
+  ASSERT_EQ(Intervals.size(), 2u);
+  // A record inside g's span belongs to g's interval.
+  uint32_t Mid =
+      (Intervals[1].PrelogRecord + Intervals[1].PostlogRecord) / 2;
+  const LogInterval *Enclosing = Index.enclosing(0, Mid);
+  ASSERT_NE(Enclosing, nullptr);
+  EXPECT_EQ(Enclosing->Index, Intervals[1].Index);
+}
+
+TEST(LogTest, SaveLoadRoundTrip) {
+  MachineOptions MOpts;
+  MOpts.ProcessInputs = {{5}};
+  auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+chan c[2];
+func child(int k) { P(m); sv = sv + k; V(m); send(c, k); }
+func main() {
+  spawn child(2);
+  int got = recv(c);
+  print(got + input());
+}
+)",
+                      1, MOpts);
+
+  std::string Path = ::testing::TempDir() + "/ppd_log_roundtrip.bin";
+  ASSERT_TRUE(R.Log.save(Path));
+
+  ExecutionLog Loaded;
+  ASSERT_TRUE(ExecutionLog::load(Path, Loaded));
+  ASSERT_EQ(Loaded.Procs.size(), R.Log.Procs.size());
+  for (uint32_t Pid = 0; Pid != Loaded.Procs.size(); ++Pid) {
+    const ProcessLog &A = R.Log.Procs[Pid];
+    const ProcessLog &B = Loaded.Procs[Pid];
+    EXPECT_EQ(A.RootFunc, B.RootFunc);
+    EXPECT_EQ(A.Args, B.Args);
+    ASSERT_EQ(A.Records.size(), B.Records.size());
+    for (size_t I = 0; I != A.Records.size(); ++I) {
+      EXPECT_EQ(int(A.Records[I].Kind), int(B.Records[I].Kind));
+      EXPECT_EQ(A.Records[I].Id, B.Records[I].Id);
+      EXPECT_EQ(A.Records[I].Value, B.Records[I].Value);
+      EXPECT_EQ(A.Records[I].Seq, B.Records[I].Seq);
+      EXPECT_EQ(A.Records[I].PartnerSeq, B.Records[I].PartnerSeq);
+      EXPECT_EQ(A.Records[I].Vars.size(), B.Records[I].Vars.size());
+      EXPECT_EQ(A.Records[I].ReadSet, B.Records[I].ReadSet);
+      EXPECT_EQ(A.Records[I].WriteSet, B.Records[I].WriteSet);
+    }
+  }
+  ASSERT_EQ(Loaded.Output.size(), R.Log.Output.size());
+  for (size_t I = 0; I != Loaded.Output.size(); ++I)
+    EXPECT_EQ(Loaded.Output[I].Value, R.Log.Output[I].Value);
+  std::remove(Path.c_str());
+}
+
+TEST(LogTest, LoadRejectsGarbage) {
+  std::string Path = ::testing::TempDir() + "/ppd_log_garbage.bin";
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("this is not a PPD log", F);
+  std::fclose(F);
+  ExecutionLog Loaded;
+  EXPECT_FALSE(ExecutionLog::load(Path, Loaded));
+  std::remove(Path.c_str());
+}
+
+TEST(LogTest, ByteSizeGrowsWithRecords) {
+  auto Small = runProgram("func main() { print(1); }");
+  auto Large = runProgram(R"(
+shared int sv;
+func f(int x) { sv = sv + x; return sv; }
+func main() {
+  int i = 0;
+  for (i = 0; i < 50; i = i + 1) sv = sv + f(i);
+  print(sv);
+}
+)");
+  EXPECT_GT(Large.Log.byteSize(), Small.Log.byteSize() * 5);
+}
+
+TEST(LogTest, PerProcessLogsAreSeparate) {
+  // "There is one log file for each process" (§5.6).
+  auto R = runProgram(R"(
+chan done;
+func w(int id) { send(done, id); }
+func main() {
+  spawn w(1);
+  spawn w(2);
+  int a = recv(done);
+  int b = recv(done);
+  print(a + b);
+}
+)");
+  ASSERT_EQ(R.Log.Procs.size(), 3u);
+  for (uint32_t Pid = 0; Pid != 3; ++Pid) {
+    EXPECT_EQ(R.Log.Procs[Pid].Pid, Pid);
+    EXPECT_FALSE(R.Log.Procs[Pid].Records.empty());
+  }
+  EXPECT_EQ(R.Log.Procs[1].RootFunc, R.Prog->Ast->findFunc("w")->Index);
+  EXPECT_EQ(R.Log.Procs[1].Args.size(), 1u);
+}
+
+} // namespace

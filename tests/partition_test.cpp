@@ -1,0 +1,213 @@
+//===- tests/partition_test.cpp - E-block partition edge cases ------------===//
+//
+// Part of PPD test suite: the §5.4 partitioner interacting with early
+// returns, nested loops, unlogged callees containing synchronization, and
+// every combination's replay fidelity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Controller.h"
+#include "core/Replay.h"
+
+#include <gtest/gtest.h>
+
+using namespace ppd;
+using namespace ppd::test;
+
+namespace {
+
+void expectFaithful(const Ran &R) {
+  LogIndex Index(R.Log);
+  ReplayEngine Engine(*R.Prog);
+  for (uint32_t Pid = 0; Pid != R.Log.Procs.size(); ++Pid)
+    for (const LogInterval &Interval : Index.intervals(Pid)) {
+      if (Interval.PostlogRecord == InvalidId)
+        continue;
+      ReplayResult Res = Engine.replay(R.Log, Pid, Interval);
+      ASSERT_TRUE(Res.Ok) << "pid " << Pid << " i" << Interval.Index << ": "
+                          << Res.Error;
+      EXPECT_TRUE(Res.PostlogMismatches.empty())
+          << "pid " << Pid << " i" << Interval.Index;
+    }
+}
+
+TEST(PartitionTest, EarlyReturnInFirstSegmentSkipsLaterOnes) {
+  CompileOptions COpts;
+  COpts.EBlocks.LoopBlocks = true;
+  auto R = runProgram(R"(
+func f(int early) {
+  if (early) return 111;
+  int i = 0;
+  int acc = 0;
+  while (i < 5) { acc = acc + i; i = i + 1; }
+  return acc;
+}
+func main() {
+  print(f(1));
+  print(f(0));
+}
+)",
+                      1, {}, COpts);
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{111, 10}));
+
+  LogIndex Index(R.Log);
+  // f(1) produced only the first segment's interval (exits-function
+  // postlog inside it); f(0) produced all three.
+  unsigned ExitingSegments = 0, LoopIntervals = 0;
+  for (const LogInterval &Interval : Index.intervals(0)) {
+    if (R.Prog->eblock(Interval.EBlock).Kind == EBlockKind::Loop)
+      ++LoopIntervals;
+    if (Interval.ExitsFunction && Interval.Depth == 1)
+      ++ExitingSegments;
+  }
+  EXPECT_EQ(LoopIntervals, 1u) << "only f(0) reached the loop";
+  EXPECT_EQ(ExitingSegments, 2u) << "each call exits through exactly one "
+                                    "exits-function postlog";
+  expectFaithful(R);
+}
+
+TEST(PartitionTest, NestedLoopsOnlyTopLevelBecomesEBlock) {
+  CompileOptions COpts;
+  COpts.EBlocks.LoopBlocks = true;
+  auto R = runProgram(R"(
+func main() {
+  int i = 0;
+  int total = 0;
+  while (i < 4) {
+    int j = 0;
+    while (j < 3) { total = total + 1; j = j + 1; }
+    i = i + 1;
+  }
+  print(total);
+}
+)",
+                      1, {}, COpts);
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{12}));
+  unsigned LoopBlocks = 0;
+  for (const EBlockInfo &E : R.Prog->EBlocks)
+    LoopBlocks += E.Kind == EBlockKind::Loop;
+  EXPECT_EQ(LoopBlocks, 1u)
+      << "the inner loop stays inside the outer loop's region";
+  expectFaithful(R);
+}
+
+TEST(PartitionTest, UnloggedLeafWithSyncOpsReplaysInline) {
+  // The subtle §5.4/§5.5 interaction: an inherited leaf that synchronizes.
+  // Its UnitLog instrumentation lives in the (unlogged) leaf and must be
+  // produced by the object code and consumed by the caller's inline
+  // replay.
+  CompileOptions COpts;
+  COpts.EBlocks.LeafInheritance = true;
+  COpts.EBlocks.LeafMaxStmts = 10;
+  auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+sem done;
+func locked_add(int d) {
+  P(m);
+  sv = sv + d;
+  V(m);
+  return sv;
+}
+func other() {
+  int k = locked_add(100);
+  V(done);
+}
+func main() {
+  spawn other();
+  int a = locked_add(1);
+  P(done);
+  print(sv);
+}
+)",
+                      5, {}, COpts);
+  ASSERT_EQ(R.PrintedValues, (std::vector<int64_t>{101}));
+  // locked_add is unlogged...
+  EXPECT_FALSE(R.Prog->Plan.isLogged(*R.Prog->Ast->findFunc("locked_add")));
+  // ...yet its unit logs exist in the object code and replay stays
+  // faithful across both processes.
+  expectFaithful(R);
+
+  // The caller's replay contains the leaf's statements inline.
+  LogIndex Index(R.Log);
+  ReplayEngine Engine(*R.Prog);
+  ReplayResult Res = Engine.replay(R.Log, 0, Index.intervals(0)[0]);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  bool SawLeafBody = false;
+  for (const TraceEvent &E : Res.Events.Events)
+    if (E.Kind == TraceEventKind::Stmt)
+      for (const TraceAccess &W : E.Writes)
+        SawLeafBody |= R.Prog->Symbols->var(W.Var).Name == "sv";
+  EXPECT_TRUE(SawLeafBody);
+}
+
+TEST(PartitionTest, AllKnobsTogetherStayFaithfulAcrossSeeds) {
+  CompileOptions COpts;
+  COpts.EBlocks.LeafInheritance = true;
+  COpts.EBlocks.LoopBlocks = true;
+  COpts.EBlocks.SplitLargeFunctions = true;
+  COpts.EBlocks.MaxSegmentStmts = 2;
+  for (uint64_t Seed : {1, 9, 27}) {
+    auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+sem done;
+func tiny(int x) { return x * 2; }
+func worker(int n) {
+  int i = 0;
+  for (i = 0; i < n; i = i + 1) {
+    P(m);
+    sv = sv + tiny(i);
+    V(m);
+  }
+  V(done);
+}
+func main() {
+  spawn worker(6);
+  spawn worker(6);
+  P(done);
+  P(done);
+  print(sv);
+}
+)",
+                        Seed, {}, COpts);
+    ASSERT_EQ(R.PrintedValues, (std::vector<int64_t>{60}))
+        << "seed " << Seed;
+    expectFaithful(R);
+  }
+}
+
+TEST(PartitionTest, FlowbackWorksThroughSegmentBoundaries) {
+  // A value produced before a loop e-block and consumed after it: the
+  // consumer's prelog carries it; the dependence surfaces as an edge from
+  // the later segment's ENTRY (expandable to the earlier interval).
+  CompileOptions COpts;
+  COpts.EBlocks.LoopBlocks = true;
+  auto R = runProgram(R"(
+func main() {
+  int seed = 37;
+  int i = 0;
+  int noise = 0;
+  while (i < 5) { noise = noise + i; i = i + 1; }
+  print(seed + noise);
+}
+)",
+                      1, {}, COpts);
+  ASSERT_EQ(R.PrintedValues, (std::vector<int64_t>{47}));
+  PpdController Controller(*R.Prog, std::move(R.Log));
+  DynNodeId Print = Controller.startAtLastEvent(0);
+  ASSERT_NE(Print, InvalidId);
+  // The final segment's fragment is tiny (incremental tracing!): the
+  // print's reads come from its ENTRY node.
+  EXPECT_LE(Controller.stats().EventsTraced, 3u);
+  bool EntrySource = false;
+  for (const DynEdge &E : Controller.dependencesOf(Print))
+    if (E.Kind == DynEdgeKind::Data &&
+        Controller.graph().node(E.From).Kind == DynNodeKind::Entry)
+      EntrySource = true;
+  EXPECT_TRUE(EntrySource);
+}
+
+} // namespace

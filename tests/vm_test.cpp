@@ -1,0 +1,368 @@
+//===- tests/vm_test.cpp - SMMP simulator tests ---------------------------===//
+//
+// Part of PPD test suite: bytecode execution semantics, scheduling
+// determinism, semaphores, channels, spawn, runtime failures, deadlock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ppd;
+using namespace ppd::test;
+
+namespace {
+
+TEST(VmTest, ArithmeticAndPrint) {
+  auto R = runProgram(
+      "func main() { print(1 + 2 * 3); print(10 / 3); print(10 % 3); "
+      "print(-4); print(abs(-5)); print(min(2, 1)); print(max(2, 1)); "
+      "print(sqrt(16)); print(sqrt(17)); }");
+  EXPECT_EQ(R.PrintedValues,
+            (std::vector<int64_t>{7, 3, 1, -4, 5, 1, 2, 4, 4}));
+}
+
+TEST(VmTest, ComparisonsAndLogic) {
+  auto R = runProgram(
+      "func main() { print(1 < 2); print(2 <= 1); print(3 > 2); "
+      "print(2 >= 3); print(2 == 2); print(2 != 2); "
+      "print(1 && 0); print(1 || 0); print(!5); print(!0); }");
+  EXPECT_EQ(R.PrintedValues,
+            (std::vector<int64_t>{1, 0, 1, 0, 1, 0, 0, 1, 0, 1}));
+}
+
+TEST(VmTest, ShortCircuitSkipsRhs) {
+  // The RHS would divide by zero; short-circuiting must avoid it.
+  auto R = runProgram("func main() { int z = 0; print(0 && 1 / z); "
+                      "print(1 || 1 / z); }");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(VmTest, ControlFlow) {
+  auto R = runProgram(R"(
+func main() {
+  int i = 0;
+  int sum = 0;
+  while (i < 5) { sum = sum + i; i = i + 1; }
+  print(sum);
+  for (i = 10; i > 7; i = i - 1) print(i);
+  if (sum == 10) print(100); else print(200);
+}
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{10, 10, 9, 8, 100}));
+}
+
+TEST(VmTest, FunctionsAndRecursion) {
+  auto R = runProgram(R"(
+func fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+func fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+func main() { print(fact(6)); print(fib(10)); }
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{720, 55}));
+}
+
+TEST(VmTest, ArraysAndGlobals) {
+  auto R = runProgram(R"(
+shared int total;
+int bias = 10;
+func main() {
+  int a[5];
+  int i = 0;
+  for (i = 0; i < 5; i = i + 1) a[i] = i * i;
+  for (i = 0; i < 5; i = i + 1) total = total + a[i];
+  print(total + bias);
+}
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{40}));
+}
+
+TEST(VmTest, GlobalInitializers) {
+  auto R = runProgram("shared int s = 7; int p = -3;\n"
+                      "func main() { print(s); print(p); }");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{7, -3}));
+}
+
+TEST(VmTest, InputStream) {
+  MachineOptions MOpts;
+  MOpts.ProcessInputs = {{5, 6}};
+  auto R = runProgram("func main() { print(input() + input()); }", 1, MOpts);
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{11}));
+}
+
+TEST(VmTest, PrivateGlobalsArePerProcess) {
+  auto R = runProgram(R"(
+int mine = 1;
+chan done;
+func child() {
+  mine = 99;       // only the child's copy changes
+  send(done, mine);
+}
+func main() {
+  spawn child();
+  int c = recv(done);
+  print(c);
+  print(mine);
+}
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{99, 1}));
+}
+
+TEST(VmTest, SemaphoreMutualExclusion) {
+  // With the mutex, the final count is exact under any schedule.
+  const char *Source = R"(
+shared int count;
+shared int done;
+sem m = 1;
+sem finished;
+func worker(int reps) {
+  int i = 0;
+  for (i = 0; i < reps; i = i + 1) {
+    P(m);
+    count = count + 1;
+    V(m);
+  }
+  V(finished);
+}
+func main() {
+  spawn worker(50);
+  spawn worker(50);
+  P(finished);
+  P(finished);
+  print(count);
+}
+)";
+  for (uint64_t Seed : {1, 7, 42, 1234}) {
+    auto R = runProgram(Source, Seed);
+    EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{100}))
+        << "seed " << Seed;
+  }
+}
+
+TEST(VmTest, ChannelFifoOrder) {
+  auto R = runProgram(R"(
+chan c[10];
+func producer() {
+  int i = 0;
+  for (i = 1; i <= 4; i = i + 1) send(c, i * 11);
+}
+func main() {
+  spawn producer();
+  print(recv(c)); print(recv(c)); print(recv(c)); print(recv(c));
+}
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{11, 22, 33, 44}));
+}
+
+TEST(VmTest, RendezvousBlockingSend) {
+  // Capacity-0 channel: the sender cannot run ahead of the receiver.
+  auto R = runProgram(R"(
+chan c;
+chan ack;
+func child() {
+  send(c, 1);      // blocks until main receives
+  int a = recv(ack);
+  print(a + 100);
+}
+func main() {
+  spawn child();
+  int v = recv(c);
+  print(v);
+  send(ack, 7);
+}
+)");
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{1, 107}));
+}
+
+TEST(VmTest, SchedulingIsDeterministicPerSeed) {
+  const char *Racy = R"(
+shared int sv;
+chan done;
+func w(int x) { sv = sv + x; send(done, 1); }
+func main() {
+  spawn w(1);
+  spawn w(2);
+  int i = recv(done);
+  i = recv(done);
+  print(sv);
+}
+)";
+  for (uint64_t Seed : {3, 99}) {
+    auto A = runProgram(Racy, Seed);
+    auto B = runProgram(Racy, Seed);
+    EXPECT_EQ(A.PrintedValues, B.PrintedValues) << "seed " << Seed;
+    EXPECT_EQ(A.Result.Steps, B.Result.Steps) << "seed " << Seed;
+  }
+}
+
+TEST(VmTest, RuntimeFailures) {
+  struct Case {
+    const char *Source;
+    RuntimeErrorKind Kind;
+  };
+  const Case Cases[] = {
+      {"func main() { int z = 0; print(1 / z); }",
+       RuntimeErrorKind::DivideByZero},
+      {"func main() { int z = 0; print(1 % z); }",
+       RuntimeErrorKind::ModuloByZero},
+      {"func main() { int a[3]; int i = 5; a[i] = 1; }",
+       RuntimeErrorKind::IndexOutOfBounds},
+      {"func main() { int a[3]; int i = -1; print(a[i]); }",
+       RuntimeErrorKind::IndexOutOfBounds},
+      {"func main() { int x = 0 - 4; print(sqrt(x)); }",
+       RuntimeErrorKind::NegativeSqrt},
+      {"func main() { print(input()); }",
+       RuntimeErrorKind::InputExhausted},
+      {"func f(int n) { return f(n + 1); } func main() { print(f(0)); }",
+       RuntimeErrorKind::StackOverflow},
+  };
+  for (const Case &C : Cases) {
+    auto R = runProgram(C.Source, 1, {}, {}, /*ExpectCompleted=*/false);
+    EXPECT_EQ(int(R.Result.Outcome), int(RunResult::Status::Failed))
+        << C.Source;
+    EXPECT_EQ(int(R.Result.Error.Kind), int(C.Kind)) << C.Source;
+    EXPECT_NE(R.Result.Error.Stmt, InvalidId)
+        << "failures must name the statement (the flowback root)";
+  }
+}
+
+TEST(VmTest, DeadlockDetected) {
+  auto R = runProgram(R"(
+sem a = 1;
+sem b = 1;
+chan go;
+func left() { P(a); int x = recv(go); P(b); V(b); V(a); }
+func main() {
+  spawn left();
+  P(b);
+  send(go, 1);
+  P(a);   // deadlock: left holds a, main holds b
+  V(a);
+  V(b);
+}
+)",
+                      1, {}, {}, /*ExpectCompleted=*/false);
+  EXPECT_EQ(int(R.Result.Outcome), int(RunResult::Status::Deadlock));
+  EXPECT_EQ(R.Result.Deadlock.Blocked.size(), 2u);
+}
+
+TEST(VmTest, StepLimitStopsRunawayLoops) {
+  MachineOptions MOpts;
+  MOpts.MaxSteps = 10'000;
+  auto R = runProgram("func main() { while (1) { } }", 1, MOpts, {},
+                      /*ExpectCompleted=*/false);
+  EXPECT_EQ(int(R.Result.Outcome), int(RunResult::Status::StepLimit));
+}
+
+TEST(VmTest, PlainModeProducesNoLogRecords) {
+  MachineOptions MOpts;
+  MOpts.Mode = RunMode::Plain;
+  auto R = runProgram("shared int s;\nfunc main() { s = 1; print(s); }", 1,
+                      MOpts);
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{1}));
+  EXPECT_TRUE(R.Log.Procs[0].Records.empty());
+}
+
+TEST(VmTest, LoggingModeEmitsPreAndPostlogs) {
+  auto R = runProgram("shared int s;\nfunc main() { s = 41; s = s + 1; "
+                      "print(s); }");
+  unsigned Prelogs = 0, Postlogs = 0;
+  for (const LogRecord &Rec : R.Log.Procs[0].Records) {
+    Prelogs += Rec.Kind == LogRecordKind::Prelog;
+    Postlogs += Rec.Kind == LogRecordKind::Postlog;
+  }
+  EXPECT_EQ(Prelogs, 1u) << "main is one e-block";
+  EXPECT_EQ(Postlogs, 1u);
+}
+
+TEST(VmTest, SyncEventsCarryEdgeSets) {
+  auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+func main() {
+  P(m);
+  sv = sv + 1;
+  V(m);
+}
+)");
+  // The V's record carries the read+write of sv on the edge P→V.
+  const LogRecord *VRec = nullptr;
+  for (const LogRecord &Rec : R.Log.Procs[0].Records)
+    if (Rec.Kind == LogRecordKind::SyncEvent &&
+        Rec.Sync == SyncKind::SemSignal)
+      VRec = &Rec;
+  ASSERT_NE(VRec, nullptr);
+  EXPECT_EQ(VRec->ReadSet, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(VRec->WriteSet, (std::vector<uint32_t>{0}));
+}
+
+TEST(VmTest, PartnerSequencesMatchSemantics) {
+  auto R = runProgram(R"(
+sem s;
+chan done;
+func child() { P(s); send(done, 1); }
+func main() {
+  spawn child();
+  V(s);
+  int x = recv(done);
+  print(x);
+}
+)");
+  // Child's P must have a partner (main's V); child's ProcStart partners
+  // main's spawn; main's recv partners child's send.
+  auto FindSync = [&](uint32_t Pid, SyncKind Kind) -> const LogRecord * {
+    for (const LogRecord &Rec : R.Log.Procs[Pid].Records)
+      if (Rec.Kind == LogRecordKind::SyncEvent && Rec.Sync == Kind)
+        return &Rec;
+    return nullptr;
+  };
+  const LogRecord *ChildP = FindSync(1, SyncKind::SemAcquire);
+  const LogRecord *MainV = FindSync(0, SyncKind::SemSignal);
+  ASSERT_TRUE(ChildP && MainV);
+  EXPECT_EQ(ChildP->PartnerSeq, MainV->Seq);
+
+  const LogRecord *ChildStart = FindSync(1, SyncKind::ProcStart);
+  const LogRecord *MainSpawn = FindSync(0, SyncKind::SpawnChild);
+  ASSERT_TRUE(ChildStart && MainSpawn);
+  EXPECT_EQ(ChildStart->PartnerSeq, MainSpawn->Seq);
+
+  const LogRecord *MainRecv = FindSync(0, SyncKind::ChanRecv);
+  const LogRecord *ChildSend = FindSync(1, SyncKind::ChanSend);
+  ASSERT_TRUE(MainRecv && ChildSend);
+  EXPECT_EQ(MainRecv->PartnerSeq, ChildSend->Seq);
+  EXPECT_EQ(MainRecv->Value, 1);
+}
+
+// Parameterized schedule sweep: a well-synchronized pipeline computes the
+// same answer under many interleavings.
+class ScheduleSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleSweepTest, PipelineDeterministicAcrossSeeds) {
+  auto R = runProgram(R"(
+chan stage1[4];
+chan stage2[4];
+func square() {
+  int i = 0;
+  for (i = 0; i < 6; i = i + 1) {
+    int v = recv(stage1);
+    send(stage2, v * v);
+  }
+}
+func main() {
+  spawn square();
+  int i = 0;
+  for (i = 1; i <= 6; i = i + 1) send(stage1, i);
+  int sum = 0;
+  for (i = 0; i < 6; i = i + 1) sum = sum + recv(stage2);
+  print(sum);
+}
+)",
+                      GetParam());
+  EXPECT_EQ(R.PrintedValues, (std::vector<int64_t>{91}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+} // namespace
