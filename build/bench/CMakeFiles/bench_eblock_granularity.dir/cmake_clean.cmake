@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eblock_granularity.dir/bench_eblock_granularity.cpp.o"
+  "CMakeFiles/bench_eblock_granularity.dir/bench_eblock_granularity.cpp.o.d"
+  "bench_eblock_granularity"
+  "bench_eblock_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eblock_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowback.dir/bench_flowback.cpp.o"
+  "CMakeFiles/bench_flowback.dir/bench_flowback.cpp.o.d"
+  "bench_flowback"
+  "bench_flowback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging_overhead.dir/bench_logging_overhead.cpp.o"
+  "CMakeFiles/bench_logging_overhead.dir/bench_logging_overhead.cpp.o.d"
+  "bench_logging_overhead"
+  "bench_logging_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

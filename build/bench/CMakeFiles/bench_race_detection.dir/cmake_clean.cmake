@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_race_detection.dir/bench_race_detection.cpp.o"
+  "CMakeFiles/bench_race_detection.dir/bench_race_detection.cpp.o.d"
+  "bench_race_detection"
+  "bench_race_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_race_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracing_vs_logging.dir/bench_tracing_vs_logging.cpp.o"
+  "CMakeFiles/bench_tracing_vs_logging.dir/bench_tracing_vs_logging.cpp.o.d"
+  "bench_tracing_vs_logging"
+  "bench_tracing_vs_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracing_vs_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

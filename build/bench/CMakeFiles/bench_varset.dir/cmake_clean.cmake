@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_varset.dir/bench_varset.cpp.o"
+  "CMakeFiles/bench_varset.dir/bench_varset.cpp.o.d"
+  "bench_varset"
+  "bench_varset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_varset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

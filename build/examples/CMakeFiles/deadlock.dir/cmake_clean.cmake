@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock.dir/deadlock.cpp.o"
+  "CMakeFiles/deadlock.dir/deadlock.cpp.o.d"
+  "deadlock"
+  "deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_graph.dir/message_graph.cpp.o"
+  "CMakeFiles/message_graph.dir/message_graph.cpp.o.d"
+  "message_graph"
+  "message_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

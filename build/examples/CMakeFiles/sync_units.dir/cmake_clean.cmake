@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_units.dir/sync_units.cpp.o"
+  "CMakeFiles/sync_units.dir/sync_units.cpp.o.d"
+  "sync_units"
+  "sync_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

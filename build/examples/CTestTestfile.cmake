@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_compile_fig41 "/root/repo/build/src/tools/ppd" "compile" "/root/repo/examples/programs/fig41.ppl" "--dump-db")
+set_tests_properties(cli_compile_fig41 PROPERTIES  PASS_REGULAR_EXPRESSION "2 function.*2 e-block" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_run_fig41 "/root/repo/build/src/tools/ppd" "run" "/root/repo/examples/programs/fig41.ppl")
+set_tests_properties(cli_run_fig41 PROPERTIES  PASS_REGULAR_EXPRESSION "\\[p0\\] 6" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_run_bounded_buffer "/root/repo/build/src/tools/ppd" "run" "/root/repo/examples/programs/bounded_buffer.ppl" "--seed" "5")
+set_tests_properties(cli_run_bounded_buffer PROPERTIES  PASS_REGULAR_EXPRESSION "-- completed" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_races_bank "/root/repo/build/src/tools/ppd" "races" "/root/repo/examples/programs/bank_race.ppl")
+set_tests_properties(cli_races_bank PROPERTIES  PASS_REGULAR_EXPRESSION "race on shared variable 'balance'" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_races_clean "/root/repo/build/src/tools/ppd" "races" "/root/repo/examples/programs/bounded_buffer.ppl")
+set_tests_properties(cli_races_clean PROPERTIES  PASS_REGULAR_EXPRESSION "race-free" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_deadlock "/root/repo/build/src/tools/ppd" "run" "/root/repo/examples/programs/deadlock.ppl")
+set_tests_properties(cli_deadlock PROPERTIES  PASS_REGULAR_EXPRESSION "DEADLOCK.*wait-for cycle" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;41;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_crash_report "/root/repo/build/src/tools/ppd" "run" "/root/repo/examples/programs/crash.ppl")
+set_tests_properties(cli_crash_report PROPERTIES  PASS_REGULAR_EXPRESSION "FAILED: process 0: divide by zero" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;45;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_breakpoint "/root/repo/build/src/tools/ppd" "run" "/root/repo/examples/programs/fig41.ppl" "--break" "15")
+set_tests_properties(cli_breakpoint PROPERTIES  PASS_REGULAR_EXPRESSION "BREAKPOINT: process 0.*line 15" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;49;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_debug_piped "bash" "-c" "printf 'where 0\\nback\\nstats\\nquit\\n' | /root/repo/build/src/tools/ppd debug /root/repo/examples/programs/crash.ppl")
+set_tests_properties(cli_debug_piped PROPERTIES  PASS_REGULAR_EXPRESSION "int z = d - 4" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;54;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_debug_expand_and_races "bash" "-c" "printf 'where 0\\nraces\\nlist\\nquit\\n' | /root/repo/build/src/tools/ppd debug /root/repo/examples/programs/bank_race.ppl")
+set_tests_properties(cli_debug_expand_and_races PROPERTIES  PASS_REGULAR_EXPRESSION "race on shared variable 'balance'.*\\(x" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;60;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_compile_dump_ir "/root/repo/build/src/tools/ppd" "compile" "/root/repo/examples/programs/fig41.ppl" "--dump-ir")
+set_tests_properties(cli_compile_dump_ir PROPERTIES  PASS_REGULAR_EXPRESSION "== main \\[object\\] ==.*Prelog" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;66;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_compile_dump_simplified "/root/repo/build/src/tools/ppd" "compile" "/root/repo/examples/programs/bounded_buffer.ppl" "--dump-simplified")
+set_tests_properties(cli_compile_dump_simplified PROPERTIES  PASS_REGULAR_EXPRESSION "digraph \"simplified_static_produce\"" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;71;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_leaf_inheritance_flag "/root/repo/build/src/tools/ppd" "compile" "/root/repo/examples/programs/fig41.ppl" "--leaf-inheritance")
+set_tests_properties(cli_leaf_inheritance_flag PROPERTIES  PASS_REGULAR_EXPRESSION "1 e-block" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;76;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/src/tools/ppd" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;81;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("sema")
+subdirs("cfg")
+subdirs("dataflow")
+subdirs("pdg")
+subdirs("bytecode")
+subdirs("compiler")
+subdirs("vm")
+subdirs("log")
+subdirs("trace")
+subdirs("pardyn")
+subdirs("core")
+subdirs("tools")

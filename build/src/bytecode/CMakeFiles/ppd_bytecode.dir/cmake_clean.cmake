@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_bytecode.dir/Chunk.cpp.o"
+  "CMakeFiles/ppd_bytecode.dir/Chunk.cpp.o.d"
+  "libppd_bytecode.a"
+  "libppd_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppd_bytecode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/ppd_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/ppd_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/ppd_cfg.dir/Dominators.cpp.o.d"
+  "libppd_cfg.a"
+  "libppd_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_compiler.dir/CodeGen.cpp.o"
+  "CMakeFiles/ppd_compiler.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/ppd_compiler.dir/Compiler.cpp.o"
+  "CMakeFiles/ppd_compiler.dir/Compiler.cpp.o.d"
+  "CMakeFiles/ppd_compiler.dir/EBlockPartition.cpp.o"
+  "CMakeFiles/ppd_compiler.dir/EBlockPartition.cpp.o.d"
+  "libppd_compiler.a"
+  "libppd_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

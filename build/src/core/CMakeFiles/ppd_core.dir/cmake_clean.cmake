@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_core.dir/Controller.cpp.o"
+  "CMakeFiles/ppd_core.dir/Controller.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/DeadlockAnalyzer.cpp.o"
+  "CMakeFiles/ppd_core.dir/DeadlockAnalyzer.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/DebugSession.cpp.o"
+  "CMakeFiles/ppd_core.dir/DebugSession.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/DynamicGraph.cpp.o"
+  "CMakeFiles/ppd_core.dir/DynamicGraph.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/GraphBuilder.cpp.o"
+  "CMakeFiles/ppd_core.dir/GraphBuilder.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/Replay.cpp.o"
+  "CMakeFiles/ppd_core.dir/Replay.cpp.o.d"
+  "libppd_core.a"
+  "libppd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_lang.dir/Ast.cpp.o"
+  "CMakeFiles/ppd_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/ppd_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/ppd_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/ppd_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/ppd_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ppd_lang.dir/Parser.cpp.o"
+  "CMakeFiles/ppd_lang.dir/Parser.cpp.o.d"
+  "libppd_lang.a"
+  "libppd_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

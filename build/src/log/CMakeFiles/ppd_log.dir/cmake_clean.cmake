@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_log.dir/ExecutionLog.cpp.o"
+  "CMakeFiles/ppd_log.dir/ExecutionLog.cpp.o.d"
+  "libppd_log.a"
+  "libppd_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

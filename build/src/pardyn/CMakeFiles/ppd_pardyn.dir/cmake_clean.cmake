@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_pardyn.dir/ParallelDynamicGraph.cpp.o"
+  "CMakeFiles/ppd_pardyn.dir/ParallelDynamicGraph.cpp.o.d"
+  "CMakeFiles/ppd_pardyn.dir/RaceDetector.cpp.o"
+  "CMakeFiles/ppd_pardyn.dir/RaceDetector.cpp.o.d"
+  "libppd_pardyn.a"
+  "libppd_pardyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_pardyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdg/ControlDependence.cpp" "src/pdg/CMakeFiles/ppd_pdg.dir/ControlDependence.cpp.o" "gcc" "src/pdg/CMakeFiles/ppd_pdg.dir/ControlDependence.cpp.o.d"
+  "/root/repo/src/pdg/SimplifiedStaticGraph.cpp" "src/pdg/CMakeFiles/ppd_pdg.dir/SimplifiedStaticGraph.cpp.o" "gcc" "src/pdg/CMakeFiles/ppd_pdg.dir/SimplifiedStaticGraph.cpp.o.d"
+  "/root/repo/src/pdg/StaticPdg.cpp" "src/pdg/CMakeFiles/ppd_pdg.dir/StaticPdg.cpp.o" "gcc" "src/pdg/CMakeFiles/ppd_pdg.dir/StaticPdg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ppd_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/ppd_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ppd_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_pdg.dir/ControlDependence.cpp.o"
+  "CMakeFiles/ppd_pdg.dir/ControlDependence.cpp.o.d"
+  "CMakeFiles/ppd_pdg.dir/SimplifiedStaticGraph.cpp.o"
+  "CMakeFiles/ppd_pdg.dir/SimplifiedStaticGraph.cpp.o.d"
+  "CMakeFiles/ppd_pdg.dir/StaticPdg.cpp.o"
+  "CMakeFiles/ppd_pdg.dir/StaticPdg.cpp.o.d"
+  "libppd_pdg.a"
+  "libppd_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppd_pdg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sema/Accesses.cpp" "src/sema/CMakeFiles/ppd_sema.dir/Accesses.cpp.o" "gcc" "src/sema/CMakeFiles/ppd_sema.dir/Accesses.cpp.o.d"
+  "/root/repo/src/sema/CallGraph.cpp" "src/sema/CMakeFiles/ppd_sema.dir/CallGraph.cpp.o" "gcc" "src/sema/CMakeFiles/ppd_sema.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/sema/ProgramDatabase.cpp" "src/sema/CMakeFiles/ppd_sema.dir/ProgramDatabase.cpp.o" "gcc" "src/sema/CMakeFiles/ppd_sema.dir/ProgramDatabase.cpp.o.d"
+  "/root/repo/src/sema/Sema.cpp" "src/sema/CMakeFiles/ppd_sema.dir/Sema.cpp.o" "gcc" "src/sema/CMakeFiles/ppd_sema.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ppd_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

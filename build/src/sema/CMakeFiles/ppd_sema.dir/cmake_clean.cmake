@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_sema.dir/Accesses.cpp.o"
+  "CMakeFiles/ppd_sema.dir/Accesses.cpp.o.d"
+  "CMakeFiles/ppd_sema.dir/CallGraph.cpp.o"
+  "CMakeFiles/ppd_sema.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ppd_sema.dir/ProgramDatabase.cpp.o"
+  "CMakeFiles/ppd_sema.dir/ProgramDatabase.cpp.o.d"
+  "CMakeFiles/ppd_sema.dir/Sema.cpp.o"
+  "CMakeFiles/ppd_sema.dir/Sema.cpp.o.d"
+  "libppd_sema.a"
+  "libppd_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/ppd_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/ppd_support.dir/DotWriter.cpp.o"
+  "CMakeFiles/ppd_support.dir/DotWriter.cpp.o.d"
+  "CMakeFiles/ppd_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/ppd_support.dir/SourceLoc.cpp.o.d"
+  "libppd_support.a"
+  "libppd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

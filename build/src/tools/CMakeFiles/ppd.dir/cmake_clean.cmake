@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd.dir/ppd.cpp.o"
+  "CMakeFiles/ppd.dir/ppd.cpp.o.d"
+  "ppd"
+  "ppd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

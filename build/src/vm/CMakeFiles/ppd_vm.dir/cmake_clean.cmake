@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_vm.dir/Machine.cpp.o"
+  "CMakeFiles/ppd_vm.dir/Machine.cpp.o.d"
+  "libppd_vm.a"
+  "libppd_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakpoint_test.dir/breakpoint_test.cpp.o"
+  "CMakeFiles/breakpoint_test.dir/breakpoint_test.cpp.o.d"
+  "breakpoint_test"
+  "breakpoint_test.pdb"
+  "breakpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataflow_test.cpp" "tests/CMakeFiles/dataflow_test.dir/dataflow_test.cpp.o" "gcc" "tests/CMakeFiles/dataflow_test.dir/dataflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ppd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pardyn/CMakeFiles/ppd_pardyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ppd_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/ppd_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/ppd_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/ppd_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ppd_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/ppd_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ppd_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

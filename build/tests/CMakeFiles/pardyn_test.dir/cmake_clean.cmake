@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardyn_test.dir/pardyn_test.cpp.o"
+  "CMakeFiles/pardyn_test.dir/pardyn_test.cpp.o.d"
+  "pardyn_test"
+  "pardyn_test.pdb"
+  "pardyn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardyn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

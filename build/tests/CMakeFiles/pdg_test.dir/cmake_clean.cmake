@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdg_test.dir/pdg_test.cpp.o"
+  "CMakeFiles/pdg_test.dir/pdg_test.cpp.o.d"
+  "pdg_test"
+  "pdg_test.pdb"
+  "pdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/pdg_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/pardyn_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/breakpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
