@@ -17,6 +17,18 @@
 // the paper's motivating shape (§3.1: "the user needs traces for only
 // those events that may have led to the detected error").
 //
+// The replay-service rows measure the trace-regeneration engine itself on
+// a many-interval query (the transitive set of a deep flowback):
+//
+//   * `flowback_cold_serial`   — every interval replayed once, no cache,
+//     no workers: the pre-service cost of a wide query.
+//   * `flowback_cold_parallel` — the same misses fanned across N worker
+//     threads (arg 1); log intervals are independent (§5.5), so this
+//     scales with cores.
+//   * `flowback_warm_cached`   — the same query against a warm cache:
+//     every answer is a lookup. The cold/warm ratio is the price of a
+//     repeat query, the paper's interactive-session common case.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchPrograms.h"
@@ -110,10 +122,120 @@ void incremental_execution(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Replay-service variants: cold / cold-parallel / warm
+//===----------------------------------------------------------------------===//
+
+/// Many sibling intervals under main: each unit() call is its own logged
+/// interval, so a query over all of them is a wide, embarrassingly
+/// parallel replay fan-out.
+std::string manyIntervalWorkload(unsigned Units) {
+  return R"(
+func unit(int k) {
+  int i = 0;
+  int s = 0;
+  for (i = 0; i < 60; i = i + 1) s = (s + k * i) % 9973;
+  return s;
+}
+func main() {
+  int j = 0;
+  int acc = 0;
+  for (j = 0; j < )" +
+         std::to_string(Units) + R"(; j = j + 1) acc = acc + unit(j);
+  print(acc);
+}
+)";
+}
+
+struct ReplayWorld {
+  std::unique_ptr<CompiledProgram> Prog;
+  ExecutionLog Log;
+  std::unique_ptr<LogIndex> Index;
+  std::vector<ParallelReplayer::IntervalRef> All;
+};
+
+ReplayWorld makeReplayWorld(unsigned Units) {
+  ReplayWorld W;
+  W.Prog = mustCompile(manyIntervalWorkload(Units));
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*W.Prog, MOpts);
+  M.run();
+  W.Log = M.takeLog();
+  W.Index = std::make_unique<LogIndex>(W.Log);
+  for (uint32_t Pid = 0; Pid != W.Log.Procs.size(); ++Pid)
+    for (const LogInterval &Interval : W.Index->intervals(Pid))
+      if (Interval.PostlogRecord != InvalidId)
+        W.All.push_back({Pid, Interval.Index});
+  return W;
+}
+
+void serviceCounters(benchmark::State &State,
+                     const ParallelReplayer &Service, size_t Intervals) {
+  ReplayServiceStats S = Service.stats();
+  State.counters["Intervals"] = double(Intervals);
+  State.counters["EngineReplays"] = double(S.EngineReplays);
+  State.counters["CacheHits"] = double(S.Cache.Hits);
+  State.counters["CacheBytes"] = double(S.Cache.Bytes);
+}
+
+/// Cold: every iteration starts with an empty cache and regenerates the
+/// full interval set through \p Threads workers.
+void flowback_cold(benchmark::State &State, unsigned Threads) {
+  ReplayWorld W = makeReplayWorld(unsigned(State.range(0)));
+  ReplayServiceOptions Options;
+  Options.Threads = Threads;
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    ParallelReplayer Service(*W.Prog, W.Log, *W.Index, Options);
+    auto Results = Service.getMany(W.All);
+    Events = 0;
+    for (const auto &R : Results)
+      Events += R->Events.Events.size();
+    benchmark::DoNotOptimize(Events);
+  }
+  // Representative of the last iteration (one full miss sweep).
+  ParallelReplayer Probe(*W.Prog, W.Log, *W.Index, Options);
+  auto Results = Probe.getMany(W.All);
+  benchmark::DoNotOptimize(Results.data());
+  serviceCounters(State, Probe, W.All.size());
+  State.counters["TotalEvents"] = double(Events);
+}
+
+void flowback_cold_serial(benchmark::State &State) {
+  flowback_cold(State, 0);
+}
+
+void flowback_cold_parallel(benchmark::State &State) {
+  flowback_cold(State, unsigned(State.range(1)));
+}
+
+/// Warm: the cache already holds every interval; each iteration re-asks
+/// the full query and must be answered entirely by lookups.
+void flowback_warm_cached(benchmark::State &State) {
+  ReplayWorld W = makeReplayWorld(unsigned(State.range(0)));
+  ParallelReplayer Service(*W.Prog, W.Log, *W.Index, {});
+  auto Warmup = Service.getMany(W.All);
+  benchmark::DoNotOptimize(Warmup.data());
+  for (auto _ : State) {
+    auto Results = Service.getMany(W.All);
+    benchmark::DoNotOptimize(Results.data());
+  }
+  serviceCounters(State, Service, W.All.size());
+}
+
 } // namespace
 
 BENCHMARK(incremental_session)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(incremental_execution)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(fulltrace_session)->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK(flowback_cold_serial)->Arg(32)->Arg(128);
+BENCHMARK(flowback_cold_parallel)
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({128, 2})
+    ->Args({128, 4});
+BENCHMARK(flowback_warm_cached)->Arg(32)->Arg(128);
 
 BENCHMARK_MAIN();

@@ -79,9 +79,13 @@ void whatIfReplay(benchmark::State &State) {
     if (Info.Name == "state")
       StateVar = Info.Id;
 
+  // Vary the override value each iteration: what-if replays are memoized
+  // by override fingerprint, and E7 measures the replay, not the cache.
+  int64_t Tweak = 0;
   for (auto _ : State) {
     ReplayResult Res =
-        S.Controller->whatIf(0, Target, {{0, StateVar, -1, 12345}});
+        S.Controller->whatIf(0, Target, {{0, StateVar, -1, 12345 + Tweak}});
+    ++Tweak;
     benchmark::DoNotOptimize(Res.Instructions);
   }
 }

@@ -10,38 +10,39 @@
 
 using namespace ppd;
 
-PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log)
-    : Prog(Prog), Log(std::move(Log)), Index(this->Log), Engine(Prog),
+PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log,
+                             PpdControllerOptions Options)
+    : Prog(Prog), Log(std::move(Log)), Index(this->Log),
+      Service(Prog, this->Log, Index, Options.Service),
       Builder(Prog, Graph) {}
+
+void PpdController::syncServiceStats() {
+  ReplayServiceStats S = Service.stats();
+  Stats.Replays = S.EngineReplays;
+  Stats.ReplayInstructions = S.EngineInstructions;
+}
 
 const ReplayResult *PpdController::replayOf(uint32_t Pid,
                                             uint32_t IntervalIdx) const {
   auto It = Cache.find({Pid, IntervalIdx});
-  return It == Cache.end() ? nullptr : &It->second.Replay;
+  return It == Cache.end() ? nullptr : It->second.Replay.get();
 }
 
-const BuiltFragment *PpdController::ensureInterval(uint32_t Pid,
-                                                   uint32_t IntervalIdx) {
-  auto It = Cache.find({Pid, IntervalIdx});
-  if (It != Cache.end())
-    return &It->second.Fragment;
-
-  assert(IntervalIdx < Index.intervals(Pid).size() &&
-         "interval index out of range");
-  const LogInterval &Interval = Index.intervals(Pid)[IntervalIdx];
+const BuiltFragment *
+PpdController::addFragment(uint32_t Pid, uint32_t IntervalIdx,
+                           ParallelReplayer::ReplayPtr Replay) {
+  syncServiceStats();
+  if (!Replay->Ok)
+    return nullptr;
+  Stats.EventsTraced += Replay->Events.Events.size();
+  Stats.TraceBytes += Replay->Events.byteSize();
 
   CacheEntry Entry;
-  Entry.Replay = Engine.replay(Log, Pid, Interval);
-  ++Stats.Replays;
-  Stats.ReplayInstructions += Entry.Replay.Instructions;
-  if (!Entry.Replay.Ok)
-    return nullptr;
-  Stats.EventsTraced += Entry.Replay.Events.Events.size();
-  Stats.TraceBytes += Entry.Replay.Events.byteSize();
-
+  Entry.Replay = std::move(Replay);
   Entry.Fragment =
-      Builder.addInterval(Pid, IntervalIdx, Entry.Replay.Events);
+      Builder.addInterval(Pid, IntervalIdx, Entry.Replay->Events);
   // Give the entry node a descriptive label.
+  const LogInterval &Interval = Index.intervals(Pid)[IntervalIdx];
   const EBlockInfo &EBlock = Prog.eblock(Interval.EBlock);
   Graph.node(Entry.Fragment.EntryNode).Label =
       "ENTRY " + Prog.func(EBlock.Func).Name + " [p" + std::to_string(Pid) +
@@ -53,6 +54,40 @@ const BuiltFragment *PpdController::ensureInterval(uint32_t Pid,
   assert(Inserted && "interval cached twice");
   spliceSyncEdges(Pid, IntervalIdx);
   return &Pos->second.Fragment;
+}
+
+const BuiltFragment *PpdController::ensureInterval(uint32_t Pid,
+                                                   uint32_t IntervalIdx) {
+  auto It = Cache.find({Pid, IntervalIdx});
+  if (It != Cache.end())
+    return &It->second.Fragment;
+
+  assert(IntervalIdx < Index.intervals(Pid).size() &&
+         "interval index out of range");
+  const BuiltFragment *Fragment =
+      addFragment(Pid, IntervalIdx, Service.get(Pid, IntervalIdx));
+  // Warm the intervals a backward walk from here reaches next.
+  Service.prefetchNeighbors(Pid, IntervalIdx);
+  return Fragment;
+}
+
+unsigned PpdController::ensureIntervals(
+    const std::vector<ParallelReplayer::IntervalRef> &Requests) {
+  // Regenerate the missing traces in parallel...
+  std::vector<ParallelReplayer::IntervalRef> Missing;
+  for (const auto &[Pid, IntervalIdx] : Requests)
+    if (!Cache.count({Pid, IntervalIdx}))
+      Missing.push_back({Pid, IntervalIdx});
+  std::vector<ParallelReplayer::ReplayPtr> Replays =
+      Service.getMany(Missing);
+  // ...then splice serially, in request order.
+  unsigned Added = 0;
+  for (size_t I = 0; I != Missing.size(); ++I)
+    if (!Cache.count(Missing[I]) &&
+        addFragment(Missing[I].first, Missing[I].second,
+                    std::move(Replays[I])))
+      ++Added;
+  return Added;
 }
 
 DynNodeId PpdController::startAtFailure(uint32_t Pid) {
@@ -262,7 +297,7 @@ DynNodeId PpdController::eventNodeNear(uint32_t Pid, uint32_t RecordIdx,
   auto It = Cache.find({Pid, Interval->Index});
   if (It == Cache.end())
     return InvalidId;
-  const ReplayResult &Replay = It->second.Replay;
+  const ReplayResult &Replay = *It->second.Replay;
   const BuiltFragment &Fragment = It->second.Fragment;
   DynNodeId Best = InvalidId;
   for (const TraceEvent &E : Replay.Events.Events) {
@@ -320,11 +355,9 @@ PpdController::whatIf(uint32_t Pid, uint32_t IntervalIdx,
                       const std::vector<ReplayOverride> &Overrides) {
   assert(IntervalIdx < Index.intervals(Pid).size() &&
          "interval index out of range");
-  ReplayOptions Options;
-  Options.Overrides = Overrides;
-  ++Stats.Replays;
-  return Engine.replay(Log, Pid, Index.intervals(Pid)[IntervalIdx],
-                       Options);
+  ReplayResult Result = *Service.get(Pid, IntervalIdx, Overrides);
+  syncServiceStats();
+  return Result;
 }
 
 RestoredState PpdController::restoreGlobals(uint32_t Pid,

@@ -33,6 +33,7 @@
 #include "core/DynamicGraph.h"
 #include "core/GraphBuilder.h"
 #include "core/Replay.h"
+#include "core/ReplayService.h"
 #include "log/ExecutionLog.h"
 #include "pardyn/ParallelDynamicGraph.h"
 #include "pardyn/RaceDetector.h"
@@ -64,7 +65,9 @@ struct RestoredState {
   std::vector<int64_t> PrivateGlobals;
 };
 
-/// Cost counters for the experiments (E2/E3/E8).
+/// Cost counters for the experiments (E2/E3/E8). Replays and
+/// ReplayInstructions mirror the replay service's engine counters: cache
+/// hits do not increment them — the point of memoization.
 struct ControllerStats {
   uint64_t Replays = 0;
   uint64_t ReplayInstructions = 0;
@@ -72,9 +75,18 @@ struct ControllerStats {
   size_t TraceBytes = 0;
 };
 
+struct PpdControllerOptions {
+  /// Replay service configuration: worker threads, trace-cache budget,
+  /// background prefetch. Defaults are serial and prefetch-free, which
+  /// keeps the controller fully deterministic and its Replays counter
+  /// equal to exactly the intervals queries demanded.
+  ReplayServiceOptions Service;
+};
+
 class PpdController {
 public:
-  PpdController(const CompiledProgram &Prog, ExecutionLog Log);
+  PpdController(const CompiledProgram &Prog, ExecutionLog Log,
+                PpdControllerOptions Options = {});
 
   const CompiledProgram &program() const { return Prog; }
   const ExecutionLog &log() const { return Log; }
@@ -83,9 +95,23 @@ public:
   const DynamicGraph &graph() const { return Graph; }
   const ControllerStats &stats() const { return Stats; }
 
-  /// Replays interval \p IntervalIdx of \p Pid (cached) and splices its
-  /// fragment into the graph. Returns null on replay divergence.
+  /// Replays interval \p IntervalIdx of \p Pid (through the replay
+  /// cache) and splices its fragment into the graph. Returns null on
+  /// replay divergence.
   const BuiltFragment *ensureInterval(uint32_t Pid, uint32_t IntervalIdx);
+
+  /// Traces every requested interval: trace regeneration for the misses
+  /// fans out across the replay service's thread pool, then the fragments
+  /// are spliced serially in request order (graph construction stays
+  /// deterministic regardless of worker count). Returns the number of
+  /// fragments newly added.
+  unsigned
+  ensureIntervals(const std::vector<ParallelReplayer::IntervalRef> &Requests);
+
+  /// The cached, parallel replay layer (cache counters, transitive
+  /// interval sets, prefetch).
+  ParallelReplayer &replayService() { return Service; }
+  const ParallelReplayer &replayService() const { return Service; }
 
   /// The replay result backing a traced interval (null if not traced).
   const ReplayResult *replayOf(uint32_t Pid, uint32_t IntervalIdx) const;
@@ -128,7 +154,9 @@ public:
   RaceDetectionResult detectRaces(
       RaceAlgorithm Algorithm = RaceAlgorithm::VarIndexed);
 
-  /// §5.7 what-if: replays an interval with value overrides (uncached).
+  /// §5.7 what-if: replays an interval with value overrides. Memoized
+  /// like faithful replays — the override list's fingerprint is part of
+  /// the cache key, so distinct experiments never alias.
   ReplayResult whatIf(uint32_t Pid, uint32_t IntervalIdx,
                       const std::vector<ReplayOverride> &Overrides);
 
@@ -138,7 +166,8 @@ public:
 
 private:
   struct CacheEntry {
-    ReplayResult Replay;
+    /// Shared with the replay cache; stays valid if evicted there.
+    ParallelReplayer::ReplayPtr Replay;
     BuiltFragment Fragment;
   };
 
@@ -150,10 +179,15 @@ private:
   void spliceSyncEdges(uint32_t Pid, uint32_t IntervalIdx);
   DynNodeId eventNodeNear(uint32_t Pid, uint32_t RecordIdx, StmtId Stmt);
 
+  /// Splices a freshly replayed interval's fragment into the graph.
+  const BuiltFragment *addFragment(uint32_t Pid, uint32_t IntervalIdx,
+                                   ParallelReplayer::ReplayPtr Replay);
+  void syncServiceStats();
+
   const CompiledProgram &Prog;
   ExecutionLog Log;
   LogIndex Index;
-  ReplayEngine Engine;
+  ParallelReplayer Service;
   DynamicGraph Graph;
   GraphBuilder Builder;
   std::map<std::pair<uint32_t, uint32_t>, CacheEntry> Cache;

@@ -165,10 +165,19 @@ std::string DebugSession::cmdWhatIf(std::istream &Args) {
 
 std::string DebugSession::cmdStats() {
   const ControllerStats &S = Controller.stats();
-  return "replays " + std::to_string(S.Replays) + ", events traced " +
-         std::to_string(S.EventsTraced) + ", trace bytes " +
-         std::to_string(S.TraceBytes) + ", graph nodes " +
-         std::to_string(Controller.graph().numNodes()) + "\n";
+  ReplayServiceStats RS = Controller.replayService().stats();
+  std::string Out =
+      "replays " + std::to_string(S.Replays) + ", events traced " +
+      std::to_string(S.EventsTraced) + ", trace bytes " +
+      std::to_string(S.TraceBytes) + ", graph nodes " +
+      std::to_string(Controller.graph().numNodes()) + "\n";
+  Out += "cache: hits " + std::to_string(RS.Cache.Hits) + ", misses " +
+         std::to_string(RS.Cache.Misses) + ", entries " +
+         std::to_string(RS.Cache.Entries) + ", bytes " +
+         std::to_string(RS.Cache.Bytes) + ", evictions " +
+         std::to_string(RS.Cache.Evictions) + ", prefetches " +
+         std::to_string(RS.PrefetchesIssued) + "\n";
+  return Out;
 }
 
 std::string DebugSession::execute(const std::string &Line) {

@@ -1,0 +1,147 @@
+//===- core/ReplayService.h - Parallel need-to-generate replay --*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay service: the need-to-generate half of incremental tracing
+/// (§5.3) as a memoized, parallel engine.
+///
+/// Log intervals are independent by construction — each is seeded
+/// entirely from its prelog and unit logs, and on a race-free instance a
+/// replay is interleaving-independent (§5.5) — so regenerating many
+/// intervals is embarrassingly parallel. ParallelReplayer exploits that:
+///
+///   * every replay goes through a sharded LRU ReplayCache keyed by
+///     (process, interval, override fingerprint), so a repeated flowback
+///     query costs a lookup instead of an emulation run;
+///   * concurrent requests for the same interval are deduplicated
+///     (single-flight): one thread replays, the rest share the result;
+///   * getMany() fans a query's interval set out across a work-stealing
+///     ThreadPool, with the calling thread helping to drain the queue;
+///   * prefetchNeighbors() warms the intervals a flowback walk is likely
+///     to enter next — the parent and the preceding sibling in the
+///     nested-interval tree (Fig 5.2), where the values read by a prelog
+///     were produced — in the background.
+///
+/// The service never touches the dynamic graph: trace regeneration is the
+/// parallel part; graph splicing stays on the controller's thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_CORE_REPLAYSERVICE_H
+#define PPD_CORE_REPLAYSERVICE_H
+
+#include "core/Replay.h"
+#include "log/ExecutionLog.h"
+#include "support/ThreadPool.h"
+#include "trace/ReplayCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ppd {
+
+struct ReplayServiceOptions {
+  /// Worker threads for parallel replay; 0 = serial (inline on the
+  /// caller, fully deterministic scheduling).
+  unsigned Threads = 0;
+  /// Cache budget for regenerated traces (0 = unbounded).
+  size_t CacheBytes = size_t(64) << 20;
+  unsigned CacheShards = 8;
+  /// Warm parent/preceding-sibling intervals in the background after each
+  /// replay request.
+  bool Prefetch = false;
+};
+
+struct ReplayServiceStats {
+  ReplayCacheStats Cache;
+  /// Replays actually executed by the engine (cache misses).
+  uint64_t EngineReplays = 0;
+  /// Instructions executed across those replays.
+  uint64_t EngineInstructions = 0;
+  /// Background prefetch tasks issued.
+  uint64_t PrefetchesIssued = 0;
+};
+
+/// Cached, parallel front end to ReplayEngine.
+class ParallelReplayer {
+public:
+  using ReplayPtr = std::shared_ptr<const ReplayResult>;
+  /// (pid, interval index) request.
+  using IntervalRef = std::pair<uint32_t, uint32_t>;
+
+  ParallelReplayer(const CompiledProgram &Prog, const ExecutionLog &Log,
+                   const LogIndex &Index, ReplayServiceOptions Options = {});
+  ~ParallelReplayer();
+
+  /// The memoized replay of one interval; replays on miss. Thread-safe.
+  ReplayPtr get(uint32_t Pid, uint32_t IntervalIdx,
+                const std::vector<ReplayOverride> &Overrides = {});
+
+  /// Replays every requested interval, fanning misses out across the
+  /// pool. Results are in request order. Blocks until all complete; the
+  /// calling thread helps drain the queue.
+  std::vector<ReplayPtr> getMany(const std::vector<IntervalRef> &Requests);
+
+  /// The interval set a flowback query rooted at (Pid, IntervalIdx) can
+  /// transitively need (Fig 5.2): the interval itself, its ancestors
+  /// (whose traces hold the surrounding events), the preceding siblings
+  /// at each level (whose postlogs produced the values the prelog read),
+  /// and its direct children (expandable sub-graph nodes).
+  std::vector<IntervalRef> transitiveIntervals(uint32_t Pid,
+                                               uint32_t IntervalIdx) const;
+
+  /// Queues background replays of the parent and preceding sibling of
+  /// (Pid, IntervalIdx) — the likely next stops of a backward walk.
+  /// No-op unless Options.Prefetch is set and the pool has workers.
+  void prefetchNeighbors(uint32_t Pid, uint32_t IntervalIdx);
+
+  /// Waits for all outstanding background work.
+  void drain();
+
+  ReplayServiceStats stats() const;
+  const ReplayServiceOptions &options() const { return Options; }
+
+  /// Stable hash of an override list; 0 iff the list is empty, so the
+  /// faithful replay owns fingerprint 0.
+  static uint64_t fingerprint(const std::vector<ReplayOverride> &Overrides);
+
+private:
+  ReplayPtr replayMiss(const ReplayKey &Key,
+                       const std::vector<ReplayOverride> &Overrides);
+  void finishBackgroundTask();
+
+  const CompiledProgram &Prog;
+  const ExecutionLog &Log;
+  const LogIndex &Index;
+  ReplayServiceOptions Options;
+  ReplayEngine Engine;
+  ReplayCache<ReplayResult> Cache;
+  ThreadPool Pool;
+
+  /// Single-flight table: key → future of the in-progress replay.
+  std::mutex InFlightMutex;
+  std::unordered_map<ReplayKey, std::shared_future<ReplayPtr>,
+                     ReplayKeyHash>
+      InFlight;
+
+  std::atomic<uint64_t> EngineReplays{0};
+  std::atomic<uint64_t> EngineInstructions{0};
+  std::atomic<uint64_t> PrefetchesIssued{0};
+
+  std::mutex BackgroundMutex;
+  std::condition_variable BackgroundCv;
+  uint64_t BackgroundPending = 0;
+};
+
+} // namespace ppd
+
+#endif // PPD_CORE_REPLAYSERVICE_H

@@ -45,20 +45,23 @@ void RaceDetector::classifyPair(EdgeRef A, EdgeRef B,
   // Def 6.3: write/write and read/write conflicts per shared variable.
   BitVarSet WW = EA.Writes;
   WW.intersectWith(EB.Writes);
-  for (unsigned S : WW.toVector())
+  WW.forEach([&](unsigned S) {
     Out.push_back(makeRace(A, B, S, RaceKind::WriteWrite));
+  });
 
   BitVarSet RW = EA.Reads;
   RW.intersectWith(EB.Writes);
-  for (unsigned S : RW.toVector())
+  RW.forEach([&](unsigned S) {
     if (!WW.contains(S))
       Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
+  });
 
   BitVarSet WR = EA.Writes;
   WR.intersectWith(EB.Reads);
-  for (unsigned S : WR.toVector())
+  WR.forEach([&](unsigned S) {
     if (!WW.contains(S) && !RW.contains(S))
       Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
+  });
 }
 
 RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm) const {
@@ -83,10 +86,8 @@ RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm) const {
     std::vector<std::vector<EdgeRef>> WritersOf(SharedToVar.size());
     for (const EdgeRef &E : All) {
       const InternalEdge &Edge = Graph.edge(E);
-      for (unsigned S : Edge.Reads.toVector())
-        ReadersOf[S].push_back(E);
-      for (unsigned S : Edge.Writes.toVector())
-        WritersOf[S].push_back(E);
+      Edge.Reads.forEach([&](unsigned S) { ReadersOf[S].push_back(E); });
+      Edge.Writes.forEach([&](unsigned S) { WritersOf[S].push_back(E); });
     }
 
     // A pair may conflict on several variables; examine it once. Edges

@@ -1,0 +1,14 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of PPD. See ThreadPool.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+namespace ppd {
+
+thread_local const ThreadPool *ThreadPool::CurrentPool = nullptr;
+thread_local unsigned ThreadPool::CurrentWorker = 0;
+
+} // namespace ppd

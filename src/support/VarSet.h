@@ -144,17 +144,25 @@ public:
 
   void clear() { Words.clear(); }
 
-  /// Elements in increasing order.
-  std::vector<unsigned> toVector() const {
-    std::vector<unsigned> Out;
+  /// Calls \p Callback for each element in increasing order. Lets hot
+  /// consumers (race detection, sync-record capture) walk the set without
+  /// materializing a vector.
+  template <typename Fn> void forEach(Fn &&Callback) const {
     for (size_t I = 0, E = Words.size(); I != E; ++I) {
       uint64_t Word = Words[I];
       while (Word) {
         unsigned Bit = std::countr_zero(Word);
-        Out.push_back(unsigned(I) * 64 + Bit);
+        Callback(unsigned(I) * 64 + Bit);
         Word &= Word - 1;
       }
     }
+  }
+
+  /// Elements in increasing order.
+  std::vector<unsigned> toVector() const {
+    std::vector<unsigned> Out;
+    Out.reserve(size());
+    forEach([&Out](unsigned Id) { Out.push_back(Id); });
     return Out;
   }
 
@@ -256,6 +264,11 @@ public:
   unsigned size() const { return unsigned(Elements.size()); }
   bool empty() const { return Elements.empty(); }
   void clear() { Elements.clear(); }
+
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    for (unsigned Id : Elements)
+      Callback(Id);
+  }
 
   std::vector<unsigned> toVector() const { return Elements; }
 

@@ -49,6 +49,8 @@ struct CliOptions {
   bool LeafInheritance = false;
   bool LoopBlocks = false;
   std::vector<uint32_t> BreakLines;
+  unsigned ReplayThreads = 0;
+  bool Prefetch = false;
 };
 
 void usage() {
@@ -74,6 +76,10 @@ options:
   --algorithm A         (races) naive | indexed
   --leaf-inheritance    partitioner: unlog small call-graph leaves
   --loop-blocks         partitioner: loops become their own e-blocks
+  --replay-threads N    (debug) worker threads for parallel replay
+                        (default 0 = serial)
+  --prefetch            (debug) warm neighboring intervals in the
+                        background after each query
   --dump-ir             (compile) disassemble both artifacts
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
@@ -147,6 +153,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.LeafInheritance = true;
     } else if (Arg == "--loop-blocks") {
       Opts.LoopBlocks = true;
+    } else if (Arg == "--replay-threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ReplayThreads = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--prefetch") {
+      Opts.Prefetch = true;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
       return false;
@@ -354,7 +367,10 @@ int cmdDebug(const CliOptions &Opts) {
     Log = M.takeLog();
   }
 
-  PpdController Controller(*Prog, std::move(Log));
+  PpdControllerOptions COpts;
+  COpts.Service.Threads = Opts.ReplayThreads;
+  COpts.Service.Prefetch = Opts.Prefetch;
+  PpdController Controller(*Prog, std::move(Log), COpts);
   DebugSession Session(*Prog, Controller);
   std::printf("PPD debugging phase. Type 'help' for commands.\n");
   std::string Line;

@@ -1,0 +1,180 @@
+//===- trace/ReplayCache.h - Interval trace cache ---------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, byte-accounted LRU cache for regenerated interval traces.
+/// Incremental tracing regenerates fine-grained traces on demand (§5.3);
+/// an interactive session asks about the same intervals over and over
+/// (every flowback step re-reads the neighborhood of the failure), so
+/// memoizing the regenerated streams turns repeat queries into lookups.
+///
+/// The key is (process, log-interval id, override fingerprint): a replay
+/// is a pure function of the log interval — plus the §5.7 what-if
+/// overrides, which the fingerprint folds in so experimental replays
+/// never alias the faithful one. Values are shared_ptrs, so an entry
+/// evicted while a caller still holds it stays valid; eviction only drops
+/// the cache's reference.
+///
+/// Sharding by key hash keeps the lock fine-grained when the parallel
+/// replayer's workers fill the cache concurrently. Counters (hits,
+/// misses, insertions, evictions, bytes) feed the debugger's `stats`
+/// command and the E8 benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_TRACE_REPLAYCACHE_H
+#define PPD_TRACE_REPLAYCACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ppd {
+
+/// Identity of one memoized replay.
+struct ReplayKey {
+  uint32_t Pid = 0;
+  uint32_t Interval = 0;
+  /// 0 for a faithful replay; a hash of the override list otherwise.
+  uint64_t Fingerprint = 0;
+
+  friend bool operator==(const ReplayKey &A, const ReplayKey &B) {
+    return A.Pid == B.Pid && A.Interval == B.Interval &&
+           A.Fingerprint == B.Fingerprint;
+  }
+};
+
+struct ReplayKeyHash {
+  size_t operator()(const ReplayKey &K) const {
+    // splitmix64 over the packed fields: cheap and well distributed.
+    uint64_t X = (uint64_t(K.Pid) << 32 | K.Interval) ^ K.Fingerprint;
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return size_t(X ^ (X >> 31));
+  }
+};
+
+/// Aggregated counters across every shard.
+struct ReplayCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  size_t Bytes = 0;
+  size_t Entries = 0;
+};
+
+/// Sharded LRU map from ReplayKey to shared immutable values of type \p V.
+/// Thread-safe; all locking is per-shard.
+template <typename V> class ReplayCache {
+public:
+  /// \p CapacityBytes bounds the total accounted bytes (0 = unbounded);
+  /// \p ShardCount is rounded up to at least 1.
+  explicit ReplayCache(size_t CapacityBytes, unsigned ShardCount = 8)
+      : Capacity(CapacityBytes), Shards(ShardCount ? ShardCount : 1) {}
+
+  /// Returns the cached value and refreshes its recency, or null (counted
+  /// as a miss).
+  std::shared_ptr<const V> lookup(const ReplayKey &Key) {
+    Shard &S = shardOf(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      ++S.Misses;
+      return nullptr;
+    }
+    ++S.Hits;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return It->second->Value;
+  }
+
+  /// Inserts (or replaces) \p Value, accounted as \p Bytes, evicting
+  /// least-recently-used entries of the same shard as needed.
+  void insert(const ReplayKey &Key, std::shared_ptr<const V> Value,
+              size_t Bytes) {
+    Shard &S = shardOf(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      S.Bytes -= It->second->Bytes;
+      S.Lru.erase(It->second);
+      S.Map.erase(It);
+    }
+    S.Lru.push_front(Entry{Key, std::move(Value), Bytes});
+    S.Map[Key] = S.Lru.begin();
+    S.Bytes += Bytes;
+    ++S.Insertions;
+    if (Capacity == 0)
+      return;
+    // Per-shard share of the budget; never evict the entry just added.
+    size_t ShardCapacity = Capacity / Shards.size();
+    while (S.Bytes > ShardCapacity && S.Lru.size() > 1) {
+      Entry &Victim = S.Lru.back();
+      S.Bytes -= Victim.Bytes;
+      S.Map.erase(Victim.Key);
+      S.Lru.pop_back();
+      ++S.Evictions;
+    }
+  }
+
+  ReplayCacheStats stats() const {
+    ReplayCacheStats Out;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      Out.Hits += S.Hits;
+      Out.Misses += S.Misses;
+      Out.Insertions += S.Insertions;
+      Out.Evictions += S.Evictions;
+      Out.Bytes += S.Bytes;
+      Out.Entries += S.Lru.size();
+    }
+    return Out;
+  }
+
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      S.Lru.clear();
+      S.Map.clear();
+      S.Bytes = 0;
+    }
+  }
+
+  size_t capacityBytes() const { return Capacity; }
+
+private:
+  struct Entry {
+    ReplayKey Key;
+    std::shared_ptr<const V> Value;
+    size_t Bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::list<Entry> Lru; ///< front = most recently used.
+    std::unordered_map<ReplayKey, typename std::list<Entry>::iterator,
+                       ReplayKeyHash>
+        Map;
+    size_t Bytes = 0;
+    uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+  };
+
+  Shard &shardOf(const ReplayKey &Key) {
+    return Shards[ReplayKeyHash()(Key) % Shards.size()];
+  }
+
+  size_t Capacity;
+  std::vector<Shard> Shards;
+};
+
+} // namespace ppd
+
+#endif // PPD_TRACE_REPLAYCACHE_H

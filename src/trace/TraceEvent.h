@@ -35,6 +35,9 @@ struct TraceAccess {
   VarId Var = InvalidId;
   int64_t Value = 0;
   int64_t Index = -1; ///< array element, or -1 for scalars.
+
+  friend bool operator==(const TraceAccess &A,
+                         const TraceAccess &B) = default;
 };
 
 enum class TraceEventKind : uint8_t {
@@ -73,6 +76,10 @@ struct TraceEvent {
   size_t byteSize() const {
     return 16 + 8 * Args.size() + 17 * (Reads.size() + Writes.size());
   }
+
+  /// Field-wise equality: the determinism tests assert that cached,
+  /// parallel, and fresh serial replays agree bit for bit.
+  friend bool operator==(const TraceEvent &A, const TraceEvent &B) = default;
 };
 
 /// The events of one process, in execution order.

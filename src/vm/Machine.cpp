@@ -102,6 +102,8 @@ uint32_t Machine::spawnProcess(uint32_t Func, std::vector<int64_t> Args,
   Log.Procs.back().Pid = Pid;
   Log.Procs.back().RootFunc = Func;
   Log.Procs.back().Args = Args;
+  if (logging())
+    Log.Procs.back().Records.reserve(64);
   Traces.emplace_back();
 
   pushFrame(P, Func, std::move(Args), /*ReturnPc=*/0);
@@ -152,6 +154,7 @@ LogRecord &Machine::appendRecord(Process &P, LogRecordKind Kind) {
 
 void Machine::captureVars(Process &P, const std::vector<VarId> &Vars,
                           LogRecord &Record) {
+  Record.Vars.reserve(Record.Vars.size() + Vars.size());
   for (VarId Var : Vars) {
     const VarInfo &Info = Prog.Symbols->var(Var);
     VarValue Value;
@@ -191,10 +194,10 @@ void Machine::emitSync(Process &P, SyncKind Kind, uint32_t Object,
   R.PartnerSeq = Partner;
   R.Value = Value;
   // The internal edge ending at this synchronization node (Def 6.2).
-  for (unsigned S : P.EdgeReads.toVector())
-    R.ReadSet.push_back(S);
-  for (unsigned S : P.EdgeWrites.toVector())
-    R.WriteSet.push_back(S);
+  R.ReadSet.reserve(P.EdgeReads.size());
+  P.EdgeReads.forEach([&R](unsigned S) { R.ReadSet.push_back(S); });
+  R.WriteSet.reserve(P.EdgeWrites.size());
+  P.EdgeWrites.forEach([&R](unsigned S) { R.WriteSet.push_back(S); });
   P.EdgeReads.clear();
   P.EdgeWrites.clear();
 }

@@ -8,9 +8,12 @@
 
 #include "TestUtil.h"
 
+#include "core/Controller.h"
 #include "core/Replay.h"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
 
 using namespace ppd;
 using namespace ppd::test;
@@ -427,6 +430,113 @@ func main() {
   ReplayResult Res = Engine.replay(R.Log, 0, Index.intervals(0)[0], Options);
   EXPECT_TRUE(Res.Diverged);
 }
+
+//===----------------------------------------------------------------------===//
+// Replay-service determinism (the §5.5 independence property, exploited):
+// the same flowback query answered serially, from the cache, and fanned
+// across a thread pool must produce bit-identical traces and graphs.
+//===----------------------------------------------------------------------===//
+
+/// Everything a flowback query materializes: per-interval event streams
+/// plus the spliced dynamic-graph edges.
+struct ReplayedWorld {
+  std::vector<std::vector<TraceEvent>> Streams;
+  std::vector<std::tuple<int, DynNodeId, DynNodeId, VarId, int>> Edges;
+  uint64_t EngineReplays = 0;
+  uint64_t CacheHits = 0;
+};
+
+/// Traces every completed interval of every process through a controller
+/// configured with \p Threads workers, resolves all cross-process reads,
+/// and snapshots the result. \p QueryTwice re-asks the replay service for
+/// every interval afterwards, so the answers must come from the cache.
+ReplayedWorld replayWorld(const Ran &R, unsigned Threads, bool QueryTwice) {
+  PpdControllerOptions Opts;
+  Opts.Service.Threads = Threads;
+  PpdController C(*R.Prog, R.Log, Opts);
+
+  std::vector<ParallelReplayer::IntervalRef> All;
+  for (uint32_t Pid = 0; Pid != R.Log.Procs.size(); ++Pid)
+    for (const LogInterval &Interval : C.logIndex().intervals(Pid))
+      if (Interval.PostlogRecord != InvalidId)
+        All.push_back({Pid, Interval.Index});
+
+  C.ensureIntervals(All);
+  C.resolveAllCrossReads();
+
+  ReplayedWorld World;
+  for (const auto &[Pid, IntervalIdx] : All) {
+    const ReplayResult *Res = C.replayOf(Pid, IntervalIdx);
+    EXPECT_NE(Res, nullptr) << "pid " << Pid << " interval " << IntervalIdx;
+    if (QueryTwice && Res) {
+      ParallelReplayer::ReplayPtr Again =
+          C.replayService().get(Pid, IntervalIdx);
+      EXPECT_TRUE(Again && Again->Events.Events == Res->Events.Events)
+          << "cached answer differs for pid " << Pid << " interval "
+          << IntervalIdx;
+    }
+    World.Streams.push_back(Res ? Res->Events.Events
+                                : std::vector<TraceEvent>{});
+  }
+  for (const DynEdge &E : C.graph().edges())
+    World.Edges.push_back(
+        {int(E.Kind), E.From, E.To, E.Var, int(E.Branch)});
+  World.EngineReplays = C.replayService().stats().EngineReplays;
+  World.CacheHits = C.replayService().stats().Cache.Hits;
+  return World;
+}
+
+class ReplayDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplayDeterminismTest, SerialCachedParallelBitIdentical) {
+  auto R = runProgram(R"(
+shared int account;
+sem lock = 1;
+chan done;
+func deposit(int amount) {
+  P(lock);
+  account = account + amount;
+  V(lock);
+  return account;
+}
+func worker(int n) {
+  int i = 0;
+  int last = 0;
+  for (i = 0; i < n; i = i + 1) last = deposit(i + 1);
+  send(done, last);
+}
+func main() {
+  spawn worker(4);
+  spawn worker(4);
+  int a = recv(done);
+  int b = recv(done);
+  print(account);
+}
+)",
+                      GetParam());
+  ASSERT_EQ(R.PrintedValues, (std::vector<int64_t>{20}));
+
+  ReplayedWorld Serial = replayWorld(R, 0, /*QueryTwice=*/false);
+  ReplayedWorld Cached = replayWorld(R, 0, /*QueryTwice=*/true);
+  ReplayedWorld Parallel = replayWorld(R, 4, /*QueryTwice=*/false);
+
+  // The cached pass answered its repeats from the cache, not the engine.
+  EXPECT_EQ(Cached.EngineReplays, Serial.EngineReplays);
+  EXPECT_GT(Cached.CacheHits, 0u);
+
+  ASSERT_EQ(Serial.Streams.size(), Cached.Streams.size());
+  ASSERT_EQ(Serial.Streams.size(), Parallel.Streams.size());
+  for (size_t I = 0; I != Serial.Streams.size(); ++I) {
+    EXPECT_EQ(Serial.Streams[I], Cached.Streams[I]) << "stream " << I;
+    EXPECT_EQ(Serial.Streams[I], Parallel.Streams[I]) << "stream " << I;
+  }
+  EXPECT_EQ(Serial.Edges, Cached.Edges);
+  EXPECT_EQ(Serial.Edges, Parallel.Edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayDeterminismTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 13, 17, 23, 29, 31));
 
 TEST(ReplayTest, WhatIfOnLoggedPathDoesNotDiverge) {
   auto R = runProgram("func main() { int x = 4; print(x * 2); }");
