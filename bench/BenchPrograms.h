@@ -22,7 +22,11 @@
 #define PPD_BENCH_BENCHPROGRAMS_H
 
 #include "compiler/Compiler.h"
+#include "log/ExecutionLog.h"
+#include "log/LogIO.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -145,6 +149,58 @@ func main() {
   print(checkpoint);
 }
 )";
+}
+
+/// One format's save+load cost for a given log (experiment E2's
+/// methodology columns: on-disk volume, wall time, and throughput).
+struct SaveLoadStats {
+  size_t FileBytes = 0;
+  double SaveMs = 0;  ///< mean wall time of one save.
+  double LoadMs = 0;  ///< mean wall time of one load.
+  double SaveMBps = 0;
+  double LoadMBps = 0;
+};
+
+/// Times \p Reps save+load round trips of \p Log in \p Format and keeps
+/// the fastest of each (minimum-of-reps filters scheduler and page-cache
+/// noise out of millisecond-scale operations). \p Pool, if given,
+/// parallelizes the v2 section decode (v1 ignores it).
+inline SaveLoadStats measureSaveLoad(const ExecutionLog &Log, LogFormat Format,
+                                     ThreadPool *Pool = nullptr,
+                                     unsigned Reps = 15) {
+  std::string Path = "/tmp/ppd_bench_saveload_v" +
+                     std::to_string(unsigned(Format)) + ".bin";
+  using Clock = std::chrono::steady_clock;
+  double SaveSeconds = 1e30, LoadSeconds = 1e30;
+  for (unsigned I = 0; I != Reps; ++I) {
+    auto T0 = Clock::now();
+    bool Saved = Log.save(Path, Format, Pool);
+    auto T1 = Clock::now();
+    ExecutionLog Loaded;
+    bool LoadedOk = Saved && ExecutionLog::load(Path, Loaded, Pool);
+    auto T2 = Clock::now();
+    if (!LoadedOk) {
+      std::fprintf(stderr, "benchmark save/load round trip failed\n");
+      std::abort();
+    }
+    SaveSeconds =
+        std::min(SaveSeconds, std::chrono::duration<double>(T1 - T0).count());
+    LoadSeconds =
+        std::min(LoadSeconds, std::chrono::duration<double>(T2 - T1).count());
+  }
+  SaveLoadStats Stats;
+  std::vector<uint8_t> Bytes;
+  if (readFileBytes(Path, Bytes))
+    Stats.FileBytes = Bytes.size();
+  std::remove(Path.c_str());
+  Stats.SaveMs = 1e3 * SaveSeconds;
+  Stats.LoadMs = 1e3 * LoadSeconds;
+  double MB = double(Stats.FileBytes) / 1e6;
+  if (SaveSeconds > 0)
+    Stats.SaveMBps = MB / SaveSeconds;
+  if (LoadSeconds > 0)
+    Stats.LoadMBps = MB / LoadSeconds;
+  return Stats;
 }
 
 /// Compiles or aborts — benchmark setup code.

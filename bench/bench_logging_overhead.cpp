@@ -48,7 +48,7 @@ void overheadBench(benchmark::State &State, const std::string &Source,
   LogMode.Seed = 11;
 
   auto RunOnce = [](const CompiledProgram &Prog, const MachineOptions &MOpts,
-                    size_t *LogBytes) {
+                    size_t *LogBytes, ExecutionLog *OutLog) {
     Machine M(Prog, MOpts);
     RunResult Result = M.run();
     if (Result.Outcome != RunResult::Status::Completed) {
@@ -57,6 +57,8 @@ void overheadBench(benchmark::State &State, const std::string &Source,
     }
     if (LogBytes)
       *LogBytes = M.log().byteSize();
+    if (OutLog)
+      *OutLog = M.takeLog();
     return Result.Steps;
   };
 
@@ -64,11 +66,12 @@ void overheadBench(benchmark::State &State, const std::string &Source,
   double BaseSeconds = 0, LogSeconds = 0;
   size_t LogBytes = 0;
   uint64_t Steps = 0;
+  ExecutionLog FinalLog;
   for (auto _ : State) {
     auto T0 = Clock::now();
-    Steps = RunOnce(*Baseline, BaseMode, nullptr);
+    Steps = RunOnce(*Baseline, BaseMode, nullptr, nullptr);
     auto T1 = Clock::now();
-    RunOnce(*Instrumented, LogMode, &LogBytes);
+    RunOnce(*Instrumented, LogMode, &LogBytes, &FinalLog);
     auto T2 = Clock::now();
     BaseSeconds += std::chrono::duration<double>(T1 - T0).count();
     LogSeconds += std::chrono::duration<double>(T2 - T1).count();
@@ -81,12 +84,38 @@ void overheadBench(benchmark::State &State, const std::string &Source,
       benchmark::Counter(1e3 * LogSeconds / double(State.iterations()));
   double OverheadPct = 100.0 * (LogSeconds / BaseSeconds - 1.0);
   State.counters["OverheadPct"] = benchmark::Counter(OverheadPct);
-  // The paper's §7 bound, as a pass/fail flag the E1 table can aggregate:
-  // 1 when this workload's logging overhead stayed under 15%.
+  // The paper's §7 bound, as a pass/fail flag the E1 table can aggregate
+  // (1 when this workload's logging overhead stayed under 15%), plus the
+  // measured overhead as a percentage OF that bound — 100 means exactly at
+  // the limit, so the margin is readable without mental arithmetic.
   State.counters["WithinPaperBound"] =
       benchmark::Counter(OverheadPct < 15.0 ? 1.0 : 0.0);
+  State.counters["PctOfPaperBound"] =
+      benchmark::Counter(100.0 * OverheadPct / 15.0);
   State.counters["LogBytes"] = double(LogBytes);
   State.counters["VmSteps"] = double(Steps);
+
+  // Log volume and emit throughput per event (E2 methodology columns).
+  uint64_t Records = 0;
+  for (const ProcessLog &P : FinalLog.Procs)
+    Records += P.Records.size();
+  State.counters["LogRecords"] = double(Records);
+  if (Records != 0)
+    State.counters["BytesPerEvent"] = double(LogBytes) / double(Records);
+  if (LogSeconds > 0)
+    State.counters["EmitEventsPerSec"] =
+        double(Records) * double(State.iterations()) / LogSeconds;
+
+  // On-disk formats, measured on the last run's log: file volume and
+  // save+load throughput, v1 vs v2.
+  SaveLoadStats V1 = measureSaveLoad(FinalLog, LogFormat::V1);
+  SaveLoadStats V2 = measureSaveLoad(FinalLog, LogFormat::V2);
+  State.counters["FileBytesV1"] = double(V1.FileBytes);
+  State.counters["FileBytesV2"] = double(V2.FileBytes);
+  State.counters["SaveMBpsV1"] = V1.SaveMBps;
+  State.counters["SaveMBpsV2"] = V2.SaveMBps;
+  State.counters["LoadMBpsV1"] = V1.LoadMBps;
+  State.counters["LoadMBpsV2"] = V2.LoadMBps;
 }
 
 void compute(benchmark::State &State) {

@@ -6,13 +6,31 @@
 
 #include "core/Controller.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 
 using namespace ppd;
 
+namespace {
+
+/// Builds the log's interval index, fanning per-process construction over
+/// a transient pool when the controller is configured for parallelism.
+/// (The replay service's pool doesn't exist yet at this point — it is
+/// constructed after the index it consumes.)
+LogIndex buildIndex(const ExecutionLog &Log, unsigned Threads) {
+  if (Threads == 0 || Log.Procs.size() < 2)
+    return LogIndex(Log);
+  ThreadPool Pool(Threads);
+  return LogIndex(Log, &Pool);
+}
+
+} // namespace
+
 PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log,
                              PpdControllerOptions Options)
-    : Prog(Prog), Log(std::move(Log)), Index(this->Log),
+    : Prog(Prog), Log(std::move(Log)),
+      Index(buildIndex(this->Log, Options.Service.Threads)),
       Service(Prog, this->Log, Index, Options.Service),
       Builder(Prog, Graph) {}
 
@@ -382,7 +400,7 @@ RestoredState PpdController::restoreGlobals(uint32_t Pid,
   // from postlog(1) up to postlog(i) is the same as the program state at
   // the time postlog(i) is made." (Globals; unit logs refresh shared
   // values read from other processes.)
-  const std::vector<LogRecord> &Records = Log.Procs[Pid].Records;
+  const RecordSeq &Records = Log.Procs[Pid].Records;
   for (uint32_t Idx = 0; Idx <= EndRecord && Idx < Records.size(); ++Idx) {
     const LogRecord &R = Records[Idx];
     if (R.Kind != LogRecordKind::Postlog && R.Kind != LogRecordKind::UnitLog)

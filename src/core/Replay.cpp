@@ -6,6 +6,8 @@
 
 #include "core/Replay.h"
 
+#include "support/Arith.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -18,9 +20,11 @@ namespace {
 int64_t isqrt(int64_t X) {
   assert(X >= 0 && "isqrt of negative value");
   int64_t R = int64_t(std::sqrt(double(X)));
-  while (R > 0 && R * R > X)
+  // Compare in uint64: sqrt's rounding can overshoot enough that R*R (or
+  // (R+1)^2 near INT64_MAX) overflows int64.
+  while (R > 0 && uint64_t(R) * uint64_t(R) > uint64_t(X))
     --R;
-  while ((R + 1) * (R + 1) <= X)
+  while (uint64_t(R + 1) * uint64_t(R + 1) <= uint64_t(X))
     ++R;
   return R;
 }
@@ -107,7 +111,7 @@ private:
       writeVarWhole(V.Var, V.Values);
   }
 
-  void writeVarWhole(VarId Var, const std::vector<int64_t> &Values) {
+  void writeVarWhole(VarId Var, const SmallVec<int64_t, 2> &Values) {
     const VarInfo &Info = Prog.Symbols->var(Var);
     int64_t *Base = baseOf(Info);
     if (!Base)
@@ -180,7 +184,7 @@ private:
   StepOutcome step();
 
   const CompiledProgram &Prog;
-  const std::vector<LogRecord> &Records;
+  const RecordSeq &Records;
   uint32_t Pid;
   const LogInterval &Interval;
   const ReplayOptions &Options;
@@ -382,17 +386,17 @@ Replayer::StepOutcome Replayer::step() {
 
   case Op::Add: {
     int64_t B = Pop(), A = Pop();
-    Push(A + B);
+    Push(wrapAdd(A, B));
     return StepOutcome::Continue;
   }
   case Op::Sub: {
     int64_t B = Pop(), A = Pop();
-    Push(A - B);
+    Push(wrapSub(A, B));
     return StepOutcome::Continue;
   }
   case Op::Mul: {
     int64_t B = Pop(), A = Pop();
-    Push(A * B);
+    Push(wrapMul(A, B));
     return StepOutcome::Continue;
   }
   case Op::Div: {
@@ -401,7 +405,7 @@ Replayer::StepOutcome Replayer::step() {
       failHere(RuntimeErrorKind::DivideByZero, Stmt);
       return StepOutcome::Stop;
     }
-    Push(A / B);
+    Push(wrapDiv(A, B));
     return StepOutcome::Continue;
   }
   case Op::Mod: {
@@ -410,11 +414,11 @@ Replayer::StepOutcome Replayer::step() {
       failHere(RuntimeErrorKind::ModuloByZero, Stmt);
       return StepOutcome::Stop;
     }
-    Push(A % B);
+    Push(wrapMod(A, B));
     return StepOutcome::Continue;
   }
   case Op::Neg:
-    Stack.back() = -Stack.back();
+    Stack.back() = wrapNeg(Stack.back());
     return StepOutcome::Continue;
   case Op::Not:
     Stack.back() = Stack.back() == 0;

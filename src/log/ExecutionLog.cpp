@@ -1,14 +1,33 @@
 //===- log/ExecutionLog.cpp -----------------------------------------------===//
 //
-// Part of PPD. See ExecutionLog.h and LogRecord.h.
+// Part of PPD. See ExecutionLog.h, LogRecord.h, and LogIO.h.
+//
+// Two on-disk formats share the "PPDL" magic:
+//
+//   v1 — the original fixed-width field stream, kept readable and
+//        writable for migration;
+//   v2 — the compact fast path: LEB128 varints, zigzag for signed values,
+//        per-process Seq delta coding, PartnerSeq coded as a distance
+//        from Seq, and one length-prefixed section per process so the
+//        loader can decode sections in parallel. v2 serializes exactly
+//        the fields each record kind carries (the same field sets
+//        byteSize() accounts), where v1 writes every field of every
+//        record.
+//
+// Loads decode into a scratch log and commit to the caller's output only
+// after full validation: a truncated or corrupt file can never leave
+// partial state behind.
 //
 //===----------------------------------------------------------------------===//
 
 #include "log/ExecutionLog.h"
 
 #include "bytecode/Instr.h"
+#include "log/LogIO.h"
+#include "support/ThreadPool.h"
 
-#include <cstdio>
+#include <atomic>
+#include <thread>
 
 using namespace ppd;
 
@@ -84,11 +103,22 @@ size_t ExecutionLog::byteSize() const {
 namespace {
 
 constexpr uint32_t Magic = 0x5050444cu; // "PPDL"
-constexpr uint32_t Version = 1;
 
-class Writer {
+//===----------------------------------------------------------------------===//
+// v1: fixed-width field stream over stdio (legacy migration format)
+//===----------------------------------------------------------------------===//
+//
+// Deliberately the pre-v2 implementation, one fread/fwrite per field. v1
+// exists so old log files stay readable (and writable, for downgrades);
+// an untouched code path is the strongest compatibility guarantee, so all
+// fast-path work went into v2 instead. The E2 benchmark's V1 columns
+// measure exactly this code — the subsystem as it stood before the fast
+// path.
+
+/// Per-field fwrite sink; latches failure.
+class StdioWriter {
 public:
-  explicit Writer(FILE *File) : File(File) {}
+  explicit StdioWriter(FILE *File) : File(File) {}
   bool ok() const { return !Failed; }
 
   void u8(uint8_t V) { raw(&V, 1); }
@@ -105,9 +135,12 @@ private:
   bool Failed = false;
 };
 
-class Reader {
+/// Per-field fread source; latches failure. Tracks the bytes left in the
+/// file so corrupt counts can be rejected before any over-sized reserve.
+class StdioReader {
 public:
-  explicit Reader(FILE *File) : File(File) {}
+  StdioReader(FILE *File, size_t FileBytes)
+      : File(File), Remaining(FileBytes) {}
   bool ok() const { return !Failed; }
 
   uint8_t u8() {
@@ -131,24 +164,34 @@ public:
     return V;
   }
 
-  /// Guards vector resizes against corrupt counts.
+  /// Guards container pre-reservation against corrupt counts: a count can
+  /// never exceed the bytes that remain to encode it.
   bool plausibleCount(uint64_t N) {
-    if (N <= (1u << 28))
+    if (N <= Remaining && N <= (uint64_t(1) << 28))
       return true;
     Failed = true;
     return false;
   }
 
+  /// True iff the stream has no trailing bytes.
+  bool atEof() { return std::fgetc(File) == EOF; }
+
 private:
   void raw(void *Data, size_t Size) {
-    if (!Failed && std::fread(Data, 1, Size, File) != Size)
+    if (Failed)
+      return;
+    if (Size > Remaining || std::fread(Data, 1, Size, File) != Size) {
       Failed = true;
+      return;
+    }
+    Remaining -= Size;
   }
   FILE *File;
+  size_t Remaining;
   bool Failed = false;
 };
 
-void writeRecord(Writer &W, const LogRecord &R) {
+void writeRecordV1(StdioWriter &W, const LogRecord &R) {
   W.u8(uint8_t(R.Kind));
   W.u32(R.Id);
   W.u32(R.Flags);
@@ -172,7 +215,7 @@ void writeRecord(Writer &W, const LogRecord &R) {
     W.u32(S);
 }
 
-bool readRecord(Reader &R, LogRecord &Out) {
+bool readRecordV1(StdioReader &R, LogRecord &Out) {
   Out.Kind = LogRecordKind(R.u8());
   Out.Id = R.u32();
   Out.Flags = R.u32();
@@ -209,17 +252,9 @@ bool readRecord(Reader &R, LogRecord &Out) {
   return R.ok();
 }
 
-} // namespace
-
-bool ExecutionLog::save(const std::string &Path) const {
-  FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File)
-    return false;
-  Writer W(File);
-  W.u32(Magic);
-  W.u32(Version);
-  W.u32(uint32_t(Procs.size()));
-  for (const ProcessLog &P : Procs) {
+void saveV1(StdioWriter &W, const ExecutionLog &Log) {
+  W.u32(uint32_t(Log.Procs.size()));
+  for (const ProcessLog &P : Log.Procs) {
     W.u32(P.Pid);
     W.u32(P.RootFunc);
     W.u32(uint32_t(P.Args.size()));
@@ -227,105 +262,449 @@ bool ExecutionLog::save(const std::string &Path) const {
       W.i64(A);
     W.u32(uint32_t(P.Records.size()));
     for (const LogRecord &R : P.Records)
-      writeRecord(W, R);
+      writeRecordV1(W, R);
   }
-  W.u32(uint32_t(Output.size()));
-  for (const OutputRecord &O : Output) {
+  W.u32(uint32_t(Log.Output.size()));
+  for (const OutputRecord &O : Log.Output) {
     W.u32(O.Pid);
     W.i64(O.Value);
     W.u32(O.Stmt);
   }
-  bool Ok = W.ok();
-  Ok &= std::fclose(File) == 0;
-  return Ok;
 }
 
-bool ExecutionLog::load(const std::string &Path, ExecutionLog &Out) {
-  FILE *File = std::fopen(Path.c_str(), "rb");
+bool loadV1(StdioReader &R, ExecutionLog &Out) {
+  uint32_t NumProcs = R.u32();
+  if (!R.plausibleCount(NumProcs))
+    return false;
+  Out.Procs.resize(NumProcs);
+  for (ProcessLog &P : Out.Procs) {
+    P.Pid = R.u32();
+    P.RootFunc = R.u32();
+    uint32_t NumArgs = R.u32();
+    if (!R.plausibleCount(NumArgs))
+      return false;
+    P.Args.resize(NumArgs);
+    for (int64_t &A : P.Args)
+      A = R.i64();
+    uint32_t NumRecords = R.u32();
+    if (!R.plausibleCount(NumRecords))
+      return false;
+    P.Records.reserve(NumRecords);
+    for (uint32_t I = 0; I != NumRecords; ++I) {
+      if (!readRecordV1(R, P.Records.emplace_back()))
+        return false;
+      if (P.Records.back().Kind == LogRecordKind::Prelog)
+        ++P.PrelogCount;
+    }
+  }
+  uint32_t NumOutput = R.u32();
+  if (!R.plausibleCount(NumOutput))
+    return false;
+  Out.Output.resize(NumOutput);
+  for (OutputRecord &O : Out.Output) {
+    O.Pid = R.u32();
+    O.Value = R.i64();
+    O.Stmt = R.u32();
+  }
+  return R.ok() && R.atEof();
+}
+
+//===----------------------------------------------------------------------===//
+// v2: compact varint encoding, per-process sections
+//===----------------------------------------------------------------------===//
+
+/// Runs Fn(0), ..., Fn(N-1), fanning the calls out across \p Pool when one
+/// is available. The waiting thread steals queued tasks, so a pool shared
+/// with other work still makes progress. A null pool, an empty pool, or a
+/// trip count of one degrades to a plain serial loop.
+template <typename FnT>
+void parallelFor(ThreadPool *Pool, size_t N, const FnT &Fn) {
+  if (!Pool || Pool->numThreads() == 0 || N < 2) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Done{0};
+  for (size_t I = 0; I != N; ++I)
+    Pool->submit([&, I] {
+      Fn(I);
+      Done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  while (Done.load(std::memory_order_acquire) != N)
+    if (!Pool->runOneTask())
+      std::this_thread::yield();
+}
+
+/// StmtId's InvalidId (~0u) maps to 0 so the common "no statement" case
+/// costs one byte; uint32_t wraparound makes the mapping exact.
+uint64_t stmtCode(uint32_t Stmt) { return uint64_t(uint32_t(Stmt + 1)); }
+uint32_t stmtDecode(uint64_t Code) { return uint32_t(Code) - 1; }
+
+void writeRecordV2(LogWriter &W, const LogRecord &R, uint64_t &PrevSeq) {
+  // One capacity check covers the whole record: 10 bytes per worst-case
+  // varint over every field the record can carry, so the per-field
+  // emitters below run branch-free on capacity.
+  size_t Bound = 2 + 6 * 10 + 10 * (R.ReadSet.size() + R.WriteSet.size());
+  for (const VarValue &V : R.Vars)
+    Bound += 2 * 10 + 10 * V.Values.size();
+  W.ensureBytes(Bound);
+
+  W.u8Unchecked(uint8_t(R.Kind));
+  auto Vars = [&] {
+    W.varintUnchecked(R.Vars.size());
+    for (const VarValue &V : R.Vars) {
+      W.varintUnchecked(V.Var);
+      W.varintUnchecked(V.Values.size());
+      for (int64_t Value : V.Values)
+        W.svarintUnchecked(Value);
+    }
+  };
+  switch (R.Kind) {
+  case LogRecordKind::Prelog:
+  case LogRecordKind::UnitLog:
+    W.varintUnchecked(R.Id);
+    Vars();
+    break;
+  case LogRecordKind::Postlog:
+    W.varintUnchecked(R.Id);
+    W.varintUnchecked(R.Flags);
+    if (R.Flags & PostlogExitsFunction)
+      W.svarintUnchecked(R.Value);
+    Vars();
+    break;
+  case LogRecordKind::Input:
+    W.svarintUnchecked(R.Value);
+    break;
+  case LogRecordKind::SyncEvent: {
+    W.u8Unchecked(uint8_t(R.Sync));
+    W.varintUnchecked(R.Id);
+    W.varintUnchecked(stmtCode(R.Stmt));
+    W.svarintUnchecked(R.Value);
+    // Seqs of one process are a monotone subsequence of the global
+    // counter; the gap since the process's previous sync event is small.
+    W.svarintUnchecked(int64_t(R.Seq - PrevSeq));
+    PrevSeq = R.Seq;
+    // PartnerSeq, when present, is a recent event: code its distance from
+    // Seq. 0 flags "no partner"; otherwise bit 0 is set above the zigzag
+    // distance.
+    if (R.PartnerSeq == NoPartner)
+      W.varintUnchecked(0);
+    else
+      // Unsigned subtraction: wraps mod 2^64, so any partner value —
+      // even an implausible one from a hand-built log — round-trips.
+      W.varintUnchecked((zigzagEncode(int64_t(R.Seq - R.PartnerSeq)) << 1) |
+                        1);
+    W.varintUnchecked(R.ReadSet.size());
+    for (uint32_t S : R.ReadSet)
+      W.varintUnchecked(S);
+    W.varintUnchecked(R.WriteSet.size());
+    for (uint32_t S : R.WriteSet)
+      W.varintUnchecked(S);
+    break;
+  }
+  case LogRecordKind::Stop:
+    W.varintUnchecked(stmtCode(R.Stmt));
+    break;
+  }
+}
+
+bool readRecordV2(ByteReader &R, LogRecord &Out, uint64_t &PrevSeq) {
+  Out.Kind = LogRecordKind(R.u8());
+  auto Vars = [&] {
+    uint64_t NumVars = R.varint();
+    if (!R.plausibleCount(NumVars))
+      return false;
+    Out.Vars.resize(NumVars);
+    for (VarValue &V : Out.Vars) {
+      V.Var = VarId(R.varint());
+      uint64_t NumValues = R.varint();
+      if (!R.plausibleCount(NumValues))
+        return false;
+      V.Values.resize(NumValues);
+      for (int64_t &Value : V.Values)
+        Value = R.svarint();
+    }
+    return true;
+  };
+  switch (Out.Kind) {
+  case LogRecordKind::Prelog:
+  case LogRecordKind::UnitLog:
+    Out.Id = uint32_t(R.varint());
+    if (!Vars())
+      return false;
+    break;
+  case LogRecordKind::Postlog:
+    Out.Id = uint32_t(R.varint());
+    Out.Flags = uint32_t(R.varint());
+    if (Out.Flags & PostlogExitsFunction)
+      Out.Value = R.svarint();
+    if (!Vars())
+      return false;
+    break;
+  case LogRecordKind::Input:
+    Out.Value = R.svarint();
+    break;
+  case LogRecordKind::SyncEvent: {
+    Out.Sync = SyncKind(R.u8());
+    Out.Id = uint32_t(R.varint());
+    Out.Stmt = stmtDecode(R.varint());
+    Out.Value = R.svarint();
+    Out.Seq = PrevSeq + uint64_t(R.svarint());
+    PrevSeq = Out.Seq;
+    uint64_t Partner = R.varint();
+    Out.PartnerSeq = Partner == 0
+                         ? NoPartner
+                         : Out.Seq - uint64_t(zigzagDecode(Partner >> 1));
+    uint64_t NumRead = R.varint();
+    if (!R.plausibleCount(NumRead))
+      return false;
+    Out.ReadSet.resize(NumRead);
+    for (uint32_t &S : Out.ReadSet)
+      S = uint32_t(R.varint());
+    uint64_t NumWrite = R.varint();
+    if (!R.plausibleCount(NumWrite))
+      return false;
+    Out.WriteSet.resize(NumWrite);
+    for (uint32_t &S : Out.WriteSet)
+      S = uint32_t(R.varint());
+    break;
+  }
+  case LogRecordKind::Stop:
+    Out.Stmt = stmtDecode(R.varint());
+    break;
+  default:
+    R.fail();
+    return false;
+  }
+  return R.ok();
+}
+
+void saveV2(LogWriter &W, const ExecutionLog &Log, ThreadPool *Pool) {
+  W.varint(Log.Procs.size());
+  // Each section is a pure function of its process's records, so with a
+  // pool the serializations fan out; the stitched bytes are identical at
+  // any worker count.
+  std::vector<LogWriter> Sections(Log.Procs.size());
+  parallelFor(Pool, Sections.size(), [&](size_t I) {
+    const ProcessLog &P = Log.Procs[I];
+    LogWriter &S = Sections[I];
+    // Typical records encode to ~10 bytes; reserving up front turns ~a
+    // dozen doubling-and-copy growths per section into at most one.
+    S.reserve(64 + 16 * P.Records.size());
+    S.varint(P.Pid);
+    S.varint(P.RootFunc);
+    S.varint(P.Args.size());
+    for (int64_t A : P.Args)
+      S.svarint(A);
+    S.varint(P.Records.size());
+    // The prelog count the header must carry (the LogIndex reservation) is
+    // recounted rather than trusting ProcessLog::PrelogCount, so
+    // hand-built logs with a stale counter still save correctly.
+    uint32_t Prelogs = 0;
+    for (const LogRecord &R : P.Records)
+      if (R.Kind == LogRecordKind::Prelog)
+        ++Prelogs;
+    S.varint(Prelogs);
+    uint64_t PrevSeq = 0;
+    for (const LogRecord &R : P.Records)
+      writeRecordV2(S, R, PrevSeq);
+  });
+  for (const LogWriter &S : Sections) {
+    // The byte length lets the loader skip to the next section without
+    // decoding this one — the handle parallel decode hangs off.
+    W.varint(S.size());
+    W.bytes(S);
+  }
+  W.varint(Log.Output.size());
+  for (const OutputRecord &O : Log.Output) {
+    W.varint(O.Pid);
+    W.svarint(O.Value);
+    W.varint(stmtCode(O.Stmt));
+  }
+}
+
+/// Decodes one v2 process section into \p P. Thread-safe: touches only
+/// its own section's bytes and its own ProcessLog.
+bool decodeSectionV2(ByteReader R, ProcessLog &P) {
+  P.Pid = uint32_t(R.varint());
+  P.RootFunc = uint32_t(R.varint());
+  uint64_t NumArgs = R.varint();
+  if (!R.plausibleCount(NumArgs))
+    return false;
+  P.Args.resize(NumArgs);
+  for (int64_t &A : P.Args)
+    A = R.svarint();
+  uint64_t NumRecords = R.varint();
+  if (!R.plausibleCount(NumRecords))
+    return false;
+  uint64_t ClaimedPrelogs = R.varint();
+  if (!R.plausibleCount(ClaimedPrelogs))
+    return false;
+  P.Records.reserve(NumRecords);
+  uint64_t PrevSeq = 0;
+  for (uint64_t I = 0; I != NumRecords; ++I) {
+    LogRecord &Rec = P.Records.emplace_back();
+    if (!readRecordV2(R, Rec, PrevSeq))
+      return false;
+    if (Rec.Kind == LogRecordKind::Prelog)
+      ++P.PrelogCount;
+  }
+  // The header's prelog count is the LogIndex reservation; reject files
+  // whose sections disagree with their own headers.
+  return R.ok() && R.atEnd() && P.PrelogCount == ClaimedPrelogs;
+}
+
+bool loadV2(ByteReader &R, ExecutionLog &Out, ThreadPool *Pool) {
+  uint64_t NumProcs = R.varint();
+  if (!R.plausibleCount(NumProcs))
+    return false;
+  Out.Procs.resize(NumProcs);
+
+  // Pass 1: slice the file into per-process sections (cheap — one varint
+  // plus a bounds-checked skip per process).
+  std::vector<ByteReader> Sections;
+  Sections.reserve(NumProcs);
+  for (uint64_t I = 0; I != NumProcs; ++I) {
+    uint64_t Len = R.varint();
+    if (!R.ok() || Len > R.remaining())
+      return false;
+    Sections.push_back(R.sub(size_t(Len)));
+  }
+  if (!R.ok())
+    return false;
+
+  // Pass 2: decode the sections — independently, so in parallel when a
+  // pool is available. Each task writes only its own pre-sized slot;
+  // the assembled log is identical at any worker count.
+  std::atomic<bool> AllOk{true};
+  parallelFor(Pool, Sections.size(), [&](size_t I) {
+    if (!decodeSectionV2(Sections[I], Out.Procs[I]))
+      AllOk.store(false, std::memory_order_relaxed);
+  });
+  if (!AllOk.load(std::memory_order_acquire))
+    return false;
+
+  uint64_t NumOutput = R.varint();
+  if (!R.plausibleCount(NumOutput))
+    return false;
+  Out.Output.resize(NumOutput);
+  for (OutputRecord &O : Out.Output) {
+    O.Pid = uint32_t(R.varint());
+    O.Value = R.svarint();
+    O.Stmt = stmtDecode(R.varint());
+  }
+  return R.ok() && R.atEnd();
+}
+
+} // namespace
+
+bool ExecutionLog::save(const std::string &Path, LogFormat Format,
+                        ThreadPool *Pool) const {
+  if (Format == LogFormat::V1) {
+    // Legacy path: stream straight to the file, one fwrite per field.
+    FileHandle File(Path, "wb");
+    if (!File)
+      return false;
+    StdioWriter W(File.get());
+    W.u32(Magic);
+    W.u32(uint32_t(Format));
+    saveV1(W, *this);
+    return W.ok() && File.close();
+  }
+  LogWriter W;
+  W.u32(Magic);
+  W.u32(uint32_t(Format));
+  saveV2(W, *this, Pool);
+  return W.writeFile(Path);
+}
+
+bool ExecutionLog::load(const std::string &Path, ExecutionLog &Out,
+                        ThreadPool *Pool) {
+  FileHandle File(Path, "rb");
   if (!File)
     return false;
-  Reader R(File);
-  bool Ok = R.u32() == Magic && R.u32() == Version;
-  if (Ok) {
-    uint32_t NumProcs = R.u32();
-    Ok = R.plausibleCount(NumProcs);
-    if (Ok)
-      Out.Procs.resize(NumProcs);
-    for (ProcessLog &P : Out.Procs) {
-      if (!Ok)
-        break;
-      P.Pid = R.u32();
-      P.RootFunc = R.u32();
-      uint32_t NumArgs = R.u32();
-      Ok = R.plausibleCount(NumArgs);
-      if (!Ok)
-        break;
-      P.Args.resize(NumArgs);
-      for (int64_t &A : P.Args)
-        A = R.i64();
-      uint32_t NumRecords = R.u32();
-      Ok = R.plausibleCount(NumRecords);
-      if (!Ok)
-        break;
-      P.Records.resize(NumRecords);
-      for (LogRecord &Rec : P.Records)
-        if (!readRecord(R, Rec)) {
-          Ok = false;
-          break;
-        }
-    }
+  if (std::fseek(File.get(), 0, SEEK_END) != 0)
+    return false;
+  long FileSize = std::ftell(File.get());
+  if (FileSize < 0 || std::fseek(File.get(), 0, SEEK_SET) != 0)
+    return false;
+
+  StdioReader R(File.get(), size_t(FileSize));
+  if (R.u32() != Magic)
+    return false;
+  uint32_t Version = R.u32();
+  if (!R.ok())
+    return false;
+
+  // Decode into scratch; commit only a fully validated log.
+  ExecutionLog Scratch;
+  bool Ok = false;
+  if (Version == uint32_t(LogFormat::V1)) {
+    // Legacy path: decode field by field from the stream.
+    Ok = loadV1(R, Scratch);
+  } else if (Version == uint32_t(LogFormat::V2)) {
+    // Fast path: slurp the payload and decode in memory, so the
+    // per-process sections can fan out across a pool.
+    std::vector<uint8_t> Bytes(size_t(FileSize) - 8);
+    if (!Bytes.empty() &&
+        std::fread(Bytes.data(), 1, Bytes.size(), File.get()) != Bytes.size())
+      return false;
+    ByteReader BR(Bytes.data(), Bytes.size());
+    Ok = loadV2(BR, Scratch, Pool);
   }
-  if (Ok) {
-    uint32_t NumOutput = R.u32();
-    Ok = R.plausibleCount(NumOutput);
-    if (Ok) {
-      Out.Output.resize(NumOutput);
-      for (OutputRecord &O : Out.Output) {
-        O.Pid = R.u32();
-        O.Value = R.i64();
-        O.Stmt = R.u32();
-      }
-    }
-  }
-  Ok = Ok && R.ok();
-  std::fclose(File);
-  return Ok;
+  if (!Ok)
+    return false;
+  Out = std::move(Scratch);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
 // LogIndex
 //===----------------------------------------------------------------------===//
 
-LogIndex::LogIndex(const ExecutionLog &Log) {
-  Intervals.resize(Log.Procs.size());
-  OpenIntervals.resize(Log.Procs.size());
+namespace {
 
-  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
-    const std::vector<LogRecord> &Records = Log.Procs[Pid].Records;
-    std::vector<uint32_t> Stack; // interval indices
-    for (uint32_t Idx = 0; Idx != Records.size(); ++Idx) {
-      const LogRecord &R = Records[Idx];
-      if (R.Kind == LogRecordKind::Prelog) {
-        LogInterval Interval;
-        Interval.Index = uint32_t(Intervals[Pid].size());
-        Interval.EBlock = R.Id;
-        Interval.PrelogRecord = Idx;
-        Interval.PostlogRecord = InvalidId;
-        Interval.Parent = Stack.empty() ? InvalidId : Stack.back();
-        Interval.Depth = uint32_t(Stack.size());
-        Stack.push_back(Interval.Index);
-        Intervals[Pid].push_back(Interval);
-      } else if (R.Kind == LogRecordKind::Postlog) {
-        assert(!Stack.empty() && "postlog without open interval");
-        LogInterval &Interval = Intervals[Pid][Stack.back()];
-        assert(Interval.EBlock == R.Id && "postlog/prelog e-block mismatch");
-        Interval.PostlogRecord = Idx;
-        Interval.ExitsFunction = (R.Flags & PostlogExitsFunction) != 0;
-        Stack.pop_back();
-      }
+/// Builds one process's interval tree. Pure function of that process's
+/// record stream — the unit of parallelism.
+void buildProcIndex(const ProcessLog &P, std::vector<LogInterval> &Intervals,
+                    std::vector<uint32_t> &Open) {
+  Intervals.reserve(P.PrelogCount);
+  std::vector<uint32_t> Stack; // interval indices
+  const RecordSeq &Records = P.Records;
+  for (uint32_t Idx = 0; Idx != Records.size(); ++Idx) {
+    const LogRecord &R = Records[Idx];
+    if (R.Kind == LogRecordKind::Prelog) {
+      LogInterval Interval;
+      Interval.Index = uint32_t(Intervals.size());
+      Interval.EBlock = R.Id;
+      Interval.PrelogRecord = Idx;
+      Interval.PostlogRecord = InvalidId;
+      Interval.Parent = Stack.empty() ? InvalidId : Stack.back();
+      Interval.Depth = uint32_t(Stack.size());
+      Stack.push_back(Interval.Index);
+      Intervals.push_back(Interval);
+    } else if (R.Kind == LogRecordKind::Postlog) {
+      assert(!Stack.empty() && "postlog without open interval");
+      LogInterval &Interval = Intervals[Stack.back()];
+      assert(Interval.EBlock == R.Id && "postlog/prelog e-block mismatch");
+      Interval.PostlogRecord = Idx;
+      Interval.ExitsFunction = (R.Flags & PostlogExitsFunction) != 0;
+      Stack.pop_back();
     }
-    OpenIntervals[Pid] = std::move(Stack);
   }
+  Open = std::move(Stack);
+}
+
+} // namespace
+
+LogIndex::LogIndex(const ExecutionLog &Log, ThreadPool *Pool) {
+  size_t NumProcs = Log.Procs.size();
+  Intervals.resize(NumProcs);
+  OpenIntervals.resize(NumProcs);
+
+  parallelFor(Pool, NumProcs, [&](size_t Pid) {
+    buildProcIndex(Log.Procs[Pid], Intervals[Pid], OpenIntervals[Pid]);
+  });
 }
 
 const LogInterval *LogIndex::intervalAtRecord(uint32_t Pid,

@@ -29,6 +29,14 @@
 
 namespace ppd {
 
+class ThreadPool;
+
+/// On-disk format versions. V1 is the original fixed-width stream; V2 is
+/// the compact encoding (varints, delta-coded sequence numbers,
+/// length-prefixed per-process sections that decode in parallel). See
+/// DESIGN.md §6 "Log file format v2" for the layout.
+enum class LogFormat : uint32_t { V1 = 1, V2 = 2 };
+
 /// One observable output line: `print(e)` by process Pid.
 struct OutputRecord {
   uint32_t Pid = 0;
@@ -53,10 +61,20 @@ public:
   /// Total approximate log volume in bytes (experiment E2).
   size_t byteSize() const;
 
-  /// Serializes to / reads back from a binary file. Returns false on I/O
-  /// or format errors.
-  bool save(const std::string &Path) const;
-  static bool load(const std::string &Path, ExecutionLog &Out);
+  /// Serializes to a binary file (compact v2 by default; v1 kept for
+  /// migration). With \p Pool, v2 process sections are serialized in
+  /// parallel; the bytes written are identical to a serial save. Returns
+  /// false on I/O errors.
+  bool save(const std::string &Path, LogFormat Format = LogFormat::V2,
+            ThreadPool *Pool = nullptr) const;
+
+  /// Reads either format back, auto-detected from the header. On any I/O
+  /// or format error (including truncation at every byte offset) returns
+  /// false and leaves \p Out untouched. With \p Pool, v2 process sections
+  /// are decoded in parallel; the result is bit-identical to a serial
+  /// load.
+  static bool load(const std::string &Path, ExecutionLog &Out,
+                   ThreadPool *Pool = nullptr);
 };
 
 /// One dynamic log interval I_i (the execution of one e-block).
@@ -73,7 +91,12 @@ struct LogInterval {
 /// Per-process interval tree, derived from the record stream.
 class LogIndex {
 public:
-  explicit LogIndex(const ExecutionLog &Log);
+  /// Derives the interval structure of every process. Each process's tree
+  /// depends only on its own record stream, so with \p Pool the
+  /// per-process constructions fan out across the workers; the result is
+  /// bit-identical to the serial build. Interval vectors are pre-reserved
+  /// exactly from ProcessLog::PrelogCount.
+  explicit LogIndex(const ExecutionLog &Log, ThreadPool *Pool = nullptr);
 
   const std::vector<LogInterval> &intervals(uint32_t Pid) const {
     return Intervals[Pid];

@@ -31,6 +31,8 @@
 #define PPD_LOG_LOGRECORD_H
 
 #include "lang/Ast.h"
+#include "log/RecordArena.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
 #include <string>
@@ -66,10 +68,11 @@ enum class SyncKind : uint8_t {
 const char *syncKindName(SyncKind Kind);
 
 /// A variable's captured contents: one value for scalars, ArraySize values
-/// for arrays.
+/// for arrays. Inline storage covers scalars and 2-element arrays; only
+/// larger arrays spill — the emit path's common case never allocates.
 struct VarValue {
   VarId Var = InvalidId;
-  std::vector<int64_t> Values;
+  SmallVec<int64_t, 2> Values;
 };
 
 /// Sentinel for "no partner" in SyncEvent records.
@@ -92,23 +95,30 @@ struct LogRecord {
   /// Originating statement, when known (SyncEvent).
   StmtId Stmt = InvalidId;
   /// Captured variable values (Prelog/Postlog/UnitLog).
-  std::vector<VarValue> Vars;
+  SmallVec<VarValue, 2> Vars;
   /// Shared-variable indices read/written on the internal edge ending at
-  /// this SyncEvent (race detection, Def 6.2).
-  std::vector<uint32_t> ReadSet;
-  std::vector<uint32_t> WriteSet;
+  /// this SyncEvent (race detection, Def 6.2), in ascending order.
+  SmallVec<uint32_t, 4> ReadSet;
+  SmallVec<uint32_t, 4> WriteSet;
 
   /// Approximate on-disk size in bytes; the currency of experiment E2
   /// (incremental-log volume vs full-trace volume).
   size_t byteSize() const;
 };
 
+/// The record stream of one process: arena-chunked, so appends during the
+/// execution phase never re-allocate or move already-emitted records.
+using RecordSeq = RecordStore<LogRecord>;
+
 /// The log of one process, in emission order.
 struct ProcessLog {
   uint32_t Pid = 0;
   uint32_t RootFunc = 0;           ///< function the process runs.
   std::vector<int64_t> Args;       ///< root invocation arguments.
-  std::vector<LogRecord> Records;
+  RecordSeq Records;
+  /// Number of Prelog records in Records, maintained on emit and load:
+  /// the exact interval count, so LogIndex pre-reserves precisely.
+  uint32_t PrelogCount = 0;
 
   size_t byteSize() const;
 };

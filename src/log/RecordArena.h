@@ -1,0 +1,248 @@
+//===- log/RecordArena.h - Bump arena + chunked record storage --*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for the execution-phase log's record streams. A growing
+/// std::vector<LogRecord> re-allocates and moves every record already
+/// emitted — O(n) bursts in the middle of the latency-critical execution
+/// phase, exactly the cost profile the paper's <15% overhead bound (§7)
+/// forbids. RecordStore instead appends into fixed-size chunks carved from
+/// a RecordArena bump allocator: appends are O(1) with no moves, records
+/// have stable addresses for the lifetime of the log (the VM hands out
+/// `LogRecord &` across instruction boundaries), and teardown frees whole
+/// blocks instead of walking an allocation list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LOG_RECORDARENA_H
+#define PPD_LOG_RECORDARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ppd {
+
+/// A bump allocator: carves aligned allocations out of geometrically
+/// growing blocks, frees everything at once on destruction. Never runs
+/// element destructors — callers own object lifetimes.
+class RecordArena {
+public:
+  RecordArena() = default;
+  RecordArena(RecordArena &&) = default;
+  RecordArena &operator=(RecordArena &&) = default;
+  RecordArena(const RecordArena &) = delete;
+  RecordArena &operator=(const RecordArena &) = delete;
+
+  ~RecordArena() { reset(); }
+
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Cur = reinterpret_cast<uintptr_t>(Ptr);
+    size_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    if (!Ptr || Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      newBlock(Bytes, Align);
+      Cur = reinterpret_cast<uintptr_t>(Ptr);
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+    }
+    Ptr = reinterpret_cast<char *>(Aligned + Bytes);
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Frees every block. All objects allocated from this arena die with it.
+  void reset() {
+    for (const Block &B : Blocks)
+      ::operator delete(B.Data, std::align_val_t(BlockAlign));
+    Blocks.clear();
+    Ptr = End = nullptr;
+  }
+
+  size_t bytesAllocated() const {
+    size_t Total = 0;
+    for (const Block &B : Blocks)
+      Total += B.Size;
+    return Total;
+  }
+
+private:
+  static constexpr size_t FirstBlockBytes = 1 << 14; // 16 KiB
+  static constexpr size_t MaxBlockBytes = 1 << 20;   // 1 MiB
+  static constexpr size_t BlockAlign = alignof(std::max_align_t);
+
+  void newBlock(size_t MinBytes, size_t Align) {
+    size_t Want = Blocks.empty()
+                      ? FirstBlockBytes
+                      : std::min(Blocks.back().Size * 2, MaxBlockBytes);
+    if (Want < MinBytes + Align)
+      Want = MinBytes + Align;
+    char *Data = static_cast<char *>(
+        ::operator new(Want, std::align_val_t(BlockAlign)));
+    Blocks.push_back({Data, Want});
+    Ptr = Data;
+    End = Data + Want;
+  }
+
+  struct Block {
+    char *Data;
+    size_t Size;
+  };
+  std::vector<Block> Blocks;
+  char *Ptr = nullptr;
+  char *End = nullptr;
+};
+
+/// A chunked sequence of T backed by a RecordArena: stable addresses,
+/// O(1) append with no element moves, indexed access via one shift + mask.
+/// Exposes exactly the std::vector surface the log's consumers use.
+template <typename T, unsigned ChunkShift = 8> class RecordStore {
+  static constexpr size_t ChunkLen = size_t(1) << ChunkShift;
+  static constexpr size_t ChunkMask = ChunkLen - 1;
+
+public:
+  RecordStore() = default;
+
+  RecordStore(RecordStore &&Other) noexcept
+      : Arena(std::move(Other.Arena)), Chunks(std::move(Other.Chunks)),
+        Count(Other.Count) {
+    Other.Chunks.clear();
+    Other.Count = 0;
+  }
+
+  RecordStore &operator=(RecordStore &&Other) noexcept {
+    if (this != &Other) {
+      destroyAll();
+      Arena = std::move(Other.Arena);
+      Chunks = std::move(Other.Chunks);
+      Count = Other.Count;
+      Other.Chunks.clear();
+      Other.Count = 0;
+    }
+    return *this;
+  }
+
+  RecordStore(const RecordStore &Other) {
+    reserve(Other.Count);
+    for (const T &V : Other)
+      emplace_back(V);
+  }
+
+  RecordStore &operator=(const RecordStore &Other) {
+    if (this != &Other) {
+      destroyAll();
+      reserve(Other.Count);
+      for (const T &V : Other)
+        emplace_back(V);
+    }
+    return *this;
+  }
+
+  ~RecordStore() { destroyAll(); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "record index out of range");
+    return Chunks[I >> ChunkShift][I & ChunkMask];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "record index out of range");
+    return Chunks[I >> ChunkShift][I & ChunkMask];
+  }
+  T &back() {
+    assert(Count && "back of empty store");
+    return (*this)[Count - 1];
+  }
+  const T &back() const {
+    assert(Count && "back of empty store");
+    return (*this)[Count - 1];
+  }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Count == Chunks.size() * ChunkLen)
+      Chunks.push_back(static_cast<T *>(
+          Arena.allocate(ChunkLen * sizeof(T), alignof(T))));
+    T *Slot = Chunks[Count >> ChunkShift] + (Count & ChunkMask);
+    ::new (static_cast<void *>(Slot)) T(std::forward<Args>(A)...);
+    ++Count;
+    return *Slot;
+  }
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+
+  /// Pre-allocates chunk storage for \p Cap elements (no construction).
+  void reserve(size_t Cap) {
+    Chunks.reserve((Cap + ChunkLen - 1) >> ChunkShift);
+    while (Chunks.size() * ChunkLen < Cap)
+      Chunks.push_back(static_cast<T *>(
+          Arena.allocate(ChunkLen * sizeof(T), alignof(T))));
+  }
+
+  void clear() { destroyAll(); }
+
+  template <bool Const> class IterImpl {
+    using Store = std::conditional_t<Const, const RecordStore, RecordStore>;
+    using Ref = std::conditional_t<Const, const T &, T &>;
+
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T *, T *>;
+    using reference = Ref;
+
+    IterImpl() = default;
+    IterImpl(Store *S, size_t I) : S(S), I(I) {}
+    Ref operator*() const { return (*S)[I]; }
+    pointer operator->() const { return &(*S)[I]; }
+    IterImpl &operator++() {
+      ++I;
+      return *this;
+    }
+    IterImpl operator++(int) {
+      IterImpl Tmp = *this;
+      ++I;
+      return Tmp;
+    }
+    friend bool operator==(const IterImpl &A, const IterImpl &B) {
+      return A.I == B.I;
+    }
+    friend bool operator!=(const IterImpl &A, const IterImpl &B) {
+      return A.I != B.I;
+    }
+
+  private:
+    Store *S = nullptr;
+    size_t I = 0;
+  };
+
+  using iterator = IterImpl<false>;
+  using const_iterator = IterImpl<true>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, Count}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, Count}; }
+
+private:
+  void destroyAll() {
+    for (size_t I = 0; I != Count; ++I)
+      (*this)[I].~T();
+    Chunks.clear();
+    Count = 0;
+    Arena.reset();
+  }
+
+  RecordArena Arena;
+  std::vector<T *> Chunks;
+  size_t Count = 0;
+};
+
+} // namespace ppd
+
+#endif // PPD_LOG_RECORDARENA_H

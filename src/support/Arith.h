@@ -1,0 +1,52 @@
+//===- support/Arith.h - Wraparound integer semantics -----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PPL's `int` is a 64-bit two's-complement machine word: arithmetic wraps
+/// on overflow rather than being undefined. Both interpreters — the VM's
+/// object code and the replay engine's emulation package — must evaluate
+/// through these helpers so an overflowing program replays bit-identically
+/// (and so the sanitizer builds stay clean on fuzzed arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_ARITH_H
+#define PPD_SUPPORT_ARITH_H
+
+#include <cstdint>
+
+namespace ppd {
+
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return int64_t(uint64_t(A) + uint64_t(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return int64_t(uint64_t(A) - uint64_t(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return int64_t(uint64_t(A) * uint64_t(B));
+}
+inline int64_t wrapNeg(int64_t A) { return int64_t(0 - uint64_t(A)); }
+
+/// Quotient with the one overflowing case (INT64_MIN / -1, a hardware
+/// trap) wrapped back to INT64_MIN. Caller handles B == 0.
+inline int64_t wrapDiv(int64_t A, int64_t B) {
+  if (B == -1)
+    return wrapNeg(A);
+  return A / B;
+}
+
+/// Remainder; INT64_MIN % -1 is 0 but traps on x86, so special-case it.
+/// Caller handles B == 0.
+inline int64_t wrapMod(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_ARITH_H

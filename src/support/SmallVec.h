@@ -1,0 +1,207 @@
+//===- support/SmallVec.h - Small-size-optimized vector ---------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SmallVec<T, N>: a vector with inline storage for N elements that only
+/// touches the heap when it grows past N. The execution-phase log is built
+/// from millions of tiny element sequences (captured variable values,
+/// per-edge READ/WRITE sets); with std::vector each of them is a separate
+/// heap allocation on the latency-critical emit path. Almost all of them
+/// fit a handful of elements, so inline storage removes the allocator from
+/// the execution phase entirely for typical programs (the paper's <15%
+/// overhead bound, §7).
+///
+/// Deliberately minimal: exactly the std::vector surface the log layer
+/// uses (push_back/emplace_back, assign, resize, reserve, iteration,
+/// indexing, comparison). Grows geometrically once spilled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_SMALLVEC_H
+#define PPD_SUPPORT_SMALLVEC_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ppd {
+
+template <typename T, unsigned N> class SmallVec {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> Init) { assign(Init.begin(), Init.end()); }
+
+  SmallVec(const SmallVec &Other) { assign(Other.begin(), Other.end()); }
+
+  SmallVec(SmallVec &&Other) noexcept { moveFrom(std::move(Other)); }
+
+  SmallVec &operator=(const SmallVec &Other) {
+    if (this != &Other)
+      assign(Other.begin(), Other.end());
+    return *this;
+  }
+
+  SmallVec &operator=(SmallVec &&Other) noexcept {
+    if (this != &Other) {
+      destroyAll();
+      moveFrom(std::move(Other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { destroyAll(); }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Capacity; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  T &back() {
+    assert(Size && "back of empty SmallVec");
+    return Data[Size - 1];
+  }
+  const T &back() const {
+    assert(Size && "back of empty SmallVec");
+    return Data[Size - 1];
+  }
+
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    ::new (static_cast<void *>(Data + Size)) T(std::forward<Args>(A)...);
+    return Data[Size++];
+  }
+
+  void pop_back() {
+    assert(Size && "pop of empty SmallVec");
+    Data[--Size].~T();
+  }
+
+  void clear() {
+    for (size_t I = 0; I != Size; ++I)
+      Data[I].~T();
+    Size = 0;
+  }
+
+  void reserve(size_t Cap) {
+    if (Cap > Capacity)
+      grow(Cap);
+  }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Size) {
+      for (size_t I = NewSize; I != Size; ++I)
+        Data[I].~T();
+    } else {
+      reserve(NewSize);
+      for (size_t I = Size; I != NewSize; ++I)
+        ::new (static_cast<void *>(Data + I)) T();
+    }
+    Size = NewSize;
+  }
+
+  template <typename It> void assign(It First, It Last) {
+    clear();
+    reserve(size_t(std::distance(First, Last)));
+    for (; First != Last; ++First)
+      emplace_back(*First);
+  }
+
+  friend bool operator==(const SmallVec &A, const SmallVec &B) {
+    return std::equal(A.begin(), A.end(), B.begin(), B.end());
+  }
+  friend bool operator!=(const SmallVec &A, const SmallVec &B) {
+    return !(A == B);
+  }
+  friend bool operator==(const SmallVec &A, const std::vector<T> &B) {
+    return std::equal(A.begin(), A.end(), B.begin(), B.end());
+  }
+  friend bool operator==(const std::vector<T> &A, const SmallVec &B) {
+    return B == A;
+  }
+
+private:
+  bool isInline() const {
+    return Data == reinterpret_cast<const T *>(Inline);
+  }
+
+  void grow(size_t MinCap) {
+    size_t NewCap = std::max(MinCap, size_t(Capacity) * 2);
+    T *NewData = static_cast<T *>(
+        ::operator new(NewCap * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t I = 0; I != Size; ++I) {
+      ::new (static_cast<void *>(NewData + I)) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (!isInline())
+      ::operator delete(Data, std::align_val_t(alignof(T)));
+    Data = NewData;
+    Capacity = NewCap;
+  }
+
+  void destroyAll() {
+    clear();
+    if (!isInline())
+      ::operator delete(Data, std::align_val_t(alignof(T)));
+    Data = reinterpret_cast<T *>(Inline);
+    Capacity = N;
+  }
+
+  /// Steals \p Other's heap buffer, or moves its inline elements. Leaves
+  /// *this fully formed and \p Other empty.
+  void moveFrom(SmallVec &&Other) {
+    if (Other.isInline()) {
+      Data = reinterpret_cast<T *>(Inline);
+      Capacity = N;
+      Size = 0;
+      for (size_t I = 0; I != Other.Size; ++I)
+        ::new (static_cast<void *>(Data + I)) T(std::move(Other.Data[I]));
+      Size = Other.Size;
+      Other.clear();
+    } else {
+      Data = Other.Data;
+      Size = Other.Size;
+      Capacity = Other.Capacity;
+      Other.Data = reinterpret_cast<T *>(Other.Inline);
+      Other.Size = 0;
+      Other.Capacity = N;
+    }
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Data = reinterpret_cast<T *>(Inline);
+  uint32_t Size = 0;
+  uint32_t Capacity = N;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_SMALLVEC_H

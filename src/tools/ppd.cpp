@@ -19,6 +19,7 @@
 #include "core/DeadlockAnalyzer.h"
 #include "core/DebugSession.h"
 #include "lang/AstPrinter.h"
+#include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
 #include <cstdio>
@@ -51,6 +52,7 @@ struct CliOptions {
   std::vector<uint32_t> BreakLines;
   unsigned ReplayThreads = 0;
   bool Prefetch = false;
+  LogFormat SaveFormat = LogFormat::V2;
 };
 
 void usage() {
@@ -71,7 +73,10 @@ options:
   --break LINE          halt the machine when any process reaches a
                         statement on this source line (repeatable)
   --save-log PATH       (run) write the execution log to PATH
-  --log PATH            (debug) load the log instead of re-running
+  --log-format V        (run) on-disk format: v2 (compact, default) | v1
+  --log PATH            (debug) load the log instead of re-running; either
+                        format is detected, and --replay-threads workers
+                        decode v2 process sections in parallel
   --mode M              (run) plain | logging | fulltrace
   --algorithm A         (races) naive | indexed
   --leaf-inheritance    partitioner: unlog small call-graph leaves
@@ -126,6 +131,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.LogPath = V;
+    } else if (Arg == "--log-format") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "v1") == 0) {
+        Opts.SaveFormat = LogFormat::V1;
+      } else if (std::strcmp(V, "v2") == 0) {
+        Opts.SaveFormat = LogFormat::V2;
+      } else {
+        std::fprintf(stderr, "error: unknown log format %s\n", V);
+        return false;
+      }
     } else if (Arg == "--mode") {
       const char *V = Next();
       if (!V)
@@ -305,7 +322,10 @@ int cmdRun(const CliOptions &Opts) {
   RunResult Result = M.run();
   reportRun(*Prog, M, Result);
   if (!Opts.LogPath.empty()) {
-    if (!M.log().save(Opts.LogPath)) {
+    std::unique_ptr<ThreadPool> SavePool;
+    if (Opts.ReplayThreads > 0)
+      SavePool = std::make_unique<ThreadPool>(Opts.ReplayThreads);
+    if (!M.log().save(Opts.LogPath, Opts.SaveFormat, SavePool.get())) {
       std::fprintf(stderr, "error: cannot write log to %s\n",
                    Opts.LogPath.c_str());
       return 1;
@@ -354,7 +374,10 @@ int cmdDebug(const CliOptions &Opts) {
 
   ExecutionLog Log;
   if (!Opts.LogPath.empty()) {
-    if (!ExecutionLog::load(Opts.LogPath, Log)) {
+    std::unique_ptr<ThreadPool> LoadPool;
+    if (Opts.ReplayThreads > 0)
+      LoadPool = std::make_unique<ThreadPool>(Opts.ReplayThreads);
+    if (!ExecutionLog::load(Opts.LogPath, Log, LoadPool.get())) {
       std::fprintf(stderr, "error: cannot load log %s\n",
                    Opts.LogPath.c_str());
       return 1;

@@ -6,6 +6,8 @@
 
 #include "vm/Machine.h"
 
+#include "support/Arith.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -46,9 +48,11 @@ std::string RuntimeError::str() const {
 static int64_t isqrt(int64_t X) {
   assert(X >= 0 && "isqrt of negative value");
   int64_t R = int64_t(std::sqrt(double(X)));
-  while (R > 0 && R * R > X)
+  // Compare in uint64: sqrt's rounding can overshoot enough that R*R (or
+  // (R+1)^2 near INT64_MAX) overflows int64.
+  while (R > 0 && uint64_t(R) * uint64_t(R) > uint64_t(X))
     --R;
-  while ((R + 1) * (R + 1) <= X)
+  while (uint64_t(R + 1) * uint64_t(R + 1) <= uint64_t(X))
     ++R;
   return R;
 }
@@ -147,9 +151,11 @@ void Machine::fail(Process &P, RuntimeErrorKind Kind, StmtId Stmt) {
 
 LogRecord &Machine::appendRecord(Process &P, LogRecordKind Kind) {
   ProcessLog &PL = Log.Procs[P.Pid];
-  PL.Records.emplace_back();
-  PL.Records.back().Kind = Kind;
-  return PL.Records.back();
+  LogRecord &R = PL.Records.emplace_back();
+  R.Kind = Kind;
+  if (Kind == LogRecordKind::Prelog)
+    ++PL.PrelogCount;
+  return R;
 }
 
 void Machine::captureVars(Process &P, const std::vector<VarId> &Vars,
@@ -362,17 +368,17 @@ bool Machine::step(Process &P) {
 
   case Op::Add: {
     int64_t B = Pop(), A = Pop();
-    Push(A + B);
+    Push(wrapAdd(A, B));
     return true;
   }
   case Op::Sub: {
     int64_t B = Pop(), A = Pop();
-    Push(A - B);
+    Push(wrapSub(A, B));
     return true;
   }
   case Op::Mul: {
     int64_t B = Pop(), A = Pop();
-    Push(A * B);
+    Push(wrapMul(A, B));
     return true;
   }
   case Op::Div: {
@@ -381,7 +387,7 @@ bool Machine::step(Process &P) {
       fail(P, RuntimeErrorKind::DivideByZero, Stmt);
       return false;
     }
-    Push(A / B);
+    Push(wrapDiv(A, B));
     return true;
   }
   case Op::Mod: {
@@ -390,11 +396,11 @@ bool Machine::step(Process &P) {
       fail(P, RuntimeErrorKind::ModuloByZero, Stmt);
       return false;
     }
-    Push(A % B);
+    Push(wrapMod(A, B));
     return true;
   }
   case Op::Neg:
-    P.Stack.back() = -P.Stack.back();
+    P.Stack.back() = wrapNeg(P.Stack.back());
     return true;
   case Op::Not:
     P.Stack.back() = P.Stack.back() == 0;

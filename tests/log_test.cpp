@@ -8,6 +8,10 @@
 
 #include "TestUtil.h"
 
+#include "log/LogIO.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -16,6 +20,152 @@ using namespace ppd;
 using namespace ppd::test;
 
 namespace {
+
+/// Field-by-field equality of two logs, including the fields the existing
+/// round-trip test leaves unchecked (Flags, Sync, Stmt, Vars contents,
+/// PrelogCount, Output statements).
+void expectLogsEqual(const ExecutionLog &A, const ExecutionLog &B) {
+  ASSERT_EQ(A.Procs.size(), B.Procs.size());
+  for (uint32_t Pid = 0; Pid != A.Procs.size(); ++Pid) {
+    const ProcessLog &PA = A.Procs[Pid];
+    const ProcessLog &PB = B.Procs[Pid];
+    EXPECT_EQ(PA.Pid, PB.Pid);
+    EXPECT_EQ(PA.RootFunc, PB.RootFunc);
+    EXPECT_EQ(PA.Args, PB.Args);
+    EXPECT_EQ(PA.PrelogCount, PB.PrelogCount);
+    ASSERT_EQ(PA.Records.size(), PB.Records.size());
+    for (size_t I = 0; I != PA.Records.size(); ++I) {
+      const LogRecord &RA = PA.Records[I];
+      const LogRecord &RB = PB.Records[I];
+      EXPECT_EQ(int(RA.Kind), int(RB.Kind));
+      EXPECT_EQ(RA.Id, RB.Id);
+      EXPECT_EQ(RA.Flags, RB.Flags);
+      EXPECT_EQ(RA.Value, RB.Value);
+      EXPECT_EQ(RA.Seq, RB.Seq);
+      EXPECT_EQ(RA.PartnerSeq, RB.PartnerSeq);
+      EXPECT_EQ(int(RA.Sync), int(RB.Sync));
+      EXPECT_EQ(RA.Stmt, RB.Stmt);
+      ASSERT_EQ(RA.Vars.size(), RB.Vars.size());
+      for (size_t V = 0; V != RA.Vars.size(); ++V) {
+        EXPECT_EQ(RA.Vars[V].Var, RB.Vars[V].Var);
+        EXPECT_EQ(RA.Vars[V].Values, RB.Vars[V].Values);
+      }
+      EXPECT_EQ(RA.ReadSet, RB.ReadSet);
+      EXPECT_EQ(RA.WriteSet, RB.WriteSet);
+    }
+  }
+  ASSERT_EQ(A.Output.size(), B.Output.size());
+  for (size_t I = 0; I != A.Output.size(); ++I) {
+    EXPECT_EQ(A.Output[I].Pid, B.Output[I].Pid);
+    EXPECT_EQ(A.Output[I].Value, B.Output[I].Value);
+    EXPECT_EQ(A.Output[I].Stmt, B.Output[I].Stmt);
+  }
+}
+
+/// Builds a randomized log in the canonical shape the machine emits: each
+/// record populates exactly the fields its kind carries, postlogs close a
+/// previously opened e-block, sync sequence numbers rise globally, and
+/// READ/WRITE sets are ascending.
+ExecutionLog randomCanonicalLog(uint64_t Seed, uint32_t NumProcs) {
+  Rng Rand(Seed);
+  ExecutionLog Log;
+  Log.Procs.resize(NumProcs);
+  uint64_t GlobalSeq = 0;
+
+  auto fillVars = [&Rand](LogRecord &R) {
+    unsigned NumVars = unsigned(Rand.nextBelow(4));
+    for (unsigned V = 0; V != NumVars; ++V) {
+      VarValue &Val = R.Vars.emplace_back();
+      Val.Var = VarId(Rand.nextBelow(32));
+      unsigned NumValues = 1 + unsigned(Rand.nextBelow(4));
+      for (unsigned K = 0; K != NumValues; ++K)
+        Val.Values.push_back(Rand.nextInRange(-(1ll << 40), 1ll << 40));
+    }
+  };
+  auto fillSet = [&Rand](SmallVec<uint32_t, 4> &Set) {
+    unsigned Count = unsigned(Rand.nextBelow(7));
+    uint32_t Next = uint32_t(Rand.nextBelow(4));
+    for (unsigned K = 0; K != Count; ++K) {
+      Set.push_back(Next);
+      Next += 1 + uint32_t(Rand.nextBelow(3));
+    }
+  };
+
+  for (uint32_t Pid = 0; Pid != NumProcs; ++Pid) {
+    ProcessLog &P = Log.Procs[Pid];
+    P.Pid = Pid;
+    P.RootFunc = uint32_t(Rand.nextBelow(8));
+    unsigned NumArgs = unsigned(Rand.nextBelow(4));
+    for (unsigned A = 0; A != NumArgs; ++A)
+      P.Args.push_back(Rand.nextInRange(-1000, 1000));
+
+    std::vector<uint32_t> OpenBlocks;
+    unsigned NumRecords = 16 + unsigned(Rand.nextBelow(48));
+    for (unsigned I = 0; I != NumRecords; ++I) {
+      unsigned Pick = unsigned(Rand.nextBelow(5));
+      if (Pick == 1 && OpenBlocks.empty())
+        Pick = 0;
+      LogRecord &R = P.Records.emplace_back();
+      switch (Pick) {
+      case 0:
+        R.Kind = LogRecordKind::Prelog;
+        R.Id = uint32_t(Rand.nextBelow(64));
+        OpenBlocks.push_back(R.Id);
+        ++P.PrelogCount;
+        fillVars(R);
+        break;
+      case 1:
+        R.Kind = LogRecordKind::Postlog;
+        R.Id = OpenBlocks.back();
+        OpenBlocks.pop_back();
+        if (Rand.nextBelow(2) == 0) {
+          R.Flags = PostlogExitsFunction;
+          R.Value = Rand.nextInRange(-100000, 100000);
+        }
+        fillVars(R);
+        break;
+      case 2:
+        R.Kind = LogRecordKind::UnitLog;
+        R.Id = uint32_t(Rand.nextBelow(64));
+        fillVars(R);
+        break;
+      case 3:
+        R.Kind = LogRecordKind::Input;
+        R.Value = Rand.nextInRange(-100000, 100000);
+        break;
+      default:
+        R.Kind = LogRecordKind::SyncEvent;
+        R.Sync = SyncKind(Rand.nextBelow(8));
+        R.Id = uint32_t(Rand.nextBelow(16));
+        R.Stmt = Rand.nextBelow(3) == 0 ? InvalidId
+                                        : StmtId(Rand.nextBelow(200));
+        R.Value = Rand.nextInRange(-100000, 100000);
+        GlobalSeq += 1 + Rand.nextBelow(5);
+        R.Seq = GlobalSeq;
+        R.PartnerSeq = Rand.nextBelow(3) == 0 ? NoPartner
+                                              : Rand.nextBelow(GlobalSeq + 8);
+        fillSet(R.ReadSet);
+        fillSet(R.WriteSet);
+        break;
+      }
+    }
+    if (Rand.nextBelow(3) == 0) {
+      LogRecord &R = P.Records.emplace_back();
+      R.Kind = LogRecordKind::Stop;
+      R.Stmt = Rand.nextBelow(2) == 0 ? InvalidId : StmtId(Rand.nextBelow(200));
+    }
+  }
+
+  unsigned NumOut = unsigned(Rand.nextBelow(12));
+  for (unsigned I = 0; I != NumOut; ++I) {
+    OutputRecord O;
+    O.Pid = uint32_t(Rand.nextBelow(NumProcs));
+    O.Value = Rand.nextInRange(-100000, 100000);
+    O.Stmt = Rand.nextBelow(4) == 0 ? InvalidId : StmtId(Rand.nextBelow(200));
+    Log.Output.push_back(O);
+  }
+  return Log;
+}
 
 TEST(LogTest, NestedIntervalsMirrorCallNesting) {
   auto R = runProgram(R"(
@@ -193,6 +343,164 @@ func main() {
   }
   EXPECT_EQ(R.Log.Procs[1].RootFunc, R.Prog->Ast->findFunc("w")->Index);
   EXPECT_EQ(R.Log.Procs[1].Args.size(), 1u);
+}
+
+TEST(LogTest, RoundTripPropertyBothFormats) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    ExecutionLog Log = randomCanonicalLog(Seed, 1 + uint32_t(Seed % 4));
+    std::string V1Path = ::testing::TempDir() + "/ppd_log_prop_v1.bin";
+    std::string V2Path = ::testing::TempDir() + "/ppd_log_prop_v2.bin";
+    ASSERT_TRUE(Log.save(V1Path, LogFormat::V1));
+    ASSERT_TRUE(Log.save(V2Path, LogFormat::V2));
+
+    ExecutionLog FromV1, FromV2;
+    ASSERT_TRUE(ExecutionLog::load(V1Path, FromV1));
+    ASSERT_TRUE(ExecutionLog::load(V2Path, FromV2));
+    expectLogsEqual(Log, FromV1);
+    expectLogsEqual(Log, FromV2);
+
+    // v1 -> v2 migration: re-saving a v1 log in the compact format must
+    // preserve the log's content and hence its byteSize accounting (E2's
+    // currency is unchanged by the on-disk encoding).
+    std::string MigratedPath = ::testing::TempDir() + "/ppd_log_prop_mig.bin";
+    ASSERT_TRUE(FromV1.save(MigratedPath, LogFormat::V2));
+    ExecutionLog Migrated;
+    ASSERT_TRUE(ExecutionLog::load(MigratedPath, Migrated));
+    expectLogsEqual(Log, Migrated);
+    EXPECT_EQ(Migrated.byteSize(), Log.byteSize());
+
+    std::remove(V1Path.c_str());
+    std::remove(V2Path.c_str());
+    std::remove(MigratedPath.c_str());
+  }
+}
+
+TEST(LogTest, TruncatedLoadFailsCleanlyBothFormats) {
+  auto R = runProgram(R"(
+chan c;
+func child(int k) { send(c, k * 3); }
+func main() { spawn child(7); print(recv(c)); }
+)");
+  for (LogFormat Format : {LogFormat::V1, LogFormat::V2}) {
+    std::string Path = ::testing::TempDir() + "/ppd_log_trunc.bin";
+    ASSERT_TRUE(R.Log.save(Path, Format));
+    std::vector<uint8_t> Bytes;
+    ASSERT_TRUE(readFileBytes(Path, Bytes));
+    ASSERT_FALSE(Bytes.empty());
+    // Keep the exhaustive every-byte-offset sweep cheap.
+    ASSERT_LT(Bytes.size(), 64u * 1024u);
+
+    // A sentinel the failed loads must leave untouched.
+    ExecutionLog Sentinel;
+    Sentinel.Procs.resize(1);
+    Sentinel.Procs[0].RootFunc = 7777;
+
+    for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+      LogWriter Prefix;
+      for (size_t I = 0; I != Len; ++I)
+        Prefix.u8(Bytes[I]);
+      ASSERT_TRUE(Prefix.writeFile(Path));
+      EXPECT_FALSE(ExecutionLog::load(Path, Sentinel))
+          << "prefix of " << Len << " bytes loaded";
+      ASSERT_EQ(Sentinel.Procs.size(), 1u);
+      EXPECT_EQ(Sentinel.Procs[0].RootFunc, 7777u);
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(LogTest, V2FilesAreSmallerThanV1) {
+  auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+chan done;
+func w(int id) {
+  int i = 0;
+  for (i = 0; i < 20; i = i + 1) { P(m); sv = sv + id; V(m); }
+  send(done, id);
+}
+func main() {
+  spawn w(1);
+  spawn w(2);
+  int a = recv(done);
+  int b = recv(done);
+  print(sv + a + b);
+}
+)");
+  std::string V1Path = ::testing::TempDir() + "/ppd_log_size_v1.bin";
+  std::string V2Path = ::testing::TempDir() + "/ppd_log_size_v2.bin";
+  ASSERT_TRUE(R.Log.save(V1Path, LogFormat::V1));
+  ASSERT_TRUE(R.Log.save(V2Path, LogFormat::V2));
+  std::vector<uint8_t> V1Bytes, V2Bytes;
+  ASSERT_TRUE(readFileBytes(V1Path, V1Bytes));
+  ASSERT_TRUE(readFileBytes(V2Path, V2Bytes));
+  EXPECT_LT(V2Bytes.size(), V1Bytes.size());
+  std::remove(V1Path.c_str());
+  std::remove(V2Path.c_str());
+}
+
+TEST(LogTest, ParallelLoadAndIndexMatchSerial) {
+  auto R = runProgram(R"(
+shared int sv;
+sem m = 1;
+chan done;
+func bump(int x) { P(m); sv = sv + x; V(m); return sv; }
+func w(int id) {
+  int i = 0;
+  int acc = 0;
+  for (i = 0; i < 10; i = i + 1) acc = acc + bump(id);
+  send(done, acc);
+}
+func main() {
+  spawn w(1);
+  spawn w(2);
+  spawn w(3);
+  int a = recv(done);
+  int b = recv(done);
+  int c = recv(done);
+  print(a + b + c);
+}
+)");
+  ASSERT_EQ(R.Log.Procs.size(), 4u);
+  std::string Path = ::testing::TempDir() + "/ppd_log_parallel.bin";
+  ASSERT_TRUE(R.Log.save(Path, LogFormat::V2));
+
+  ExecutionLog Serial, Parallel;
+  ASSERT_TRUE(ExecutionLog::load(Path, Serial));
+  {
+    ThreadPool Pool(4);
+    ASSERT_TRUE(ExecutionLog::load(Path, Parallel, &Pool));
+  }
+  expectLogsEqual(Serial, Parallel);
+  expectLogsEqual(R.Log, Parallel);
+
+  // Serial and pooled LogIndex construction must agree interval-for-
+  // interval (bit-identical acceptance criterion).
+  LogIndex SerialIndex(Parallel);
+  ThreadPool IndexPool(4);
+  LogIndex ParallelIndex(Parallel, &IndexPool);
+  for (uint32_t Pid = 0; Pid != Parallel.Procs.size(); ++Pid) {
+    const auto &A = SerialIndex.intervals(Pid);
+    const auto &B = ParallelIndex.intervals(Pid);
+    ASSERT_EQ(A.size(), B.size());
+    EXPECT_EQ(A.size(), Parallel.Procs[Pid].PrelogCount);
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(A[I].Index, B[I].Index);
+      EXPECT_EQ(A[I].EBlock, B[I].EBlock);
+      EXPECT_EQ(A[I].PrelogRecord, B[I].PrelogRecord);
+      EXPECT_EQ(A[I].PostlogRecord, B[I].PostlogRecord);
+      EXPECT_EQ(A[I].Parent, B[I].Parent);
+      EXPECT_EQ(A[I].Depth, B[I].Depth);
+      EXPECT_EQ(A[I].ExitsFunction, B[I].ExitsFunction);
+    }
+    const LogInterval *OpenA = SerialIndex.lastOpenInterval(Pid);
+    const LogInterval *OpenB = ParallelIndex.lastOpenInterval(Pid);
+    ASSERT_EQ(OpenA == nullptr, OpenB == nullptr);
+    if (OpenA) {
+      EXPECT_EQ(OpenA->Index, OpenB->Index);
+    }
+  }
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -5,12 +5,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "log/RecordArena.h"
 #include "support/Diagnostics.h"
 #include "support/DotWriter.h"
 #include "support/Rng.h"
+#include "support/SmallVec.h"
 #include "support/VarSet.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 using namespace ppd;
 
@@ -234,6 +238,120 @@ TEST(DotWriterTest, Clusters) {
   std::string Dot = W.str();
   EXPECT_NE(Dot.find("subgraph \"cluster_p1\""), std::string::npos);
   EXPECT_NE(Dot.find("label=\"process 1\";"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// SmallVec: the emit path's no-allocation container.
+//===----------------------------------------------------------------------===//
+
+TEST(SmallVecTest, InlineThenSpill) {
+  SmallVec<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  for (int I = 0; I != 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u) << "still inline";
+  V.push_back(4); // spills to heap
+  V.push_back(5);
+  ASSERT_EQ(V.size(), 6u);
+  for (int I = 0; I != 6; ++I)
+    EXPECT_EQ(V[size_t(I)], I);
+  EXPECT_EQ(V.back(), 5);
+}
+
+TEST(SmallVecTest, CopyAndMovePreserveElements) {
+  SmallVec<std::string, 2> V;
+  V.push_back("a");
+  V.push_back("b");
+  V.push_back("c"); // spilled
+
+  SmallVec<std::string, 2> Copy(V);
+  EXPECT_EQ(Copy, V);
+
+  SmallVec<std::string, 2> Moved(std::move(V));
+  EXPECT_EQ(Moved, Copy);
+
+  SmallVec<std::string, 2> Assigned;
+  Assigned.push_back("x");
+  Assigned = Copy;
+  EXPECT_EQ(Assigned, Copy);
+
+  SmallVec<std::string, 2> Inline;
+  Inline.push_back("only");
+  SmallVec<std::string, 2> MovedInline(std::move(Inline));
+  ASSERT_EQ(MovedInline.size(), 1u);
+  EXPECT_EQ(MovedInline[0], "only");
+}
+
+TEST(SmallVecTest, AssignResizeClearAndVectorEquality) {
+  std::vector<uint32_t> Src{7, 8, 9, 10, 11};
+  SmallVec<uint32_t, 4> V;
+  V.assign(Src.begin(), Src.end());
+  EXPECT_EQ(V, Src);
+  EXPECT_EQ(Src, V);
+
+  V.resize(2);
+  EXPECT_EQ(V, (std::vector<uint32_t>{7, 8}));
+  V.resize(4);
+  EXPECT_EQ(V, (std::vector<uint32_t>{7, 8, 0, 0}));
+
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_NE(V, Src);
+}
+
+//===----------------------------------------------------------------------===//
+// RecordArena / RecordStore: stable-address chunked record storage.
+//===----------------------------------------------------------------------===//
+
+TEST(RecordStoreTest, AppendAcrossChunksKeepsAddressesStable) {
+  RecordStore<int, 4> Store; // 16-element chunks for the test
+  std::vector<const int *> Addrs;
+  for (int I = 0; I != 100; ++I)
+    Addrs.push_back(&Store.emplace_back(I));
+  ASSERT_EQ(Store.size(), 100u);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_EQ(Store[size_t(I)], I);
+    EXPECT_EQ(&Store[size_t(I)], Addrs[size_t(I)])
+        << "append must never move existing records";
+  }
+  EXPECT_EQ(Store.back(), 99);
+}
+
+TEST(RecordStoreTest, IterationCopyAndMove) {
+  RecordStore<std::string, 2> Store;
+  for (int I = 0; I != 10; ++I)
+    Store.emplace_back(std::to_string(I));
+
+  int N = 0;
+  for (const std::string &S : Store)
+    EXPECT_EQ(S, std::to_string(N++));
+  EXPECT_EQ(N, 10);
+
+  RecordStore<std::string, 2> Copy(Store);
+  ASSERT_EQ(Copy.size(), 10u);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Copy[I], Store[I]);
+
+  RecordStore<std::string, 2> Moved(std::move(Store));
+  ASSERT_EQ(Moved.size(), 10u);
+  EXPECT_EQ(Moved[7], "7");
+
+  Copy.clear();
+  EXPECT_TRUE(Copy.empty());
+}
+
+TEST(RecordArenaTest, AlignedAllocationsAndReset) {
+  RecordArena Arena;
+  void *A = Arena.allocate(3, 1);
+  void *B = Arena.allocate(8, 8);
+  void *C = Arena.allocate(100000, 16); // larger than one block
+  EXPECT_NE(A, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(B) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(C) % 16, 0u);
+  EXPECT_GE(Arena.bytesAllocated(), size_t(100000));
+  Arena.reset();
+  EXPECT_EQ(Arena.bytesAllocated(), 0u);
 }
 
 } // namespace
