@@ -1,0 +1,181 @@
+//===- bench/bench_interp.cpp - Interpreter dispatch throughput -----------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// Dispatch-bound microbenchmarks for the execution engine itself, the cost
+// center under every experiment row (E1 emit rate, E2 tracing-vs-logging,
+// E8b flowback replay). Each workload is run back to back on the decoded
+// fast path (pre-decoded stream + threaded dispatch + mode-specialized
+// loop) and on the legacy one-instruction switch engine, in the same
+// benchmark iteration so CPU-frequency drift cancels. Counters report
+// million instructions per second for both engines and the resulting
+// speedup; the two runs' step counts and outputs are asserted identical,
+// so the benchmark doubles as a coarse differential check.
+//
+// Workloads:
+//  * arith     — tight arithmetic/branch loop: pure dispatch, the fusion
+//                (compare+branch, push-const+store) best case;
+//  * calls     — call-heavy recursion (fib): frame push/pop, the per-
+//                process slot arena's best case;
+//  * array     — array sweep: indexed loads/stores with bounds checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchPrograms.h"
+
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace ppd;
+using namespace ppd::bench;
+
+namespace {
+
+std::string recursionWorkload(unsigned Depth, unsigned Reps) {
+  return R"(
+func fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+func main() {
+  int i = 0;
+  int acc = 0;
+  for (i = 0; i < )" +
+         std::to_string(Reps) + R"(; i = i + 1) acc = acc + fib()" +
+         std::to_string(Depth) + R"();
+  print(acc);
+}
+)";
+}
+
+std::string arraySweepWorkload(unsigned Sweeps) {
+  return R"(
+func main() {
+  int a[256];
+  int i = 0;
+  int k = 0;
+  int sum = 0;
+  for (k = 0; k < )" +
+         std::to_string(Sweeps) + R"(; k = k + 1)
+    for (i = 0; i < 256; i = i + 1)
+      a[i] = a[i] + i + k;
+  for (i = 0; i < 256; i = i + 1) sum = sum + a[i];
+  print(sum);
+}
+)";
+}
+
+/// Runs \p Source in \p Mode on both engines inside one timing loop and
+/// reports Minstr/sec each plus the speedup. A large quantum keeps the
+/// scheduler out of the measurement (the workloads are single-process, so
+/// the interleaving is unaffected).
+void interpBench(benchmark::State &State, const std::string &Source,
+                 RunMode Mode) {
+  auto Prog = mustCompile(Source);
+
+  MachineOptions Decoded;
+  Decoded.Mode = Mode;
+  Decoded.Seed = 11;
+  Decoded.Quantum = 1024;
+  Decoded.UseDecoded = true;
+  MachineOptions Legacy = Decoded;
+  Legacy.UseDecoded = false;
+
+  auto RunOnce = [&](const MachineOptions &MOpts,
+                     std::vector<int64_t> *Outputs) {
+    Machine M(*Prog, MOpts);
+    RunResult Result = M.run();
+    if (Result.Outcome != RunResult::Status::Completed) {
+      std::fprintf(stderr, "benchmark workload did not complete\n");
+      std::abort();
+    }
+    if (Outputs) {
+      Outputs->clear();
+      for (const OutputRecord &R : M.output())
+        Outputs->push_back(R.Value);
+    }
+    return Result.Steps;
+  };
+
+  using Clock = std::chrono::steady_clock;
+  double DecodedSeconds = 0, LegacySeconds = 0;
+  uint64_t Steps = 0;
+  std::vector<int64_t> DecodedOut, LegacyOut;
+  for (auto _ : State) {
+    auto T0 = Clock::now();
+    Steps = RunOnce(Decoded, &DecodedOut);
+    auto T1 = Clock::now();
+    uint64_t LegacySteps = RunOnce(Legacy, &LegacyOut);
+    auto T2 = Clock::now();
+    if (Steps != LegacySteps || DecodedOut != LegacyOut) {
+      std::fprintf(stderr, "decoded/legacy engines diverged\n");
+      std::abort();
+    }
+    DecodedSeconds += std::chrono::duration<double>(T1 - T0).count();
+    LegacySeconds += std::chrono::duration<double>(T2 - T1).count();
+    State.SetIterationTime(std::chrono::duration<double>(T2 - T0).count());
+  }
+
+  double Iters = double(State.iterations());
+  double DecodedRate = 1e-6 * double(Steps) * Iters / DecodedSeconds;
+  double LegacyRate = 1e-6 * double(Steps) * Iters / LegacySeconds;
+  State.counters["MinstrPerSecDecoded"] = benchmark::Counter(DecodedRate);
+  State.counters["MinstrPerSecLegacy"] = benchmark::Counter(LegacyRate);
+  State.counters["SpeedupVsLegacy"] =
+      benchmark::Counter(DecodedRate / LegacyRate);
+  State.counters["VmSteps"] = double(Steps);
+}
+
+std::string arith(unsigned N) { return computeWorkload(N); }
+
+void arith_plain(benchmark::State &State) {
+  interpBench(State, arith(unsigned(State.range(0))), RunMode::Plain);
+}
+void arith_logging(benchmark::State &State) {
+  interpBench(State, arith(unsigned(State.range(0))), RunMode::Logging);
+}
+void arith_fulltrace(benchmark::State &State) {
+  interpBench(State, arith(unsigned(State.range(0))), RunMode::FullTrace);
+}
+
+void calls_plain(benchmark::State &State) {
+  interpBench(State, recursionWorkload(unsigned(State.range(0)), 50),
+              RunMode::Plain);
+}
+void calls_logging(benchmark::State &State) {
+  interpBench(State, recursionWorkload(unsigned(State.range(0)), 50),
+              RunMode::Logging);
+}
+void calls_fulltrace(benchmark::State &State) {
+  interpBench(State, recursionWorkload(unsigned(State.range(0)), 50),
+              RunMode::FullTrace);
+}
+
+void array_plain(benchmark::State &State) {
+  interpBench(State, arraySweepWorkload(unsigned(State.range(0))),
+              RunMode::Plain);
+}
+void array_logging(benchmark::State &State) {
+  interpBench(State, arraySweepWorkload(unsigned(State.range(0))),
+              RunMode::Logging);
+}
+void array_fulltrace(benchmark::State &State) {
+  interpBench(State, arraySweepWorkload(unsigned(State.range(0))),
+              RunMode::FullTrace);
+}
+
+} // namespace
+
+BENCHMARK(arith_plain)->Arg(20000)->Arg(200000)->UseManualTime();
+BENCHMARK(arith_logging)->Arg(20000)->Arg(200000)->UseManualTime();
+BENCHMARK(arith_fulltrace)->Arg(20000)->UseManualTime();
+
+BENCHMARK(calls_plain)->Arg(12)->Arg(16)->UseManualTime();
+BENCHMARK(calls_logging)->Arg(12)->UseManualTime();
+BENCHMARK(calls_fulltrace)->Arg(12)->UseManualTime();
+
+BENCHMARK(array_plain)->Arg(100)->Arg(1000)->UseManualTime();
+BENCHMARK(array_logging)->Arg(100)->Arg(1000)->UseManualTime();
+BENCHMARK(array_fulltrace)->Arg(100)->UseManualTime();
+
+BENCHMARK_MAIN();

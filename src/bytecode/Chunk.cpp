@@ -9,106 +9,13 @@
 using namespace ppd;
 
 const char *ppd::opName(Op Opcode) {
-  switch (Opcode) {
-  case Op::PushConst:
-    return "PushConst";
-  case Op::Pop:
-    return "Pop";
-  case Op::ToBool:
-    return "ToBool";
-  case Op::LoadLocal:
-    return "LoadLocal";
-  case Op::StoreLocal:
-    return "StoreLocal";
-  case Op::LoadLocalElem:
-    return "LoadLocalElem";
-  case Op::StoreLocalElem:
-    return "StoreLocalElem";
-  case Op::ZeroLocal:
-    return "ZeroLocal";
-  case Op::LoadShared:
-    return "LoadShared";
-  case Op::StoreShared:
-    return "StoreShared";
-  case Op::LoadSharedElem:
-    return "LoadSharedElem";
-  case Op::StoreSharedElem:
-    return "StoreSharedElem";
-  case Op::LoadPriv:
-    return "LoadPriv";
-  case Op::StorePriv:
-    return "StorePriv";
-  case Op::LoadPrivElem:
-    return "LoadPrivElem";
-  case Op::StorePrivElem:
-    return "StorePrivElem";
-  case Op::Add:
-    return "Add";
-  case Op::Sub:
-    return "Sub";
-  case Op::Mul:
-    return "Mul";
-  case Op::Div:
-    return "Div";
-  case Op::Mod:
-    return "Mod";
-  case Op::Neg:
-    return "Neg";
-  case Op::Not:
-    return "Not";
-  case Op::CmpEq:
-    return "CmpEq";
-  case Op::CmpNe:
-    return "CmpNe";
-  case Op::CmpLt:
-    return "CmpLt";
-  case Op::CmpLe:
-    return "CmpLe";
-  case Op::CmpGt:
-    return "CmpGt";
-  case Op::CmpGe:
-    return "CmpGe";
-  case Op::Jump:
-    return "Jump";
-  case Op::JumpIfFalse:
-    return "JumpIfFalse";
-  case Op::JumpIfTrue:
-    return "JumpIfTrue";
-  case Op::Call:
-    return "Call";
-  case Op::Ret:
-    return "Ret";
-  case Op::CallBuiltin:
-    return "CallBuiltin";
-  case Op::SemP:
-    return "SemP";
-  case Op::SemV:
-    return "SemV";
-  case Op::SendCh:
-    return "SendCh";
-  case Op::RecvCh:
-    return "RecvCh";
-  case Op::SpawnProc:
-    return "SpawnProc";
-  case Op::PrintVal:
-    return "PrintVal";
-  case Op::InputVal:
-    return "InputVal";
-  case Op::Prelog:
-    return "Prelog";
-  case Op::Postlog:
-    return "Postlog";
-  case Op::UnitLog:
-    return "UnitLog";
-  case Op::TraceStmt:
-    return "TraceStmt";
-  case Op::TraceCallBegin:
-    return "TraceCallBegin";
-  case Op::TraceCallEnd:
-    return "TraceCallEnd";
-  case Op::Halt:
-    return "Halt";
-  }
+  static const char *const Names[] = {
+#define PPD_OPCODE_NAME(Name) #Name,
+      PPD_BASE_OPCODES(PPD_OPCODE_NAME)
+#undef PPD_OPCODE_NAME
+  };
+  if (size_t(Opcode) < NumOps)
+    return Names[size_t(Opcode)];
   return "???";
 }
 

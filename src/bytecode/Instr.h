@@ -27,82 +27,48 @@
 #ifndef PPD_BYTECODE_INSTR_H
 #define PPD_BYTECODE_INSTR_H
 
+#include "bytecode/OpcodeTable.h"
+
 #include <cstdint>
 
 namespace ppd {
 
+/// The encodable opcodes, generated from the single X-macro table
+/// (OpcodeTable.h). Operand conventions, by group:
+///
+///  * Stack: PushConst pushes Imm; Pop drops top; ToBool sets top != 0.
+///  * Locals: A = frame slot, B = VarId, Imm = array size (Elem ops pop
+///    the index; StoreLocalElem pops value then index); ZeroLocal
+///    zero-fills slots [A, A+Imm).
+///  * Shared / private globals: A = segment offset, B = VarId.
+///  * Arithmetic / comparison: pop 2 push 1 (Neg/Not pop 1 push 1); Div
+///    and Mod trap on a zero divisor.
+///  * Control flow: A = absolute target pc; JumpIf* pop the condition.
+///  * Calls: A = function index (CallBuiltin: Builtin kind), B = argc,
+///    args pushed left-to-right; Ret pops the return value.
+///  * Parallel constructs: A = semaphore/channel/function id; SendCh pops
+///    the value, RecvCh pushes it; SpawnProc pops B args; PrintVal pops
+///    and records output; InputVal pushes the next input value.
+///  * Object-code instrumentation: Prelog/UnitLog log USED(A) / the
+///    unit's shared reads; Postlog's B carries PostlogFlags (bit0: exits
+///    function, return value on stack top captured without popping).
+///  * Emulation-package instrumentation: TraceStmt begins a trace event
+///    for statement A; TraceCallBegin (A = callee, B = call-site StmtId)
+///    and TraceCallEnd (A = callee, return value on stack top) bracket
+///    unlogged calls.
+///  * Halt terminates the process after the root frame returns.
 enum class Op : uint8_t {
-  // Stack.
-  PushConst, ///< push Imm
-  Pop,       ///< drop top
-  ToBool,    ///< top = (top != 0)
-
-  // Locals (frame slots). A = slot, B = VarId, Imm = array size (Elem ops).
-  LoadLocal,
-  StoreLocal,
-  LoadLocalElem,  ///< pops index, pushes value
-  StoreLocalElem, ///< pops value then index
-  ZeroLocal,      ///< zero-fills slots [A, A+Imm)
-
-  // Shared globals (simulated shared memory). A = offset, B = VarId.
-  LoadShared,
-  StoreShared,
-  LoadSharedElem,
-  StoreSharedElem,
-
-  // Private (per-process) globals. A = offset, B = VarId.
-  LoadPriv,
-  StorePriv,
-  LoadPrivElem,
-  StorePrivElem,
-
-  // Arithmetic / comparison (pop 2 push 1, except Neg/Not pop 1 push 1).
-  Add,
-  Sub,
-  Mul,
-  Div, ///< traps on divide by zero
-  Mod, ///< traps on modulo by zero
-  Neg,
-  Not,
-  CmpEq,
-  CmpNe,
-  CmpLt,
-  CmpLe,
-  CmpGt,
-  CmpGe,
-
-  // Control flow. A = absolute target pc within the chunk.
-  Jump,
-  JumpIfFalse, ///< pops condition
-  JumpIfTrue,  ///< pops condition
-
-  // Calls. A = function index, B = argc (args pushed left-to-right).
-  Call,
-  Ret,         ///< pops return value; every function returns a value
-  CallBuiltin, ///< A = Builtin kind, B = argc
-
-  // Parallel constructs.
-  SemP,      ///< A = semaphore id; may block
-  SemV,      ///< A = semaphore id
-  SendCh,    ///< A = channel id; pops value; may block (capacity 0/full)
-  RecvCh,    ///< A = channel id; pushes value; may block
-  SpawnProc, ///< A = function index, B = argc; pops args
-  PrintVal,  ///< pops and records program output
-  InputVal,  ///< pushes next input value; logged during execution
-
-  // Instrumentation: object code only.
-  Prelog,  ///< A = e-block id; logs values of USED(A)
-  Postlog, ///< A = e-block id, B = flags (bit0: exits function, return
-           ///< value on stack top is captured without popping)
-  UnitLog, ///< A = synchronization-unit id; logs the unit's shared reads
-
-  // Instrumentation: emulation package only.
-  TraceStmt,      ///< A = StmtId; begins a trace event
-  TraceCallBegin, ///< A = function index, B = StmtId of the call site
-  TraceCallEnd,   ///< A = function index; return value on stack top
-
-  Halt, ///< terminates the process; emitted after the root frame returns.
+#define PPD_OPCODE_ENUM(Name) Name,
+  PPD_BASE_OPCODES(PPD_OPCODE_ENUM)
+#undef PPD_OPCODE_ENUM
 };
+
+/// Number of encodable opcodes.
+constexpr unsigned NumOps = 0
+#define PPD_OPCODE_COUNT(Name) +1
+    PPD_BASE_OPCODES(PPD_OPCODE_COUNT)
+#undef PPD_OPCODE_COUNT
+    ;
 
 /// Postlog flag bits.
 enum PostlogFlags : uint32_t {

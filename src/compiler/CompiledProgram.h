@@ -18,6 +18,7 @@
 #define PPD_COMPILER_COMPILEDPROGRAM_H
 
 #include "bytecode/Chunk.h"
+#include "bytecode/Decoded.h"
 #include "cfg/Cfg.h"
 #include "compiler/EBlockPartition.h"
 #include "dataflow/ModRef.h"
@@ -66,6 +67,10 @@ struct CompiledFunction {
   bool Logged = true;
   Chunk Object; ///< execution-phase artifact (Prelog/Postlog/UnitLog)
   Chunk Emu;    ///< debugging-phase artifact (adds TraceStmt/TraceCall*)
+  /// Pre-decoded fast-path streams (slot i == pc i of the source chunk);
+  /// built once by the compiler, shared read-only by every interpreter.
+  DecodedChunk ObjectDecoded;
+  DecodedChunk EmuDecoded;
 };
 
 struct CompileOptions {

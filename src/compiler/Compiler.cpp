@@ -145,5 +145,11 @@ Compiler::compile(std::unique_ptr<Program> Ast, const CompileOptions &Options,
   for (const auto &F : P.Funcs)
     Gen.genFunction(*F, RegionEBlockIds[F->Index], UnitAtStmt[F->Index]);
 
+  // Pre-decode both artifacts for the fast-path interpreters.
+  for (CompiledFunction &CF : Out->Funcs) {
+    CF.ObjectDecoded = DecodedChunk::decode(CF.Object);
+    CF.EmuDecoded = DecodedChunk::decode(CF.Emu);
+  }
+
   return Out;
 }

@@ -2,38 +2,38 @@
 //
 // Part of PPD. See Replay.h.
 //
+// Two interpreters live here, mirroring vm/Machine.cpp: the decoded fast
+// path (runDecoded) is a token-threaded loop over the emulation package's
+// pre-decoded stream; the legacy engine (step) remains as the portable
+// reference and the UseDecoded=false fallback. Every record-cursor
+// operation — the sync no-ops, prelog/postlog/unit-log handling, trace
+// event construction, nested-call skipping — is a helper shared verbatim
+// by both engines, so the two paths cannot drift.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Replay.h"
 
 #include "support/Arith.h"
+#include "vm/Dispatch.h"
+#include "vm/InterpCore.h"
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
 using namespace ppd;
 
 namespace {
 
-/// Integer square root (floor), mirroring the VM's builtin.
-int64_t isqrt(int64_t X) {
-  assert(X >= 0 && "isqrt of negative value");
-  int64_t R = int64_t(std::sqrt(double(X)));
-  // Compare in uint64: sqrt's rounding can overshoot enough that R*R (or
-  // (R+1)^2 near INT64_MAX) overflows int64.
-  while (R > 0 && uint64_t(R) * uint64_t(R) > uint64_t(X))
-    --R;
-  while (uint64_t(R + 1) * uint64_t(R + 1) <= uint64_t(X))
-    ++R;
-  return R;
-}
-
 struct RFrame {
   uint32_t Func = 0;
   uint32_t ReturnPc = 0;
   uint32_t StackBase = 0;
-  std::vector<int64_t> Slots;
+  /// The frame's local slots live in Replayer::SlotArena at
+  /// [SlotBase, SlotBase + SlotCount) — call/return only moves the arena's
+  /// end, so re-executed inherited calls never allocate in steady state.
+  uint32_t SlotBase = 0;
+  uint32_t SlotCount = 0;
   uint32_t OpenEvent = InvalidId;
 };
 
@@ -53,6 +53,9 @@ private:
 
   const Chunk &chunk() const { return Prog.func(Frames.back().Func).Emu; }
 
+  /// Local slots of the innermost frame.
+  int64_t *topSlots() { return SlotArena.data() + Frames.back().SlotBase; }
+
   void finish(bool OkFlag) {
     Result.Ok = OkFlag;
     Done = true;
@@ -66,10 +69,6 @@ private:
     finish(false);
   }
 
-  /// Consumes the next record if it has the expected shape; returns null
-  /// otherwise. At end-of-log sets Partial and stops (the process stopped
-  /// mid-interval). Under what-if divergence, synthesis is the caller's
-  /// job.
   /// True when the cursor sits at the end of what actually executed: the
   /// log is exhausted or a Stop marker (machine freeze) is next.
   bool atExecutionEnd() const {
@@ -77,6 +76,10 @@ private:
            Records[Cursor].Kind == LogRecordKind::Stop;
   }
 
+  /// Consumes the next record if it has the expected shape; returns null
+  /// otherwise. At end-of-log sets Partial and stops (the process stopped
+  /// mid-interval). Under what-if divergence, synthesis is the caller's
+  /// job.
   const LogRecord *consume(LogRecordKind Kind) {
     if (atExecutionEnd()) {
       if (!WhatIf) {
@@ -131,7 +134,7 @@ private:
       // callee locals of skipped intervals are ignored.
       if (!Info.Func || Info.Func->Index != RootFunc)
         return nullptr;
-      return &Frames.front().Slots[Info.Offset];
+      return SlotArena.data() + Frames.front().SlotBase + Info.Offset;
     }
     return nullptr;
   }
@@ -181,7 +184,28 @@ private:
   }
 
   void skipNestedCall(uint32_t Callee, StmtId Stmt);
+
+  // Cold operations shared verbatim by the legacy switch engine and the
+  // decoded handlers. They operate on the member state (Stack, Pc,
+  // Cursor, Frames); the decoded loop syncs its Ip with Pc around the two
+  // that transfer control (doCall, doRet).
+  StepOutcome doSemP();
+  StepOutcome doSemV();
+  StepOutcome doSend();
+  StepOutcome doRecv();
+  StepOutcome doSpawn(uint32_t Argc);
+  StepOutcome doInput();
+  StepOutcome doPrelog(uint32_t EBlockId);
+  StepOutcome doPostlog(uint32_t EBlockId, uint32_t Flags);
+  StepOutcome doUnitLog(uint32_t UnitId);
+  StepOutcome doTraceStmt(StmtId Stmt);
+  void doTraceCallBegin(uint32_t Callee, StmtId Stmt);
+  void doTraceCallEnd(uint32_t Callee);
+  StepOutcome doCall(uint32_t Callee, uint32_t Argc, StmtId Stmt);
+  StepOutcome doRet();
+
   StepOutcome step();
+  void runDecoded();
 
   const CompiledProgram &Prog;
   const RecordSeq &Records;
@@ -195,6 +219,9 @@ private:
 
   std::vector<RFrame> Frames;
   std::vector<int64_t> Stack;
+  /// Backing store for every frame's local slots (grows at Call, shrinks
+  /// at Ret; capacity is retained across both).
+  std::vector<int64_t> SlotArena;
   std::vector<int64_t> Shared;
   std::vector<int64_t> Priv;
   uint32_t Pc = 0;
@@ -273,6 +300,227 @@ void Replayer::skipNestedCall(uint32_t Callee, StmtId Stmt) {
   Result.Events.append(std::move(E));
 }
 
+//===----------------------------------------------------------------------===//
+// Cold operations shared by both engines
+//===----------------------------------------------------------------------===//
+
+Replayer::StepOutcome Replayer::doSemP() {
+  if (!consumeSync(SyncKind::SemAcquire) && !Done && !WhatIf)
+    diverge("missing P record");
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doSemV() {
+  if (!consumeSync(SyncKind::SemSignal) && !Done && !WhatIf)
+    diverge("missing V record");
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doSend() {
+  assert(!Stack.empty() && "send value missing");
+  Stack.pop_back(); // the sent value leaves this process
+  if (!consumeSync(SyncKind::ChanSend) && !Done && !WhatIf)
+    diverge("missing send record");
+  if (!Done)
+    consumeSync(SyncKind::ChanSendUnblock); // present iff the send blocked
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doRecv() {
+  if (const LogRecord *R = consumeSync(SyncKind::ChanRecv)) {
+    Stack.push_back(R->Value);
+    return StepOutcome::Continue;
+  }
+  if (Done)
+    return StepOutcome::Stop;
+  diverge("missing receive record");
+  if (WhatIf)
+    Stack.push_back(0);
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doSpawn(uint32_t Argc) {
+  Stack.resize(Stack.size() - Argc);
+  if (!consumeSync(SyncKind::SpawnChild) && !Done && !WhatIf)
+    diverge("missing spawn record");
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doInput() {
+  if (const LogRecord *R = consume(LogRecordKind::Input)) {
+    Stack.push_back(R->Value);
+    return StepOutcome::Continue;
+  }
+  if (Done)
+    return StepOutcome::Stop;
+  diverge("missing input record");
+  if (WhatIf)
+    Stack.push_back(0);
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doPrelog(uint32_t EBlockId) {
+  // Only the interval's own prelog is ever executed (nested logged calls
+  // are skipped; unlogged callees have none).
+  if (EBlockId != Interval.EBlock) {
+    diverge("unexpected prelog");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  if (const LogRecord *R = consume(LogRecordKind::Prelog))
+    restoreVars(*R);
+  else if (!Done && !WhatIf)
+    diverge("missing prelog record");
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doPostlog(uint32_t EBlockId, uint32_t Flags) {
+  // Reaching a postlog in the root frame ends the interval.
+  if (EBlockId != Interval.EBlock) {
+    diverge("unexpected postlog");
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  if ((Flags & PostlogExitsFunction) && !Stack.empty()) {
+    Result.HasReturn = true;
+    Result.ReturnValue = Stack.back();
+  }
+  // Verify the replayed values against the logged postlog. Shared
+  // variables are excluded: even on a race-free instance another process
+  // may write a shared variable between our last synchronized access and
+  // the postlog capture, so the logged value can legitimately postdate
+  // ours. Reads remain faithful regardless — they are re-seeded from
+  // unit logs at every synchronization-unit entry (§5.5).
+  if (!WhatIf) {
+    if (const LogRecord *R = consume(LogRecordKind::Postlog)) {
+      for (const VarValue &V : R->Vars) {
+        const VarInfo &Info = Prog.Symbols->var(V.Var);
+        if (Info.isShared())
+          continue;
+        const int64_t *Base = baseOf(Info);
+        if (!Base)
+          continue;
+        for (size_t K = 0; K != V.Values.size(); ++K)
+          if (Base[K] != V.Values[K])
+            Result.PostlogMismatches.push_back(
+                {V.Var, int64_t(K), V.Values[K], Base[K]});
+      }
+    }
+  }
+  finish(true);
+  return StepOutcome::Stop;
+}
+
+Replayer::StepOutcome Replayer::doUnitLog(uint32_t UnitId) {
+  if (const LogRecord *R = consume(LogRecordKind::UnitLog)) {
+    if (R->Id != UnitId) {
+      --Cursor; // put it back; report divergence
+      diverge("unit record id mismatch");
+    } else {
+      restoreVars(*R);
+    }
+  } else if (!Done && !WhatIf) {
+    diverge("missing unit record");
+  }
+  return Done ? StepOutcome::Stop : StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doTraceStmt(StmtId Stmt) {
+  // A Stop marker at the cursor means the machine froze with this
+  // process somewhere in the record-free tail. Stop the replay when the
+  // marker's statement comes up (breakpoints fire before the statement
+  // executes, so its event must not be fabricated); a marker without a
+  // statement stops immediately.
+  if (!WhatIf && Cursor < Records.size() &&
+      Records[Cursor].Kind == LogRecordKind::Stop &&
+      (Records[Cursor].Stmt == InvalidId || Records[Cursor].Stmt == Stmt)) {
+    Result.Partial = true;
+    finish(true);
+    return StepOutcome::Stop;
+  }
+  applyOverrides();
+  TraceEvent E;
+  E.Kind = TraceEventKind::Stmt;
+  E.Pid = Pid;
+  E.Stmt = Stmt;
+  E.LogCursor = Cursor;
+  Frames.back().OpenEvent = Result.Events.append(std::move(E)).Index;
+  return StepOutcome::Continue;
+}
+
+void Replayer::doTraceCallBegin(uint32_t Callee, StmtId Stmt) {
+  // Logged callees become CallSkipped events at the Call instruction.
+  if (Prog.func(Callee).Logged)
+    return;
+  TraceEvent E;
+  E.Kind = TraceEventKind::CallBegin;
+  E.Pid = Pid;
+  E.Stmt = Stmt;
+  E.Callee = Callee;
+  uint32_t Argc = Prog.func(Callee).NumParams;
+  E.Args.assign(Stack.end() - Argc, Stack.end());
+  E.LogCursor = Cursor;
+  Result.Events.append(std::move(E));
+}
+
+void Replayer::doTraceCallEnd(uint32_t Callee) {
+  if (Prog.func(Callee).Logged)
+    return;
+  TraceEvent E;
+  E.Kind = TraceEventKind::CallEnd;
+  E.Pid = Pid;
+  E.Callee = Callee;
+  E.Value = Stack.back();
+  E.LogCursor = Cursor;
+  Result.Events.append(std::move(E));
+}
+
+Replayer::StepOutcome Replayer::doCall(uint32_t Callee, uint32_t Argc,
+                                       StmtId Stmt) {
+  if (Prog.func(Callee).Logged) {
+    skipNestedCall(Callee, Stmt);
+    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+  }
+  // Inherited leaf: re-execute inline through the emulation package.
+  assert(Stack.size() >= Argc && "call arguments missing");
+  RFrame Fr;
+  Fr.Func = Callee;
+  Fr.ReturnPc = Pc;
+  Fr.StackBase = uint32_t(Stack.size() - Argc);
+  Fr.SlotBase = uint32_t(SlotArena.size());
+  Fr.SlotCount = Prog.func(Callee).FrameSize;
+  SlotArena.resize(Fr.SlotBase + Fr.SlotCount, 0);
+  std::copy(Stack.end() - Argc, Stack.end(),
+            SlotArena.begin() + Fr.SlotBase);
+  Stack.resize(Stack.size() - Argc);
+  Frames.push_back(Fr);
+  Pc = 0;
+  return StepOutcome::Continue;
+}
+
+Replayer::StepOutcome Replayer::doRet() {
+  assert(!Stack.empty() && "return value missing");
+  int64_t ReturnValue = Stack.back();
+  Stack.pop_back();
+  if (Frames.size() == 1) {
+    // Root return without a postlog stop: only possible for unlogged
+    // root replay, which the controller never requests.
+    Result.HasReturn = true;
+    Result.ReturnValue = ReturnValue;
+    finish(true);
+    return StepOutcome::Stop;
+  }
+  RFrame Top = Frames.back();
+  Frames.pop_back();
+  SlotArena.resize(Top.SlotBase);
+  Stack.resize(Top.StackBase);
+  Stack.push_back(ReturnValue);
+  Pc = Top.ReturnPc;
+  return StepOutcome::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// The legacy switch engine
+//===----------------------------------------------------------------------===//
+
 Replayer::StepOutcome Replayer::step() {
   const Chunk &Code = chunk();
   assert(Pc < Code.size() && "replay pc out of range");
@@ -301,14 +549,14 @@ Replayer::StepOutcome Replayer::step() {
     return StepOutcome::Continue;
 
   case Op::LoadLocal: {
-    int64_t V = Frames.back().Slots[I.A];
+    int64_t V = topSlots()[I.A];
     Push(V);
     traceRead(VarId(I.B), V, -1);
     return StepOutcome::Continue;
   }
   case Op::StoreLocal: {
     int64_t V = Pop();
-    Frames.back().Slots[I.A] = V;
+    topSlots()[I.A] = V;
     traceWrite(VarId(I.B), V, -1);
     return StepOutcome::Continue;
   }
@@ -318,7 +566,7 @@ Replayer::StepOutcome Replayer::step() {
       failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
       return StepOutcome::Stop;
     }
-    int64_t V = Frames.back().Slots[I.A + Idx];
+    int64_t V = topSlots()[I.A + Idx];
     Push(V);
     traceRead(VarId(I.B), V, Idx);
     return StepOutcome::Continue;
@@ -330,12 +578,12 @@ Replayer::StepOutcome Replayer::step() {
       failHere(RuntimeErrorKind::IndexOutOfBounds, Stmt);
       return StepOutcome::Stop;
     }
-    Frames.back().Slots[I.A + Idx] = V;
+    topSlots()[I.A + Idx] = V;
     traceWrite(VarId(I.B), V, Idx);
     return StepOutcome::Continue;
   }
   case Op::ZeroLocal:
-    std::fill_n(Frames.back().Slots.begin() + I.A, I.Imm, 0);
+    std::fill_n(topSlots() + I.A, I.Imm, 0);
     traceWrite(VarId(I.B), 0, -1);
     return StepOutcome::Continue;
 
@@ -425,32 +673,32 @@ Replayer::StepOutcome Replayer::step() {
     return StepOutcome::Continue;
   case Op::CmpEq: {
     int64_t B = Pop(), A = Pop();
-    Push(A == B);
+    Push(evalCmp(CmpKind::Eq, A, B));
     return StepOutcome::Continue;
   }
   case Op::CmpNe: {
     int64_t B = Pop(), A = Pop();
-    Push(A != B);
+    Push(evalCmp(CmpKind::Ne, A, B));
     return StepOutcome::Continue;
   }
   case Op::CmpLt: {
     int64_t B = Pop(), A = Pop();
-    Push(A < B);
+    Push(evalCmp(CmpKind::Lt, A, B));
     return StepOutcome::Continue;
   }
   case Op::CmpLe: {
     int64_t B = Pop(), A = Pop();
-    Push(A <= B);
+    Push(evalCmp(CmpKind::Le, A, B));
     return StepOutcome::Continue;
   }
   case Op::CmpGt: {
     int64_t B = Pop(), A = Pop();
-    Push(A > B);
+    Push(evalCmp(CmpKind::Gt, A, B));
     return StepOutcome::Continue;
   }
   case Op::CmpGe: {
     int64_t B = Pop(), A = Pop();
-    Push(A >= B);
+    Push(evalCmp(CmpKind::Ge, A, B));
     return StepOutcome::Continue;
   }
 
@@ -470,241 +718,52 @@ Replayer::StepOutcome Replayer::step() {
     return StepOutcome::Continue;
   }
 
-  case Op::Call: {
-    uint32_t Callee = uint32_t(I.A);
-    if (Prog.func(Callee).Logged) {
-      skipNestedCall(Callee, Stmt);
-      return Done ? StepOutcome::Stop : StepOutcome::Continue;
-    }
-    // Inherited leaf: re-execute inline through the emulation package.
-    std::vector<int64_t> Args(Stack.end() - I.B, Stack.end());
-    Stack.resize(Stack.size() - I.B);
-    RFrame Fr;
-    Fr.Func = Callee;
-    Fr.ReturnPc = Pc;
-    Fr.StackBase = uint32_t(Stack.size());
-    Fr.Slots.assign(Prog.func(Callee).FrameSize, 0);
-    std::copy(Args.begin(), Args.end(), Fr.Slots.begin());
-    Frames.push_back(std::move(Fr));
-    Pc = 0;
-    return StepOutcome::Continue;
-  }
-  case Op::Ret: {
-    int64_t ReturnValue = Pop();
-    if (Frames.size() == 1) {
-      // Root return without a postlog stop: only possible for unlogged
-      // root replay, which the controller never requests.
-      Result.HasReturn = true;
-      Result.ReturnValue = ReturnValue;
-      finish(true);
+  case Op::Call:
+    return doCall(uint32_t(I.A), uint32_t(I.B), Stmt);
+  case Op::Ret:
+    return doRet();
+  case Op::CallBuiltin: {
+    if (!applyBuiltin(Builtin(I.A), Stack)) {
+      failHere(RuntimeErrorKind::NegativeSqrt, Stmt);
       return StepOutcome::Stop;
     }
-    RFrame Top = std::move(Frames.back());
-    Frames.pop_back();
-    Stack.resize(Top.StackBase);
-    Stack.push_back(ReturnValue);
-    Pc = Top.ReturnPc;
-    return StepOutcome::Continue;
-  }
-  case Op::CallBuiltin: {
-    switch (Builtin(I.A)) {
-    case Builtin::Sqrt: {
-      int64_t X = Pop();
-      if (X < 0) {
-        failHere(RuntimeErrorKind::NegativeSqrt, Stmt);
-        return StepOutcome::Stop;
-      }
-      Push(isqrt(X));
-      return StepOutcome::Continue;
-    }
-    case Builtin::Abs: {
-      int64_t X = Pop();
-      Push(X < 0 ? -X : X);
-      return StepOutcome::Continue;
-    }
-    case Builtin::Min: {
-      int64_t B = Pop(), A = Pop();
-      Push(std::min(A, B));
-      return StepOutcome::Continue;
-    }
-    case Builtin::Max: {
-      int64_t B = Pop(), A = Pop();
-      Push(std::max(A, B));
-      return StepOutcome::Continue;
-    }
-    case Builtin::None:
-      break;
-    }
-    assert(false && "unknown builtin in replay");
     return StepOutcome::Continue;
   }
 
   case Op::SemP:
-    if (!consumeSync(SyncKind::SemAcquire) && !Done && !WhatIf)
-      diverge("missing P record");
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
+    return doSemP();
   case Op::SemV:
-    if (!consumeSync(SyncKind::SemSignal) && !Done && !WhatIf)
-      diverge("missing V record");
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-
-  case Op::SendCh: {
-    Pop(); // the sent value leaves this process
-    if (!consumeSync(SyncKind::ChanSend) && !Done && !WhatIf)
-      diverge("missing send record");
-    if (!Done)
-      consumeSync(SyncKind::ChanSendUnblock); // present iff the send blocked
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
-  case Op::RecvCh: {
-    if (const LogRecord *R = consumeSync(SyncKind::ChanRecv)) {
-      Push(R->Value);
-      return StepOutcome::Continue;
-    }
-    if (Done)
-      return StepOutcome::Stop;
-    diverge("missing receive record");
-    if (WhatIf)
-      Push(0);
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
-  case Op::SpawnProc: {
-    Stack.resize(Stack.size() - I.B);
-    if (!consumeSync(SyncKind::SpawnChild) && !Done && !WhatIf)
-      diverge("missing spawn record");
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
+    return doSemV();
+  case Op::SendCh:
+    return doSend();
+  case Op::RecvCh:
+    return doRecv();
+  case Op::SpawnProc:
+    return doSpawn(uint32_t(I.B));
 
   case Op::PrintVal: {
     int64_t Value = Pop();
     Result.Output.push_back({Pid, Value, Stmt});
     return StepOutcome::Continue;
   }
-  case Op::InputVal: {
-    if (const LogRecord *R = consume(LogRecordKind::Input)) {
-      Push(R->Value);
-      return StepOutcome::Continue;
-    }
-    if (Done)
-      return StepOutcome::Stop;
-    diverge("missing input record");
-    if (WhatIf)
-      Push(0);
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
+  case Op::InputVal:
+    return doInput();
 
-  case Op::Prelog: {
-    // Only the interval's own prelog is ever executed (nested logged calls
-    // are skipped; unlogged callees have none).
-    if (uint32_t(I.A) != Interval.EBlock) {
-      diverge("unexpected prelog");
-      return Done ? StepOutcome::Stop : StepOutcome::Continue;
-    }
-    if (const LogRecord *R = consume(LogRecordKind::Prelog))
-      restoreVars(*R);
-    else if (!Done && !WhatIf)
-      diverge("missing prelog record");
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
-  case Op::Postlog: {
-    // Reaching a postlog in the root frame ends the interval.
-    if (uint32_t(I.A) != Interval.EBlock) {
-      diverge("unexpected postlog");
-      return Done ? StepOutcome::Stop : StepOutcome::Continue;
-    }
-    if ((I.B & PostlogExitsFunction) && !Stack.empty()) {
-      Result.HasReturn = true;
-      Result.ReturnValue = Stack.back();
-    }
-    // Verify the replayed values against the logged postlog. Shared
-    // variables are excluded: even on a race-free instance another process
-    // may write a shared variable between our last synchronized access and
-    // the postlog capture, so the logged value can legitimately postdate
-    // ours. Reads remain faithful regardless — they are re-seeded from
-    // unit logs at every synchronization-unit entry (§5.5).
-    if (!WhatIf) {
-      if (const LogRecord *R = consume(LogRecordKind::Postlog)) {
-        for (const VarValue &V : R->Vars) {
-          const VarInfo &Info = Prog.Symbols->var(V.Var);
-          if (Info.isShared())
-            continue;
-          const int64_t *Base = baseOf(Info);
-          if (!Base)
-            continue;
-          for (size_t K = 0; K != V.Values.size(); ++K)
-            if (Base[K] != V.Values[K])
-              Result.PostlogMismatches.push_back(
-                  {V.Var, int64_t(K), V.Values[K], Base[K]});
-        }
-      }
-    }
-    finish(true);
-    return StepOutcome::Stop;
-  }
-  case Op::UnitLog: {
-    if (const LogRecord *R = consume(LogRecordKind::UnitLog)) {
-      if (R->Id != uint32_t(I.A)) {
-        --Cursor; // put it back; report divergence
-        diverge("unit record id mismatch");
-      } else {
-        restoreVars(*R);
-      }
-    } else if (!Done && !WhatIf) {
-      diverge("missing unit record");
-    }
-    return Done ? StepOutcome::Stop : StepOutcome::Continue;
-  }
+  case Op::Prelog:
+    return doPrelog(uint32_t(I.A));
+  case Op::Postlog:
+    return doPostlog(uint32_t(I.A), uint32_t(I.B));
+  case Op::UnitLog:
+    return doUnitLog(uint32_t(I.A));
 
-  case Op::TraceStmt: {
-    // A Stop marker at the cursor means the machine froze with this
-    // process somewhere in the record-free tail. Stop the replay when the
-    // marker's statement comes up (breakpoints fire before the statement
-    // executes, so its event must not be fabricated); a marker without a
-    // statement stops immediately.
-    if (!WhatIf && Cursor < Records.size() &&
-        Records[Cursor].Kind == LogRecordKind::Stop &&
-        (Records[Cursor].Stmt == InvalidId ||
-         Records[Cursor].Stmt == StmtId(I.A))) {
-      Result.Partial = true;
-      finish(true);
-      return StepOutcome::Stop;
-    }
-    applyOverrides();
-    TraceEvent E;
-    E.Kind = TraceEventKind::Stmt;
-    E.Pid = Pid;
-    E.Stmt = StmtId(I.A);
-    E.LogCursor = Cursor;
-    Frames.back().OpenEvent = Result.Events.append(std::move(E)).Index;
+  case Op::TraceStmt:
+    return doTraceStmt(StmtId(I.A));
+  case Op::TraceCallBegin:
+    doTraceCallBegin(uint32_t(I.A), StmtId(I.B));
     return StepOutcome::Continue;
-  }
-  case Op::TraceCallBegin: {
-    // Logged callees become CallSkipped events at the Call instruction.
-    if (Prog.func(uint32_t(I.A)).Logged)
-      return StepOutcome::Continue;
-    TraceEvent E;
-    E.Kind = TraceEventKind::CallBegin;
-    E.Pid = Pid;
-    E.Stmt = StmtId(I.B);
-    E.Callee = uint32_t(I.A);
-    uint32_t Argc = Prog.func(uint32_t(I.A)).NumParams;
-    E.Args.assign(Stack.end() - Argc, Stack.end());
-    E.LogCursor = Cursor;
-    Result.Events.append(std::move(E));
+  case Op::TraceCallEnd:
+    doTraceCallEnd(uint32_t(I.A));
     return StepOutcome::Continue;
-  }
-  case Op::TraceCallEnd: {
-    if (Prog.func(uint32_t(I.A)).Logged)
-      return StepOutcome::Continue;
-    TraceEvent E;
-    E.Kind = TraceEventKind::CallEnd;
-    E.Pid = Pid;
-    E.Callee = uint32_t(I.A);
-    E.Value = Stack.back();
-    E.LogCursor = Cursor;
-    Result.Events.append(std::move(E));
-    return StepOutcome::Continue;
-  }
 
   case Op::Halt:
     finish(true);
@@ -712,6 +771,376 @@ Replayer::StepOutcome Replayer::step() {
   }
   assert(false && "unknown opcode in replay");
   return StepOutcome::Stop;
+}
+
+//===----------------------------------------------------------------------===//
+// The decoded fast path
+//===----------------------------------------------------------------------===//
+
+void Replayer::runDecoded() {
+  PPD_DISPATCH_TABLE();
+
+  // Hot state lives in locals and is synced back to the members on every
+  // exit path. Slots caches the arena pointer of the innermost frame; it
+  // is reloaded after Call and Ret (the arena may reallocate, and the
+  // frame changes).
+  auto BaseOf = [&](uint32_t Func) {
+    return Prog.func(Func).EmuDecoded.data();
+  };
+  const DecodedInstr *Base = BaseOf(Frames.back().Func);
+  uint32_t Ip = Pc;
+  int64_t *Slots = topSlots();
+
+  auto Push = [&](int64_t V) { Stack.push_back(V); };
+  auto Pop = [&]() {
+    assert(!Stack.empty() && "operand stack underflow in replay");
+    int64_t V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  for (;;) {
+    // Per-instruction prologue: exact legacy accounting — the budget
+    // check charges the instruction even when it fails.
+    if (Result.Instructions++ >= Options.MaxInstructions) {
+      Result.Error = "replay instruction budget exceeded";
+      Result.Ok = false;
+      goto Exit;
+    }
+    const DecodedInstr &I = Base[Ip];
+    ++Ip;
+
+    PPD_DISPATCH(I.Opcode) {
+      PPD_OP(PushConst) {
+        Push(I.Imm);
+        continue;
+      }
+      PPD_OP(Pop) {
+        Pop();
+        continue;
+      }
+      PPD_OP(ToBool) {
+        Stack.back() = Stack.back() != 0;
+        continue;
+      }
+
+      PPD_OP(LoadLocal) {
+        int64_t V = Slots[I.A];
+        Push(V);
+        traceRead(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(StoreLocal) {
+        int64_t V = Pop();
+        Slots[I.A] = V;
+        traceWrite(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(LoadLocalElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = Slots[I.A + Idx];
+        Push(V);
+        traceRead(VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(StoreLocalElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        Slots[I.A + Idx] = V;
+        traceWrite(VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(ZeroLocal) {
+        std::fill_n(Slots + I.A, I.Imm, 0);
+        traceWrite(VarId(I.B), 0, -1);
+        continue;
+      }
+
+      PPD_OP(LoadShared) {
+        int64_t V = Shared[uint32_t(I.A)];
+        Push(V);
+        traceRead(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(LoadSharedElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = Shared[uint32_t(I.A) + uint32_t(Idx)];
+        Push(V);
+        traceRead(VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(LoadPriv) {
+        int64_t V = Priv[uint32_t(I.A)];
+        Push(V);
+        traceRead(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(LoadPrivElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = Priv[uint32_t(I.A) + uint32_t(Idx)];
+        Push(V);
+        traceRead(VarId(I.B), V, Idx);
+        continue;
+      }
+
+      PPD_OP(StoreShared) {
+        int64_t V = Pop();
+        Shared[uint32_t(I.A)] = V;
+        traceWrite(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(StoreSharedElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        Shared[uint32_t(I.A) + uint32_t(Idx)] = V;
+        traceWrite(VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(StorePriv) {
+        int64_t V = Pop();
+        Priv[uint32_t(I.A)] = V;
+        traceWrite(VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(StorePrivElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          failHere(RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        Priv[uint32_t(I.A) + uint32_t(Idx)] = V;
+        traceWrite(VarId(I.B), V, Idx);
+        continue;
+      }
+
+      PPD_OP(Add) {
+        int64_t B = Pop();
+        Stack.back() = wrapAdd(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Sub) {
+        int64_t B = Pop();
+        Stack.back() = wrapSub(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Mul) {
+        int64_t B = Pop();
+        Stack.back() = wrapMul(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Div) {
+        int64_t B = Pop();
+        if (B == 0) {
+          failHere(RuntimeErrorKind::DivideByZero, I.Stmt);
+          goto Exit;
+        }
+        Stack.back() = wrapDiv(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Mod) {
+        int64_t B = Pop();
+        if (B == 0) {
+          failHere(RuntimeErrorKind::ModuloByZero, I.Stmt);
+          goto Exit;
+        }
+        Stack.back() = wrapMod(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Neg) {
+        Stack.back() = wrapNeg(Stack.back());
+        continue;
+      }
+      PPD_OP(Not) {
+        Stack.back() = Stack.back() == 0;
+        continue;
+      }
+
+      PPD_OP(CmpEq)
+      PPD_OP(CmpNe)
+      PPD_OP(CmpLt)
+      PPD_OP(CmpLe)
+      PPD_OP(CmpGt)
+      PPD_OP(CmpGe) {
+        int64_t B = Pop();
+        Stack.back() = evalCmp(CmpKind(I.Sub), Stack.back(), B);
+        continue;
+      }
+
+      PPD_OP(Jump) {
+        Ip = uint32_t(I.A);
+        continue;
+      }
+      PPD_OP(JumpIfFalse)
+      PPD_OP(JumpIfTrue) {
+        int64_t Cond = Pop();
+        if (TraceEvent *E = openEvent()) {
+          E->IsPredicate = true;
+          E->BranchTaken = Cond != 0;
+        }
+        bool Taken = I.Opcode == DOp::JumpIfFalse ? Cond == 0 : Cond != 0;
+        if (Taken)
+          Ip = uint32_t(I.A);
+        continue;
+      }
+      PPD_OP(JumpIfCmp) {
+        // Fused Cmp + JumpIf. The compare is this instruction; the branch
+        // is the next one and only executes if the budget still has room —
+        // otherwise the compare result is pushed and the pc stays on the
+        // branch's own (still fully decoded) slot, so the legacy engine's
+        // instruction accounting is preserved exactly.
+        int64_t B = Pop(), A = Pop();
+        int64_t Cond = evalCmp(CmpKind(I.Sub >> 1), A, B);
+        if (Result.Instructions < Options.MaxInstructions) {
+          ++Result.Instructions;
+          if (TraceEvent *E = openEvent()) {
+            E->IsPredicate = true;
+            E->BranchTaken = Cond != 0;
+          }
+          bool Taken = (I.Sub & 1) ? Cond != 0 : Cond == 0;
+          Ip = Taken ? uint32_t(I.A) : Ip + 1;
+        } else {
+          Push(Cond);
+        }
+        continue;
+      }
+      PPD_OP(StoreLocalImm) {
+        // Fused PushConst + StoreLocal, split the same way.
+        if (Result.Instructions < Options.MaxInstructions) {
+          ++Result.Instructions;
+          ++Ip; // skip the second half's slot
+          Slots[I.A] = I.Imm;
+          traceWrite(VarId(I.B), I.Imm, -1);
+        } else {
+          Push(I.Imm);
+        }
+        continue;
+      }
+
+      PPD_OP(Call) {
+        Pc = Ip;
+        if (doCall(uint32_t(I.A), uint32_t(I.B), I.Stmt) ==
+            StepOutcome::Stop)
+          goto Exit;
+        Ip = Pc;
+        Base = BaseOf(Frames.back().Func);
+        Slots = topSlots();
+        continue;
+      }
+      PPD_OP(Ret) {
+        if (doRet() == StepOutcome::Stop)
+          goto Exit;
+        Ip = Pc;
+        Base = BaseOf(Frames.back().Func);
+        Slots = topSlots();
+        continue;
+      }
+      PPD_OP(CallBuiltin) {
+        if (!applyBuiltin(Builtin(I.A), Stack)) {
+          failHere(RuntimeErrorKind::NegativeSqrt, I.Stmt);
+          goto Exit;
+        }
+        continue;
+      }
+
+      PPD_OP(SemP) {
+        if (doSemP() == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(SemV) {
+        if (doSemV() == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(SendCh) {
+        if (doSend() == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(RecvCh) {
+        if (doRecv() == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(SpawnProc) {
+        if (doSpawn(uint32_t(I.B)) == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+
+      PPD_OP(PrintVal) {
+        int64_t Value = Pop();
+        Result.Output.push_back({Pid, Value, I.Stmt});
+        continue;
+      }
+      PPD_OP(InputVal) {
+        if (doInput() == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+
+      PPD_OP(Prelog) {
+        if (doPrelog(uint32_t(I.A)) == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(Postlog) {
+        if (doPostlog(uint32_t(I.A), uint32_t(I.B)) == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(UnitLog) {
+        if (doUnitLog(uint32_t(I.A)) == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+
+      PPD_OP(TraceStmt) {
+        if (doTraceStmt(StmtId(I.A)) == StepOutcome::Stop)
+          goto Exit;
+        continue;
+      }
+      PPD_OP(TraceCallBegin) {
+        doTraceCallBegin(uint32_t(I.A), StmtId(I.B));
+        continue;
+      }
+      PPD_OP(TraceCallEnd) {
+        doTraceCallEnd(uint32_t(I.A));
+        continue;
+      }
+
+      PPD_OP(Halt) {
+        finish(true);
+        goto Exit;
+      }
+    }
+    PPD_END_DISPATCH();
+    assert(false && "unknown opcode in replay");
+  }
+
+Exit:
+  Pc = Ip;
 }
 
 ReplayResult Replayer::run() {
@@ -725,25 +1154,39 @@ ReplayResult Replayer::run() {
 
   RFrame Root;
   Root.Func = RootFunc;
-  Root.Slots.assign(Prog.func(RootFunc).FrameSize, 0);
-  Frames.push_back(std::move(Root));
+  Root.SlotBase = 0;
+  Root.SlotCount = Prog.func(RootFunc).FrameSize;
+  SlotArena.assign(Root.SlotCount, 0);
+  Frames.push_back(Root);
 
   Pc = EBlock.EmuEntryPc;
   Cursor = Interval.PrelogRecord;
 
-  while (!Done) {
-    if (Result.Instructions++ >= Options.MaxInstructions) {
-      Result.Error = "replay instruction budget exceeded";
-      Result.Ok = false;
-      break;
+  // The fast path needs usable decoded emulation streams for every
+  // function (hand-assembled CompiledPrograms may lack them).
+  bool Decoded = Options.UseDecoded;
+  for (const CompiledFunction &F : Prog.Funcs)
+    if (F.EmuDecoded.size() != F.Emu.size())
+      Decoded = false;
+
+  if (Decoded) {
+    runDecoded();
+  } else {
+    while (!Done) {
+      if (Result.Instructions++ >= Options.MaxInstructions) {
+        Result.Error = "replay instruction budget exceeded";
+        Result.Ok = false;
+        break;
+      }
+      if (step() == StepOutcome::Stop)
+        break;
     }
-    if (step() == StepOutcome::Stop)
-      break;
   }
 
   Result.Shared = std::move(Shared);
   Result.PrivateGlobals = std::move(Priv);
-  Result.RootSlots = std::move(Frames.front().Slots);
+  Result.RootSlots.assign(SlotArena.begin(),
+                          SlotArena.begin() + Frames.front().SlotCount);
   return Result;
 }
 

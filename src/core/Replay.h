@@ -58,6 +58,11 @@ struct ReplayOverride {
 struct ReplayOptions {
   std::vector<ReplayOverride> Overrides;
   uint64_t MaxInstructions = 50'000'000;
+  /// Replay on the pre-decoded fast path (threaded dispatch over the
+  /// emulation package's DecodedChunk). Off = the legacy one-instruction
+  /// switch interpreter; both produce identical traces and final state,
+  /// which tests/interp_test.cpp asserts.
+  bool UseDecoded = true;
 };
 
 /// A replayed value that disagrees with the logged postlog.

@@ -42,6 +42,10 @@ ParallelDynamicGraph::ParallelDynamicGraph(const ExecutionLog &Log,
         InternalEdge E;
         E.Pid = Pid;
         E.EndNode = uint32_t(Nodes[Pid].size());
+        // Pre-size to the shared segment so the insert loops never
+        // reallocate (ids are SharedIndex values, bounded by NumShared).
+        E.Reads.reserveFor(NumShared);
+        E.Writes.reserveFor(NumShared);
         for (uint32_t S : R.ReadSet)
           E.Reads.insert(S);
         for (uint32_t S : R.WriteSet)

@@ -163,8 +163,9 @@ void SimplifiedStaticGraph::buildUnits(
     }
     std::sort(Unit.Members.begin(), Unit.Members.end());
 
-    // Shared variables possibly read inside the unit.
-    BitVarSet Shared;
+    // Shared variables possibly read inside the unit. Pre-sized to the
+    // variable universe so the insert loops never reallocate.
+    BitVarSet Shared(Symbols.numVars());
     for (CfgNodeId Member : Unit.Members) {
       const CfgNode &N = G.node(Member);
       if (N.Kind != CfgNodeKind::Stmt)

@@ -142,7 +142,11 @@ public:
     return true;
   }
 
-  void clear() { Words.clear(); }
+  /// Zero-fills in place, keeping capacity: hot callers (the per-edge
+  /// READ/WRITE sets cleared at every sync node) reuse the same words
+  /// instead of re-growing from empty on each edge. Equality and empty()
+  /// already treat trailing zero words as absent.
+  void clear() { std::fill(Words.begin(), Words.end(), 0); }
 
   /// Calls \p Callback for each element in increasing order. Lets hot
   /// consumers (race detection, sync-record capture) walk the set without

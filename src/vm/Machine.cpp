@@ -2,15 +2,25 @@
 //
 // Part of PPD. See Machine.h.
 //
+// Two interpreters live here. The decoded fast path (runSlice) is a
+// mode-specialized, token-threaded engine over the pre-decoded instruction
+// stream; the legacy engine (step) executes the raw Chunk one instruction
+// at a time. They share every cold operation (the do* helpers) and every
+// pure kernel (vm/InterpCore.h), and the fast path counts steps, checks
+// breakpoints, and splits superinstructions so that schedules, sync
+// sequence numbers, and log bytes are bit-identical between the two —
+// tests/interp_test.cpp holds them to that.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/Machine.h"
 
 #include "support/Arith.h"
+#include "vm/Dispatch.h"
+#include "vm/InterpCore.h"
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 
 using namespace ppd;
 
@@ -44,21 +54,16 @@ std::string RuntimeError::str() const {
   return Out;
 }
 
-/// Integer square root (floor), defined for nonnegative inputs.
-static int64_t isqrt(int64_t X) {
-  assert(X >= 0 && "isqrt of negative value");
-  int64_t R = int64_t(std::sqrt(double(X)));
-  // Compare in uint64: sqrt's rounding can overshoot enough that R*R (or
-  // (R+1)^2 near INT64_MAX) overflows int64.
-  while (R > 0 && uint64_t(R) * uint64_t(R) > uint64_t(X))
-    --R;
-  while (uint64_t(R + 1) * uint64_t(R + 1) <= uint64_t(X))
-    ++R;
-  return R;
-}
-
 Machine::Machine(const CompiledProgram &Prog, MachineOptions Options)
     : Prog(Prog), Options(std::move(Options)), SchedRng(this->Options.Seed) {
+  // The fast path needs a decoded stream mirroring every chunk slot for
+  // slot; hand-assembled CompiledPrograms may not carry one.
+  DecodedOk = this->Options.UseDecoded;
+  for (const CompiledFunction &F : Prog.Funcs)
+    if (F.ObjectDecoded.size() != F.Object.size() ||
+        F.EmuDecoded.size() != F.Emu.size())
+      DecodedOk = false;
+
   BreakSet.insert(this->Options.Breakpoints.begin(),
                   this->Options.Breakpoints.end());
   // Shared memory with initial values.
@@ -98,6 +103,11 @@ uint32_t Machine::spawnProcess(uint32_t Func, std::vector<int64_t> Args,
     if (Info.Kind == VarKind::PrivateGlobal && !Info.isArray())
       P.PrivateGlobals[Info.Offset] = Info.Init;
 
+  // The edge sets only ever hold shared-variable indices: size them to the
+  // shared segment once so the hot insert path never reallocates.
+  P.EdgeReads.reserveFor(Prog.Symbols->NumSharedVars);
+  P.EdgeWrites.reserveFor(Prog.Symbols->NumSharedVars);
+
   if (Pid < Options.ProcessInputs.size())
     P.Inputs.assign(Options.ProcessInputs[Pid].begin(),
                     Options.ProcessInputs[Pid].end());
@@ -126,10 +136,14 @@ void Machine::pushFrame(Process &P, uint32_t Func, std::vector<int64_t> Args,
   Fr.Func = Func;
   Fr.ReturnPc = ReturnPc;
   Fr.StackBase = uint32_t(P.Stack.size());
-  Fr.Slots.assign(F.FrameSize, 0);
+  Fr.SlotBase = uint32_t(P.SlotArena.size());
+  Fr.SlotCount = F.FrameSize;
+  // resize() value-initializes the new slots; capacity freed by returns is
+  // reused, so steady-state call/return does not allocate.
+  P.SlotArena.resize(Fr.SlotBase + F.FrameSize, 0);
   assert(Args.size() == F.NumParams && "arity checked by sema");
-  std::copy(Args.begin(), Args.end(), Fr.Slots.begin());
-  P.Frames.push_back(std::move(Fr));
+  std::copy(Args.begin(), Args.end(), P.SlotArena.begin() + Fr.SlotBase);
+  P.Frames.push_back(Fr);
   P.Pc = 0;
 }
 
@@ -178,7 +192,7 @@ void Machine::captureVars(Process &P, const std::vector<VarId> &Vars,
     case VarKind::Local:
       // USED/DEFINED sets only name variables of the function the e-block
       // lives in, so the top frame is the right one.
-      Base = &P.Frames.back().Slots[Info.Offset];
+      Base = P.topSlots() + Info.Offset;
       break;
     }
     Value.Values.assign(Base, Base + Count);
@@ -233,7 +247,184 @@ void Machine::traceWrite(Process &P, VarId Var, int64_t Value,
 }
 
 //===----------------------------------------------------------------------===//
-// The interpreter
+// Cold operations shared by both interpreters
+//===----------------------------------------------------------------------===//
+
+bool Machine::doSemP(Process &P, uint32_t Sem, StmtId Stmt) {
+  Semaphore &S = Sems[Sem];
+  if (S.Count > 0) {
+    uint64_t Partner = NoPartner;
+    if (S.PendingVEdge && S.PendingVPid != P.Pid)
+      Partner = S.PendingVSeq;
+    S.PendingVEdge = false;
+    --S.Count;
+    uint64_t Seq;
+    emitSync(P, SyncKind::SemAcquire, Sem, Stmt, Seq, Partner);
+    return true;
+  }
+  S.PendingVEdge = false;
+  S.Waiters.push_back(P.Pid);
+  P.Status = ProcStatus::BlockedSem;
+  P.WaitObject = Sem;
+  return false;
+}
+
+void Machine::doSemV(Process &P, uint32_t Sem, StmtId Stmt) {
+  Semaphore &S = Sems[Sem];
+  uint64_t VSeq;
+  emitSync(P, SyncKind::SemSignal, Sem, Stmt, VSeq);
+  if (!S.Waiters.empty()) {
+    // Direct handoff: the V unblocks a blocked P (§6.2.1 rule 1).
+    uint32_t WaiterPid = S.Waiters.front();
+    S.Waiters.pop_front();
+    Process &W = Procs[WaiterPid];
+    uint64_t WSeq;
+    // The waiter's P statement is the instruction before its (already
+    // advanced) pc.
+    StmtId WStmt = chunkOf(W).stmtAt(W.Pc - 1);
+    emitSync(W, SyncKind::SemAcquire, Sem, WStmt, WSeq, VSeq);
+    W.Status = ProcStatus::Runnable;
+    W.WaitObject = InvalidId;
+    S.PendingVEdge = false;
+    return;
+  }
+  bool WasZero = S.Count == 0;
+  ++S.Count;
+  S.PendingVEdge = WasZero;
+  S.PendingVSeq = VSeq;
+  S.PendingVPid = P.Pid;
+}
+
+bool Machine::doSend(Process &P, uint32_t Chan, int64_t Value, StmtId Stmt) {
+  Channel &C = Chans[Chan];
+  uint64_t SendSeq;
+  emitSync(P, SyncKind::ChanSend, Chan, Stmt, SendSeq);
+  if (!C.BlockedReceivers.empty()) {
+    // Hand the message straight to a waiting receiver.
+    uint32_t ReceiverPid = C.BlockedReceivers.front();
+    C.BlockedReceivers.pop_front();
+    Process &R = Procs[ReceiverPid];
+    uint64_t RecvSeq;
+    StmtId RStmt = chunkOf(R).stmtAt(R.Pc - 1);
+    emitSync(R, SyncKind::ChanRecv, Chan, RStmt, RecvSeq, SendSeq, Value);
+    R.Stack.push_back(Value);
+    R.Status = ProcStatus::Runnable;
+    R.WaitObject = InvalidId;
+    return true;
+  }
+  if (int64_t(C.Queue.size()) < C.Capacity) {
+    C.Queue.push_back({Value, SendSeq});
+    return true;
+  }
+  // Blocking send (Fig 6.1: node n3; the unblock event n5 follows the
+  // matching receive).
+  P.PendingSendValue = Value;
+  P.PendingSendSeq = SendSeq;
+  P.PendingSendStmt = Stmt;
+  C.BlockedSenders.push_back(P.Pid);
+  P.Status = ProcStatus::BlockedSend;
+  P.WaitObject = Chan;
+  return false;
+}
+
+bool Machine::doRecv(Process &P, uint32_t Chan, StmtId Stmt) {
+  Channel &C = Chans[Chan];
+  auto UnblockSender = [&](uint64_t RecvSeq, bool IntoQueue) {
+    if (C.BlockedSenders.empty())
+      return;
+    uint32_t SenderPid = C.BlockedSenders.front();
+    C.BlockedSenders.pop_front();
+    Process &Sender = Procs[SenderPid];
+    if (IntoQueue)
+      C.Queue.push_back({Sender.PendingSendValue, Sender.PendingSendSeq});
+    uint64_t USeq;
+    emitSync(Sender, SyncKind::ChanSendUnblock, Chan, Sender.PendingSendStmt,
+             USeq, RecvSeq);
+    Sender.Status = ProcStatus::Runnable;
+    Sender.WaitObject = InvalidId;
+  };
+
+  if (!C.Queue.empty()) {
+    Message M = C.Queue.front();
+    C.Queue.pop_front();
+    uint64_t RecvSeq;
+    emitSync(P, SyncKind::ChanRecv, Chan, Stmt, RecvSeq, M.SendSeq, M.Value);
+    P.Stack.push_back(M.Value);
+    UnblockSender(RecvSeq, /*IntoQueue=*/true);
+    return true;
+  }
+  if (!C.BlockedSenders.empty()) {
+    // Capacity-0 rendezvous: take the pending message directly.
+    uint32_t SenderPid = C.BlockedSenders.front();
+    Process &Sender = Procs[SenderPid];
+    uint64_t RecvSeq;
+    emitSync(P, SyncKind::ChanRecv, Chan, Stmt, RecvSeq,
+             Sender.PendingSendSeq, Sender.PendingSendValue);
+    P.Stack.push_back(Sender.PendingSendValue);
+    UnblockSender(RecvSeq, /*IntoQueue=*/false);
+    return true;
+  }
+  P.Status = ProcStatus::BlockedRecv;
+  P.WaitObject = Chan;
+  C.BlockedReceivers.push_back(P.Pid);
+  return false;
+}
+
+void Machine::doSpawn(Process &P, uint32_t Func, uint32_t Argc, StmtId Stmt) {
+  std::vector<int64_t> Args = popArgs(P, Argc);
+  uint32_t ChildPid = uint32_t(Procs.size());
+  uint64_t Seq;
+  emitSync(P, SyncKind::SpawnChild, Func, Stmt, Seq, NoPartner,
+           int64_t(ChildPid));
+  spawnProcess(Func, std::move(Args), Seq);
+}
+
+bool Machine::doInput(Process &P, StmtId Stmt) {
+  if (P.Inputs.empty()) {
+    fail(P, RuntimeErrorKind::InputExhausted, Stmt);
+    return false;
+  }
+  int64_t Value = P.Inputs.front();
+  P.Inputs.pop_front();
+  if (logging()) {
+    LogRecord &R = appendRecord(P, LogRecordKind::Input);
+    R.Value = Value;
+  }
+  P.Stack.push_back(Value);
+  return true;
+}
+
+void Machine::doPrelog(Process &P, uint32_t EBlock) {
+  if (Options.Mode != RunMode::Logging)
+    return;
+  LogRecord &R = appendRecord(P, LogRecordKind::Prelog);
+  R.Id = EBlock;
+  captureVars(P, Prog.eblock(EBlock).Used, R);
+}
+
+void Machine::doPostlog(Process &P, uint32_t EBlock, uint32_t Flags) {
+  if (Options.Mode != RunMode::Logging)
+    return;
+  LogRecord &R = appendRecord(P, LogRecordKind::Postlog);
+  R.Id = EBlock;
+  R.Flags = Flags;
+  if (Flags & PostlogExitsFunction) {
+    assert(!P.Stack.empty() && "return value expected on stack");
+    R.Value = P.Stack.back();
+  }
+  captureVars(P, Prog.eblock(EBlock).Defined, R);
+}
+
+void Machine::doUnitLog(Process &P, uint32_t Unit) {
+  if (Options.Mode != RunMode::Logging)
+    return;
+  LogRecord &R = appendRecord(P, LogRecordKind::UnitLog);
+  R.Id = Unit;
+  captureVars(P, Prog.unit(Unit).SharedReads, R);
+}
+
+//===----------------------------------------------------------------------===//
+// The legacy interpreter
 //===----------------------------------------------------------------------===//
 
 bool Machine::step(Process &P) {
@@ -277,14 +468,14 @@ bool Machine::step(Process &P) {
     return true;
 
   case Op::LoadLocal: {
-    int64_t V = P.Frames.back().Slots[I.A];
+    int64_t V = P.topSlots()[I.A];
     Push(V);
     traceRead(P, VarId(I.B), V, -1);
     return true;
   }
   case Op::StoreLocal: {
     int64_t V = Pop();
-    P.Frames.back().Slots[I.A] = V;
+    P.topSlots()[I.A] = V;
     traceWrite(P, VarId(I.B), V, -1);
     return true;
   }
@@ -294,7 +485,7 @@ bool Machine::step(Process &P) {
       fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
       return false;
     }
-    int64_t V = P.Frames.back().Slots[I.A + Idx];
+    int64_t V = P.topSlots()[I.A + Idx];
     Push(V);
     traceRead(P, VarId(I.B), V, Idx);
     return true;
@@ -306,12 +497,12 @@ bool Machine::step(Process &P) {
       fail(P, RuntimeErrorKind::IndexOutOfBounds, Stmt);
       return false;
     }
-    P.Frames.back().Slots[I.A + Idx] = V;
+    P.topSlots()[I.A + Idx] = V;
     traceWrite(P, VarId(I.B), V, Idx);
     return true;
   }
   case Op::ZeroLocal: {
-    std::fill_n(P.Frames.back().Slots.begin() + I.A, I.Imm, 0);
+    std::fill_n(P.topSlots() + I.A, I.Imm, 0);
     traceWrite(P, VarId(I.B), 0, -1);
     return true;
   }
@@ -407,32 +598,32 @@ bool Machine::step(Process &P) {
     return true;
   case Op::CmpEq: {
     int64_t B = Pop(), A = Pop();
-    Push(A == B);
+    Push(evalCmp(CmpKind::Eq, A, B));
     return true;
   }
   case Op::CmpNe: {
     int64_t B = Pop(), A = Pop();
-    Push(A != B);
+    Push(evalCmp(CmpKind::Ne, A, B));
     return true;
   }
   case Op::CmpLt: {
     int64_t B = Pop(), A = Pop();
-    Push(A < B);
+    Push(evalCmp(CmpKind::Lt, A, B));
     return true;
   }
   case Op::CmpLe: {
     int64_t B = Pop(), A = Pop();
-    Push(A <= B);
+    Push(evalCmp(CmpKind::Le, A, B));
     return true;
   }
   case Op::CmpGt: {
     int64_t B = Pop(), A = Pop();
-    Push(A > B);
+    Push(evalCmp(CmpKind::Gt, A, B));
     return true;
   }
   case Op::CmpGe: {
     int64_t B = Pop(), A = Pop();
-    Push(A >= B);
+    Push(evalCmp(CmpKind::Ge, A, B));
     return true;
   }
 
@@ -463,8 +654,9 @@ bool Machine::step(Process &P) {
   }
   case Op::Ret: {
     int64_t Result = Pop();
-    Frame Top = std::move(P.Frames.back());
+    Frame Top = P.Frames.back();
     P.Frames.pop_back();
+    P.SlotArena.resize(Top.SlotBase);
     P.Stack.resize(Top.StackBase);
     if (P.Frames.empty()) {
       if (logging()) {
@@ -478,220 +670,45 @@ bool Machine::step(Process &P) {
     P.Pc = Top.ReturnPc;
     return true;
   }
-  case Op::CallBuiltin: {
-    switch (Builtin(I.A)) {
-    case Builtin::Sqrt: {
-      int64_t X = Pop();
-      if (X < 0) {
-        fail(P, RuntimeErrorKind::NegativeSqrt, Stmt);
-        return false;
-      }
-      Push(isqrt(X));
-      return true;
+  case Op::CallBuiltin:
+    if (!applyBuiltin(Builtin(I.A), P.Stack)) {
+      fail(P, RuntimeErrorKind::NegativeSqrt, Stmt);
+      return false;
     }
-    case Builtin::Abs: {
-      int64_t X = Pop();
-      Push(X < 0 ? -X : X);
-      return true;
-    }
-    case Builtin::Min: {
-      int64_t B = Pop(), A = Pop();
-      Push(std::min(A, B));
-      return true;
-    }
-    case Builtin::Max: {
-      int64_t B = Pop(), A = Pop();
-      Push(std::max(A, B));
-      return true;
-    }
-    case Builtin::None:
-      break;
-    }
-    assert(false && "unknown builtin");
     return true;
-  }
 
-  case Op::SemP: {
-    Semaphore &S = Sems[I.A];
-    if (S.Count > 0) {
-      uint64_t Partner = NoPartner;
-      if (S.PendingVEdge && S.PendingVPid != P.Pid)
-        Partner = S.PendingVSeq;
-      S.PendingVEdge = false;
-      --S.Count;
-      uint64_t Seq;
-      emitSync(P, SyncKind::SemAcquire, uint32_t(I.A), Stmt, Seq, Partner);
-      return true;
-    }
-    S.PendingVEdge = false;
-    S.Waiters.push_back(P.Pid);
-    P.Status = ProcStatus::BlockedSem;
-    P.WaitObject = uint32_t(I.A);
-    return false;
-  }
-  case Op::SemV: {
-    Semaphore &S = Sems[I.A];
-    uint64_t VSeq;
-    emitSync(P, SyncKind::SemSignal, uint32_t(I.A), Stmt, VSeq);
-    if (!S.Waiters.empty()) {
-      // Direct handoff: the V unblocks a blocked P (§6.2.1 rule 1).
-      uint32_t WaiterPid = S.Waiters.front();
-      S.Waiters.pop_front();
-      Process &W = Procs[WaiterPid];
-      uint64_t WSeq;
-      // The waiter's P statement is the instruction before its (already
-      // advanced) pc.
-      StmtId WStmt = chunkOf(W).stmtAt(W.Pc - 1);
-      emitSync(W, SyncKind::SemAcquire, uint32_t(I.A), WStmt, WSeq, VSeq);
-      W.Status = ProcStatus::Runnable;
-      W.WaitObject = InvalidId;
-      S.PendingVEdge = false;
-      return true;
-    }
-    bool WasZero = S.Count == 0;
-    ++S.Count;
-    S.PendingVEdge = WasZero;
-    S.PendingVSeq = VSeq;
-    S.PendingVPid = P.Pid;
+  case Op::SemP:
+    return doSemP(P, uint32_t(I.A), Stmt);
+  case Op::SemV:
+    doSemV(P, uint32_t(I.A), Stmt);
     return true;
-  }
 
-  case Op::SendCh: {
-    Channel &C = Chans[I.A];
-    int64_t Value = Pop();
-    uint64_t SendSeq;
-    emitSync(P, SyncKind::ChanSend, uint32_t(I.A), Stmt, SendSeq);
-    if (!C.BlockedReceivers.empty()) {
-      // Hand the message straight to a waiting receiver.
-      uint32_t ReceiverPid = C.BlockedReceivers.front();
-      C.BlockedReceivers.pop_front();
-      Process &R = Procs[ReceiverPid];
-      uint64_t RecvSeq;
-      StmtId RStmt = chunkOf(R).stmtAt(R.Pc - 1);
-      emitSync(R, SyncKind::ChanRecv, uint32_t(I.A), RStmt, RecvSeq, SendSeq,
-               Value);
-      R.Stack.push_back(Value);
-      R.Status = ProcStatus::Runnable;
-      R.WaitObject = InvalidId;
-      return true;
-    }
-    if (int64_t(C.Queue.size()) < C.Capacity) {
-      C.Queue.push_back({Value, SendSeq});
-      return true;
-    }
-    // Blocking send (Fig 6.1: node n3; the unblock event n5 follows the
-    // matching receive).
-    P.PendingSendValue = Value;
-    P.PendingSendSeq = SendSeq;
-    P.PendingSendStmt = Stmt;
-    C.BlockedSenders.push_back(P.Pid);
-    P.Status = ProcStatus::BlockedSend;
-    P.WaitObject = uint32_t(I.A);
-    return false;
-  }
-  case Op::RecvCh: {
-    Channel &C = Chans[I.A];
-    auto UnblockSender = [&](uint64_t RecvSeq, bool IntoQueue) {
-      if (C.BlockedSenders.empty())
-        return;
-      uint32_t SenderPid = C.BlockedSenders.front();
-      C.BlockedSenders.pop_front();
-      Process &Sender = Procs[SenderPid];
-      if (IntoQueue)
-        C.Queue.push_back({Sender.PendingSendValue, Sender.PendingSendSeq});
-      uint64_t USeq;
-      emitSync(Sender, SyncKind::ChanSendUnblock, uint32_t(I.A),
-               Sender.PendingSendStmt, USeq, RecvSeq);
-      Sender.Status = ProcStatus::Runnable;
-      Sender.WaitObject = InvalidId;
-    };
+  case Op::SendCh:
+    return doSend(P, uint32_t(I.A), Pop(), Stmt);
+  case Op::RecvCh:
+    return doRecv(P, uint32_t(I.A), Stmt);
 
-    if (!C.Queue.empty()) {
-      Message M = C.Queue.front();
-      C.Queue.pop_front();
-      uint64_t RecvSeq;
-      emitSync(P, SyncKind::ChanRecv, uint32_t(I.A), Stmt, RecvSeq, M.SendSeq,
-               M.Value);
-      Push(M.Value);
-      UnblockSender(RecvSeq, /*IntoQueue=*/true);
-      return true;
-    }
-    if (!C.BlockedSenders.empty()) {
-      // Capacity-0 rendezvous: take the pending message directly.
-      uint32_t SenderPid = C.BlockedSenders.front();
-      Process &Sender = Procs[SenderPid];
-      uint64_t RecvSeq;
-      emitSync(P, SyncKind::ChanRecv, uint32_t(I.A), Stmt, RecvSeq,
-               Sender.PendingSendSeq, Sender.PendingSendValue);
-      Push(Sender.PendingSendValue);
-      UnblockSender(RecvSeq, /*IntoQueue=*/false);
-      return true;
-    }
-    P.Status = ProcStatus::BlockedRecv;
-    P.WaitObject = uint32_t(I.A);
-    C.BlockedReceivers.push_back(P.Pid);
-    return false;
-  }
-
-  case Op::SpawnProc: {
-    std::vector<int64_t> Args = popArgs(P, uint32_t(I.B));
-    uint32_t ChildPid = uint32_t(Procs.size());
-    uint64_t Seq;
-    emitSync(P, SyncKind::SpawnChild, uint32_t(I.A), Stmt, Seq, NoPartner,
-             int64_t(ChildPid));
-    spawnProcess(uint32_t(I.A), std::move(Args), Seq);
+  case Op::SpawnProc:
+    doSpawn(P, uint32_t(I.A), uint32_t(I.B), Stmt);
     return true;
-  }
 
   case Op::PrintVal: {
     int64_t Value = Pop();
     Log.Output.push_back({P.Pid, Value, Stmt});
     return true;
   }
-  case Op::InputVal: {
-    if (P.Inputs.empty()) {
-      fail(P, RuntimeErrorKind::InputExhausted, Stmt);
-      return false;
-    }
-    int64_t Value = P.Inputs.front();
-    P.Inputs.pop_front();
-    if (logging()) {
-      LogRecord &R = appendRecord(P, LogRecordKind::Input);
-      R.Value = Value;
-    }
-    Push(Value);
-    return true;
-  }
+  case Op::InputVal:
+    return doInput(P, Stmt);
 
-  case Op::Prelog: {
-    if (Options.Mode == RunMode::Logging) {
-      LogRecord &R = appendRecord(P, LogRecordKind::Prelog);
-      R.Id = uint32_t(I.A);
-      captureVars(P, Prog.eblock(uint32_t(I.A)).Used, R);
-    }
+  case Op::Prelog:
+    doPrelog(P, uint32_t(I.A));
     return true;
-  }
-  case Op::Postlog: {
-    if (Options.Mode == RunMode::Logging) {
-      LogRecord &R = appendRecord(P, LogRecordKind::Postlog);
-      R.Id = uint32_t(I.A);
-      R.Flags = uint32_t(I.B);
-      if (I.B & PostlogExitsFunction) {
-        assert(!P.Stack.empty() && "return value expected on stack");
-        R.Value = P.Stack.back();
-      }
-      captureVars(P, Prog.eblock(uint32_t(I.A)).Defined, R);
-    }
+  case Op::Postlog:
+    doPostlog(P, uint32_t(I.A), uint32_t(I.B));
     return true;
-  }
-  case Op::UnitLog: {
-    if (Options.Mode == RunMode::Logging) {
-      LogRecord &R = appendRecord(P, LogRecordKind::UnitLog);
-      R.Id = uint32_t(I.A);
-      captureVars(P, Prog.unit(uint32_t(I.A)).SharedReads, R);
-    }
+  case Op::UnitLog:
+    doUnitLog(P, uint32_t(I.A));
     return true;
-  }
 
   case Op::TraceStmt: {
     if (tracing()) {
@@ -737,6 +754,471 @@ bool Machine::step(Process &P) {
   return false;
 }
 
+//===----------------------------------------------------------------------===//
+// The decoded fast path
+//===----------------------------------------------------------------------===//
+
+template <RunMode Mode>
+uint32_t Machine::runSlice(Process &P, uint32_t Budget) {
+  PPD_DISPATCH_TABLE();
+  constexpr bool DoLog = Mode != RunMode::Plain;
+  constexpr bool DoTrace = Mode == RunMode::FullTrace;
+
+  // Hot state lives in locals for the duration of the slice and is synced
+  // back to the Process on every exit path. Slots caches the arena pointer
+  // of the innermost frame; it is reloaded after Call and Ret (the arena
+  // may reallocate, and the frame changes).
+  auto BaseOf = [&](uint32_t Func) {
+    const CompiledFunction &CF = Prog.func(Func);
+    return (DoTrace ? CF.EmuDecoded : CF.ObjectDecoded).data();
+  };
+  const DecodedInstr *Base = BaseOf(P.Frames.back().Func);
+  uint32_t Ip = P.Pc;
+  int64_t *Slots = P.topSlots();
+  std::vector<int64_t> &Stack = P.Stack;
+  StmtId CurStmt = P.CurrentStmt;
+  uint32_t Used = 0;
+
+  auto Push = [&](int64_t V) { Stack.push_back(V); };
+  auto Pop = [&]() {
+    assert(!Stack.empty() && "operand stack underflow");
+    int64_t V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  for (;;) {
+    // Per-step prologue: exact legacy accounting. Budget already folds in
+    // both the quantum and the global step limit; a step is consumed even
+    // when it blocks, fails, or stops at a breakpoint.
+    if (Used == Budget)
+      break;
+    ++Used;
+    const DecodedInstr &I = Base[Ip];
+    if (I.Stmt != CurStmt) {
+      CurStmt = I.Stmt;
+      if (I.Stmt != InvalidId && !BreakSet.empty() && BreakSet.count(I.Stmt)) {
+        BreakHit = true;
+        BreakPid = P.Pid;
+        BreakStmt = I.Stmt;
+        goto Exit; // pc not advanced, like the legacy engine.
+      }
+    }
+    ++Ip;
+
+    PPD_DISPATCH(I.Opcode) {
+      PPD_OP(PushConst) {
+        Push(I.Imm);
+        continue;
+      }
+      PPD_OP(Pop) {
+        Pop();
+        continue;
+      }
+      PPD_OP(ToBool) {
+        Stack.back() = Stack.back() != 0;
+        continue;
+      }
+
+      PPD_OP(LoadLocal) {
+        int64_t V = Slots[I.A];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(StoreLocal) {
+        int64_t V = Pop();
+        Slots[I.A] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(LoadLocalElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = Slots[I.A + Idx];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(StoreLocalElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        Slots[I.A + Idx] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, Idx);
+        continue;
+      }
+      PPD_OP(ZeroLocal) {
+        std::fill_n(Slots + I.A, I.Imm, 0);
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), 0, -1);
+        continue;
+      }
+
+      PPD_OP(LoadShared) {
+        int64_t V = Shared[uint32_t(I.A)];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, -1);
+        if constexpr (DoLog)
+          P.EdgeReads.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+        continue;
+      }
+      PPD_OP(LoadSharedElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = Shared[uint32_t(I.A) + uint32_t(Idx)];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, Idx);
+        if constexpr (DoLog)
+          P.EdgeReads.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+        continue;
+      }
+      PPD_OP(LoadPriv) {
+        int64_t V = P.PrivateGlobals[uint32_t(I.A)];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(LoadPrivElem) {
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        int64_t V = P.PrivateGlobals[uint32_t(I.A) + uint32_t(Idx)];
+        Push(V);
+        if constexpr (DoTrace)
+          traceRead(P, VarId(I.B), V, Idx);
+        continue;
+      }
+
+      PPD_OP(StoreShared) {
+        int64_t V = Pop();
+        Shared[uint32_t(I.A)] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, -1);
+        if constexpr (DoLog)
+          P.EdgeWrites.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+        continue;
+      }
+      PPD_OP(StoreSharedElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        Shared[uint32_t(I.A) + uint32_t(Idx)] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, Idx);
+        if constexpr (DoLog)
+          P.EdgeWrites.insert(Prog.Symbols->var(VarId(I.B)).SharedIndex);
+        continue;
+      }
+      PPD_OP(StorePriv) {
+        int64_t V = Pop();
+        P.PrivateGlobals[uint32_t(I.A)] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, -1);
+        continue;
+      }
+      PPD_OP(StorePrivElem) {
+        int64_t V = Pop();
+        int64_t Idx = Pop();
+        if (Idx < 0 || Idx >= I.Imm) {
+          fail(P, RuntimeErrorKind::IndexOutOfBounds, I.Stmt);
+          goto Exit;
+        }
+        P.PrivateGlobals[uint32_t(I.A) + uint32_t(Idx)] = V;
+        if constexpr (DoTrace)
+          traceWrite(P, VarId(I.B), V, Idx);
+        continue;
+      }
+
+      PPD_OP(Add) {
+        int64_t B = Pop();
+        Stack.back() = wrapAdd(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Sub) {
+        int64_t B = Pop();
+        Stack.back() = wrapSub(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Mul) {
+        int64_t B = Pop();
+        Stack.back() = wrapMul(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Div) {
+        int64_t B = Pop();
+        if (B == 0) {
+          fail(P, RuntimeErrorKind::DivideByZero, I.Stmt);
+          goto Exit;
+        }
+        Stack.back() = wrapDiv(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Mod) {
+        int64_t B = Pop();
+        if (B == 0) {
+          fail(P, RuntimeErrorKind::ModuloByZero, I.Stmt);
+          goto Exit;
+        }
+        Stack.back() = wrapMod(Stack.back(), B);
+        continue;
+      }
+      PPD_OP(Neg) {
+        Stack.back() = wrapNeg(Stack.back());
+        continue;
+      }
+      PPD_OP(Not) {
+        Stack.back() = Stack.back() == 0;
+        continue;
+      }
+
+      PPD_OP(CmpEq)
+      PPD_OP(CmpNe)
+      PPD_OP(CmpLt)
+      PPD_OP(CmpLe)
+      PPD_OP(CmpGt)
+      PPD_OP(CmpGe) {
+        int64_t B = Pop();
+        Stack.back() = evalCmp(CmpKind(I.Sub), Stack.back(), B);
+        continue;
+      }
+
+      PPD_OP(Jump) {
+        Ip = uint32_t(I.A);
+        continue;
+      }
+      PPD_OP(JumpIfFalse)
+      PPD_OP(JumpIfTrue) {
+        int64_t Cond = Pop();
+        if constexpr (DoTrace) {
+          if (TraceEvent *E = openEventOf(P)) {
+            E->IsPredicate = true;
+            E->BranchTaken = Cond != 0;
+          }
+        }
+        bool Taken = I.Opcode == DOp::JumpIfFalse ? Cond == 0 : Cond != 0;
+        if (Taken)
+          Ip = uint32_t(I.A);
+        continue;
+      }
+      PPD_OP(JumpIfCmp) {
+        // Fused Cmp + JumpIf. The compare is this step; the branch is the
+        // next one and only executes if the budget still has room —
+        // otherwise the compare result is pushed and the pc stays on the
+        // branch's own (still fully decoded) slot, so preemption points
+        // match the legacy engine exactly.
+        int64_t B = Pop(), A = Pop();
+        int64_t Cond = evalCmp(CmpKind(I.Sub >> 1), A, B);
+        if (Used != Budget) {
+          ++Used;
+          if constexpr (DoTrace) {
+            if (TraceEvent *E = openEventOf(P)) {
+              E->IsPredicate = true;
+              E->BranchTaken = Cond != 0;
+            }
+          }
+          bool Taken = (I.Sub & 1) ? Cond != 0 : Cond == 0;
+          Ip = Taken ? uint32_t(I.A) : Ip + 1;
+        } else {
+          Push(Cond);
+        }
+        continue;
+      }
+      PPD_OP(StoreLocalImm) {
+        // Fused PushConst + StoreLocal, split the same way.
+        if (Used != Budget) {
+          ++Used;
+          ++Ip; // skip the second half's slot
+          Slots[I.A] = I.Imm;
+          if constexpr (DoTrace)
+            traceWrite(P, VarId(I.B), I.Imm, -1);
+        } else {
+          Push(I.Imm);
+        }
+        continue;
+      }
+
+      PPD_OP(Call) {
+        if (P.Frames.size() >= 4096) {
+          fail(P, RuntimeErrorKind::StackOverflow, I.Stmt);
+          goto Exit;
+        }
+        uint32_t Argc = uint32_t(I.B);
+        const CompiledFunction &Callee = Prog.func(uint32_t(I.A));
+        assert(Argc == Callee.NumParams && "arity checked by sema");
+        assert(Stack.size() >= Argc && "operand stack underflow");
+        Frame Fr;
+        Fr.Func = uint32_t(I.A);
+        Fr.ReturnPc = Ip;
+        Fr.StackBase = uint32_t(Stack.size() - Argc);
+        Fr.SlotBase = uint32_t(P.SlotArena.size());
+        Fr.SlotCount = Callee.FrameSize;
+        P.SlotArena.resize(Fr.SlotBase + Callee.FrameSize, 0);
+        std::copy(Stack.end() - Argc, Stack.end(),
+                  P.SlotArena.begin() + Fr.SlotBase);
+        Stack.resize(Stack.size() - Argc);
+        P.Frames.push_back(Fr);
+        Base = BaseOf(Fr.Func);
+        Ip = 0;
+        Slots = P.SlotArena.data() + Fr.SlotBase;
+        continue;
+      }
+      PPD_OP(Ret) {
+        int64_t Result = Pop();
+        Frame Top = P.Frames.back();
+        P.Frames.pop_back();
+        P.SlotArena.resize(Top.SlotBase);
+        Stack.resize(Top.StackBase);
+        if (P.Frames.empty()) {
+          if constexpr (DoLog) {
+            uint64_t Seq;
+            emitSync(P, SyncKind::ProcEnd, 0, I.Stmt, Seq);
+          }
+          P.Status = ProcStatus::Done;
+          goto Exit;
+        }
+        Push(Result);
+        Ip = Top.ReturnPc;
+        Base = BaseOf(P.Frames.back().Func);
+        Slots = P.topSlots();
+        continue;
+      }
+      PPD_OP(CallBuiltin) {
+        if (!applyBuiltin(Builtin(I.A), Stack)) {
+          fail(P, RuntimeErrorKind::NegativeSqrt, I.Stmt);
+          goto Exit;
+        }
+        continue;
+      }
+
+      PPD_OP(SemP) {
+        if (!doSemP(P, uint32_t(I.A), I.Stmt))
+          goto Exit;
+        continue;
+      }
+      PPD_OP(SemV) {
+        doSemV(P, uint32_t(I.A), I.Stmt);
+        continue;
+      }
+      PPD_OP(SendCh) {
+        if (!doSend(P, uint32_t(I.A), Pop(), I.Stmt))
+          goto Exit;
+        continue;
+      }
+      PPD_OP(RecvCh) {
+        if (!doRecv(P, uint32_t(I.A), I.Stmt))
+          goto Exit;
+        continue;
+      }
+      PPD_OP(SpawnProc) {
+        doSpawn(P, uint32_t(I.A), uint32_t(I.B), I.Stmt);
+        continue;
+      }
+
+      PPD_OP(PrintVal) {
+        int64_t Value = Pop();
+        Log.Output.push_back({P.Pid, Value, I.Stmt});
+        continue;
+      }
+      PPD_OP(InputVal) {
+        if (!doInput(P, I.Stmt))
+          goto Exit;
+        continue;
+      }
+
+      PPD_OP(Prelog) {
+        if constexpr (Mode == RunMode::Logging)
+          doPrelog(P, uint32_t(I.A));
+        continue;
+      }
+      PPD_OP(Postlog) {
+        if constexpr (Mode == RunMode::Logging)
+          doPostlog(P, uint32_t(I.A), uint32_t(I.B));
+        continue;
+      }
+      PPD_OP(UnitLog) {
+        if constexpr (Mode == RunMode::Logging)
+          doUnitLog(P, uint32_t(I.A));
+        continue;
+      }
+
+      PPD_OP(TraceStmt) {
+        if constexpr (DoTrace) {
+          TraceEvent E;
+          E.Kind = TraceEventKind::Stmt;
+          E.Pid = P.Pid;
+          E.Stmt = StmtId(I.A);
+          P.Frames.back().OpenEvent =
+              Traces[P.Pid].append(std::move(E)).Index;
+        }
+        continue;
+      }
+      PPD_OP(TraceCallBegin) {
+        if constexpr (DoTrace) {
+          TraceEvent E;
+          E.Kind = TraceEventKind::CallBegin;
+          E.Pid = P.Pid;
+          E.Stmt = StmtId(I.B);
+          E.Callee = uint32_t(I.A);
+          uint32_t Argc = Prog.func(uint32_t(I.A)).NumParams;
+          assert(Stack.size() >= Argc && "call arguments missing");
+          E.Args.assign(Stack.end() - Argc, Stack.end());
+          Traces[P.Pid].append(std::move(E));
+        }
+        continue;
+      }
+      PPD_OP(TraceCallEnd) {
+        if constexpr (DoTrace) {
+          TraceEvent E;
+          E.Kind = TraceEventKind::CallEnd;
+          E.Pid = P.Pid;
+          E.Callee = uint32_t(I.A);
+          E.Value = Stack.back();
+          Traces[P.Pid].append(std::move(E));
+        }
+        continue;
+      }
+
+      PPD_OP(Halt) {
+        P.Status = ProcStatus::Done;
+        goto Exit;
+      }
+    }
+    PPD_END_DISPATCH();
+    assert(false && "unknown opcode");
+  }
+
+Exit:
+  P.Pc = Ip;
+  P.CurrentStmt = CurStmt;
+  return Used;
+}
+
+//===----------------------------------------------------------------------===//
+// The scheduler
+//===----------------------------------------------------------------------===//
+
 RunResult Machine::run() {
   RunResult Result;
   // Any non-completed outcome freezes the machine mid-flight; Stop markers
@@ -774,7 +1256,7 @@ RunResult Machine::run() {
         return Freeze(RunResult::Status::Failed);
       }
 
-    std::vector<uint32_t> Runnable;
+    Runnable.clear();
     bool AnyBlocked = false;
     for (const Process &P : Procs) {
       if (P.Status == ProcStatus::Runnable)
@@ -799,6 +1281,31 @@ RunResult Machine::run() {
     }
 
     uint32_t Pid = Runnable[SchedRng.nextBelow(Runnable.size())];
+
+    if (DecodedOk) {
+      if (Steps >= Options.MaxSteps)
+        return Freeze(RunResult::Status::StepLimit);
+      // One bound for the whole slice: the quantum and the global step
+      // budget collapse into a single per-slice budget, checked once per
+      // step inside the threaded loop.
+      uint32_t Budget = uint32_t(
+          std::min<uint64_t>(Options.Quantum, Options.MaxSteps - Steps));
+      uint32_t Used = 0;
+      switch (Options.Mode) {
+      case RunMode::Plain:
+        Used = runSlice<RunMode::Plain>(Procs[Pid], Budget);
+        break;
+      case RunMode::Logging:
+        Used = runSlice<RunMode::Logging>(Procs[Pid], Budget);
+        break;
+      case RunMode::FullTrace:
+        Used = runSlice<RunMode::FullTrace>(Procs[Pid], Budget);
+        break;
+      }
+      Steps += Used;
+      continue;
+    }
+
     for (uint32_t Slice = 0; Slice != Options.Quantum; ++Slice) {
       if (Steps >= Options.MaxSteps)
         return Freeze(RunResult::Status::StepLimit);

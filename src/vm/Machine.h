@@ -82,7 +82,11 @@ struct Frame {
   uint32_t Func = 0;
   uint32_t ReturnPc = 0;
   uint32_t StackBase = 0;
-  std::vector<int64_t> Slots;
+  /// The frame's local slots live in Process::SlotArena at
+  /// [SlotBase, SlotBase + SlotCount) — call/return only moves the arena's
+  /// end, so steady-state calls never allocate.
+  uint32_t SlotBase = 0;
+  uint32_t SlotCount = 0;
   /// Open trace event of this frame (FullTrace mode), or InvalidId.
   uint32_t OpenEvent = InvalidId;
 };
@@ -93,8 +97,17 @@ struct Process {
   uint32_t Pc = 0;
   std::vector<Frame> Frames;
   std::vector<int64_t> Stack;
+  /// Backing store for every frame's local slots (grows at Call, shrinks
+  /// at Ret; capacity is retained across both).
+  std::vector<int64_t> SlotArena;
   std::vector<int64_t> PrivateGlobals;
   std::deque<int64_t> Inputs;
+
+  /// Local slots of the innermost frame.
+  int64_t *topSlots() { return SlotArena.data() + Frames.back().SlotBase; }
+  const int64_t *topSlots() const {
+    return SlotArena.data() + Frames.back().SlotBase;
+  }
 
   // Shared accesses on the current internal edge (since the last sync
   // node), as SharedIndex bits.
@@ -126,6 +139,10 @@ struct MachineOptions {
   /// Statements that halt the whole machine when any process reaches them
   /// — the paper's "user intervention" entry into the debugging phase.
   std::vector<StmtId> Breakpoints;
+  /// Run on the pre-decoded fast path (threaded dispatch over
+  /// DecodedChunk). Off = the legacy one-instruction switch interpreter;
+  /// both produce bit-identical logs, which tests/interp_test.cpp asserts.
+  bool UseDecoded = true;
 };
 
 struct DeadlockInfo {
@@ -193,10 +210,28 @@ private:
 
   uint32_t spawnProcess(uint32_t Func, std::vector<int64_t> Args,
                         uint64_t ParentSpawnSeq);
-  /// Executes one instruction of process \p P. Returns false when the
-  /// process can no longer run (blocked, done, failed).
+  /// Executes one instruction of process \p P (legacy engine). Returns
+  /// false when the process can no longer run (blocked, done, failed).
   bool step(Process &P);
+  /// Decoded fast path: runs up to \p Budget instructions of \p P with the
+  /// mode-specialized threaded interpreter; returns the number of steps
+  /// consumed (each counted exactly as the legacy engine counts them).
+  template <RunMode Mode> uint32_t runSlice(Process &P, uint32_t Budget);
   void fail(Process &P, RuntimeErrorKind Kind, StmtId Stmt);
+
+  // Cold operations shared verbatim by the legacy switch engine and the
+  // decoded handlers, so the two paths cannot drift. The bool-returning
+  // ones yield false when the process stops running here (blocked or
+  // failed).
+  bool doSemP(Process &P, uint32_t Sem, StmtId Stmt);
+  void doSemV(Process &P, uint32_t Sem, StmtId Stmt);
+  bool doSend(Process &P, uint32_t Chan, int64_t Value, StmtId Stmt);
+  bool doRecv(Process &P, uint32_t Chan, StmtId Stmt);
+  void doSpawn(Process &P, uint32_t Func, uint32_t Argc, StmtId Stmt);
+  bool doInput(Process &P, StmtId Stmt);
+  void doPrelog(Process &P, uint32_t EBlock);
+  void doPostlog(Process &P, uint32_t EBlock, uint32_t Flags);
+  void doUnitLog(Process &P, uint32_t Unit);
 
   void pushFrame(Process &P, uint32_t Func, std::vector<int64_t> Args,
                  uint32_t ReturnPc);
@@ -219,6 +254,10 @@ private:
   const CompiledProgram &Prog;
   MachineOptions Options;
   Rng SchedRng;
+  /// True when every function carries usable decoded streams and the
+  /// options ask for the fast path (hand-assembled CompiledPrograms may
+  /// lack them; the machine then falls back to the legacy engine).
+  bool DecodedOk = false;
   std::set<StmtId> BreakSet;
   bool BreakHit = false;
   uint32_t BreakPid = InvalidId;
@@ -229,6 +268,8 @@ private:
   std::vector<Channel> Chans;
   /// deque: processes are spawned mid-step and references must stay valid.
   std::deque<Process> Procs;
+  /// Scheduler scratch, reused across rounds to avoid per-round allocation.
+  std::vector<uint32_t> Runnable;
   std::vector<TraceBuffer> Traces;
   ExecutionLog Log;
   uint64_t NextSyncSeq = 0;
