@@ -1,0 +1,194 @@
+//===- bench/bench_server.cpp - Experiment E10 ----------------------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// E10 measures the debug server's request path over the in-process frame
+// transport (no socket: the wire codec and dispatch are the variables,
+// kernel buffers are not):
+//
+//   * `server_cold_open`  — the price of admission: a fresh server per
+//     iteration, N sessions opened, each answering its first `where`
+//     (graph fragment build + first replay, all cache-cold).
+//   * `server_warm_query` — the steady interactive state: N warmed
+//     sessions polled round-robin; every replay is a shared-cache lookup.
+//     P50us/P99us come from the server's own latency histogram (bucket
+//     upper bounds).
+//   * `server_concurrent_clients` — T client threads over one server,
+//     one private session each, synchronous handleFrame round-trips:
+//     dispatch-path scalability (sessions only share the replay cache and
+//     the metrics atomics).
+//
+// The session counts (1/4/16) bracket a single user, a small team on one
+// failure, and a classroom-sized fan-in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchPrograms.h"
+
+#include "server/DebugServer.h"
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace ppd;
+using namespace ppd::bench;
+
+namespace {
+
+/// A logged execution with enough intervals that `where` has real replay
+/// work: two synchronizing workers plus a call-heavy main.
+std::string serverWorkload() { return mixedWorkload(6, 40); }
+
+struct ProgramAndLog {
+  std::unique_ptr<CompiledProgram> Prog;
+  ExecutionLog Log;
+};
+
+ProgramAndLog makeWorkload() {
+  ProgramAndLog Out;
+  Out.Prog = mustCompile(serverWorkload());
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*Out.Prog, MOpts);
+  M.run();
+  Out.Log = M.takeLog();
+  return Out;
+}
+
+/// Encodes one frame payload (length prefix stripped — handleFrame takes
+/// the payload).
+std::vector<uint8_t> queryPayload(uint64_t Session, const std::string &Cmd,
+                                  uint64_t RequestId) {
+  Request Req;
+  Req.Type = MsgType::Query;
+  Req.RequestId = RequestId;
+  Req.SessionId = Session;
+  Req.Command = Cmd;
+  LogWriter W;
+  encodeRequest(Req, W);
+  return std::vector<uint8_t>(W.data() + 4, W.data() + W.size());
+}
+
+uint64_t openSession(DebugServer &Server) {
+  Request Req;
+  Req.Type = MsgType::OpenSession;
+  Response Resp = Server.handle(Req);
+  if (Resp.Type != RespType::SessionOpened) {
+    std::fprintf(stderr, "benchmark session open failed\n");
+    std::abort();
+  }
+  return Resp.SessionId;
+}
+
+void closeSession(DebugServer &Server, uint64_t Session) {
+  Request Req;
+  Req.Type = MsgType::CloseSession;
+  Req.SessionId = Session;
+  Server.handle(Req);
+}
+
+void runQuery(DebugServer &Server, const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Frame =
+      Server.handleFrame(Payload.data(), Payload.size());
+  benchmark::DoNotOptimize(Frame.data());
+}
+
+/// Cold: fresh server, N sessions, first `where 0` each — nothing cached
+/// anywhere.
+void server_cold_open(benchmark::State &State) {
+  unsigned Sessions = unsigned(State.range(0));
+  ProgramAndLog W = makeWorkload();
+  for (auto _ : State) {
+    State.PauseTiming();
+    // Re-compiling is setup noise; re-running isn't needed — but the
+    // server owns its program, so each iteration re-compiles outside the
+    // timed region and re-uses the same log.
+    auto Prog = mustCompile(serverWorkload());
+    State.ResumeTiming();
+    DebugServer Server;
+    Server.addProgram(std::move(Prog), W.Log);
+    for (unsigned S = 0; S != Sessions; ++S) {
+      uint64_t Id = openSession(Server);
+      runQuery(Server, queryPayload(Id, "where 0", S + 1));
+    }
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * Sessions);
+  State.counters["Sessions"] = double(Sessions);
+}
+
+/// Warm: persistent server, N sessions already past their first query;
+/// each iteration answers one query per session round-robin.
+void server_warm_query(benchmark::State &State) {
+  unsigned Sessions = unsigned(State.range(0));
+  ProgramAndLog W = makeWorkload();
+  DebugServer Server;
+  Server.addProgram(std::move(W.Prog), std::move(W.Log));
+  std::vector<std::vector<uint8_t>> Payloads;
+  for (unsigned S = 0; S != Sessions; ++S) {
+    uint64_t Id = openSession(Server);
+    Payloads.push_back(queryPayload(Id, "where 0", S + 1));
+    runQuery(Server, Payloads.back()); // warm the fragment + replay cache
+  }
+  for (auto _ : State)
+    for (const std::vector<uint8_t> &P : Payloads)
+      runQuery(Server, P);
+  State.SetItemsProcessed(int64_t(State.iterations()) * Sessions);
+  State.counters["Sessions"] = double(Sessions);
+  State.counters["P50us"] =
+      double(Server.metrics().latency().percentileMicros(50));
+  State.counters["P99us"] =
+      double(Server.metrics().latency().percentileMicros(99));
+  ReplayServiceStats RS = Server.registry().aggregateReplayStats();
+  State.counters["CacheHits"] = double(RS.Cache.Hits);
+}
+
+/// Concurrency: one server, one private warmed session per benchmark
+/// thread, synchronous round-trips. google-benchmark scales the thread
+/// count; per-thread state lives in the function-local holder.
+struct SharedServer {
+  std::mutex Mutex;
+  std::unique_ptr<DebugServer> Server;
+  void ensure() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Server)
+      return;
+    ProgramAndLog W = makeWorkload();
+    Server = std::make_unique<DebugServer>();
+    Server->addProgram(std::move(W.Prog), std::move(W.Log));
+  }
+};
+
+void server_concurrent_clients(benchmark::State &State) {
+  static SharedServer Shared;
+  Shared.ensure();
+  uint64_t Session = openSession(*Shared.Server);
+  std::vector<uint8_t> Payload =
+      queryPayload(Session, "where 0", uint64_t(State.thread_index()) + 1);
+  runQuery(*Shared.Server, Payload); // warm this session
+  for (auto _ : State)
+    runQuery(*Shared.Server, Payload);
+  // Calibration re-enters this function many times per thread config;
+  // leaked sessions would trip the registry's MaxSessions cap.
+  closeSession(*Shared.Server, Session);
+  State.SetItemsProcessed(State.iterations());
+  if (State.thread_index() == 0) {
+    State.counters["P50us"] =
+        double(Shared.Server->metrics().latency().percentileMicros(50));
+    State.counters["P99us"] =
+        double(Shared.Server->metrics().latency().percentileMicros(99));
+  }
+}
+
+} // namespace
+
+BENCHMARK(server_cold_open)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(server_warm_query)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(server_concurrent_clients)->Threads(1)->Threads(4)->Threads(16)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

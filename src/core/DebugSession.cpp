@@ -171,12 +171,7 @@ std::string DebugSession::cmdStats() {
       std::to_string(S.EventsTraced) + ", trace bytes " +
       std::to_string(S.TraceBytes) + ", graph nodes " +
       std::to_string(Controller.graph().numNodes()) + "\n";
-  Out += "cache: hits " + std::to_string(RS.Cache.Hits) + ", misses " +
-         std::to_string(RS.Cache.Misses) + ", entries " +
-         std::to_string(RS.Cache.Entries) + ", bytes " +
-         std::to_string(RS.Cache.Bytes) + ", evictions " +
-         std::to_string(RS.Cache.Evictions) + ", prefetches " +
-         std::to_string(RS.PrefetchesIssued) + "\n";
+  Out += renderReplayServiceStats(RS);
   return Out;
 }
 

@@ -40,13 +40,45 @@ ParallelReplayer::fingerprint(const std::vector<ReplayOverride> &Overrides) {
   return Overrides.empty() ? 0 : (H ? H : 1);
 }
 
+std::string ppd::renderReplayServiceStats(const ReplayServiceStats &Stats) {
+  std::string Out;
+  Out += "cache: hits " + std::to_string(Stats.Cache.Hits) + ", misses " +
+         std::to_string(Stats.Cache.Misses) + ", entries " +
+         std::to_string(Stats.Cache.Entries) + ", bytes " +
+         std::to_string(Stats.Cache.Bytes) + ", evictions " +
+         std::to_string(Stats.Cache.Evictions) + ", prefetches " +
+         std::to_string(Stats.PrefetchesIssued) + "\n";
+  Out += "pool: submitted " + std::to_string(Stats.Pool.Submitted) +
+         ", executed " + std::to_string(Stats.Pool.Executed) + ", stolen " +
+         std::to_string(Stats.Pool.Stolen) + ", inline " +
+         std::to_string(Stats.Pool.InlineRuns) + "\n";
+  return Out;
+}
+
 ParallelReplayer::ParallelReplayer(const CompiledProgram &Prog,
                                    const ExecutionLog &Log,
                                    const LogIndex &Index,
                                    ReplayServiceOptions Options)
-    : Prog(Prog), Log(Log), Index(Index), Options(Options), Engine(Prog),
-      Cache(Options.CacheBytes, Options.CacheShards),
-      Pool(Options.Threads) {}
+    : Prog(Prog), Log(Log), Index(Index), Options(Options), Engine(Prog) {
+  assert(bool(this->Options.SharedCache) ==
+             bool(this->Options.SharedFlights) &&
+         "a shared cache needs a shared single-flight table (and vice "
+         "versa) — they dedupe the same keyspace");
+  if (this->Options.SharedCache) {
+    Cache = this->Options.SharedCache;
+    Flights = this->Options.SharedFlights;
+  } else {
+    Cache = std::make_shared<ReplayCache<ReplayResult>>(
+        this->Options.CacheBytes, this->Options.CacheShards);
+    Flights = std::make_shared<ReplayFlightTable>();
+  }
+  if (this->Options.SharedPool) {
+    Pool = this->Options.SharedPool;
+  } else {
+    OwnedPool = std::make_unique<ThreadPool>(this->Options.Threads);
+    Pool = OwnedPool.get();
+  }
+}
 
 ParallelReplayer::~ParallelReplayer() { drain(); }
 
@@ -68,14 +100,14 @@ ParallelReplayer::replayMiss(const ReplayKey &Key,
   // the same key share its future instead of redoing the work.
   std::promise<ReplayPtr> Promise;
   {
-    std::unique_lock<std::mutex> Lock(InFlightMutex);
-    auto It = InFlight.find(Key);
-    if (It != InFlight.end()) {
+    std::unique_lock<std::mutex> Lock(Flights->Mutex);
+    auto It = Flights->Pending.find(Key);
+    if (It != Flights->Pending.end()) {
       std::shared_future<ReplayPtr> Future = It->second;
       Lock.unlock();
       return Future.get();
     }
-    InFlight.emplace(Key, Promise.get_future().share());
+    Flights->Pending.emplace(Key, Promise.get_future().share());
   }
 
   assert(Key.Interval < Index.intervals(Key.Pid).size() &&
@@ -87,12 +119,12 @@ ParallelReplayer::replayMiss(const ReplayKey &Key,
   EngineReplays.fetch_add(1, std::memory_order_relaxed);
   EngineInstructions.fetch_add(Result->Instructions,
                                std::memory_order_relaxed);
-  Cache.insert(Key, Result, replayBytes(*Result));
+  Cache->insert(Key, Result, replayBytes(*Result));
 
   Promise.set_value(Result);
   {
-    std::lock_guard<std::mutex> Lock(InFlightMutex);
-    InFlight.erase(Key);
+    std::lock_guard<std::mutex> Lock(Flights->Mutex);
+    Flights->Pending.erase(Key);
   }
   return Result;
 }
@@ -101,7 +133,7 @@ ParallelReplayer::ReplayPtr
 ParallelReplayer::get(uint32_t Pid, uint32_t IntervalIdx,
                       const std::vector<ReplayOverride> &Overrides) {
   ReplayKey Key{Pid, IntervalIdx, fingerprint(Overrides)};
-  if (ReplayPtr Cached = Cache.lookup(Key))
+  if (ReplayPtr Cached = Cache->lookup(Key))
     return Cached;
   return replayMiss(Key, Overrides);
 }
@@ -113,7 +145,7 @@ ParallelReplayer::getMany(const std::vector<IntervalRef> &Requests) {
     return Results;
 
   // Serial pool (or a single request): no coordination needed.
-  if (Pool.numThreads() == 0 || Requests.size() == 1) {
+  if (Pool->numThreads() == 0 || Requests.size() == 1) {
     for (size_t I = 0; I != Requests.size(); ++I)
       Results[I] = get(Requests[I].first, Requests[I].second);
     return Results;
@@ -128,7 +160,7 @@ ParallelReplayer::getMany(const std::vector<IntervalRef> &Requests) {
   State->Remaining = Requests.size();
 
   for (size_t I = 0; I != Requests.size(); ++I) {
-    Pool.submit([this, &Results, &Requests, State, I] {
+    Pool->submit([this, &Results, &Requests, State, I] {
       Results[I] = get(Requests[I].first, Requests[I].second);
       std::lock_guard<std::mutex> Lock(State->Mutex);
       if (--State->Remaining == 0)
@@ -138,7 +170,7 @@ ParallelReplayer::getMany(const std::vector<IntervalRef> &Requests) {
 
   // Help drain the queue rather than idling; the single-flight table
   // guarantees we never duplicate a replay already in progress.
-  while (Pool.runOneTask())
+  while (Pool->runOneTask())
     ;
   std::unique_lock<std::mutex> Lock(State->Mutex);
   State->Cv.wait(Lock, [&] { return State->Remaining == 0; });
@@ -179,7 +211,7 @@ ParallelReplayer::transitiveIntervals(uint32_t Pid,
 
 void ParallelReplayer::prefetchNeighbors(uint32_t Pid,
                                          uint32_t IntervalIdx) {
-  if (!Options.Prefetch || Pool.numThreads() == 0)
+  if (!Options.Prefetch || Pool->numThreads() == 0)
     return;
   const std::vector<LogInterval> &Intervals = Index.intervals(Pid);
   if (IntervalIdx >= Intervals.size())
@@ -205,7 +237,7 @@ void ParallelReplayer::prefetchNeighbors(uint32_t Pid,
       ++BackgroundPending;
     }
     PrefetchesIssued.fetch_add(1, std::memory_order_relaxed);
-    Pool.submit([this, Pid, Target] {
+    Pool->submit([this, Pid, Target] {
       get(Pid, Target);
       finishBackgroundTask();
     });
@@ -214,7 +246,8 @@ void ParallelReplayer::prefetchNeighbors(uint32_t Pid,
 
 ReplayServiceStats ParallelReplayer::stats() const {
   ReplayServiceStats Out;
-  Out.Cache = Cache.stats();
+  Out.Cache = Cache->stats();
+  Out.Pool = Pool->stats();
   Out.EngineReplays = EngineReplays.load(std::memory_order_relaxed);
   Out.EngineInstructions =
       EngineInstructions.load(std::memory_order_relaxed);

@@ -43,26 +43,55 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace ppd {
 
+/// Single-flight table shared by every replayer of one log: key → future
+/// of the in-progress replay. Kept as a standalone (shareable) object so
+/// concurrent debugging sessions over the same execution deduplicate
+/// replays across sessions, not just within one.
+struct ReplayFlightTable {
+  using ReplayPtr = std::shared_ptr<const ReplayResult>;
+  std::mutex Mutex;
+  std::unordered_map<ReplayKey, std::shared_future<ReplayPtr>,
+                     ReplayKeyHash>
+      Pending;
+};
+
 struct ReplayServiceOptions {
   /// Worker threads for parallel replay; 0 = serial (inline on the
-  /// caller, fully deterministic scheduling).
+  /// caller, fully deterministic scheduling). Ignored when SharedPool is
+  /// set.
   unsigned Threads = 0;
-  /// Cache budget for regenerated traces (0 = unbounded).
+  /// Cache budget for regenerated traces (0 = unbounded). Ignored when
+  /// SharedCache is set.
   size_t CacheBytes = size_t(64) << 20;
   unsigned CacheShards = 8;
   /// Warm parent/preceding-sibling intervals in the background after each
   /// replay request.
   bool Prefetch = false;
+
+  /// A cache shared with other replayers of the same log (the server's
+  /// per-program cache). Valid only when every sharer replays identical
+  /// log content, since cache keys are (pid, interval, fingerprint).
+  /// Null: the replayer owns a private cache sized by CacheBytes.
+  std::shared_ptr<ReplayCache<ReplayResult>> SharedCache;
+  /// A single-flight table shared with other replayers of the same log;
+  /// must be non-null iff SharedCache is (they dedupe the same keyspace).
+  std::shared_ptr<ReplayFlightTable> SharedFlights;
+  /// An externally owned pool to run on (the server's worker pool). Null:
+  /// the replayer owns a private pool with `Threads` workers. The pool
+  /// must outlive the replayer.
+  ThreadPool *SharedPool = nullptr;
 };
 
 struct ReplayServiceStats {
   ReplayCacheStats Cache;
+  ThreadPoolStats Pool;
   /// Replays actually executed by the engine (cache misses).
   uint64_t EngineReplays = 0;
   /// Instructions executed across those replays.
@@ -70,6 +99,11 @@ struct ReplayServiceStats {
   /// Background prefetch tasks issued.
   uint64_t PrefetchesIssued = 0;
 };
+
+/// Canonical text rendering of a stats snapshot — the single source of
+/// truth shared by the debugger `stats` command and the server metrics
+/// report ("cache: ..." and "pool: ..." lines).
+std::string renderReplayServiceStats(const ReplayServiceStats &Stats);
 
 /// Cached, parallel front end to ReplayEngine.
 class ParallelReplayer {
@@ -124,14 +158,13 @@ private:
   const LogIndex &Index;
   ReplayServiceOptions Options;
   ReplayEngine Engine;
-  ReplayCache<ReplayResult> Cache;
-  ThreadPool Pool;
-
-  /// Single-flight table: key → future of the in-progress replay.
-  std::mutex InFlightMutex;
-  std::unordered_map<ReplayKey, std::shared_future<ReplayPtr>,
-                     ReplayKeyHash>
-      InFlight;
+  /// Shared with sibling sessions when Options.SharedCache was set;
+  /// privately owned otherwise.
+  std::shared_ptr<ReplayCache<ReplayResult>> Cache;
+  std::shared_ptr<ReplayFlightTable> Flights;
+  /// Null when running on an external pool (Options.SharedPool).
+  std::unique_ptr<ThreadPool> OwnedPool;
+  ThreadPool *Pool;
 
   std::atomic<uint64_t> EngineReplays{0};
   std::atomic<uint64_t> EngineInstructions{0};

@@ -1,0 +1,168 @@
+//===- server/ServerMetrics.h - Server-wide counters ------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic counters and latency histograms for the debug server. Request
+/// handlers record into relaxed atomics (never a lock on the hot path);
+/// the `stats` protocol message and the --metrics-dump report read a
+/// point-in-time snapshot. Replay-layer counters (cache hits, replayed
+/// e-blocks) are not duplicated here — they come from the same
+/// ReplayServiceStats snapshot the debugger `stats` command renders, so
+/// both views share one source of truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SERVER_SERVERMETRICS_H
+#define PPD_SERVER_SERVERMETRICS_H
+
+#include "server/Protocol.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ppd {
+
+/// Power-of-two-bucketed latency histogram (microseconds). Bucket B
+/// counts samples in [2^B, 2^(B+1)); bucket 0 additionally holds 0–1 µs.
+/// Recording is one relaxed fetch_add — safe from any thread.
+class LatencyHistogram {
+public:
+  static constexpr unsigned NumBuckets = 32;
+
+  void record(uint64_t Micros) {
+    unsigned B = 0;
+    while ((uint64_t(1) << (B + 1)) <= Micros && B + 1 < NumBuckets)
+      ++B;
+    Buckets[B].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  uint64_t meanMicros() const {
+    uint64_t N = count();
+    return N ? Sum.load(std::memory_order_relaxed) / N : 0;
+  }
+
+  /// Upper bound of the bucket holding the \p Pct-th percentile sample
+  /// (Pct in [0,100]). 0 when empty.
+  uint64_t percentileMicros(double Pct) const {
+    uint64_t N = count();
+    if (N == 0)
+      return 0;
+    uint64_t Rank = uint64_t(Pct / 100.0 * double(N - 1)) + 1;
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B != NumBuckets; ++B) {
+      Seen += Buckets[B].load(std::memory_order_relaxed);
+      if (Seen >= Rank)
+        return uint64_t(1) << (B + 1);
+    }
+    return uint64_t(1) << NumBuckets;
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// One server's counters. Indexed by wire message type so the report and
+/// the counters can never drift apart.
+class ServerMetrics {
+public:
+  /// MsgType values are 1-based; slot 0 is unused.
+  static constexpr unsigned NumTypes = 8;
+
+  void countRequest(MsgType Type) {
+    Requests[unsigned(Type) % NumTypes].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void countMalformed() {
+    MalformedFrames.fetch_add(1, std::memory_order_relaxed);
+  }
+  void countBusy() {
+    BusyRejections.fetch_add(1, std::memory_order_relaxed);
+  }
+  void countTimeout() { Timeouts.fetch_add(1, std::memory_order_relaxed); }
+  void countError() { Errors.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Tracks the deepest the request queue has been.
+  void noteQueueDepth(uint64_t Depth) {
+    uint64_t Prev = QueueHighWater.load(std::memory_order_relaxed);
+    while (Prev < Depth && !QueueHighWater.compare_exchange_weak(
+                               Prev, Depth, std::memory_order_relaxed))
+      ;
+  }
+
+  void recordLatency(uint64_t Micros) { Latency.record(Micros); }
+
+  uint64_t requests(MsgType Type) const {
+    return Requests[unsigned(Type) % NumTypes].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t totalRequests() const {
+    uint64_t N = 0;
+    for (const auto &C : Requests)
+      N += C.load(std::memory_order_relaxed);
+    return N;
+  }
+  uint64_t malformedFrames() const {
+    return MalformedFrames.load(std::memory_order_relaxed);
+  }
+  uint64_t busyRejections() const {
+    return BusyRejections.load(std::memory_order_relaxed);
+  }
+  uint64_t timeouts() const {
+    return Timeouts.load(std::memory_order_relaxed);
+  }
+  uint64_t queueHighWater() const {
+    return QueueHighWater.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram &latency() const { return Latency; }
+
+  /// The --metrics-dump / server-level `stats` text. \p ReplayLines is
+  /// the renderReplayServiceStats() output aggregated over programs.
+  std::string render(const std::string &ReplayLines) const {
+    static const char *Names[NumTypes] = {
+        nullptr,   "open",  "query",    "step",
+        "races",   "stats", "close",    "shutdown"};
+    std::string Out = "server: requests " +
+                      std::to_string(totalRequests()) + ", malformed " +
+                      std::to_string(malformedFrames()) + ", busy " +
+                      std::to_string(busyRejections()) + ", timeouts " +
+                      std::to_string(timeouts()) + ", errors " +
+                      std::to_string(Errors.load(std::memory_order_relaxed)) +
+                      ", queue high-water " +
+                      std::to_string(queueHighWater()) + "\n";
+    Out += "requests by type:";
+    for (unsigned I = 1; I != NumTypes; ++I)
+      Out += std::string(" ") + Names[I] + " " +
+             std::to_string(Requests[I].load(std::memory_order_relaxed));
+    Out += "\n";
+    Out += "latency: count " + std::to_string(Latency.count()) +
+           ", mean " + std::to_string(Latency.meanMicros()) + "us, p50 <" +
+           std::to_string(Latency.percentileMicros(50)) + "us, p99 <" +
+           std::to_string(Latency.percentileMicros(99)) + "us\n";
+    Out += ReplayLines;
+    return Out;
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, NumTypes> Requests{};
+  std::atomic<uint64_t> MalformedFrames{0};
+  std::atomic<uint64_t> BusyRejections{0};
+  std::atomic<uint64_t> Timeouts{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> QueueHighWater{0};
+  LatencyHistogram Latency;
+};
+
+} // namespace ppd
+
+#endif // PPD_SERVER_SERVERMETRICS_H

@@ -1,0 +1,129 @@
+//===- server/SessionRegistry.cpp -----------------------------------------===//
+//
+// Part of PPD. See SessionRegistry.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SessionRegistry.h"
+
+using namespace ppd;
+
+SessionRegistry::SessionRegistry(SessionRegistryOptions Options)
+    : Options(Options) {
+  if (this->Options.ReplayThreads > 0)
+    ReplayPool = std::make_unique<ThreadPool>(this->Options.ReplayThreads);
+}
+
+SessionRegistry::~SessionRegistry() = default;
+
+uint32_t SessionRegistry::addProgram(std::unique_ptr<CompiledProgram> Prog,
+                                     ExecutionLog Log) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ProgramEntry Entry;
+  Entry.Prog = std::move(Prog);
+  Entry.TemplateLog = std::move(Log);
+  Entry.Cache = std::make_shared<ReplayCache<ReplayResult>>(
+      Options.CacheBytes, Options.CacheShards);
+  Entry.Flights = std::make_shared<ReplayFlightTable>();
+  Programs.push_back(std::move(Entry));
+  return uint32_t(Programs.size() - 1);
+}
+
+size_t SessionRegistry::numPrograms() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Programs.size();
+}
+
+uint64_t SessionRegistry::open(uint32_t ProgramIndex) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ProgramIndex >= Programs.size())
+    return 0;
+  if (Options.MaxSessions != 0 && Sessions.size() >= Options.MaxSessions)
+    return 0;
+  ProgramEntry &Entry = Programs[ProgramIndex];
+
+  PpdControllerOptions COpts;
+  COpts.Service.SharedCache = Entry.Cache;
+  COpts.Service.SharedFlights = Entry.Flights;
+  COpts.Service.SharedPool = ReplayPool.get();
+
+  auto S = std::make_shared<Session>();
+  S->Id = NextId++;
+  S->ProgramIndex = ProgramIndex;
+  // Each session owns a copy of the template log: controllers mutate
+  // nothing in it, but owning the copy keeps session lifetime independent
+  // of registry growth (Programs may reallocate its vector).
+  S->Controller = std::make_unique<PpdController>(
+      *Entry.Prog, Entry.TemplateLog, COpts);
+  S->Debug = std::make_unique<DebugSession>(*Entry.Prog, *S->Controller);
+  S->LastUsedTick = ++Tick;
+  Sessions.emplace(S->Id, S);
+  return S->Id;
+}
+
+SessionRegistry::Handle SessionRegistry::acquire(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end() || It->second->Closed)
+    return Handle();
+  It->second->LastUsedTick = ++Tick;
+  return Handle(It->second);
+}
+
+bool SessionRegistry::close(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end() || It->second->Closed)
+    return false;
+  It->second->Closed = true;
+  Sessions.erase(It);
+  return true;
+}
+
+unsigned SessionRegistry::evictIdle(uint64_t IdleTicks) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  unsigned Evicted = 0;
+  for (auto It = Sessions.begin(); It != Sessions.end();) {
+    Session &S = *It->second;
+    bool Idle = Tick >= S.LastUsedTick && Tick - S.LastUsedTick >= IdleTicks;
+    if (Idle && S.Pins.load(std::memory_order_relaxed) == 0) {
+      It = Sessions.erase(It);
+      ++Evicted;
+    } else {
+      ++It;
+    }
+  }
+  return Evicted;
+}
+
+size_t SessionRegistry::numSessions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Sessions.size();
+}
+
+ReplayServiceStats SessionRegistry::aggregateReplayStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ReplayServiceStats Out;
+  // The shared caches know hits/misses across all sessions — including
+  // already-evicted ones — so cache numbers come from the program
+  // entries, engine counters from the live sessions.
+  for (const ProgramEntry &Entry : Programs) {
+    ReplayCacheStats C = Entry.Cache->stats();
+    Out.Cache.Hits += C.Hits;
+    Out.Cache.Misses += C.Misses;
+    Out.Cache.Insertions += C.Insertions;
+    Out.Cache.Evictions += C.Evictions;
+    Out.Cache.Bytes += C.Bytes;
+    Out.Cache.Entries += C.Entries;
+  }
+  for (const auto &KV : Sessions) {
+    ReplayServiceStats S =
+        KV.second->Controller->replayService().stats();
+    Out.EngineReplays += S.EngineReplays;
+    Out.EngineInstructions += S.EngineInstructions;
+    Out.PrefetchesIssued += S.PrefetchesIssued;
+  }
+  if (ReplayPool)
+    Out.Pool = ReplayPool->stats();
+  return Out;
+}

@@ -1,0 +1,245 @@
+//===- server/Wire.cpp ----------------------------------------------------===//
+//
+// Part of PPD. See Wire.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Wire.h"
+
+#include "server/DebugServer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ppd;
+
+namespace {
+
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", Path.c_str());
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  while (Size != 0) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response is a failed
+    // write, not a process-killing SIGPIPE.
+    ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= size_t(N);
+  }
+  return true;
+}
+
+bool readAll(int Fd, uint8_t *Data, size_t Size) {
+  while (Size != 0) {
+    ssize_t N = ::read(Fd, Data, Size);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= size_t(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int ppd::listenUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int ppd::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool ppd::sendFrame(int Fd, const uint8_t *Data, size_t Size) {
+  if (Size > MaxFramePayload)
+    return false;
+  uint32_t Len = uint32_t(Size);
+  uint8_t Prefix[4];
+  std::memcpy(Prefix, &Len, 4);
+  return writeAll(Fd, Prefix, 4) && writeAll(Fd, Data, Size);
+}
+
+bool ppd::recvFrame(int Fd, std::vector<uint8_t> &Out) {
+  uint8_t Prefix[4];
+  if (!readAll(Fd, Prefix, 4))
+    return false;
+  uint32_t Len = 0;
+  std::memcpy(&Len, Prefix, 4);
+  if (Len > MaxFramePayload)
+    return false;
+  Out.resize(Len);
+  return Len == 0 || readAll(Fd, Out.data(), Len);
+}
+
+bool ClientConnection::connect(const std::string &Path) {
+  disconnect();
+  Fd = connectUnix(Path);
+  return Fd >= 0;
+}
+
+void ClientConnection::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool ClientConnection::roundTrip(Request Req, Response &Resp) {
+  if (Fd < 0)
+    return false;
+  Req.RequestId = NextRequestId++;
+  LogWriter W;
+  encodeRequest(Req, W);
+  // encodeRequest emitted the length prefix already.
+  if (!writeAll(Fd, W.data(), W.size()))
+    return false;
+  std::vector<uint8_t> Payload;
+  if (!recvFrame(Fd, Payload))
+    return false;
+  return decodeResponse(Payload.data(), Payload.size(), Resp) &&
+         Resp.RequestId == Req.RequestId;
+}
+
+namespace {
+
+/// Per-connection server state: a write mutex so responses completed on
+/// different scheduler workers never interleave bytes.
+struct Connection {
+  int Fd = -1;
+  std::mutex WriteMutex;
+  std::thread Reader;
+};
+
+void serveConnection(DebugServer &Server, Connection &Conn) {
+  FrameReader Frames;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Conn.Fd, Buf, sizeof(Buf));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return;
+    Frames.feed(Buf, size_t(N));
+    std::vector<uint8_t> Payload;
+    while (Frames.next(Payload)) {
+      Server.submitFrame(std::move(Payload),
+                         [&Server, &Conn](std::vector<uint8_t> Frame) {
+                           std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
+                           // A dead peer is not an error worth more than
+                           // dropping the bytes; the reader will see EOF.
+                           writeAll(Conn.Fd, Frame.data(), Frame.size());
+                         });
+      Payload.clear();
+    }
+    if (Frames.malformed()) {
+      // Impossible length prefix: answer once, then drop the stream —
+      // there is no way to re-synchronize a framed connection.
+      Server.metrics().countMalformed();
+      Response Resp;
+      Resp.Type = RespType::Error;
+      Resp.Code = ErrCode::BadFrame;
+      Resp.Text = "oversized or corrupt frame length";
+      LogWriter W;
+      encodeResponse(Resp, W);
+      std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
+      writeAll(Conn.Fd, W.data(), W.size());
+      return;
+    }
+  }
+}
+
+} // namespace
+
+int ppd::runUnixServer(DebugServer &Server, int ListenFd,
+                       const std::string &Path) {
+  // The shutdown hook runs on whichever worker processes the Shutdown
+  // request: half-closing the listening socket makes accept() below
+  // return with an error, which is the loop's exit signal.
+  Server.onShutdown([ListenFd] { ::shutdown(ListenFd, SHUT_RDWR); });
+
+  std::mutex ConnsMutex;
+  std::vector<std::unique_ptr<Connection>> Conns;
+
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Connection *C = Conn.get();
+    C->Reader = std::thread([&Server, C] { serveConnection(Server, *C); });
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    Conns.push_back(std::move(Conn));
+  }
+
+  // Every request admitted before shutdown gets its response written
+  // before any connection is torn down.
+  Server.drain();
+
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    for (auto &Conn : Conns)
+      ::shutdown(Conn->Fd, SHUT_RDWR);
+  }
+  for (auto &Conn : Conns) {
+    if (Conn->Reader.joinable())
+      Conn->Reader.join();
+    ::close(Conn->Fd);
+  }
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  return Server.shuttingDown() ? 0 : 1;
+}

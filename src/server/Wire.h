@@ -1,0 +1,82 @@
+//===- server/Wire.h - Unix-socket transport --------------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-moving layer under the debug server: AF_UNIX stream sockets,
+/// frame send/receive, an accept loop with one reader thread per
+/// connection, and the client-side connection the `ppd client` tool uses.
+/// Everything protocol-shaped lives in Protocol.h; everything
+/// session-shaped lives in DebugServer.h — this file only ships frames.
+///
+/// Shutdown path: a Shutdown request trips the server's shutdown hook,
+/// which half-closes the listening socket to break accept(); the loop
+/// then drains in-flight requests (every accepted request is answered),
+/// unblocks the connection readers, joins them, and removes the socket
+/// path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SERVER_WIRE_H
+#define PPD_SERVER_WIRE_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppd {
+
+class DebugServer;
+
+/// Creates, binds, and listens on an AF_UNIX stream socket at \p Path
+/// (removing a stale file first). Returns the fd, or -1 with a message
+/// on stderr.
+int listenUnix(const std::string &Path);
+
+/// Connects to the server socket at \p Path. Returns the fd or -1.
+int connectUnix(const std::string &Path);
+
+/// Writes one frame: u32 length prefix + \p Size payload bytes. Retries
+/// short writes and EINTR. False on a broken connection.
+bool sendFrame(int Fd, const uint8_t *Data, size_t Size);
+
+/// Reads one complete frame payload into \p Out. False on EOF, error, or
+/// an impossible length prefix.
+bool recvFrame(int Fd, std::vector<uint8_t> &Out);
+
+/// A client connection: synchronous request/response round-trips with
+/// automatically assigned request ids. Not thread-safe; one per client.
+class ClientConnection {
+public:
+  ClientConnection() = default;
+  ~ClientConnection() { disconnect(); }
+  ClientConnection(const ClientConnection &) = delete;
+  ClientConnection &operator=(const ClientConnection &) = delete;
+
+  bool connect(const std::string &Path);
+  void disconnect();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p Req (stamping a fresh RequestId) and blocks for the
+  /// matching response. False on transport failure.
+  bool roundTrip(Request Req, Response &Resp);
+
+private:
+  int Fd = -1;
+  uint64_t NextRequestId = 1;
+};
+
+/// Serves \p Server on the already-listening \p ListenFd until a
+/// Shutdown request (or accept failure). Owns the accept loop, the
+/// per-connection reader threads, and the drain-then-disconnect shutdown
+/// sequence. Returns 0 on a clean shutdown.
+int runUnixServer(DebugServer &Server, int ListenFd,
+                  const std::string &Path);
+
+} // namespace ppd
+
+#endif // PPD_SERVER_WIRE_H

@@ -35,6 +35,20 @@
 
 namespace ppd {
 
+/// Point-in-time snapshot of a pool's activity counters. Plain values so
+/// callers (the debugger `stats` command, the server metrics layer) can
+/// format or aggregate them without touching atomics.
+struct ThreadPoolStats {
+  /// Tasks accepted by submit().
+  uint64_t Submitted = 0;
+  /// Tasks run to completion (on workers, helpers, or inline).
+  uint64_t Executed = 0;
+  /// Tasks a worker took from another worker's deque.
+  uint64_t Stolen = 0;
+  /// Tasks run inline on the submitting thread (zero-worker pools).
+  uint64_t InlineRuns = 0;
+};
+
 class ThreadPool {
 public:
   /// Spawns \p Threads workers; 0 means "run every task inline".
@@ -71,8 +85,11 @@ public:
   /// (nested fan-out never blocks on a full pipeline); round-robin
   /// otherwise.
   void submit(std::function<void()> Task) {
+    Submitted.fetch_add(1, std::memory_order_relaxed);
     if (Queues.empty()) {
+      InlineRuns.fetch_add(1, std::memory_order_relaxed);
       Task();
+      Executed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     unsigned Target;
@@ -104,7 +121,19 @@ public:
     if (!takeTask(CurrentPool == this ? CurrentWorker : 0, Task))
       return false;
     Task();
+    Executed.fetch_add(1, std::memory_order_relaxed);
     return true;
+  }
+
+  /// Relaxed snapshot of the activity counters; safe to call while tasks
+  /// are running (values may be mid-update but never torn).
+  ThreadPoolStats stats() const {
+    ThreadPoolStats Out;
+    Out.Submitted = Submitted.load(std::memory_order_relaxed);
+    Out.Executed = Executed.load(std::memory_order_relaxed);
+    Out.Stolen = Stolen.load(std::memory_order_relaxed);
+    Out.InlineRuns = InlineRuns.load(std::memory_order_relaxed);
+    return Out;
   }
 
 private:
@@ -131,6 +160,7 @@ private:
       } else {
         Out = std::move(Q.Tasks.front());
         Q.Tasks.pop_front();
+        Stolen.fetch_add(1, std::memory_order_relaxed);
       }
       Pending.fetch_sub(1, std::memory_order_relaxed);
       return true;
@@ -145,6 +175,7 @@ private:
       std::function<void()> Task;
       if (takeTask(Index, Task)) {
         Task();
+        Executed.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       std::unique_lock<std::mutex> Lock(WakeMutex);
@@ -162,6 +193,10 @@ private:
   std::condition_variable WakeCv;
   std::atomic<uint64_t> NextQueue{0};
   std::atomic<uint64_t> Pending{0};
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> Stolen{0};
+  std::atomic<uint64_t> InlineRuns{0};
   bool Stopping = false;
 
   static thread_local const ThreadPool *CurrentPool;

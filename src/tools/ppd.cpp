@@ -11,6 +11,11 @@
 //   ppd debug   <file.ppl> [options]   debugging phase: interactive
 //                                      flowback session (reads commands
 //                                      from stdin; pipe-friendly)
+//   ppd serve   <file.ppl> [options]   debugging phase as a daemon: serve
+//                                      concurrent sessions over a unix
+//                                      socket
+//   ppd client  --socket PATH          scriptable client for ppd serve
+//                                      (commands from stdin)
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +24,8 @@
 #include "core/DeadlockAnalyzer.h"
 #include "core/DebugSession.h"
 #include "lang/AstPrinter.h"
+#include "server/DebugServer.h"
+#include "server/Wire.h"
 #include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
@@ -53,6 +60,16 @@ struct CliOptions {
   unsigned ReplayThreads = 0;
   bool Prefetch = false;
   LogFormat SaveFormat = LogFormat::V2;
+
+  // serve / client
+  std::string SocketPath;
+  std::vector<std::string> ExtraPrograms; ///< --program (serve)
+  std::vector<std::string> LogPaths;      ///< --log occurrences (serve)
+  unsigned ServerThreads = 0;
+  unsigned QueueLimit = 128;
+  uint64_t TimeoutMs = 0;
+  unsigned MaxSessions = 64;
+  bool MetricsDump = false;
 };
 
 void usage() {
@@ -63,6 +80,11 @@ commands:
   run       execution phase: run the object code, generate the log
   races     run, then detect races on the execution instance
   debug     debugging phase: interactive flowback session
+  serve     debugging phase as a daemon: concurrent sessions over a unix
+            socket (ppd serve file.ppl --socket PATH)
+  client    scriptable client for a running server (ppd client --socket
+            PATH; commands from stdin: open/query/step/races/stats/close/
+            shutdown/quit)
 
 options:
   --seed N              scheduler seed (default 1); one seed = one
@@ -89,15 +111,33 @@ options:
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
   --dump-db             (compile) the program database
+  --socket PATH         (serve/client) unix socket path
+  --program FILE        (serve) serve another program too (repeatable);
+                        the Nth --log pairs with the Nth program
+  --server-threads N    (serve) request worker threads (default 0 =
+                        handle requests inline, one at a time)
+  --queue-limit N       (serve) max queued+running requests before Busy
+                        (default 128)
+  --timeout-ms N        (serve) drop requests older than N ms at dequeue
+                        (default 0 = never)
+  --max-sessions N      (serve) concurrent session cap (default 64)
+  --metrics-dump        (serve) print the metrics report on shutdown
 )");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  if (Argc < 3)
+  if (Argc < 2)
     return false;
   Opts.Command = Argv[1];
-  Opts.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  // `client` talks to a running server; it takes no program file.
+  int First = 2;
+  if (Opts.Command != "client") {
+    if (Argc < 3)
+      return false;
+    Opts.File = Argv[2];
+    First = 3;
+  }
+  for (int I = First; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       if (I + 1 >= Argc) {
@@ -131,6 +171,40 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.LogPath = V;
+      if (Arg == "--log")
+        Opts.LogPaths.push_back(V);
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SocketPath = V;
+    } else if (Arg == "--program") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ExtraPrograms.push_back(V);
+    } else if (Arg == "--server-threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ServerThreads = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--queue-limit") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.QueueLimit = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TimeoutMs = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-sessions") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxSessions = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--metrics-dump") {
+      Opts.MetricsDump = true;
     } else if (Arg == "--log-format") {
       const char *V = Next();
       if (!V)
@@ -406,6 +480,190 @@ int cmdDebug(const CliOptions &Opts) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// The debug server and its scriptable client
+//===----------------------------------------------------------------------===//
+
+/// Compiles \p File and produces its execution log: loaded from
+/// \p LogPath when given, generated by running the machine otherwise.
+std::unique_ptr<CompiledProgram> prepareProgram(const CliOptions &Opts,
+                                                const std::string &File,
+                                                const std::string &LogPath,
+                                                ExecutionLog &Log) {
+  CliOptions FileOpts = Opts;
+  FileOpts.File = File;
+  auto Prog = compileFile(FileOpts);
+  if (!Prog)
+    return nullptr;
+  if (!LogPath.empty()) {
+    if (!ExecutionLog::load(LogPath, Log)) {
+      std::fprintf(stderr, "error: cannot load log %s\n", LogPath.c_str());
+      return nullptr;
+    }
+  } else {
+    Machine M(*Prog, machineOptions(FileOpts, *Prog));
+    M.run();
+    Log = M.takeLog();
+  }
+  return Prog;
+}
+
+int cmdServe(const CliOptions &Opts) {
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: serve needs --socket PATH\n");
+    return 64;
+  }
+  DebugServerOptions SOpts;
+  SOpts.Threads = Opts.ServerThreads;
+  SOpts.QueueLimit = Opts.QueueLimit;
+  SOpts.TimeoutMs = Opts.TimeoutMs;
+  SOpts.Registry.MaxSessions = Opts.MaxSessions;
+  SOpts.Registry.ReplayThreads = Opts.ReplayThreads;
+  DebugServer Server(SOpts);
+
+  std::vector<std::string> Files;
+  Files.push_back(Opts.File);
+  Files.insert(Files.end(), Opts.ExtraPrograms.begin(),
+               Opts.ExtraPrograms.end());
+  for (size_t I = 0; I != Files.size(); ++I) {
+    std::string LogPath =
+        I < Opts.LogPaths.size() ? Opts.LogPaths[I] : std::string();
+    ExecutionLog Log;
+    auto Prog = prepareProgram(Opts, Files[I], LogPath, Log);
+    if (!Prog)
+      return 1;
+    uint32_t Index = Server.addProgram(std::move(Prog), std::move(Log));
+    std::printf("program %u: %s\n", Index, Files[I].c_str());
+  }
+
+  int ListenFd = listenUnix(Opts.SocketPath);
+  if (ListenFd < 0)
+    return 1;
+  std::printf("ppd server listening on %s\n", Opts.SocketPath.c_str());
+  std::fflush(stdout);
+  int Rc = runUnixServer(Server, ListenFd, Opts.SocketPath);
+  if (Opts.MetricsDump)
+    std::printf("%s", Server.metricsReport().c_str());
+  return Rc;
+}
+
+/// One client command line → one request, or no request (errors, quit).
+/// Returns false to end the script loop.
+bool clientCommand(const std::string &Line, Request &Req, bool &Send) {
+  Send = false;
+  std::stringstream Args(Line);
+  std::string Cmd;
+  if (!(Args >> Cmd) || Cmd.empty())
+    return true;
+  if (Cmd == "quit" || Cmd == "q")
+    return false;
+
+  auto ParseSession = [&](bool Required) {
+    uint64_t Id = 0;
+    if (!(Args >> Id) && Required)
+      return uint64_t(0);
+    return Id;
+  };
+
+  if (Cmd == "open") {
+    Req.Type = MsgType::OpenSession;
+    uint64_t Index = 0;
+    Args >> Index;
+    Req.ProgramIndex = uint32_t(Index);
+    Send = true;
+  } else if (Cmd == "query") {
+    Req.Type = MsgType::Query;
+    Req.SessionId = ParseSession(true);
+    std::string Rest;
+    std::getline(Args, Rest);
+    size_t Start = Rest.find_first_not_of(' ');
+    Req.Command = Start == std::string::npos ? "" : Rest.substr(Start);
+    Send = Req.SessionId != 0;
+  } else if (Cmd == "step") {
+    Req.Type = MsgType::Step;
+    Req.SessionId = ParseSession(true);
+    std::string Dir;
+    Args >> Dir;
+    Req.Direction = Dir == "fwd" ? 1 : 0;
+    Send = Req.SessionId != 0;
+  } else if (Cmd == "races") {
+    Req.Type = MsgType::Races;
+    Req.SessionId = ParseSession(true);
+    Send = Req.SessionId != 0;
+  } else if (Cmd == "stats") {
+    Req.Type = MsgType::Stats;
+    Req.SessionId = ParseSession(false);
+    Send = true;
+  } else if (Cmd == "close") {
+    Req.Type = MsgType::CloseSession;
+    Req.SessionId = ParseSession(true);
+    Send = Req.SessionId != 0;
+  } else if (Cmd == "shutdown") {
+    Req.Type = MsgType::Shutdown;
+    Send = true;
+  } else {
+    std::fprintf(stderr, "client: unknown command '%s'\n", Cmd.c_str());
+    return true;
+  }
+  if (!Send)
+    std::fprintf(stderr, "client: '%s' needs a session id\n", Cmd.c_str());
+  return true;
+}
+
+void printResponse(const Response &Resp) {
+  switch (Resp.Type) {
+  case RespType::SessionOpened:
+    std::printf("session %llu\n", (unsigned long long)Resp.SessionId);
+    break;
+  case RespType::Result:
+  case RespType::StatsText:
+    std::fputs(Resp.Text.c_str(), stdout);
+    break;
+  case RespType::Closed:
+    std::printf("closed\n");
+    break;
+  case RespType::Busy:
+    std::printf("BUSY\n");
+    break;
+  case RespType::Error:
+    std::printf("ERROR %u: %s\n", unsigned(Resp.Code), Resp.Text.c_str());
+    break;
+  case RespType::ShutdownAck:
+    std::printf("shutdown requested\n");
+    break;
+  }
+}
+
+int cmdClient(const CliOptions &Opts) {
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: client needs --socket PATH\n");
+    return 64;
+  }
+  ClientConnection Conn;
+  if (!Conn.connect(Opts.SocketPath)) {
+    std::fprintf(stderr, "error: cannot connect to %s\n",
+                 Opts.SocketPath.c_str());
+    return 1;
+  }
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    Request Req;
+    bool Send = false;
+    if (!clientCommand(Line, Req, Send))
+      break;
+    if (!Send)
+      continue;
+    Response Resp;
+    if (!Conn.roundTrip(std::move(Req), Resp)) {
+      std::fprintf(stderr, "error: connection lost\n");
+      return 1;
+    }
+    printResponse(Resp);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -422,6 +680,14 @@ int main(int Argc, char **Argv) {
     return cmdRaces(Opts);
   if (Opts.Command == "debug")
     return cmdDebug(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
+  if (Opts.Command == "client")
+    return cmdClient(Opts);
+  // One error path for every unrecognized command: name it, show usage,
+  // and exit with a code distinct from argument-parse failures (64).
+  std::fprintf(stderr, "error: unknown command '%s'\n",
+               Opts.Command.c_str());
   usage();
-  return 64;
+  return 65;
 }

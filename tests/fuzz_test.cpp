@@ -20,6 +20,7 @@
 
 #include "core/Controller.h"
 #include "core/Replay.h"
+#include "server/DebugServer.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -230,5 +231,59 @@ TEST_P(FuzzTest, PipelineInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(25)));
+
+/// Wire-protocol robustness: arbitrary bytes — pure noise and bit-flipped
+/// or truncated valid frames — fed to the debug server must never crash
+/// it, and every answer must itself be a decodable response frame.
+class ProtocolFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProtocolFuzzTest, ServerAnswersArbitraryFramesWithValidFrames) {
+  Rng R(GetParam() * 977 + 11);
+  Ran Run = runProgram("func main() { int a = 1; print(a); }");
+  DebugServer Server;
+  Server.addProgram(std::move(Run.Prog), std::move(Run.Log));
+
+  // One real session so stateful message types sometimes hit a target.
+  Request Open;
+  Open.Type = MsgType::OpenSession;
+  Open.RequestId = 1;
+  Server.handle(Open);
+
+  for (unsigned Iter = 0; Iter != 200; ++Iter) {
+    std::vector<uint8_t> Payload;
+    if (R.nextBelow(2) == 0) {
+      size_t N = R.nextBelow(64);
+      for (size_t I = 0; I != N; ++I)
+        Payload.push_back(uint8_t(R.nextBelow(256)));
+    } else {
+      Request Req;
+      Req.Type = MsgType(1 + R.nextBelow(7));
+      Req.RequestId = Iter;
+      Req.ProgramIndex = uint32_t(R.nextBelow(3));
+      Req.SessionId = R.nextBelow(3);
+      Req.Direction = uint8_t(R.nextBelow(2));
+      if (Req.Type == MsgType::Query)
+        Req.Command = "where 0";
+      LogWriter W;
+      encodeRequest(Req, W);
+      Payload.assign(W.data() + 4, W.data() + W.size());
+      unsigned Flips = unsigned(R.nextBelow(4));
+      for (unsigned F = 0; F != Flips && !Payload.empty(); ++F)
+        Payload[R.nextBelow(Payload.size())] ^= uint8_t(1 + R.nextBelow(255));
+      if (R.nextBelow(3) == 0 && !Payload.empty())
+        Payload.resize(R.nextBelow(Payload.size()));
+    }
+    static const uint8_t Nothing = 0;
+    const uint8_t *Data = Payload.empty() ? &Nothing : Payload.data();
+    std::vector<uint8_t> Frame = Server.handleFrame(Data, Payload.size());
+    ASSERT_GE(Frame.size(), 4u);
+    Response Resp;
+    ASSERT_TRUE(decodeResponse(Frame.data() + 4, Frame.size() - 4, Resp))
+        << "iteration " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
+                         ::testing::Range(uint64_t(1), uint64_t(9)));
 
 } // namespace

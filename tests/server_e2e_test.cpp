@@ -1,0 +1,243 @@
+//===- tests/server_e2e_test.cpp - ppd serve over a real socket -----------===//
+//
+// Part of PPD test suite: end-to-end coverage of the shipped daemon. The
+// test forks the real `ppd` binary (PPD_TOOL_PATH), points it at a
+// program written to a temp file, speaks the wire protocol over the unix
+// socket with the same ClientConnection the `ppd client` tool uses, and
+// checks the full lifecycle: scripted session, pipelined queries all
+// answered before a shutdown on the same connection takes effect, and a
+// zero exit status after the graceful drain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ppd;
+
+namespace {
+
+const char *E2eSource = R"(
+shared int total;
+func add(int v) { total = total + v; }
+func main() {
+  add(10);
+  add(32);
+  print(total);
+}
+)";
+
+/// Runs one `ppd serve` child; kills it on destruction if still alive.
+struct ServerProcess {
+  pid_t Pid = -1;
+  std::string SocketPath;
+  std::string ProgramPath;
+
+  bool start() {
+    std::string Base = "/tmp/ppd-e2e-" + std::to_string(::getpid());
+    SocketPath = Base + ".sock";
+    ProgramPath = Base + ".ppl";
+    {
+      std::ofstream Out(ProgramPath);
+      if (!Out)
+        return false;
+      Out << E2eSource;
+    }
+    Pid = ::fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      // Inline request execution: frames on one connection are answered
+      // strictly in order, which the pipelining assertions rely on.
+      ::execl(PPD_TOOL_PATH, "ppd", "serve", ProgramPath.c_str(),
+              "--socket", SocketPath.c_str(), "--server-threads", "0",
+              (char *)nullptr);
+      _exit(127);
+    }
+    return true;
+  }
+
+  /// Polls until the server accepts a connection (it needs time to
+  /// compile and run the program before listening).
+  bool connectWithRetry(ClientConnection &Conn) {
+    for (int Attempt = 0; Attempt != 200; ++Attempt) {
+      if (Conn.connect(SocketPath))
+        return true;
+      int Status = 0;
+      if (::waitpid(Pid, &Status, WNOHANG) == Pid) {
+        Pid = -1; // died before listening
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  }
+
+  /// Waits for exit and returns the status, or -1 on timeout (the child
+  /// is then killed).
+  int waitExit() {
+    if (Pid < 0)
+      return -1;
+    for (int Attempt = 0; Attempt != 400; ++Attempt) {
+      int Status = 0;
+      pid_t Got = ::waitpid(Pid, &Status, WNOHANG);
+      if (Got == Pid) {
+        Pid = -1;
+        return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return -1;
+  }
+
+  ~ServerProcess() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+    if (!SocketPath.empty())
+      ::unlink(SocketPath.c_str());
+    if (!ProgramPath.empty())
+      ::unlink(ProgramPath.c_str());
+  }
+};
+
+/// Strips the length prefix off an encoded frame.
+std::vector<uint8_t> payloadOf(const Request &Req) {
+  LogWriter W;
+  encodeRequest(Req, W);
+  return std::vector<uint8_t>(W.data() + 4, W.data() + W.size());
+}
+
+TEST(ServerE2eTest, ScriptedSessionPipelinedDrainAndCleanExit) {
+  ServerProcess Server;
+  ASSERT_TRUE(Server.start());
+
+  ClientConnection Conn;
+  ASSERT_TRUE(Server.connectWithRetry(Conn))
+      << "server never came up on " << Server.SocketPath;
+
+  // --- Scripted session over the client the ppd tool ships. ---
+  Request Req;
+  Response Resp;
+  Req.Type = MsgType::OpenSession;
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  ASSERT_EQ(int(Resp.Type), int(RespType::SessionOpened));
+  uint64_t Session = Resp.SessionId;
+  ASSERT_NE(Session, 0u);
+
+  Req = Request();
+  Req.Type = MsgType::Query;
+  Req.SessionId = Session;
+  Req.Command = "restore 0 2";
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::Result));
+  EXPECT_NE(Resp.Text.find("total = 42"), std::string::npos);
+
+  Req = Request();
+  Req.Type = MsgType::Stats;
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::StatsText));
+  EXPECT_NE(Resp.Text.find("server: requests"), std::string::npos);
+
+  Req = Request();
+  Req.Type = MsgType::Query;
+  Req.SessionId = Session + 999;
+  Req.Command = "list";
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::Error));
+  EXPECT_EQ(int(Resp.Code), int(ErrCode::NoSuchSession));
+
+  // --- Pipelined queries + shutdown on a raw second connection. ---
+  int Fd = connectUnix(Server.SocketPath);
+  ASSERT_GE(Fd, 0);
+  constexpr unsigned NumPipelined = 16;
+  for (unsigned I = 0; I != NumPipelined; ++I) {
+    Request Q;
+    Q.Type = MsgType::Query;
+    Q.RequestId = 1000 + I;
+    Q.SessionId = Session;
+    Q.Command = "where 0";
+    std::vector<uint8_t> P = payloadOf(Q);
+    ASSERT_TRUE(sendFrame(Fd, P.data(), P.size()));
+  }
+  Request Shut;
+  Shut.Type = MsgType::Shutdown;
+  Shut.RequestId = 2000;
+  std::vector<uint8_t> P = payloadOf(Shut);
+  ASSERT_TRUE(sendFrame(Fd, P.data(), P.size()));
+
+  // Graceful drain: every query sent ahead of the shutdown is answered,
+  // in order, before the ShutdownAck — nothing accepted is dropped.
+  std::string FirstText;
+  for (unsigned I = 0; I != NumPipelined; ++I) {
+    std::vector<uint8_t> Frame;
+    ASSERT_TRUE(recvFrame(Fd, Frame)) << "response " << I << " lost";
+    Response R;
+    ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), R));
+    ASSERT_EQ(int(R.Type), int(RespType::Result)) << "response " << I;
+    EXPECT_EQ(R.RequestId, 1000 + I);
+    if (I == 0)
+      FirstText = R.Text;
+    else
+      EXPECT_EQ(R.Text, FirstText) << "identical queries, identical answers";
+  }
+  std::vector<uint8_t> AckFrame;
+  ASSERT_TRUE(recvFrame(Fd, AckFrame));
+  Response Ack;
+  ASSERT_TRUE(decodeResponse(AckFrame.data(), AckFrame.size(), Ack));
+  EXPECT_EQ(int(Ack.Type), int(RespType::ShutdownAck));
+  EXPECT_EQ(Ack.RequestId, 2000u);
+  ::close(Fd);
+  Conn.disconnect();
+
+  EXPECT_EQ(Server.waitExit(), 0) << "clean shutdown exits 0";
+}
+
+TEST(ServerE2eTest, MalformedStreamGetsErrorFrameNotCrash) {
+  ServerProcess Server;
+  ASSERT_TRUE(Server.start());
+
+  ClientConnection Probe;
+  ASSERT_TRUE(Server.connectWithRetry(Probe));
+  Probe.disconnect();
+
+  // A garbage (but length-sane) frame: the server answers BadFrame and
+  // drops the connection without dying.
+  int Fd = connectUnix(Server.SocketPath);
+  ASSERT_GE(Fd, 0);
+  std::vector<uint8_t> Garbage(32, 0xee);
+  ASSERT_TRUE(sendFrame(Fd, Garbage.data(), Garbage.size()));
+  std::vector<uint8_t> Frame;
+  ASSERT_TRUE(recvFrame(Fd, Frame));
+  Response R;
+  ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), R));
+  EXPECT_EQ(int(R.Type), int(RespType::Error));
+  EXPECT_EQ(int(R.Code), int(ErrCode::BadFrame));
+  ::close(Fd);
+
+  // The server is still alive and serving.
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(Server.SocketPath));
+  Request Shut;
+  Shut.Type = MsgType::Shutdown;
+  Response Ack;
+  ASSERT_TRUE(Conn.roundTrip(Shut, Ack));
+  EXPECT_EQ(int(Ack.Type), int(RespType::ShutdownAck));
+  Conn.disconnect();
+  EXPECT_EQ(Server.waitExit(), 0);
+}
+
+} // namespace
