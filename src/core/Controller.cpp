@@ -135,15 +135,18 @@ DynNodeId PpdController::startAtLastEvent(uint32_t Pid) {
 }
 
 std::vector<DynEdge> PpdController::dependencesOf(DynNodeId Node) {
-  // Resolve any cross-process reads still pending on this node.
-  const DynNode &N = Graph.node(Node);
-  if (N.Pid != InvalidId && N.Interval != InvalidId) {
-    auto It = Cache.find({N.Pid, N.Interval});
+  // Resolve any cross-process reads still pending on this node. Copy the
+  // node's coordinates up front: resolveCrossRead adds nodes, which can
+  // reallocate the graph's node storage and invalidate references into it.
+  const uint32_t Pid = Graph.node(Node).Pid;
+  const uint32_t Interval = Graph.node(Node).Interval;
+  if (Pid != InvalidId && Interval != InvalidId) {
+    auto It = Cache.find({Pid, Interval});
     if (It != Cache.end()) {
       std::vector<UnresolvedRead> &Pending = It->second.Fragment.Unresolved;
       for (auto ReadIt = Pending.begin(); ReadIt != Pending.end();) {
         if (ReadIt->Node == Node) {
-          resolveCrossRead(N.Pid, *ReadIt);
+          resolveCrossRead(Pid, *ReadIt);
           ReadIt = Pending.erase(ReadIt);
         } else {
           ++ReadIt;
@@ -196,8 +199,8 @@ PpdController::resolveCrossRead(uint32_t ReaderPid,
   }
 
   EdgeRef RaceWitness;
-  EdgeRef Producer =
-      PG.lastWriterBefore(ReaderEdge, SharedIdx, &RaceWitness);
+  std::vector<EdgeRef> Producers =
+      PG.writersBefore(ReaderEdge, SharedIdx, &RaceWitness);
 
   if (RaceWitness.valid()) {
     DynNode N;
@@ -212,36 +215,47 @@ PpdController::resolveCrossRead(uint32_t ReaderPid,
     return Result;
   }
 
-  if (!Producer.valid()) {
-    DynNode N;
-    N.Kind = DynNodeKind::Initial;
-    N.Label = "initial " + Prog.Symbols->var(Read.Var).Name;
-    DynNodeId Init = Graph.addNode(std::move(N));
-    Graph.addEdge({DynEdgeKind::CrossData, Init, Read.Node, Read.Var, -1});
-    Result.Outcome = CrossReadResolution::Kind::Initial;
-    Result.Producer = Init;
+  // WRITE_SETs are variable-granular: for an array element read, the
+  // latest writing edge may have written only *other* elements. Walk the
+  // writers latest-first and take the first that traces to an event
+  // actually covering the element; if none did, the element still holds
+  // its initial value.
+  for (EdgeRef Producer : Producers) {
+    bool TraceOk = false;
+    DynNodeId Writer =
+        materializeWriter(Producer, Read.Var, Read.Index, TraceOk);
+    if (!TraceOk) {
+      Result.Outcome = CrossReadResolution::Kind::Unknown;
+      return Result;
+    }
+    if (Writer == InvalidId)
+      continue; // wrote the variable, but not this element
+    Graph.addEdge(
+        {DynEdgeKind::CrossData, Writer, Read.Node, Read.Var, -1});
+    Result.Outcome = CrossReadResolution::Kind::Resolved;
+    Result.Producer = Writer;
     return Result;
   }
 
-  DynNodeId Writer = materializeWriter(Producer, Read.Var, Read.Index);
-  if (Writer == InvalidId) {
-    Result.Outcome = CrossReadResolution::Kind::Unknown;
-    return Result;
-  }
-  Graph.addEdge({DynEdgeKind::CrossData, Writer, Read.Node, Read.Var, -1});
-  Result.Outcome = CrossReadResolution::Kind::Resolved;
-  Result.Producer = Writer;
+  DynNode N;
+  N.Kind = DynNodeKind::Initial;
+  N.Label = "initial " + Prog.Symbols->var(Read.Var).Name;
+  DynNodeId Init = Graph.addNode(std::move(N));
+  Graph.addEdge({DynEdgeKind::CrossData, Init, Read.Node, Read.Var, -1});
+  Result.Outcome = CrossReadResolution::Kind::Initial;
+  Result.Producer = Init;
   return Result;
 }
 
 DynNodeId PpdController::materializeWriter(EdgeRef Producer, VarId Var,
-                                           int64_t Index) {
+                                           int64_t Index, bool &TraceOk) {
   const ParallelDynamicGraph &PG = parallelGraph();
   const std::vector<SyncNode> &ProcNodes = PG.nodes(Producer.Pid);
   uint32_t Begin = ProcNodes[Producer.EndNode - 1].RecordIdx;
   uint32_t End = ProcNodes[Producer.EndNode].RecordIdx;
 
   // Locate the log interval covering the edge's record span and trace it.
+  TraceOk = false;
   const LogInterval *Interval = this->Index.enclosing(Producer.Pid, End);
   if (!Interval)
     return InvalidId;
@@ -250,6 +264,9 @@ DynNodeId PpdController::materializeWriter(EdgeRef Producer, VarId Var,
   if (!Fragment)
     return InvalidId;
   const ReplayResult *Replay = replayOf(Producer.Pid, Interval->Index);
+  if (!Replay)
+    return InvalidId;
+  TraceOk = true;
 
   // Last event within the edge's record span writing the variable.
   DynNodeId Best = InvalidId;
@@ -283,20 +300,24 @@ RaceDetectionResult PpdController::detectRaces(RaceAlgorithm Algorithm) {
 }
 
 DynNodeId PpdController::expandCall(DynNodeId SubGraphNode) {
-  const DynNode &N = Graph.node(SubGraphNode);
-  if (N.Kind != DynNodeKind::SubGraph || N.Expanded)
+  // Copy the coordinates: ensureInterval below adds nodes, which can
+  // reallocate the graph's node storage and invalidate references.
+  const uint32_t Pid = Graph.node(SubGraphNode).Pid;
+  const uint32_t Interval = Graph.node(SubGraphNode).Interval;
+  if (Graph.node(SubGraphNode).Kind != DynNodeKind::SubGraph ||
+      Graph.node(SubGraphNode).Expanded)
     return InvalidId;
-  auto It = Cache.find({N.Pid, N.Interval});
+  auto It = Cache.find({Pid, Interval});
   if (It == Cache.end())
     return InvalidId;
   for (const SkippedCall &Skip : It->second.Fragment.Skipped) {
     if (Skip.Node != SubGraphNode)
       continue;
     const LogInterval *Nested =
-        Index.intervalAtRecord(N.Pid, Skip.CalleeRecordsAt);
+        Index.intervalAtRecord(Pid, Skip.CalleeRecordsAt);
     if (!Nested)
       return InvalidId;
-    const BuiltFragment *Fragment = ensureInterval(N.Pid, Nested->Index);
+    const BuiltFragment *Fragment = ensureInterval(Pid, Nested->Index);
     if (!Fragment)
       return InvalidId;
     Graph.node(SubGraphNode).Expanded = true;

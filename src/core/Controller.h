@@ -175,7 +175,8 @@ private:
                                        const UnresolvedRead &Read);
   /// Finds the node of the write to (Var) within \p Producer's internal
   /// edge, tracing the producer's interval.
-  DynNodeId materializeWriter(EdgeRef Producer, VarId Var, int64_t Index);
+  DynNodeId materializeWriter(EdgeRef Producer, VarId Var, int64_t Index,
+                              bool &TraceOk);
   void spliceSyncEdges(uint32_t Pid, uint32_t IntervalIdx);
   DynNodeId eventNodeNear(uint32_t Pid, uint32_t RecordIdx, StmtId Stmt);
 

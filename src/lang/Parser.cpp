@@ -12,8 +12,18 @@ using namespace ppd;
 
 Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
     : Tokens(std::move(Tokens)), Diags(Diags) {
-  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
-         "token stream must be Eof-terminated");
+  // The lexer always Eof-terminates its stream, but hand-built or truncated
+  // token vectors reach this constructor too (fuzzers, embedders). A missing
+  // terminator must not be undefined behavior in release builds: append a
+  // synthetic Eof at the last known location so every peek() stays in
+  // bounds and parsing fails with ordinary diagnostics instead.
+  if (this->Tokens.empty() || !this->Tokens.back().is(TokenKind::Eof)) {
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    if (!this->Tokens.empty())
+      Eof.Loc = this->Tokens.back().Loc;
+    this->Tokens.push_back(Eof);
+  }
 }
 
 std::unique_ptr<Program> Parser::parse(const std::string &Source,
@@ -29,8 +39,10 @@ const Token &Parser::peek(unsigned Ahead) const {
 }
 
 const Token &Parser::previous() const {
-  assert(Pos > 0 && "no previous token");
-  return Tokens[Pos - 1];
+  // Callers only ask for the previous token after a successful match, but
+  // malformed input can reach error paths before anything was consumed;
+  // answer with the current token rather than indexing out of bounds.
+  return Tokens[Pos > 0 ? Pos - 1 : 0];
 }
 
 Token Parser::advance() {

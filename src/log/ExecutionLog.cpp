@@ -49,6 +49,8 @@ const char *ppd::syncKindName(SyncKind Kind) {
     return "recv";
   case SyncKind::SpawnChild:
     return "spawn";
+  case SyncKind::Stopped:
+    return "stopped";
   }
   return "?";
 }

@@ -176,6 +176,41 @@ EdgeRef ParallelDynamicGraph::lastWriterBefore(EdgeRef Reader,
   return Best;
 }
 
+std::vector<EdgeRef>
+ParallelDynamicGraph::writersBefore(EdgeRef Reader, uint32_t SharedIdx,
+                                    EdgeRef *RaceWitness) const {
+  if (RaceWitness)
+    *RaceWitness = EdgeRef();
+  std::vector<EdgeRef> Writers;
+  for (uint32_t Pid = 0; Pid != Edges.size(); ++Pid) {
+    for (uint32_t I = 0; I != Edges[Pid].size(); ++I) {
+      const InternalEdge &E = Edges[Pid][I];
+      if (!E.Writes.contains(SharedIdx))
+        continue;
+      EdgeRef Ref{Pid, I + 1};
+      if (Ref == Reader)
+        continue;
+      if (Pid == Reader.Pid) {
+        if (Ref.EndNode > Reader.EndNode)
+          continue;
+      } else if (simultaneous(Ref, Reader)) {
+        if (RaceWitness)
+          *RaceWitness = Ref;
+        continue;
+      } else if (!edgeHappensBefore(Ref, Reader)) {
+        continue;
+      }
+      Writers.push_back(Ref);
+    }
+  }
+  std::sort(Writers.begin(), Writers.end(),
+            [this](EdgeRef A, EdgeRef B) {
+              return Nodes[A.Pid][A.EndNode].Seq >
+                     Nodes[B.Pid][B.EndNode].Seq;
+            });
+  return Writers;
+}
+
 std::string ParallelDynamicGraph::dot(const Program &P) const {
   DotWriter W("parallel_dynamic_graph");
   auto NodeId = [](uint32_t Pid, uint32_t Idx) {

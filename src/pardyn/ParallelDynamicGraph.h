@@ -127,6 +127,15 @@ public:
   EdgeRef lastWriterBefore(EdgeRef Reader, uint32_t SharedIdx,
                            EdgeRef *RaceWitness = nullptr) const;
 
+  /// Every internal edge that writes \p SharedIdx and happens-before
+  /// \p Reader, latest first (descending end-node Seq — a linear
+  /// extension of happens-before). WRITE_SETs are variable-granular, so
+  /// for array variables a caller attributing an element read may need to
+  /// fall back past the latest writer to an earlier one that wrote the
+  /// element in question. RaceWitness as in lastWriterBefore.
+  std::vector<EdgeRef> writersBefore(EdgeRef Reader, uint32_t SharedIdx,
+                                     EdgeRef *RaceWitness = nullptr) const;
+
   /// Graphviz rendering in the style of Fig 6.1: one column per process,
   /// synchronization edges across.
   std::string dot(const Program &P) const;

@@ -36,9 +36,19 @@ public:
   }
 
   /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  ///
+  /// Rejection sampling: a plain `next() % Bound` over-weights the low
+  /// residues whenever 2^64 is not a multiple of Bound. The bias is tiny
+  /// for scheduler-sized bounds but a uniformity claim should be exact;
+  /// values below `2^64 mod Bound` are redrawn (for Bound < 2^32 a redraw
+  /// happens less than once per 2^32 calls).
   uint64_t nextBelow(uint64_t Bound) {
     assert(Bound != 0 && "nextBelow requires a nonzero bound");
-    return next() % Bound;
+    uint64_t Threshold = -Bound % Bound; // == 2^64 mod Bound
+    uint64_t V = next();
+    while (V < Threshold)
+      V = next();
+    return V % Bound;
   }
 
   /// Uniform value in [Lo, Hi].

@@ -1,0 +1,900 @@
+//===- testing/DiffOracles.cpp --------------------------------------------===//
+//
+// Part of PPD. See DiffOracles.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/DiffOracles.h"
+
+#include "compiler/Compiler.h"
+#include "core/Controller.h"
+#include "core/DeadlockAnalyzer.h"
+#include "core/DebugSession.h"
+#include "core/Replay.h"
+#include "core/ReplayService.h"
+#include "log/ExecutionLog.h"
+#include "log/LogIO.h"
+#include "pardyn/ParallelDynamicGraph.h"
+#include "pardyn/RaceDetector.h"
+#include "server/DebugServer.h"
+#include "server/Protocol.h"
+#include "support/Rng.h"
+#include "vm/Machine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <tuple>
+#include <unistd.h>
+
+using namespace ppd;
+using namespace ppd::testing;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// One machine run, with everything the oracles compare captured by value.
+//===----------------------------------------------------------------------===//
+
+struct Observed {
+  RunResult Result;
+  std::vector<int64_t> Shared;
+  std::vector<OutputRecord> Output;
+  std::vector<TraceBuffer> Traces;
+  std::vector<std::vector<int64_t>> Privates;
+  std::vector<uint8_t> Statuses;
+  ExecutionLog Log;
+};
+
+Observed runOnce(const CompiledProgram &Prog, const MachineOptions &Opts) {
+  Machine M(Prog, Opts);
+  Observed Obs;
+  Obs.Result = M.run();
+  Obs.Shared = M.sharedMemory();
+  Obs.Output = M.output();
+  Obs.Traces = M.traces();
+  for (const Process &P : M.processes()) {
+    Obs.Privates.push_back(P.PrivateGlobals);
+    Obs.Statuses.push_back(uint8_t(P.Status));
+  }
+  Obs.Log = M.takeLog();
+  return Obs;
+}
+
+MachineOptions baseOptions(uint64_t SchedSeed, uint32_t Quantum,
+                           const DiffConfig &Config) {
+  MachineOptions Opts;
+  Opts.Seed = SchedSeed;
+  Opts.Quantum = Quantum;
+  Opts.MaxSteps = Config.MaxSteps;
+  // Inputs derived from the scheduling seed: plenty of streams so spawned
+  // processes never run dry, values small enough to keep arithmetic tame.
+  Rng InputRng(SchedSeed ^ 0x9e3779b97f4a7c15ull);
+  Opts.ProcessInputs.resize(8);
+  for (auto &Stream : Opts.ProcessInputs)
+    for (int I = 0; I != 16; ++I)
+      Stream.push_back(int64_t(InputRng.nextBelow(97)));
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Field-wise comparisons. Every cmp* returns "" on agreement or a message
+// naming the first mismatching field — the Detail of a DiffReport.
+//===----------------------------------------------------------------------===//
+
+std::string fmtErr(const RuntimeError &E) {
+  std::ostringstream Os;
+  Os << runtimeErrorName(E.Kind) << " pid=" << E.Pid << " stmt=" << E.Stmt;
+  return Os.str();
+}
+
+std::string cmpOutput(const std::vector<OutputRecord> &A,
+                      const std::vector<OutputRecord> &B) {
+  if (A.size() != B.size())
+    return "output count " + std::to_string(A.size()) + " vs " +
+           std::to_string(B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].Pid != B[I].Pid || A[I].Value != B[I].Value ||
+        A[I].Stmt != B[I].Stmt)
+      return "output[" + std::to_string(I) + "] (" +
+             std::to_string(A[I].Pid) + "," + std::to_string(A[I].Value) +
+             ",s" + std::to_string(A[I].Stmt) + ") vs (" +
+             std::to_string(B[I].Pid) + "," + std::to_string(B[I].Value) +
+             ",s" + std::to_string(B[I].Stmt) + ")";
+  return {};
+}
+
+std::string cmpI64Vec(const char *What, const std::vector<int64_t> &A,
+                      const std::vector<int64_t> &B) {
+  if (A == B)
+    return {};
+  std::ostringstream Os;
+  Os << What << " differs (size " << A.size() << " vs " << B.size() << ")";
+  for (size_t I = 0; I != std::min(A.size(), B.size()); ++I)
+    if (A[I] != B[I]) {
+      Os << ": [" << I << "] " << A[I] << " vs " << B[I];
+      break;
+    }
+  return Os.str();
+}
+
+/// Outcome, error, and observable state; \p CompareSteps additionally
+/// demands identical step counts (same-chunk comparisons only).
+std::string cmpRunPair(const Observed &A, const Observed &B,
+                       bool CompareSteps) {
+  if (A.Result.Outcome != B.Result.Outcome)
+    return "outcome " + std::to_string(int(A.Result.Outcome)) + " vs " +
+           std::to_string(int(B.Result.Outcome));
+  if (A.Result.Error.Kind != B.Result.Error.Kind ||
+      A.Result.Error.Pid != B.Result.Error.Pid ||
+      A.Result.Error.Stmt != B.Result.Error.Stmt)
+    return "error " + fmtErr(A.Result.Error) + " vs " +
+           fmtErr(B.Result.Error);
+  if (A.Result.BreakPid != B.Result.BreakPid ||
+      A.Result.BreakStmt != B.Result.BreakStmt)
+    return "breakpoint position differs";
+  if (CompareSteps && A.Result.Steps != B.Result.Steps)
+    return "steps " + std::to_string(A.Result.Steps) + " vs " +
+           std::to_string(B.Result.Steps);
+  if (auto D = cmpI64Vec("shared", A.Shared, B.Shared); !D.empty())
+    return D;
+  if (auto D = cmpOutput(A.Output, B.Output); !D.empty())
+    return D;
+  if (A.Statuses != B.Statuses)
+    return "process statuses differ (" + std::to_string(A.Statuses.size()) +
+           " vs " + std::to_string(B.Statuses.size()) + " procs)";
+  if (A.Privates.size() != B.Privates.size())
+    return "private-global segment count differs";
+  for (size_t P = 0; P != A.Privates.size(); ++P)
+    if (auto D = cmpI64Vec("private globals", A.Privates[P], B.Privates[P]);
+        !D.empty())
+      return "pid " + std::to_string(P) + ": " + D;
+  return {};
+}
+
+std::string cmpTraces(const std::vector<TraceBuffer> &A,
+                      const std::vector<TraceBuffer> &B) {
+  if (A.size() != B.size())
+    return "trace count " + std::to_string(A.size()) + " vs " +
+           std::to_string(B.size());
+  for (size_t P = 0; P != A.size(); ++P) {
+    const auto &EA = A[P].Events, &EB = B[P].Events;
+    if (EA.size() != EB.size())
+      return "pid " + std::to_string(P) + " event count " +
+             std::to_string(EA.size()) + " vs " + std::to_string(EB.size());
+    for (size_t I = 0; I != EA.size(); ++I)
+      if (!(EA[I] == EB[I]))
+        return "pid " + std::to_string(P) + " event " + std::to_string(I) +
+               " differs (stmt s" + std::to_string(EA[I].Stmt) + " vs s" +
+               std::to_string(EB[I].Stmt) + ")";
+  }
+  return {};
+}
+
+std::string cmpRecord(const LogRecord &A, const LogRecord &B) {
+  if (A.Kind != B.Kind)
+    return "kind";
+  if (A.Id != B.Id)
+    return "id";
+  if (A.Flags != B.Flags)
+    return "flags";
+  if (A.Value != B.Value)
+    return "value";
+  if (A.Seq != B.Seq)
+    return "seq";
+  if (A.PartnerSeq != B.PartnerSeq)
+    return "partner";
+  if (A.Sync != B.Sync)
+    return "sync kind";
+  if (A.Stmt != B.Stmt)
+    return "stmt";
+  if (A.Vars.size() != B.Vars.size())
+    return "var count";
+  for (size_t V = 0; V != A.Vars.size(); ++V) {
+    if (A.Vars[V].Var != B.Vars[V].Var)
+      return "var id";
+    if (A.Vars[V].Values.size() != B.Vars[V].Values.size())
+      return "var width";
+    for (size_t E = 0; E != A.Vars[V].Values.size(); ++E)
+      if (A.Vars[V].Values[E] != B.Vars[V].Values[E])
+        return "var value";
+  }
+  auto CmpSet = [](const SmallVec<uint32_t, 4> &X,
+                   const SmallVec<uint32_t, 4> &Y) {
+    if (X.size() != Y.size())
+      return false;
+    for (size_t I = 0; I != X.size(); ++I)
+      if (X[I] != Y[I])
+        return false;
+    return true;
+  };
+  if (!CmpSet(A.ReadSet, B.ReadSet))
+    return "read set";
+  if (!CmpSet(A.WriteSet, B.WriteSet))
+    return "write set";
+  return {};
+}
+
+std::string cmpLogs(const ExecutionLog &A, const ExecutionLog &B) {
+  if (A.Procs.size() != B.Procs.size())
+    return "process count " + std::to_string(A.Procs.size()) + " vs " +
+           std::to_string(B.Procs.size());
+  for (size_t P = 0; P != A.Procs.size(); ++P) {
+    const ProcessLog &PA = A.Procs[P], &PB = B.Procs[P];
+    if (PA.Pid != PB.Pid || PA.RootFunc != PB.RootFunc ||
+        PA.Args != PB.Args || PA.PrelogCount != PB.PrelogCount)
+      return "pid " + std::to_string(P) + " header differs";
+    if (PA.Records.size() != PB.Records.size())
+      return "pid " + std::to_string(P) + " record count " +
+             std::to_string(PA.Records.size()) + " vs " +
+             std::to_string(PB.Records.size());
+    for (size_t R = 0; R != PA.Records.size(); ++R)
+      if (auto D = cmpRecord(PA.Records[R], PB.Records[R]); !D.empty())
+        return "pid " + std::to_string(P) + " record " + std::to_string(R) +
+               ": " + D + " differs";
+  }
+  return cmpOutput(A.Output, B.Output);
+}
+
+std::string cmpMismatches(const std::vector<ReplayMismatch> &A,
+                          const std::vector<ReplayMismatch> &B) {
+  if (A.size() != B.size())
+    return "postlog-mismatch count differs";
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].Var != B[I].Var || A[I].Index != B[I].Index ||
+        A[I].Expected != B[I].Expected || A[I].Actual != B[I].Actual)
+      return "postlog mismatch " + std::to_string(I) + " differs";
+  return {};
+}
+
+std::string cmpReplay(const ReplayResult &A, const ReplayResult &B) {
+  if (A.Ok != B.Ok)
+    return std::string("ok ") + (A.Ok ? "true" : "false") + " vs " +
+           (B.Ok ? "true" : "false");
+  if (A.Partial != B.Partial)
+    return "partial flag differs";
+  if (A.FailureHit != B.FailureHit)
+    return "failure-hit flag differs";
+  if (A.FailureHit && (A.Failure.Kind != B.Failure.Kind ||
+                       A.Failure.Pid != B.Failure.Pid ||
+                       A.Failure.Stmt != B.Failure.Stmt))
+    return "failure " + fmtErr(A.Failure) + " vs " + fmtErr(B.Failure);
+  if (A.Diverged != B.Diverged)
+    return "diverged flag differs";
+  if (A.Error != B.Error)
+    return "error '" + A.Error + "' vs '" + B.Error + "'";
+  if (auto D = cmpMismatches(A.PostlogMismatches, B.PostlogMismatches);
+      !D.empty())
+    return D;
+  if (A.Instructions != B.Instructions)
+    return "instructions " + std::to_string(A.Instructions) + " vs " +
+           std::to_string(B.Instructions);
+  if (A.Events.Events.size() != B.Events.Events.size())
+    return "event count " + std::to_string(A.Events.Events.size()) +
+           " vs " + std::to_string(B.Events.Events.size());
+  for (size_t I = 0; I != A.Events.Events.size(); ++I)
+    if (!(A.Events.Events[I] == B.Events.Events[I]))
+      return "event " + std::to_string(I) + " differs";
+  if (auto D = cmpI64Vec("shared", A.Shared, B.Shared); !D.empty())
+    return D;
+  if (auto D = cmpI64Vec("private globals", A.PrivateGlobals,
+                         B.PrivateGlobals);
+      !D.empty())
+    return D;
+  if (auto D = cmpI64Vec("root slots", A.RootSlots, B.RootSlots); !D.empty())
+    return D;
+  if (auto D = cmpOutput(A.Output, B.Output); !D.empty())
+    return D;
+  if (A.HasReturn != B.HasReturn || A.ReturnValue != B.ReturnValue)
+    return "return value differs";
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Independent race recheck: happens-before as explicit BFS-free transitive
+// closure over (intra-process, partner) edges read straight from the raw
+// log — sharing no code with ParallelDynamicGraph's vector clocks.
+//===----------------------------------------------------------------------===//
+
+using RaceTuple =
+    std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, uint32_t, uint8_t>;
+
+RaceTuple tupleOf(const Race &R) {
+  return {R.SharedIdx, R.First.Pid, R.First.EndNode, R.Second.Pid,
+          R.Second.EndNode, uint8_t(R.Kind)};
+}
+
+/// Returns false (with \p Err set) only on an internal inconsistency in
+/// the log (dangling partner); otherwise fills \p Out with the race set.
+bool recheckRaces(const ExecutionLog &Log, unsigned NumShared,
+                  std::vector<RaceTuple> &Out, std::string &Err) {
+  struct RNode {
+    uint64_t Seq = 0;
+    uint64_t Partner = NoPartner;
+    std::vector<uint32_t> Reads, Writes; ///< of the edge ending here.
+  };
+  std::vector<std::vector<RNode>> Sync(Log.Procs.size());
+  size_t Total = 0;
+  uint64_t MaxSeq = 0;
+  for (size_t P = 0; P != Log.Procs.size(); ++P) {
+    for (const LogRecord &R : Log.Procs[P].Records) {
+      if (R.Kind != LogRecordKind::SyncEvent)
+        continue;
+      RNode N;
+      N.Seq = R.Seq;
+      N.Partner = R.PartnerSeq;
+      N.Reads.assign(R.ReadSet.begin(), R.ReadSet.end());
+      N.Writes.assign(R.WriteSet.begin(), R.WriteSet.end());
+      MaxSeq = std::max(MaxSeq, R.Seq);
+      Sync[P].push_back(std::move(N));
+      ++Total;
+    }
+  }
+  // Word-packed transitive closure, filled in global Seq order (every
+  // edge — intra-process successor and partner→node — raises Seq, so Seq
+  // order is topological). Generated programs stay far below this bound;
+  // it guards the quadratic bitset against pathological inputs.
+  if (Total > 8000) {
+    Err = "recheck skipped: " + std::to_string(Total) + " sync nodes";
+    return false;
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> BySeq(size_t(MaxSeq) + 1,
+                                                   {InvalidId, InvalidId});
+  std::vector<std::vector<uint32_t>> IdOf(Sync.size());
+  uint32_t Next = 0;
+  for (uint32_t P = 0; P != Sync.size(); ++P)
+    for (uint32_t K = 0; K != Sync[P].size(); ++K) {
+      if (Sync[P][K].Seq >= BySeq.size())
+        BySeq.resize(Sync[P][K].Seq + 1, {InvalidId, InvalidId});
+      BySeq[Sync[P][K].Seq] = {P, K};
+      IdOf[P].push_back(Next++);
+    }
+  const size_t Words = (Total + 63) / 64;
+  std::vector<uint64_t> Reach(Total * Words, 0); ///< Reach[n]: ancestors.
+  auto RowOf = [&](uint32_t Id) { return Reach.data() + size_t(Id) * Words; };
+  auto Merge = [&](uint64_t *Row, uint32_t Pred) {
+    const uint64_t *From = RowOf(Pred);
+    for (size_t W = 0; W != Words; ++W)
+      Row[W] |= From[W];
+    Row[Pred / 64] |= uint64_t(1) << (Pred % 64);
+  };
+  for (const auto &[P, K] : BySeq) {
+    if (P == InvalidId)
+      continue;
+    uint64_t *Row = RowOf(IdOf[P][K]);
+    if (K > 0)
+      Merge(Row, IdOf[P][K - 1]);
+    uint64_t Partner = Sync[P][K].Partner;
+    if (Partner != NoPartner) {
+      if (Partner >= BySeq.size() || BySeq[Partner].first == InvalidId) {
+        Err = "dangling partner seq " + std::to_string(Partner);
+        return false;
+      }
+      auto [PP, PK] = BySeq[Partner];
+      Merge(Row, IdOf[PP][PK]);
+    }
+  }
+  auto Before = [&](uint32_t A, uint32_t B) { // A happens-before B
+    return (RowOf(B)[A / 64] >> (A % 64)) & 1;
+  };
+
+  // Def 6.1 over edges: e → e' iff end(e) → start(e'); simultaneous iff
+  // neither. Edge k of process P spans nodes k-1 → k; its sets live on
+  // node k's record. Classification mirrors Def 6.3: write/write wins,
+  // read/write reported once per (pair, variable).
+  auto Contains = [](const std::vector<uint32_t> &V, uint32_t S) {
+    return std::find(V.begin(), V.end(), S) != V.end();
+  };
+  for (uint32_t PA = 0; PA != Sync.size(); ++PA) {
+    for (uint32_t PB = PA + 1; PB != Sync.size(); ++PB) {
+      for (uint32_t KA = 1; KA < Sync[PA].size(); ++KA) {
+        for (uint32_t KB = 1; KB < Sync[PB].size(); ++KB) {
+          const RNode &A = Sync[PA][KA], &B = Sync[PB][KB];
+          if (A.Reads.empty() && A.Writes.empty())
+            continue;
+          if (B.Reads.empty() && B.Writes.empty())
+            continue;
+          bool AThenB = Before(IdOf[PA][KA], IdOf[PB][KB - 1]) ||
+                        IdOf[PA][KA] == IdOf[PB][KB - 1];
+          bool BThenA = Before(IdOf[PB][KB], IdOf[PA][KA - 1]) ||
+                        IdOf[PB][KB] == IdOf[PA][KA - 1];
+          if (AThenB || BThenA)
+            continue; // ordered, not simultaneous.
+          for (uint32_t S = 0; S != NumShared; ++S) {
+            bool WW = Contains(A.Writes, S) && Contains(B.Writes, S);
+            bool RW = !WW && ((Contains(A.Reads, S) && Contains(B.Writes, S)) ||
+                              (Contains(A.Writes, S) && Contains(B.Reads, S)));
+            if (WW)
+              Out.push_back({S, PA, KA, PB, KB, uint8_t(RaceKind::WriteWrite)});
+            else if (RW)
+              Out.push_back({S, PA, KA, PB, KB, uint8_t(RaceKind::ReadWrite)});
+          }
+        }
+      }
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return true;
+}
+
+std::atomic<uint64_t> TempCounter{0};
+
+} // namespace
+
+namespace ppd::testing {
+
+DiffReport runDifferential(const std::string &Source, uint64_t SchedSeed,
+                           uint32_t Quantum, const DiffConfig &Config) {
+  DiffReport Report;
+  auto Fail = [&](std::string Oracle, std::string Detail) {
+    Report.Divergent = true;
+    Report.Oracle = std::move(Oracle);
+    Report.Detail = std::move(Detail);
+    return Report;
+  };
+
+  DiagnosticEngine Diags;
+  auto Prog = Compiler::compile(Source, CompileOptions(), Diags);
+  if (!Prog)
+    return Fail("compile", Diags.str());
+
+  const MachineOptions Base = baseOptions(SchedSeed, Quantum, Config);
+
+  //===--- engine/*: decoded vs legacy interpreter, per mode -------------===//
+  const RunMode Modes[3] = {RunMode::Plain, RunMode::Logging,
+                            RunMode::FullTrace};
+  const char *ModeNames[3] = {"plain", "logging", "fulltrace"};
+  Observed Runs[3][2]; // [mode][0 = decoded, 1 = legacy]
+  for (int M = 0; M != 3; ++M)
+    for (int E = 0; E != 2; ++E) {
+      MachineOptions Opts = Base;
+      Opts.Mode = Modes[M];
+      Opts.UseDecoded = E == 0;
+      Runs[M][E] = runOnce(*Prog, Opts);
+    }
+  for (int M = 0; M != 3; ++M) {
+    if (auto D = cmpRunPair(Runs[M][0], Runs[M][1], /*CompareSteps=*/true);
+        !D.empty())
+      return Fail(std::string("engine/") + ModeNames[M], D);
+    if (auto D = cmpLogs(Runs[M][0].Log, Runs[M][1].Log); !D.empty())
+      return Fail(std::string("engine/") + ModeNames[M] + "-log", D);
+  }
+  if (auto D = cmpTraces(Runs[2][0].Traces, Runs[2][1].Traces); !D.empty())
+    return Fail("engine/fulltrace-traces", D);
+
+  //===--- mode/*: instrumentation must not perturb execution ------------===//
+  // Plain and Logging share the object chunk: identical interleavings,
+  // identical everything. FullTrace runs the emulation chunk, which shifts
+  // preemption points — strict comparison only for single-process runs.
+  if (auto D = cmpRunPair(Runs[0][0], Runs[1][0], /*CompareSteps=*/true);
+      !D.empty())
+    return Fail("mode/plain-vs-logging", D);
+  const Observed &Ref = Runs[1][0]; // the decoded Logging run.
+  const ExecutionLog &L = Ref.Log;
+  if (L.Procs.size() == 1)
+    if (auto D = cmpRunPair(Ref, Runs[2][0], /*CompareSteps=*/false);
+        !D.empty())
+      return Fail("mode/logging-vs-fulltrace", D);
+
+  Report.Outcome = int(Ref.Result.Outcome);
+  Report.Steps = Ref.Result.Steps;
+
+  //===--- log/*: v1/v2 save → load → re-save round trips ----------------===//
+  for (LogFormat Fmt : {LogFormat::V1, LogFormat::V2}) {
+    const char *FmtName = Fmt == LogFormat::V1 ? "v1" : "v2";
+    std::string Path = Config.TempDir + "/ppd_fuzz_" +
+                       std::to_string(uint64_t(::getpid())) + "_" +
+                       std::to_string(TempCounter.fetch_add(1)) + "." +
+                       FmtName + ".ppdlog";
+    std::string Err, ErrOracle;
+    std::vector<uint8_t> First, Second;
+    ExecutionLog Loaded;
+    if (!L.save(Path, Fmt)) {
+      ErrOracle = "save";
+      Err = "save failed";
+    } else if (!readFileBytes(Path, First)) {
+      ErrOracle = "save";
+      Err = "saved file unreadable";
+    } else if (!ExecutionLog::load(Path, Loaded)) {
+      ErrOracle = "load";
+      Err = "load failed on a fresh save";
+    } else if (auto D = cmpLogs(L, Loaded); !D.empty()) {
+      ErrOracle = "load";
+      Err = D;
+    } else if (!Loaded.save(Path, Fmt) || !readFileBytes(Path, Second)) {
+      ErrOracle = "resave";
+      Err = "re-save failed";
+    } else if (First != Second) {
+      ErrOracle = "resave";
+      Err = "re-saved bytes differ (size " + std::to_string(First.size()) +
+            " vs " + std::to_string(Second.size()) + ")";
+    } else {
+      // The loaded log must index identically.
+      LogIndex IA(L), IB(Loaded);
+      for (uint32_t P = 0; Err.empty() && P != L.Procs.size(); ++P) {
+        const auto &VA = IA.intervals(P), &VB = IB.intervals(P);
+        if (VA.size() != VB.size()) {
+          ErrOracle = "index";
+          Err = "pid " + std::to_string(P) + " interval count differs";
+          break;
+        }
+        for (size_t I = 0; I != VA.size(); ++I)
+          if (VA[I].Index != VB[I].Index || VA[I].EBlock != VB[I].EBlock ||
+              VA[I].PrelogRecord != VB[I].PrelogRecord ||
+              VA[I].PostlogRecord != VB[I].PostlogRecord ||
+              VA[I].Parent != VB[I].Parent || VA[I].Depth != VB[I].Depth ||
+              VA[I].ExitsFunction != VB[I].ExitsFunction) {
+            ErrOracle = "index";
+            Err = "pid " + std::to_string(P) + " interval " +
+                  std::to_string(I) + " differs";
+            break;
+          }
+      }
+    }
+    std::remove(Path.c_str());
+    if (!Err.empty())
+      return Fail(std::string("log/") + FmtName + "-" + ErrOracle, Err);
+  }
+
+  //===--- race/*: two algorithms and an independent recheck -------------===//
+  const unsigned NumShared = Prog->Symbols->NumSharedVars;
+  ParallelDynamicGraph PDG(L, NumShared);
+  RaceDetector Detector(PDG, *Prog->Symbols);
+  RaceDetectionResult Naive = Detector.detect(RaceAlgorithm::NaiveAllPairs);
+  RaceDetectionResult Indexed = Detector.detect(RaceAlgorithm::VarIndexed);
+  if (Naive.Races.size() != Indexed.Races.size())
+    return Fail("race/algorithms",
+                "NaiveAllPairs found " + std::to_string(Naive.Races.size()) +
+                    ", VarIndexed " + std::to_string(Indexed.Races.size()));
+  for (size_t I = 0; I != Naive.Races.size(); ++I)
+    if (!(Naive.Races[I] == Indexed.Races[I]))
+      return Fail("race/algorithms",
+                  "race " + std::to_string(I) + " differs between algorithms");
+  {
+    std::vector<RaceTuple> Rechecked, Detected;
+    std::string Err;
+    if (recheckRaces(L, NumShared, Rechecked, Err)) {
+      for (const Race &R : Naive.Races)
+        Detected.push_back(tupleOf(R));
+      if (Detected != Rechecked) {
+        auto Describe = [](const std::vector<RaceTuple> &V) {
+          std::string S = std::to_string(V.size()) + " races";
+          for (size_t I = 0; I != std::min<size_t>(V.size(), 4); ++I)
+            S += " (s" + std::to_string(std::get<0>(V[I])) + " p" +
+                 std::to_string(std::get<1>(V[I])) + "e" +
+                 std::to_string(std::get<2>(V[I])) + "/p" +
+                 std::to_string(std::get<3>(V[I])) + "e" +
+                 std::to_string(std::get<4>(V[I])) + ")";
+          return S;
+        };
+        return Fail("race/recheck", "detector: " + Describe(Detected) +
+                                        "; recheck: " + Describe(Rechecked));
+      }
+    }
+  }
+  Report.RaceFree = Naive.Races.empty();
+  Report.Races = unsigned(Naive.Races.size());
+
+  //===--- replay/*: serial engines, memoized, parallel, cached ----------===//
+  LogIndex Index(L);
+  std::vector<ParallelReplayer::IntervalRef> Refs;
+  for (uint32_t P = 0; P != L.Procs.size(); ++P)
+    for (const LogInterval &IV : Index.intervals(P))
+      Refs.push_back({P, IV.Index});
+  Report.Intervals = unsigned(Refs.size());
+  // Bound the quadratic-ish replay matrix on degenerate inputs; generated
+  // programs sit far below this.
+  if (Refs.size() > 2000)
+    Refs.resize(2000);
+
+  ReplayEngine Engine(*Prog);
+  std::vector<ReplayResult> Reference;
+  Reference.reserve(Refs.size());
+  for (const auto &[P, IVIdx] : Refs) {
+    const LogInterval &IV = Index.intervals(P)[IVIdx];
+    ReplayOptions Dec, Leg;
+    Dec.UseDecoded = true;
+    Leg.UseDecoded = false;
+    ReplayResult RD = Engine.replay(L, P, IV, Dec);
+    ReplayResult RL = Engine.replay(L, P, IV, Leg);
+    if (auto D = cmpReplay(RD, RL); !D.empty())
+      return Fail("replay/engines", "pid " + std::to_string(P) +
+                                        " interval " + std::to_string(IVIdx) +
+                                        ": " + D);
+    // §5.5: on a race-free instance every closed interval replays
+    // faithfully and verifies its postlog exactly.
+    if (Report.RaceFree && IV.PostlogRecord != InvalidId) {
+      if (!RD.Ok || RD.Partial || !RD.PostlogMismatches.empty() ||
+          RD.Diverged)
+        return Fail("replay/verify",
+                    "pid " + std::to_string(P) + " interval " +
+                        std::to_string(IVIdx) + ": ok=" +
+                        std::to_string(RD.Ok) + " partial=" +
+                        std::to_string(RD.Partial) + " mismatches=" +
+                        std::to_string(RD.PostlogMismatches.size()) +
+                        (RD.Error.empty() ? "" : " error=" + RD.Error));
+    }
+    Reference.push_back(std::move(RD));
+  }
+
+  {
+    ReplayServiceOptions SerialOpts;
+    SerialOpts.Threads = 0;
+    ParallelReplayer Serial(*Prog, L, Index, SerialOpts);
+    for (size_t I = 0; I != Refs.size(); ++I) {
+      auto R = Serial.get(Refs[I].first, Refs[I].second);
+      if (!R)
+        return Fail("replay/service", "serial get returned null");
+      if (auto D = cmpReplay(*R, Reference[I]); !D.empty())
+        return Fail("replay/service",
+                    "pid " + std::to_string(Refs[I].first) + " interval " +
+                        std::to_string(Refs[I].second) + ": " + D);
+      auto Again = Serial.get(Refs[I].first, Refs[I].second);
+      if (!Again || !(cmpReplay(*Again, Reference[I]).empty()))
+        return Fail("replay/cache", "cached re-read differs from original");
+    }
+
+    ReplayServiceOptions ParOpts;
+    ParOpts.Threads = Config.ReplayThreads;
+    ParallelReplayer Parallel(*Prog, L, Index, ParOpts);
+    std::vector<ParallelReplayer::ReplayPtr> Many = Parallel.getMany(Refs);
+    if (Many.size() != Refs.size())
+      return Fail("replay/parallel", "getMany result count differs");
+    for (size_t I = 0; I != Many.size(); ++I) {
+      if (!Many[I])
+        return Fail("replay/parallel", "getMany returned null");
+      if (auto D = cmpReplay(*Many[I], Reference[I]); !D.empty())
+        return Fail("replay/parallel",
+                    "pid " + std::to_string(Refs[I].first) + " interval " +
+                        std::to_string(Refs[I].second) + ": " + D);
+    }
+  }
+
+  //===--- deadlock/*: report coherence on Deadlock outcomes -------------===//
+  if (Ref.Result.Outcome == RunResult::Status::Deadlock) {
+    DeadlockAnalyzer Analyzer(*Prog, L);
+    DeadlockReport DR = Analyzer.analyze(Ref.Result.Deadlock);
+    if (DR.Waits.size() != Ref.Result.Deadlock.Blocked.size())
+      return Fail("deadlock/report",
+                  "analyzer reports " + std::to_string(DR.Waits.size()) +
+                      " waits for " +
+                      std::to_string(Ref.Result.Deadlock.Blocked.size()) +
+                      " blocked processes");
+    for (uint32_t Pid : DR.Cycle) {
+      bool Blocked = false;
+      for (const auto &W : Ref.Result.Deadlock.Blocked)
+        Blocked |= W.Pid == Pid;
+      if (!Blocked)
+        return Fail("deadlock/report", "cycle names non-blocked pid " +
+                                           std::to_string(Pid));
+    }
+  }
+
+  //===--- server/*: DebugSession vs framed DebugServer ------------------===//
+  // Two more deterministic re-runs supply each side its own log; their
+  // equality with the reference log is itself the determinism oracle.
+  if (Config.CheckServer) {
+    auto RerunLog = [&](std::string &Err) {
+      MachineOptions Opts = Base;
+      Opts.Mode = RunMode::Logging;
+      Machine M(*Prog, Opts);
+      M.run();
+      ExecutionLog Lg = M.takeLog();
+      Err = cmpLogs(L, Lg);
+      return Lg;
+    };
+    std::string Err1, Err2;
+    ExecutionLog DirectLog = RerunLog(Err1);
+    ExecutionLog ServerLog = RerunLog(Err2);
+    if (!Err1.empty() || !Err2.empty())
+      return Fail("server/determinism",
+                  "re-run log differs: " + (Err1.empty() ? Err2 : Err1));
+
+    DiagnosticEngine SrvDiags;
+    auto SrvProg = Compiler::compile(Source, CompileOptions(), SrvDiags);
+    if (!SrvProg)
+      return Fail("compile", "recompile failed: " + SrvDiags.str());
+
+    PpdController Controller(*Prog, std::move(DirectLog));
+    DebugSession Session(*Prog, Controller);
+
+    DebugServer Server;
+    uint32_t ProgIdx = Server.addProgram(std::move(SrvProg),
+                                         std::move(ServerLog));
+    auto Roundtrip = [&](const Request &Req, Response &Resp) {
+      LogWriter W;
+      encodeRequest(Req, W);
+      std::vector<uint8_t> Frame =
+          Server.handleFrame(W.data() + 4, W.size() - 4);
+      if (Frame.size() < 4)
+        return false;
+      return decodeResponse(Frame.data() + 4, Frame.size() - 4, Resp);
+    };
+
+    Request Open;
+    Open.Type = MsgType::OpenSession;
+    Open.RequestId = 1;
+    Open.ProgramIndex = ProgIdx;
+    Response Opened;
+    if (!Roundtrip(Open, Opened) || Opened.Type != RespType::SessionOpened)
+      return Fail("server/open", "OpenSession did not yield a session");
+
+    // The script mixes Query, Step, and Races frames; "stats" is excluded
+    // by design (cache counters legitimately differ between the sides).
+    struct Cmd {
+      MsgType Type;
+      const char *Text;    ///< Query command / DebugSession line.
+      uint8_t Direction;   ///< Step only.
+    };
+    uint32_t FailPid =
+        Ref.Result.Outcome == RunResult::Status::Failed
+            ? Ref.Result.Error.Pid
+            : 0;
+    std::string WhereCmd = "where " + std::to_string(FailPid);
+    const Cmd Script[] = {
+        {MsgType::Query, WhereCmd.c_str(), 0},
+        {MsgType::Step, "back", 0},
+        {MsgType::Step, "back", 0},
+        {MsgType::Step, "fwd", 1},
+        {MsgType::Races, "races", 0},
+        {MsgType::Query, "node 1", 0},
+        {MsgType::Query, "list", 0},
+    };
+    uint64_t RequestId = 2;
+    for (const Cmd &C : Script) {
+      std::string Direct = Session.execute(C.Text);
+      Request Req;
+      Req.Type = C.Type;
+      Req.RequestId = RequestId++;
+      Req.SessionId = Opened.SessionId;
+      Req.Direction = C.Direction;
+      if (C.Type == MsgType::Query)
+        Req.Command = C.Text;
+      Response Resp;
+      if (!Roundtrip(Req, Resp) || Resp.Type != RespType::Result)
+        return Fail("server/frame", std::string("command '") + C.Text +
+                                        "' did not yield a Result frame");
+      if (Resp.Text != Direct)
+        return Fail("server/responses",
+                    std::string("command '") + C.Text +
+                        "' differs:\n--- session ---\n" + Direct +
+                        "\n--- server ---\n" + Resp.Text);
+    }
+    Request Close;
+    Close.Type = MsgType::CloseSession;
+    Close.RequestId = RequestId;
+    Close.SessionId = Opened.SessionId;
+    Response Closed;
+    if (!Roundtrip(Close, Closed) || Closed.Type != RespType::Closed)
+      return Fail("server/close", "CloseSession did not acknowledge");
+  }
+
+  //===--- flowback/*: dependence edges vs semantic ground truth ---------===//
+  // Every read in every traced interval must have a data in-edge for its
+  // variable, and when every candidate source is a singular writer whose
+  // written value is determinable, at least one must have written the
+  // value actually read. This checks the *meaning* of the graph, not a
+  // re-execution of the builder's algorithm — a stale intra-interval
+  // writer carried across a synchronization boundary fails here even
+  // though the builder's own logic would reproduce it.
+  if (Config.CheckFlowback && Report.RaceFree &&
+      Ref.Result.Outcome == RunResult::Status::Completed) {
+    MachineOptions Opts = Base;
+    Opts.Mode = RunMode::Logging;
+    Machine M(*Prog, Opts);
+    M.run();
+    PpdController Controller(*Prog, M.takeLog());
+
+    std::vector<std::pair<ParallelReplayer::IntervalRef, BuiltFragment>>
+        Fragments;
+    for (const auto &RefIv : Refs) {
+      const BuiltFragment *F =
+          Controller.ensureInterval(RefIv.first, RefIv.second);
+      if (!F)
+        return Fail("flowback/trace",
+                    "pid " + std::to_string(RefIv.first) + " interval " +
+                        std::to_string(RefIv.second) +
+                        " failed to trace on a race-free run");
+      Fragments.push_back({RefIv, *F});
+    }
+    Controller.resolveAllCrossReads();
+
+    const DynamicGraph &Graph = Controller.graph();
+    for (const auto &[IvRef, Frag] : Fragments) {
+      const ReplayResult *Replay =
+          Controller.replayOf(IvRef.first, IvRef.second);
+      if (!Replay)
+        return Fail("flowback/trace", "traced interval has no replay");
+      const auto &Events = Replay->Events.Events;
+      if (Frag.EventNodes.size() != Events.size())
+        return Fail("flowback/nodes",
+                    "fragment maps " +
+                        std::to_string(Frag.EventNodes.size()) +
+                        " nodes for " + std::to_string(Events.size()) +
+                        " events");
+      for (size_t EI = 0; EI != Events.size(); ++EI) {
+        const TraceEvent &E = Events[EI];
+        if (E.Kind != TraceEventKind::Stmt)
+          continue;
+        DynNodeId Reader = Frag.EventNodes[EI];
+        std::vector<DynEdge> In = Graph.inEdges(Reader);
+        for (const TraceAccess &R : E.Reads) {
+          bool Satisfied = false, Soft = false;
+          unsigned Candidates = 0;
+          std::string Mismatch;
+          for (const DynEdge &Edge : In) {
+            if (Edge.Var != R.Var || (Edge.Kind != DynEdgeKind::Data &&
+                                      Edge.Kind != DynEdgeKind::CrossData))
+              continue;
+            const DynNode &Src = Graph.node(Edge.From);
+            if (Src.Kind != DynNodeKind::Singular) {
+              // Entry / Initial / Param / unexpanded sub-graph: the value
+              // is not attributable to one write; accept.
+              ++Candidates;
+              Soft = true;
+              continue;
+            }
+            const ReplayResult *SrcReplay =
+                Controller.replayOf(Src.Pid, Src.Interval);
+            if (!SrcReplay || Src.Event >= SrcReplay->Events.Events.size())
+              return Fail("flowback/nodes",
+                          "edge source points at an untraced event");
+            const TraceEvent &WE = SrcReplay->Events.Events[Src.Event];
+            // Edges carry the variable but not the element index, so a
+            // statement that reads several elements of one array sees its
+            // siblings' edges too. A source that writes the variable only
+            // at other concrete indices is such a sibling edge: skip it.
+            // A source that never writes the variable at all is a wiring
+            // bug in the builder.
+            bool WroteVar = false, WroteElem = false;
+            for (const TraceAccess &W : WE.Writes) {
+              if (W.Var != R.Var)
+                continue;
+              WroteVar = true;
+              if (W.Index != R.Index && W.Index != -1 && R.Index != -1)
+                continue;
+              WroteElem = true;
+              if (W.Value == R.Value)
+                Satisfied = true;
+              else
+                Mismatch = "writer s" + std::to_string(WE.Stmt) +
+                           " wrote " + std::to_string(W.Value) +
+                           ", read saw " + std::to_string(R.Value);
+            }
+            if (!WroteVar)
+              return Fail(
+                  "flowback/edges",
+                  "data edge from a node that never writes the variable "
+                  "(reader s" +
+                      std::to_string(E.Stmt) + ", writer s" +
+                      std::to_string(WE.Stmt) + ")");
+            if (WroteElem)
+              ++Candidates;
+          }
+          if (Candidates == 0) {
+            const VarInfo &Info = Prog->Symbols->var(R.Var);
+            return Fail("flowback/missing-edge",
+                        "read of '" + Info.Name + "' at s" +
+                            std::to_string(E.Stmt) + " (pid " +
+                            std::to_string(IvRef.first) + " interval " +
+                            std::to_string(IvRef.second) +
+                            ") has no data in-edge");
+          }
+          if (!Satisfied && !Soft)
+            return Fail("flowback/value",
+                        "read of '" + Prog->Symbols->var(R.Var).Name +
+                            "' at s" + std::to_string(E.Stmt) + " (pid " +
+                            std::to_string(IvRef.first) + " interval " +
+                            std::to_string(IvRef.second) + "): " + Mismatch);
+        }
+      }
+    }
+  }
+
+  return Report;
+}
+
+} // namespace ppd::testing

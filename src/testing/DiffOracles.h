@@ -1,0 +1,92 @@
+//===- testing/DiffOracles.h - Cross-pipeline differential driver -*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle half of the fuzzing harness: run one PPL program through
+/// every redundant pipeline pair the repository maintains and demand they
+/// agree. PPD is unusually rich in internal redundancy — two interpreters
+/// per run mode, two log formats, three replay paths, two race-detection
+/// algorithms, a direct and a framed debugging interface — and every such
+/// pair is a free differential oracle: no hand-written expected outputs,
+/// just "these two must match".
+///
+/// The oracle matrix (see DESIGN.md §9):
+///
+///   engine/*    decoded vs legacy interpreter, per run mode: outcome,
+///               steps, error, shared memory, output, logs, traces.
+///   mode/*      Plain vs Logging (always comparable: instrumentation
+///               must not perturb execution), Logging vs FullTrace for
+///               single-process programs (the emulation chunk shifts
+///               preemption points, so multi-process interleavings may
+///               legitimately differ).
+///   log/*       v1 and v2 save → load → re-save: loaded records equal
+///               the originals field-by-field, re-saved bytes equal the
+///               first save byte-for-byte, interval index identical.
+///   replay/*    serial decoded vs serial legacy replay per interval, vs
+///               the memoized ParallelReplayer (serial, parallel getMany,
+///               and cache re-read); on race-free instances, closed
+///               intervals must verify their postlogs exactly.
+///   race/*      NaiveAllPairs vs VarIndexed vs an independent
+///               BFS-reachability recheck built here from the raw log.
+///   flowback/*  every read in every traced interval must have a data
+///               in-edge, and edges from singular writers must carry the
+///               value actually read (semantic truth, not a re-run of the
+///               builder's own algorithm).
+///   deadlock/*  a Deadlock outcome must produce a coherent wait-for
+///               report over exactly the blocked processes.
+///   server/*    a scripted DebugSession vs the same script through
+///               DebugServer::handleFrame on a re-run of the same
+///               program (machine determinism makes the logs identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_TESTING_DIFFORACLES_H
+#define PPD_TESTING_DIFFORACLES_H
+
+#include <cstdint>
+#include <string>
+
+namespace ppd::testing {
+
+struct DiffConfig {
+  /// Step budget per machine run; generated programs terminate well under
+  /// this, so hitting it is itself reported by the engine oracle.
+  uint64_t MaxSteps = 2'000'000;
+  /// Worker threads for the parallel-replay comparison.
+  unsigned ReplayThreads = 2;
+  /// Run the session-vs-server oracle (re-runs the program twice).
+  bool CheckServer = true;
+  /// Run the flowback-edge oracle (builds the full dynamic graph).
+  bool CheckFlowback = true;
+  /// Directory for the on-disk log round-trips.
+  std::string TempDir = "/tmp";
+};
+
+/// The verdict of one differential run.
+struct DiffReport {
+  bool Divergent = false;
+  /// Stable oracle name ("engine/logging", "log/v2-resave", ...): the
+  /// minimizer preserves it so shrinking cannot wander to a different bug.
+  std::string Oracle;
+  std::string Detail;
+  /// Reference-run facts (the decoded Logging run), for harness stats.
+  int Outcome = 0; ///< RunResult::Status as int.
+  bool RaceFree = true;
+  unsigned Races = 0;
+  uint64_t Steps = 0;
+  unsigned Intervals = 0;
+};
+
+/// Compiles \p Source and runs the full oracle matrix with scheduling seed
+/// \p SchedSeed and quantum \p Quantum. A program that fails to compile is
+/// reported as Oracle == "compile" (the generator promises never to
+/// produce one — so it is a generator bug, and still a finding).
+DiffReport runDifferential(const std::string &Source, uint64_t SchedSeed,
+                           uint32_t Quantum, const DiffConfig &Config = {});
+
+} // namespace ppd::testing
+
+#endif // PPD_TESTING_DIFFORACLES_H

@@ -1,0 +1,67 @@
+//===- testing/Minimizer.cpp ----------------------------------------------===//
+//
+// Part of PPD. See Minimizer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Minimizer.h"
+
+#include <algorithm>
+
+using namespace ppd::testing;
+
+namespace ppd::testing {
+
+MinimizeResult minimizeProgram(const GenProgram &Program,
+                               const FailPredicate &StillFails) {
+  const std::vector<uint32_t> Order = Program.removableUnits();
+  std::vector<bool> Removed(Program.Units.size(), false);
+  std::string Cur = Program.render(&Removed);
+
+  MinimizeResult Result;
+  size_t Chunk = std::max<size_t>(1, Order.size() / 2);
+  while (true) {
+    bool Progress = false;
+    std::vector<uint32_t> Alive;
+    for (uint32_t U : Order)
+      if (!Removed[U])
+        Alive.push_back(U);
+
+    for (size_t I = 0; I < Alive.size(); I += Chunk) {
+      std::vector<bool> Trial = Removed;
+      const size_t End = std::min(Alive.size(), I + Chunk);
+      for (size_t J = I; J != End; ++J)
+        Trial[Alive[J]] = true;
+      std::string Rendered = Program.render(&Trial);
+      if (Rendered == Cur) {
+        // The whole chunk was inside already-removed subtrees: absorb it
+        // without spending a predicate call.
+        Removed = std::move(Trial);
+        continue;
+      }
+      ++Result.PredicateCalls;
+      if (StillFails(Rendered)) {
+        Removed = std::move(Trial);
+        Cur = std::move(Rendered);
+        Progress = true;
+      }
+    }
+
+    // Classic ddmin schedule: retry a productive granularity, halve an
+    // unproductive one, stop at an unproductive single-unit pass.
+    if (!Progress) {
+      if (Chunk == 1)
+        break;
+      Chunk = std::max<size_t>(1, Chunk / 2);
+    }
+  }
+
+  for (uint32_t U : Order)
+    if (Removed[U])
+      ++Result.UnitsRemoved;
+  Result.Statements = GenProgram::countStatements(Cur);
+  Result.Source = std::move(Cur);
+  return Result;
+}
+
+} // namespace ppd::testing

@@ -1,0 +1,49 @@
+//===- testing/Minimizer.h - Delta-debugging repro reduction ----*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta debugging over a generated program's unit tree. The
+/// generator marks which units (statements, whole control subtrees) may be
+/// deleted without breaking parseability or termination; the minimizer
+/// searches for the smallest removal mask under which the failure
+/// predicate still holds, chunk-wise first (ddmin-style halving) and then
+/// one unit at a time until a fixpoint.
+///
+/// The predicate receives rendered source; callers bind it to "still
+/// compiles and still trips the same oracle", so shrinking can neither
+/// wander to a different bug nor produce an unparseable repro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_TESTING_MINIMIZER_H
+#define PPD_TESTING_MINIMIZER_H
+
+#include "testing/ProgramGen.h"
+
+#include <functional>
+#include <string>
+
+namespace ppd::testing {
+
+/// True when the rendered program still exhibits the failure being
+/// minimized.
+using FailPredicate = std::function<bool(const std::string &Source)>;
+
+struct MinimizeResult {
+  std::string Source;       ///< smallest failing rendering found.
+  unsigned Statements = 0;  ///< GenProgram::countStatements of Source.
+  unsigned UnitsRemoved = 0;
+  unsigned PredicateCalls = 0;
+};
+
+/// Shrinks \p Program to a smaller rendering for which \p StillFails
+/// holds. \p StillFails is assumed true for the unmodified program.
+MinimizeResult minimizeProgram(const GenProgram &Program,
+                               const FailPredicate &StillFails);
+
+} // namespace ppd::testing
+
+#endif // PPD_TESTING_MINIMIZER_H

@@ -1,0 +1,587 @@
+//===- testing/ProgramGen.cpp ---------------------------------------------===//
+//
+// Part of PPD. See ProgramGen.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ProgramGen.h"
+
+#include "support/Rng.h"
+
+#include <cctype>
+
+using namespace ppd;
+using namespace ppd::testing;
+
+const char *ppd::testing::genProfileName(GenProfile Profile) {
+  switch (Profile) {
+  case GenProfile::Compute:
+    return "compute";
+  case GenProfile::SyncHeavy:
+    return "sync-heavy";
+  case GenProfile::Racy:
+    return "racy";
+  case GenProfile::DeadlockProne:
+    return "deadlock-prone";
+  case GenProfile::Channels:
+    return "channels";
+  }
+  return "?";
+}
+
+std::string GenProgram::render(const std::vector<bool> *Removed) const {
+  std::string Out;
+  // Iterative pre/post-order walk: emit Head, children, Tail.
+  struct Visit {
+    uint32_t Unit;
+    bool Closing;
+  };
+  std::vector<Visit> Stack;
+  Stack.push_back({0, false});
+  while (!Stack.empty()) {
+    Visit V = Stack.back();
+    Stack.pop_back();
+    const GenUnit &U = Units[V.Unit];
+    if (V.Closing) {
+      for (const std::string &Line : U.Tail) {
+        Out += Line;
+        Out += '\n';
+      }
+      continue;
+    }
+    if (Removed && V.Unit < Removed->size() && (*Removed)[V.Unit])
+      continue;
+    for (const std::string &Line : U.Head) {
+      Out += Line;
+      Out += '\n';
+    }
+    Stack.push_back({V.Unit, true});
+    for (size_t I = U.Children.size(); I != 0; --I)
+      Stack.push_back({U.Children[I - 1], false});
+  }
+  return Out;
+}
+
+std::vector<uint32_t> GenProgram::removableUnits() const {
+  std::vector<uint32_t> Out;
+  std::vector<uint32_t> Stack = {0};
+  while (!Stack.empty()) {
+    uint32_t Id = Stack.back();
+    Stack.pop_back();
+    if (Units[Id].Removable)
+      Out.push_back(Id);
+    for (size_t I = Units[Id].Children.size(); I != 0; --I)
+      Stack.push_back(Units[Id].Children[I - 1]);
+  }
+  return Out;
+}
+
+unsigned GenProgram::countStatements(const std::string &Source) {
+  unsigned Count = 0;
+  for (size_t Pos = 0; Pos < Source.size();) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string_view Line(Source.data() + Pos, End - Pos);
+    Pos = End + 1;
+    // A line counts if it holds anything beyond braces/whitespace.
+    bool Counts = false;
+    for (char C : Line)
+      if (!std::isspace(uint8_t(C)) && C != '{' && C != '}') {
+        Counts = true;
+        break;
+      }
+    Count += Counts;
+  }
+  return Count;
+}
+
+namespace {
+
+/// The grammar walker. One instance generates one program; all choices
+/// come from the seeded Rng, so a seed fully determines the program.
+class Generator {
+public:
+  Generator(uint64_t Seed, const GenOptions &Options)
+      : R(Seed * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull), Options(Options) {}
+
+  GenProgram run() {
+    Prog.Profile = Options.Profile;
+    Prog.addUnit(GenUnit{}); // root
+    UseArray = R.nextBelow(2) == 0;
+    UseInput = R.nextBelow(3) == 0;
+    genDecls();
+    genHelpers();
+    switch (Options.Profile) {
+    case GenProfile::Compute:
+      genComputeMain();
+      break;
+    case GenProfile::SyncHeavy:
+    case GenProfile::Racy:
+      genWorkersAndMain(/*Locked=*/Options.Profile == GenProfile::SyncHeavy);
+      break;
+    case GenProfile::DeadlockProne:
+      genDeadlockProne();
+      break;
+    case GenProfile::Channels:
+      genChannels();
+      break;
+    }
+    return std::move(Prog);
+  }
+
+private:
+  uint32_t child(uint32_t Parent, GenUnit Unit) {
+    uint32_t Id = Prog.addUnit(std::move(Unit));
+    Prog.Units[Parent].Children.push_back(Id);
+    return Id;
+  }
+
+  uint32_t stmtLine(uint32_t Parent, unsigned Indent, std::string Text) {
+    GenUnit U;
+    U.Head.push_back(std::string(Indent * 2, ' ') + std::move(Text));
+    U.Removable = true;
+    return child(Parent, std::move(U));
+  }
+
+  // -- declarations ------------------------------------------------------
+
+  void genDecls() {
+    // Shared scalars the whole program fights over, a private global, and
+    // optionally a shared array. Declarations are individually removable:
+    // deleting one that is still referenced simply fails the minimizer's
+    // compile predicate and is kept.
+    for (unsigned I = 0; I != 3; ++I)
+      stmtLine(0, 0, "shared int g" + std::to_string(I) + ";");
+    if (UseArray)
+      stmtLine(0, 0, "shared int ga[4];");
+    stmtLine(0, 0, "int p0;");
+  }
+
+  void declSems(unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I)
+      stmtLine(0, 0, "sem s" + std::to_string(I) + " = 1;");
+    stmtLine(0, 0, "sem join;");
+  }
+
+  // -- expressions -------------------------------------------------------
+
+  std::string randVar() { return Vars[R.nextBelow(Vars.size())]; }
+
+  std::string arrayRead(unsigned Depth) {
+    // Mostly in-bounds (`% 4`), occasionally raw so IndexOutOfBounds
+    // failures exercise the failure pipeline differentially.
+    if (R.nextBelow(16) == 0)
+      return "ga[" + expr(Depth ? Depth - 1 : 0) + "]";
+    return "ga[abs(" + expr(Depth ? Depth - 1 : 0) + ") % 4]";
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || R.nextBelow(4) == 0) {
+      switch (R.nextBelow(UseArray ? 4u : 3u)) {
+      case 0:
+        return std::to_string(R.nextInRange(-9, 20));
+      case 1:
+      case 2:
+        return randVar();
+      default:
+        return arrayRead(1);
+      }
+    }
+    switch (R.nextBelow(CanCall ? 9u : 8u)) {
+    case 0:
+      return "(" + expr(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    case 1:
+      return "(" + expr(Depth - 1) + " - " + expr(Depth - 1) + ")";
+    case 2:
+      return "(" + expr(Depth - 1) + " * " + expr(Depth - 1) + ")";
+    case 3:
+      // Guarded division/modulo most of the time; occasionally raw, so
+      // DivideByZero/ModuloByZero paths get differential coverage too.
+      if (R.nextBelow(12) == 0)
+        return "(" + expr(Depth - 1) + (R.nextBelow(2) ? " / " : " % ") +
+               expr(Depth - 1) + ")";
+      return "(" + expr(Depth - 1) + (R.nextBelow(2) ? " / " : " % ") +
+             "(abs(" + expr(Depth - 1) + ") % 7 + 1))";
+    case 4:
+      return "(-" + expr(Depth - 1) + ")";
+    case 5:
+      return "abs(" + expr(Depth - 1) + ")";
+    case 6:
+      if (UseInput && R.nextBelow(3) == 0)
+        return "input()";
+      return randVar();
+    case 7:
+      return "(" + cond(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    default:
+      return "helper" + std::to_string(R.nextBelow(NumHelpers)) + "(" +
+             expr(Depth - 1) + ", " + expr(Depth - 1) + ")";
+    }
+  }
+
+  std::string cond(unsigned Depth) {
+    if (Depth != 0 && R.nextBelow(4) == 0) {
+      const char *Join = R.nextBelow(2) ? " && " : " || ";
+      return "(" + cond(Depth - 1) + Join + cond(Depth - 1) + ")";
+    }
+    if (Depth != 0 && R.nextBelow(8) == 0)
+      return "(!" + cond(Depth - 1) + ")";
+    static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    return "(" + expr(Depth) + " " + Ops[R.nextBelow(6)] + " " + expr(Depth) +
+           ")";
+  }
+
+  // -- statements --------------------------------------------------------
+
+  std::string lvalue() {
+    if (UseArray && R.nextBelow(5) == 0)
+      return "ga[abs(" + expr(1) + ") % 4]";
+    return randVar();
+  }
+
+  void genStmt(uint32_t Parent, unsigned Indent, unsigned Depth) {
+    unsigned Pick = R.nextBelow(Depth == 0 ? 4u : 10u);
+    switch (Pick) {
+    case 0:
+    case 1:
+      stmtLine(Parent, Indent, lvalue() + " = " + expr(2) + ";");
+      return;
+    case 2:
+      stmtLine(Parent, Indent, "print(" + expr(1) + ");");
+      return;
+    case 3: {
+      // Fresh local, immediately usable by later statements.
+      std::string V = "t" + std::to_string(LocalCounter++);
+      stmtLine(Parent, Indent, "int " + V + " = " + expr(1) + ";");
+      Vars.push_back(V);
+      return;
+    }
+    case 4:
+    case 5: {
+      // The then arm holds removable child units; the optional else arm is
+      // simple fixed lines in the unit's tail (the whole if/else is one
+      // removable unit, so the minimizer deletes it atomically).
+      GenUnit U;
+      std::string Pad(Indent * 2, ' ');
+      U.Head.push_back(Pad + "if " + cond(2) + " {");
+      U.Removable = true;
+      if (R.nextBelow(2) == 0) {
+        U.Tail.push_back(Pad + "} else {");
+        U.Tail.push_back(Pad + "  " + lvalue() + " = " + expr(1) + ";");
+        if (R.nextBelow(2) == 0)
+          U.Tail.push_back(Pad + "  print(" + expr(1) + ");");
+        U.Tail.push_back(Pad + "}");
+      } else {
+        U.Tail.push_back(Pad + "}");
+      }
+      uint32_t If = child(Parent, std::move(U));
+      genBlock(If, Indent + 1, Depth - 1, 1 + R.nextBelow(2));
+      return;
+    }
+    case 6: {
+      // Bounded for loop over a fresh iterator.
+      std::string It = "i" + std::to_string(LocalCounter++);
+      std::string Pad(Indent * 2, ' ');
+      GenUnit U;
+      U.Head.push_back(Pad + "int " + It + " = 0;");
+      U.Head.push_back(Pad + "for (" + It + " = 0; " + It + " < " +
+                       std::to_string(R.nextInRange(1, 5)) + "; " + It +
+                       " = " + It + " + 1) {");
+      U.Tail.push_back(Pad + "}");
+      U.Removable = true;
+      uint32_t Loop = child(Parent, std::move(U));
+      genBlock(Loop, Indent + 1, Depth - 1, 1 + R.nextBelow(2));
+      return;
+    }
+    case 7: {
+      // While loop; the counter increment is in the unit's tail, so the
+      // minimizer cannot strip it and break termination.
+      std::string W = "w" + std::to_string(LocalCounter++);
+      std::string Pad(Indent * 2, ' ');
+      GenUnit U;
+      U.Head.push_back(Pad + "int " + W + " = 0;");
+      U.Head.push_back(Pad + "while (" + W + " < " +
+                       std::to_string(R.nextInRange(1, 4)) + ") {");
+      U.Tail.push_back(Pad + "  " + W + " = " + W + " + 1;");
+      U.Tail.push_back(Pad + "}");
+      U.Removable = true;
+      uint32_t Loop = child(Parent, std::move(U));
+      genBlock(Loop, Indent + 1, Depth - 1, 1 + R.nextBelow(2));
+      return;
+    }
+    case 8:
+      if (NumSems != 0) {
+        // Critical section: P/V bracket a nested body as one unit.
+        std::string S = "s" + std::to_string(R.nextBelow(NumSems));
+        std::string Pad(Indent * 2, ' ');
+        GenUnit U;
+        U.Head.push_back(Pad + "P(" + S + ");");
+        U.Tail.push_back(Pad + "V(" + S + ");");
+        U.Removable = true;
+        uint32_t Crit = child(Parent, std::move(U));
+        genStmts(Crit, Indent, Depth == 0 ? 0 : Depth - 1,
+                 1 + R.nextBelow(2));
+        return;
+      }
+      stmtLine(Parent, Indent, lvalue() + " = " + expr(2) + ";");
+      return;
+    default:
+      if (NumChans != 0) {
+        std::string C = "c" + std::to_string(R.nextBelow(NumChans));
+        if (R.nextBelow(2) == 0) {
+          stmtLine(Parent, Indent, "send(" + C + ", " + expr(1) + ");");
+        } else {
+          std::string V = "t" + std::to_string(LocalCounter++);
+          stmtLine(Parent, Indent, "int " + V + " = recv(" + C + ");");
+          Vars.push_back(V);
+        }
+        return;
+      }
+      stmtLine(Parent, Indent, "print(" + expr(1) + ");");
+      return;
+    }
+  }
+
+  void genStmts(uint32_t Parent, unsigned Indent, unsigned Depth,
+                unsigned Count) {
+    for (unsigned I = 0; I != Count; ++I)
+      genStmt(Parent, Indent, Depth);
+  }
+
+  /// Statements inside a braced body: locals declared there are
+  /// block-scoped in PPL, so the in-scope list is restored afterwards.
+  void genBlock(uint32_t Parent, unsigned Indent, unsigned Depth,
+                unsigned Count) {
+    size_t Mark = Vars.size();
+    genStmts(Parent, Indent, Depth, Count);
+    Vars.resize(Mark);
+  }
+
+  /// Saves/restores the in-scope variable list around a function body.
+  struct ScopedVars {
+    Generator &G;
+    std::vector<std::string> Saved;
+    explicit ScopedVars(Generator &G) : G(G), Saved(G.Vars) {}
+    ~ScopedVars() { G.Vars = std::move(Saved); }
+  };
+
+  // -- functions ---------------------------------------------------------
+
+  void genHelpers() {
+    NumHelpers = 1 + unsigned(R.nextBelow(2));
+    for (unsigned F = 0; F != NumHelpers; ++F) {
+      GenUnit U;
+      U.Head.push_back("func helper" + std::to_string(F) +
+                       "(int a, int b) {");
+      U.Tail.push_back("  return (a + b);");
+      U.Tail.push_back("}");
+      U.Removable = true;
+      uint32_t Fn = child(0, std::move(U));
+      ScopedVars Scope(*this);
+      Vars = {"a", "b", "p0"};
+      bool SavedCall = CanCall;
+      unsigned SavedSems = NumSems, SavedChans = NumChans;
+      CanCall = false;   // helpers never call: no recursion.
+      NumSems = 0;       // and never block: callable from anywhere.
+      NumChans = 0;
+      genStmts(Fn, 1, 2, 2);
+      CanCall = SavedCall;
+      NumSems = SavedSems;
+      NumChans = SavedChans;
+    }
+  }
+
+  uint32_t openWorker(unsigned Index) {
+    GenUnit U;
+    U.Head.push_back("func worker" + std::to_string(Index) + "(int a) {");
+    U.Tail.push_back("  V(join);");
+    U.Tail.push_back("}");
+    uint32_t Fn = child(0, std::move(U));
+    return Fn;
+  }
+
+  uint32_t openMain(unsigned Workers) {
+    GenUnit U;
+    U.Head.push_back("func main() {");
+    for (unsigned W = 0; W != Workers; ++W)
+      U.Head.push_back("  spawn worker" + std::to_string(W) + "(" +
+                       std::to_string(R.nextInRange(0, 6)) + ");");
+    // Join before the final prints so completed runs observe stable state.
+    for (unsigned W = 0; W != Workers; ++W)
+      U.Tail.push_back("  P(join);");
+    U.Tail.push_back("  print(g0);");
+    U.Tail.push_back("  print((g1 + g2));");
+    U.Tail.push_back("  print(p0);");
+    if (UseArray)
+      U.Tail.push_back("  print((((ga[0] + ga[1]) + ga[2]) + ga[3]));");
+    U.Tail.push_back("}");
+    Prog.MultiProcess = Workers != 0;
+    return child(0, std::move(U));
+  }
+
+  void genComputeMain() {
+    CanCall = true;
+    uint32_t Main = openMain(0);
+    ScopedVars Scope(*this);
+    Vars = {"g0", "g1", "g2", "p0"};
+    for (unsigned V = 0; V != 3; ++V) {
+      stmtLine(Main, 1,
+               "int v" + std::to_string(V) + " = " +
+                   std::to_string(R.nextInRange(-5, 20)) + ";");
+      Vars.push_back("v" + std::to_string(V));
+    }
+    genStmts(Main, 1, Options.MaxDepth, Options.StmtBudget / 2);
+    for (unsigned V = 0; V != 3; ++V)
+      stmtLine(Main, 1, "print(v" + std::to_string(V) + ");");
+  }
+
+  void genWorkersAndMain(bool Locked) {
+    NumSems = Locked ? 2 : 1;
+    declSems(NumSems);
+    unsigned Workers = 2 + unsigned(R.nextBelow(2));
+    unsigned PerBody = Options.StmtBudget / (Workers + 1);
+    for (unsigned W = 0; W != Workers; ++W) {
+      uint32_t Fn = openWorker(W);
+      ScopedVars Scope(*this);
+      Vars = {"a", "g0", "g1", "g2", "p0"};
+      CanCall = true;
+      if (Locked) {
+        // Shared updates happen under a lock; races only appear if the
+        // minimizer (or low statement luck) drops the brackets.
+        std::string Pad = "  ";
+        GenUnit U;
+        U.Head.push_back(Pad + "P(s0);");
+        U.Tail.push_back(Pad + "V(s0);");
+        U.Removable = true;
+        uint32_t Crit = child(Fn, std::move(U));
+        genStmts(Crit, 2, 2, PerBody / 2 + 1);
+        genStmts(Fn, 1, 2, PerBody / 2);
+      } else {
+        // Unprotected shared read-modify-writes: deliberate races.
+        genStmts(Fn, 1, 2, PerBody);
+        stmtLine(Fn, 1, "g" + std::to_string(R.nextBelow(3)) + " = (g" +
+                            std::to_string(R.nextBelow(3)) + " + a);");
+      }
+    }
+    uint32_t Main = openMain(Workers);
+    ScopedVars Scope(*this);
+    Vars = {"g0", "g1", "g2", "p0"};
+    CanCall = true;
+    genStmts(Main, 1, 2, PerBody);
+  }
+
+  void genDeadlockProne() {
+    NumSems = 2;
+    declSems(NumSems);
+    unsigned Workers = 2;
+    for (unsigned W = 0; W != Workers; ++W) {
+      uint32_t Fn = openWorker(W);
+      ScopedVars Scope(*this);
+      Vars = {"a", "g0", "g1", "g2", "p0"};
+      CanCall = false;
+      // Nested lock acquisition; whether the orders oppose each other is
+      // the seed's call, so some seeds deadlock and some complete.
+      bool Flip = W == 1 && R.nextBelow(2) == 0;
+      std::string First = Flip ? "s1" : "s0";
+      std::string Second = Flip ? "s0" : "s1";
+      GenUnit Outer;
+      Outer.Head.push_back("  P(" + First + ");");
+      Outer.Tail.push_back("  V(" + First + ");");
+      uint32_t O = child(Fn, std::move(Outer));
+      genStmts(O, 2, 1, 1);
+      GenUnit Inner;
+      Inner.Head.push_back("    P(" + Second + ");");
+      Inner.Tail.push_back("    V(" + Second + ");");
+      uint32_t I = child(O, std::move(Inner));
+      genStmts(I, 3, 1, 1 + R.nextBelow(2));
+    }
+    uint32_t Main = openMain(Workers);
+    ScopedVars Scope(*this);
+    Vars = {"g0", "g1", "g2", "p0"};
+    genStmts(Main, 1, 1, 2);
+  }
+
+  void genChannels() {
+    NumChans = 1 + unsigned(R.nextBelow(2));
+    for (unsigned C = 0; C != NumChans; ++C) {
+      unsigned Cap = unsigned(R.nextBelow(3)); // 0 = rendezvous
+      stmtLine(0, 0,
+               Cap == 0 ? "chan c" + std::to_string(C) + ";"
+                        : "chan c" + std::to_string(C) + "[" +
+                              std::to_string(Cap) + "];");
+    }
+    stmtLine(0, 0, "sem join;");
+    unsigned Messages = 2 + unsigned(R.nextBelow(4));
+    // Producer worker0 sends exactly `Messages` values down c0; main
+    // receives the same count, so matched seeds complete and minimizer
+    // cuts may block (Deadlock outcome — still differentially checked).
+    uint32_t Fn = openWorker(0);
+    {
+      ScopedVars Scope(*this);
+      Vars = {"a", "g0", "g1", "g2", "p0"};
+      std::string It = "i" + std::to_string(LocalCounter++);
+      GenUnit U;
+      U.Head.push_back("  int " + It + " = 0;");
+      U.Head.push_back("  for (" + It + " = 0; " + It + " < " +
+                       std::to_string(Messages) + "; " + It + " = " + It +
+                       " + 1) {");
+      U.Tail.push_back("  }");
+      uint32_t Loop = child(Fn, std::move(U));
+      stmtLine(Loop, 2, "send(c0, (" + It + " * " + expr(1) + "));");
+      genBlock(Loop, 2, 1, 1);
+    }
+    uint32_t Main = openMain(1);
+    ScopedVars Scope(*this);
+    Vars = {"g0", "g1", "g2", "p0"};
+    std::string It = "i" + std::to_string(LocalCounter++);
+    GenUnit U;
+    U.Head.push_back("  int " + It + " = 0;");
+    U.Head.push_back("  for (" + It + " = 0; " + It + " < " +
+                     std::to_string(Messages) + "; " + It + " = " + It +
+                     " + 1) {");
+    U.Tail.push_back("  }");
+    uint32_t Loop = child(Main, std::move(U));
+    stmtLine(Loop, 2, "g0 = (g0 + recv(c0));");
+    genBlock(Loop, 2, 1, 1);
+    genStmts(Main, 1, 1, 2);
+  }
+
+  Rng R;
+  GenOptions Options;
+  GenProgram Prog;
+  std::vector<std::string> Vars;
+  bool CanCall = false;
+  bool UseArray = false;
+  bool UseInput = false;
+  unsigned NumHelpers = 0;
+  unsigned NumSems = 0;
+  unsigned NumChans = 0;
+  unsigned LocalCounter = 0;
+};
+
+} // namespace
+
+GenProgram ppd::testing::generateProgram(uint64_t Seed,
+                                         const GenOptions &Options) {
+  Generator G(Seed, Options);
+  GenProgram Prog = G.run();
+  Prog.Profile = Options.Profile;
+  // Machine parameters: cycle quanta so preemption boundaries vary, and
+  // decouple the scheduling stream from the grammar stream. The quantum
+  // index must not be Seed % 5 — the default profile is, and a quantum
+  // locked to the profile would mean (say) compute programs never run
+  // with a budget wide enough to reach fused-dispatch fast halves.
+  static const uint32_t Quanta[] = {1, 2, 3, 5, 8};
+  Prog.Quantum = Quanta[(Seed / 5) % 5];
+  Prog.SchedSeed = Seed * 2654435761u + 17;
+  return Prog;
+}
+
+GenProgram ppd::testing::generateProgram(uint64_t Seed) {
+  GenOptions Options;
+  static const GenProfile Profiles[] = {
+      GenProfile::Compute, GenProfile::SyncHeavy, GenProfile::Racy,
+      GenProfile::DeadlockProne, GenProfile::Channels};
+  Options.Profile = Profiles[Seed % 5];
+  return generateProgram(Seed, Options);
+}

@@ -1,0 +1,101 @@
+//===- testing/ProgramGen.h - Random PPL program generator ------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar-directed random PPL programs for the differential fuzzing
+/// harness (`ppd fuzz`). One seed deterministically produces one program
+/// plus the machine parameters (scheduling seed, quantum) to run it with.
+///
+/// Programs are generated as a tree of *units* — each unit owns its
+/// opening lines, its closing lines, and removable child units — so the
+/// delta-debugging minimizer can delete whole statements or subtrees and
+/// always obtain a parseable rendering. Termination is guaranteed by
+/// construction: every loop is a bounded `for` or a `while` whose counter
+/// increment lives in the loop unit's non-removable tail; there is no
+/// recursion. Blocking synchronization may legitimately deadlock — the
+/// differential driver treats Deadlock/Failed/StepLimit as ordinary
+/// outcomes that every pipeline must agree on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_TESTING_PROGRAMGEN_H
+#define PPD_TESTING_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppd::testing {
+
+/// One node of a generated program: Head lines, removable children, Tail
+/// lines. Lines carry their own indentation; rendering is concatenation.
+struct GenUnit {
+  std::vector<std::string> Head;
+  std::vector<std::string> Tail;
+  std::vector<uint32_t> Children;
+  bool Removable = false;
+};
+
+/// What flavor of program a seed produces. Profiles weight the grammar
+/// toward different subsystems: pure computation (engines, replay),
+/// semaphore traffic (unit logs, sync edges), deliberate races (race
+/// detection, §5.5 validity), opposite lock orders (deadlock analysis),
+/// and channel pipelines (send/recv partner matching).
+enum class GenProfile : uint8_t {
+  Compute,
+  SyncHeavy,
+  Racy,
+  DeadlockProne,
+  Channels,
+};
+
+const char *genProfileName(GenProfile Profile);
+
+struct GenProgram {
+  std::vector<GenUnit> Units; ///< Units[0] is the root.
+  GenProfile Profile = GenProfile::Compute;
+  /// Machine parameters this case runs with (derived from the seed).
+  uint64_t SchedSeed = 1;
+  uint32_t Quantum = 8;
+  /// True when the program spawns processes.
+  bool MultiProcess = false;
+
+  /// Appends a unit, returning its index.
+  uint32_t addUnit(GenUnit Unit) {
+    Units.push_back(std::move(Unit));
+    return uint32_t(Units.size() - 1);
+  }
+
+  /// Renders the program text. With \p Removed (indexed by unit), removed
+  /// units and their entire subtrees are omitted.
+  std::string render(const std::vector<bool> *Removed = nullptr) const;
+
+  /// Indices of all removable units, in pre-order.
+  std::vector<uint32_t> removableUnits() const;
+
+  /// Number of statement lines in a rendering (declarations, assignments,
+  /// control headers, sync ops) — the size metric minimized repros are
+  /// reported in.
+  static unsigned countStatements(const std::string &Source);
+};
+
+struct GenOptions {
+  GenProfile Profile = GenProfile::Compute;
+  /// Approximate number of body statements across all functions.
+  unsigned StmtBudget = 22;
+  unsigned MaxDepth = 3;
+};
+
+/// Deterministic seed → program. Profile, quantum, and scheduling seed are
+/// all derived from \p Seed.
+GenProgram generateProgram(uint64_t Seed);
+
+/// As above with an explicit grammar profile.
+GenProgram generateProgram(uint64_t Seed, const GenOptions &Options);
+
+} // namespace ppd::testing
+
+#endif // PPD_TESTING_PROGRAMGEN_H

@@ -27,6 +27,7 @@
 #include "server/DebugServer.h"
 #include "server/Wire.h"
 #include "support/ThreadPool.h"
+#include "testing/Fuzzer.h"
 #include "vm/Machine.h"
 
 #include <cstdio>
@@ -70,6 +71,11 @@ struct CliOptions {
   uint64_t TimeoutMs = 0;
   unsigned MaxSessions = 64;
   bool MetricsDump = false;
+
+  // fuzz
+  uint64_t FuzzRuns = 100;
+  bool Minimize = false;
+  std::string ReproOut;
 };
 
 void usage() {
@@ -85,6 +91,9 @@ commands:
   client    scriptable client for a running server (ppd client --socket
             PATH; commands from stdin: open/query/step/races/stats/close/
             shutdown/quit)
+  fuzz      differential fuzzing: random PPL programs through every
+            redundant pipeline pair (ppd fuzz --runs N --seed S; takes no
+            file argument)
 
 options:
   --seed N              scheduler seed (default 1); one seed = one
@@ -122,6 +131,11 @@ options:
                         (default 0 = never)
   --max-sessions N      (serve) concurrent session cap (default 64)
   --metrics-dump        (serve) print the metrics report on shutdown
+  --runs N              (fuzz) number of generated programs (default 100)
+  --minimize            (fuzz) delta-debug the first divergence down to a
+                        minimal repro before reporting it
+  --repro-out PATH      (fuzz) write the (minimized) repro source to PATH
+                        when a divergence is found
 )");
 }
 
@@ -129,9 +143,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (Argc < 2)
     return false;
   Opts.Command = Argv[1];
-  // `client` talks to a running server; it takes no program file.
+  // `client` talks to a running server and `fuzz` generates its own
+  // programs; neither takes a program file.
   int First = 2;
-  if (Opts.Command != "client") {
+  if (Opts.Command != "client" && Opts.Command != "fuzz") {
     if (Argc < 3)
       return false;
     Opts.File = Argv[2];
@@ -251,6 +266,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ReplayThreads = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--prefetch") {
       Opts.Prefetch = true;
+    } else if (Arg == "--runs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FuzzRuns = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--minimize") {
+      Opts.Minimize = true;
+    } else if (Arg == "--repro-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ReproOut = V;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
       return false;
@@ -664,6 +691,32 @@ int cmdClient(const CliOptions &Opts) {
   return 0;
 }
 
+int cmdFuzz(const CliOptions &Opts) {
+  testing::FuzzOptions FOpts;
+  FOpts.Runs = Opts.FuzzRuns;
+  FOpts.FirstSeed = Opts.Seed;
+  FOpts.Minimize = Opts.Minimize;
+  FOpts.Log = [](const std::string &Line) {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  };
+
+  testing::FuzzResult Result = testing::runFuzz(FOpts);
+  std::printf("%s", testing::summarizeFuzz(Result).c_str());
+
+  if (Result.Failed && !Opts.ReproOut.empty()) {
+    std::ofstream Out(Opts.ReproOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.ReproOut.c_str());
+      return 1;
+    }
+    Out << "// ppd fuzz repro: seed " << Result.FailingSeed << ", oracle "
+        << Result.Report.Oracle << "\n"
+        << Result.ReproSource;
+    std::fprintf(stderr, "repro written to %s\n", Opts.ReproOut.c_str());
+  }
+  return Result.Failed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -684,6 +737,8 @@ int main(int Argc, char **Argv) {
     return cmdServe(Opts);
   if (Opts.Command == "client")
     return cmdClient(Opts);
+  if (Opts.Command == "fuzz")
+    return cmdFuzz(Opts);
   // One error path for every unrecognized command: name it, show usage,
   // and exit with a code distinct from argument-parse failures (64).
   std::fprintf(stderr, "error: unknown command '%s'\n",

@@ -1228,7 +1228,7 @@ RunResult Machine::run() {
     Result.Outcome = Outcome;
     Result.Steps = Steps;
     if (logging())
-      for (const Process &P : Procs) {
+      for (Process &P : Procs) {
         // The failed process gets no marker: its log already ends at the
         // failure, which replay re-derives (the flowback root).
         if (P.Status == ProcStatus::Done || P.Status == ProcStatus::Failed)
@@ -1238,6 +1238,14 @@ RunResult Machine::run() {
         // Which statement the process was in/about to enter: lets replay
         // stop at the right occurrence, not merely at the right record.
         R.Stmt = P.CurrentStmt;
+        // Shared accesses since the last sync node would otherwise vanish
+        // with the process: flush them as a terminal sync node so §6.4
+        // race detection sees the unterminated final edge. Placed after
+        // the Stop marker, replay halts before ever reaching it.
+        if (!P.EdgeReads.empty() || !P.EdgeWrites.empty()) {
+          uint64_t Seq;
+          emitSync(P, SyncKind::Stopped, 0, P.CurrentStmt, Seq, NoPartner);
+        }
       }
     return Result;
   };

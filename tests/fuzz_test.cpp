@@ -25,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace ppd;
 using namespace ppd::test;
 
@@ -285,5 +287,96 @@ TEST_P(ProtocolFuzzTest, ServerAnswersArbitraryFramesWithValidFrames) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(9)));
+
+/// Targeted mutations of well-formed frames. Unlike the noise test above,
+/// every input here starts as a valid request, so the assertions can be
+/// sharper: a flipped version byte or a truncated body must draw a typed
+/// Error response that still echoes the request id, and after any amount
+/// of such abuse the session must keep answering real requests — the
+/// server never treats a malformed frame as a reason to give up.
+TEST_P(ProtocolFuzzTest, MutatedValidFramesDrawTypedErrors) {
+  Rng R(GetParam() * 8191 + 3);
+  Ran Run = runProgram("func main() { int a = 1; print(a); }");
+  DebugServer Server;
+  Server.addProgram(std::move(Run.Prog), std::move(Run.Log));
+
+  Request Open;
+  Open.Type = MsgType::OpenSession;
+  Open.RequestId = 1;
+  Response Opened = Server.handle(Open);
+  ASSERT_EQ(int(Opened.Type), int(RespType::SessionOpened));
+  uint64_t Session = Opened.SessionId;
+
+  auto RoundTrip = [&](const std::vector<uint8_t> &Payload) {
+    std::vector<uint8_t> Frame =
+        Server.handleFrame(Payload.data(), Payload.size());
+    Response Resp;
+    EXPECT_GE(Frame.size(), 4u);
+    EXPECT_TRUE(decodeResponse(Frame.data() + 4, Frame.size() - 4, Resp));
+    return Resp;
+  };
+
+  for (unsigned Iter = 0; Iter != 100; ++Iter) {
+    // A well-formed session-bearing request...
+    Request Req;
+    static const MsgType SessionTypes[] = {MsgType::Query, MsgType::Step,
+                                           MsgType::Races, MsgType::Stats};
+    Req.Type = SessionTypes[R.nextBelow(4)];
+    Req.RequestId = 1000 + Iter;
+    Req.SessionId = Session;
+    if (Req.Type == MsgType::Query)
+      Req.Command = "where 0";
+    LogWriter W;
+    encodeRequest(Req, W);
+    // ...as payload bytes: u8 version | u8 type | u64 request-id | body.
+    std::vector<uint8_t> Payload(W.data() + 4, W.data() + W.size());
+    ASSERT_GE(Payload.size(), 10u);
+
+    switch (R.nextBelow(3)) {
+    case 0: {
+      // Flipped version byte: typed error, request id still recovered.
+      Payload[0] ^= uint8_t(1 + R.nextBelow(255));
+      Response Resp = RoundTrip(Payload);
+      EXPECT_EQ(int(Resp.Type), int(RespType::Error)) << "iteration " << Iter;
+      EXPECT_TRUE(Resp.Code == ErrCode::BadFrame ||
+                  Resp.Code == ErrCode::BadVersion)
+          << "iteration " << Iter;
+      EXPECT_EQ(Resp.RequestId, Req.RequestId) << "iteration " << Iter;
+      break;
+    }
+    case 1: {
+      // Shuffled request id: the frame stays valid and the response —
+      // success or error alike — must echo the rewritten id.
+      uint64_t NewId = R.next();
+      std::memcpy(Payload.data() + 2, &NewId, 8);
+      Response Resp = RoundTrip(Payload);
+      EXPECT_EQ(Resp.RequestId, NewId) << "iteration " << Iter;
+      break;
+    }
+    case 2: {
+      // Mid-body truncation: header intact, body cut short. Stats with
+      // its lone u64 can only lose bytes 11..17; longer bodies anywhere.
+      size_t Cut = 10 + R.nextBelow(Payload.size() - 10);
+      Payload.resize(Cut);
+      Response Resp = RoundTrip(Payload);
+      EXPECT_EQ(int(Resp.Type), int(RespType::Error)) << "iteration " << Iter;
+      EXPECT_EQ(int(Resp.Code), int(ErrCode::BadFrame))
+          << "iteration " << Iter;
+      EXPECT_EQ(Resp.RequestId, Req.RequestId) << "iteration " << Iter;
+      break;
+    }
+    }
+  }
+
+  // The session survived the abuse: a real query still answers.
+  Request Probe;
+  Probe.Type = MsgType::Query;
+  Probe.RequestId = 9999;
+  Probe.SessionId = Session;
+  Probe.Command = "where 0";
+  Response Final = Server.handle(Probe);
+  EXPECT_EQ(int(Final.Type), int(RespType::Result));
+  EXPECT_EQ(Final.RequestId, 9999u);
+}
 
 } // namespace

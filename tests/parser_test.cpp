@@ -193,6 +193,73 @@ func main()
   EXPECT_EQ(Printed1, Printed2) << "pretty-printing must be a fixpoint";
 }
 
+// Malformed-input robustness: token streams violating the lexer's usual
+// guarantees (hand-built, truncated) must fail with ordinary diagnostics —
+// never crash or read out of bounds, even in release builds.
+TEST(ParserTest, EmptyTokenVectorParsesAsEmptyProgram) {
+  DiagnosticEngine Diags;
+  Parser P({}, Diags);
+  auto Prog = P.parseProgram();
+  ASSERT_TRUE(Prog != nullptr) << Diags.str();
+  EXPECT_TRUE(Prog->Globals.empty());
+  EXPECT_TRUE(Prog->Funcs.empty());
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(ParserTest, NonEofTerminatedTokenVectorIsDiagnosed) {
+  std::vector<Token> Tokens(1);
+  Tokens[0].Kind = TokenKind::Identifier;
+  Tokens[0].Text = "stray";
+  DiagnosticEngine Diags;
+  Parser P(std::move(Tokens), Diags);
+  auto Prog = P.parseProgram();
+  EXPECT_TRUE(Prog == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, NonEofTerminatedDeclSequenceIsRecovered) {
+  // A plausible but unterminated stream: `func main ( ) {` — the parser
+  // must synthesize Eof, diagnose the missing body, and return cleanly.
+  std::vector<Token> Tokens(5);
+  Tokens[0].Kind = TokenKind::KwFunc;
+  Tokens[1].Kind = TokenKind::Identifier;
+  Tokens[1].Text = "main";
+  Tokens[2].Kind = TokenKind::LParen;
+  Tokens[3].Kind = TokenKind::RParen;
+  Tokens[4].Kind = TokenKind::LBrace;
+  DiagnosticEngine Diags;
+  Parser P(std::move(Tokens), Diags);
+  auto Prog = P.parseProgram();
+  EXPECT_TRUE(Prog == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, EveryTruncationOfAValidProgramFailsCleanly) {
+  const std::string Full = "shared int g[4];\n"
+                           "sem lock = 1;\n"
+                           "chan c[2];\n"
+                           "func worker(int n) {\n"
+                           "  P(lock);\n"
+                           "  g[n % 4] = g[n % 4] + 1;\n"
+                           "  V(lock);\n"
+                           "  send(c, n * 2);\n"
+                           "}\n"
+                           "func main() {\n"
+                           "  spawn worker(3);\n"
+                           "  int v = recv(c);\n"
+                           "  if (v > 0 && g[3] != v) { print(v); }\n"
+                           "  else { print(-v); }\n"
+                           "}\n";
+  for (size_t Len = 0; Len != Full.size(); ++Len) {
+    DiagnosticEngine Diags;
+    auto Prog = Parser::parse(Full.substr(0, Len), Diags);
+    // Either outcome is acceptable (a prefix can be a complete program);
+    // a null result must come with diagnostics, never silently.
+    if (!Prog)
+      EXPECT_TRUE(Diags.hasErrors()) << "prefix length " << Len;
+  }
+}
+
 // Round-trip property over a family of generated programs.
 class RoundTripTest : public ::testing::TestWithParam<int> {};
 
