@@ -12,17 +12,23 @@
 //    the cost of detecting these conflicts."
 //
 // `naive_*` is the all-pairs algorithm; `indexed_*` buckets edges by the
-// shared variables they touch first. Both must report identical races
-// (asserted by tests); the PairsExamined counter shows the pruning.
+// shared variables they touch first; `vectorized_*` is the hardware-speed
+// tier (SIMD kernels + batched happens-before closure + optional sharded
+// sweep). All must report identical races (asserted by tests); the
+// PairsExamined counter shows the pruning, Pairs/s the throughput gap, and
+// ClosureBuildMs the vectorized tier's up-front cost.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchPrograms.h"
 
 #include "pardyn/RaceDetector.h"
+#include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 using namespace ppd;
 using namespace ppd::bench;
@@ -117,23 +123,32 @@ Prepared prepare(unsigned Workers, unsigned Rounds, bool Protected) {
 }
 
 void detectOn(benchmark::State &State, const Prepared &P,
-              RaceAlgorithm Algorithm) {
+              RaceAlgorithm Algorithm, ThreadPool *Pool = nullptr) {
   RaceDetector Detector(*P.Graph, *P.Prog->Symbols);
 
   uint64_t Pairs = 0;
+  uint64_t ClosureNs = 0;
   size_t Races = 0;
   unsigned Edges = 0;
   for (uint32_t Pid = 0; Pid != P.Graph->numProcs(); ++Pid)
     Edges += P.Graph->edges(Pid).size();
   for (auto _ : State) {
-    auto Result = Detector.detect(Algorithm);
+    auto Result = Detector.detect(Algorithm, Pool);
     benchmark::DoNotOptimize(Result.Races.size());
     Pairs = Result.PairsExamined;
     Races = Result.Races.size();
+    ClosureNs = Result.ClosureBuildNs;
   }
   State.counters["Edges"] = double(Edges);
   State.counters["PairsExamined"] = double(Pairs);
   State.counters["Races"] = double(Races);
+  // The E5 throughput column: candidate combinations tested per second.
+  // Comparable across algorithms only on identical workloads — the
+  // algorithms count different candidate universes (see RaceDetector.h).
+  State.counters["Pairs/s"] = benchmark::Counter(
+      double(Pairs), benchmark::Counter::kIsIterationInvariantRate);
+  if (Algorithm == RaceAlgorithm::Vectorized)
+    State.counters["ClosureBuildMs"] = double(ClosureNs) / 1e6;
 }
 
 void naive_racy(benchmark::State &State) {
@@ -166,6 +181,31 @@ void indexed_sparse(benchmark::State &State) {
       sparseWorkload(unsigned(State.range(0)), unsigned(State.range(1))));
   detectOn(State, P, RaceAlgorithm::VarIndexed);
 }
+void vectorized_racy(benchmark::State &State) {
+  auto P = prepare(unsigned(State.range(0)), unsigned(State.range(1)),
+                   false);
+  detectOn(State, P, RaceAlgorithm::Vectorized);
+}
+void vectorized_racefree(benchmark::State &State) {
+  auto P = prepare(unsigned(State.range(0)), unsigned(State.range(1)),
+                   true);
+  detectOn(State, P, RaceAlgorithm::Vectorized);
+}
+void vectorized_sparse(benchmark::State &State) {
+  auto P = prepareSource(
+      sparseWorkload(unsigned(State.range(0)), unsigned(State.range(1))));
+  detectOn(State, P, RaceAlgorithm::Vectorized);
+}
+/// The sharded sweep on a pool sized to the host (the deployed shape:
+/// detectRaces rides the replay service's pool).
+void vectorized_pooled_racy(benchmark::State &State) {
+  auto P = prepare(unsigned(State.range(0)), unsigned(State.range(1)),
+                   false);
+  unsigned Workers = std::max(1u, std::thread::hardware_concurrency());
+  ThreadPool Pool(Workers);
+  State.counters["PoolWorkers"] = double(Workers);
+  detectOn(State, P, RaceAlgorithm::Vectorized, &Pool);
+}
 
 } // namespace
 
@@ -174,9 +214,13 @@ void indexed_sparse(benchmark::State &State) {
 
 BENCHMARK(naive_racy) RACE_ARGS;
 BENCHMARK(indexed_racy) RACE_ARGS;
+BENCHMARK(vectorized_racy) RACE_ARGS;
+BENCHMARK(vectorized_pooled_racy) RACE_ARGS;
 BENCHMARK(naive_racefree) RACE_ARGS;
 BENCHMARK(indexed_racefree) RACE_ARGS;
+BENCHMARK(vectorized_racefree) RACE_ARGS;
 BENCHMARK(naive_sparse) RACE_ARGS;
 BENCHMARK(indexed_sparse) RACE_ARGS;
+BENCHMARK(vectorized_sparse) RACE_ARGS;
 
 BENCHMARK_MAIN();

@@ -150,9 +150,13 @@ public:
   /// The parallel dynamic graph (§6.1), built on first use.
   const ParallelDynamicGraph &parallelGraph();
 
-  /// Race detection over the parallel dynamic graph (Defs 6.1–6.4).
+  /// Race detection over the parallel dynamic graph (Defs 6.1–6.4). The
+  /// default is the vectorized tier — the debugger `races` command and the
+  /// server's race query ride on it; the legacy algorithms stay available
+  /// as differential oracles and for the CLI --race-strategy flag. All
+  /// three produce byte-identical race lists.
   RaceDetectionResult detectRaces(
-      RaceAlgorithm Algorithm = RaceAlgorithm::VarIndexed);
+      RaceAlgorithm Algorithm = RaceAlgorithm::Vectorized);
 
   /// §5.7 what-if: replays an interval with value overrides. Memoized
   /// like faithful replays — the override list's fingerprint is part of

@@ -1,0 +1,88 @@
+//===- pardyn/EdgeClosure.cpp ---------------------------------------------===//
+//
+// Part of PPD. See EdgeClosure.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pardyn/EdgeClosure.h"
+
+#include <chrono>
+
+using namespace ppd;
+
+EdgeClosure::EdgeClosure(const ParallelDynamicGraph &Graph,
+                         size_t MaxRowBytes) {
+  auto Start = std::chrono::steady_clock::now();
+
+  const uint32_t P = Graph.numProcs();
+  Base.resize(P);
+  for (uint32_t Pid = 0; Pid != P; ++Pid) {
+    Base[Pid] = NumEdges;
+    NumEdges += uint32_t(Graph.edges(Pid).size());
+  }
+  PidOf.resize(NumEdges);
+  for (uint32_t Pid = 0; Pid != P; ++Pid)
+    for (uint32_t I = 0; I != Graph.edges(Pid).size(); ++I)
+      PidOf[Base[Pid] + I] = Pid;
+
+  Bounds.assign(size_t(NumEdges) * P, Interval{});
+
+  // E² bits of rows; skip materialization past the cap (Bounds still
+  // answer every query).
+  size_t RowBytesNeeded = (size_t(NumEdges) * NumEdges + 7) / 8;
+  bool WantRows = NumEdges != 0 && RowBytesNeeded <= MaxRowBytes;
+  if (WantRows)
+    Rows = VarSetArena(NumEdges, NumEdges);
+
+  // For edge B of process q ending at node e (start node s = e-1), and
+  // another process p with n_p edges (1-based end nodes k):
+  //   A(p,k) -> B  iff  Clock[start(B)][p] >= k+1      (a prefix of k)
+  //   B -> A(p,k)  iff  Clock[node(p,k-1)][q] >= e+1   (a suffix of k)
+  // Simultaneous edges of p are the interval in between. The prefix
+  // length is read straight off start(B)'s clock; the suffix start is a
+  // binary search over p's (monotone) clock column for q.
+  for (uint32_t Q = 0; Q != P; ++Q) {
+    const std::vector<SyncNode> &QNodes = Graph.nodes(Q);
+    const uint32_t NQ = uint32_t(Graph.edges(Q).size());
+    for (uint32_t E = 1; E <= NQ; ++E) {
+      const uint32_t Gid = Base[Q] + E - 1;
+      const SyncNode &StartB = QNodes[E - 1];
+      for (uint32_t Pp = 0; Pp != P; ++Pp) {
+        if (Pp == Q)
+          continue; // same process: always ordered (Def 6.1)
+        const uint32_t NP = uint32_t(Graph.edges(Pp).size());
+        if (NP == 0)
+          continue;
+        // Edges of Pp ordered before B: k <= Clock[start(B)][Pp] - 1.
+        uint32_t ClockP = StartB.Clock[Pp];
+        uint32_t PrefixLen = ClockP ? std::min(NP, ClockP - 1) : 0;
+        // First k with node(Pp, k-1).Clock[Q] >= E + 1 — everything from
+        // there on is ordered after B. Binary search over j = k-1.
+        const std::vector<SyncNode> &PNodes = Graph.nodes(Pp);
+        uint32_t LoJ = 0, HiJ = NP; // search j in [0, NP)
+        while (LoJ != HiJ) {
+          uint32_t Mid = LoJ + (HiJ - LoJ) / 2;
+          if (PNodes[Mid].Clock[Q] >= E + 1)
+            HiJ = Mid;
+          else
+            LoJ = Mid + 1;
+        }
+        uint32_t SuffixStartK = LoJ + 1; // k = j + 1
+        // Simultaneous: k in (PrefixLen, SuffixStartK).
+        Interval &Iv = Bounds[size_t(Gid) * P + Pp];
+        if (SuffixStartK > PrefixLen + 1) {
+          Iv.Lo = Base[Pp] + PrefixLen;          // k = PrefixLen + 1
+          Iv.Hi = Base[Pp] + (SuffixStartK - 1); // k = SuffixStartK - 1
+          if (WantRows)
+            Rows.row(Gid).insertRange(Iv.Lo, Iv.Hi - 1);
+        } else {
+          Iv.Lo = Iv.Hi = Base[Pp];
+        }
+      }
+    }
+  }
+
+  BuildNanos = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count());
+}

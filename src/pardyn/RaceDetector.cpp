@@ -7,12 +7,42 @@
 #include "pardyn/RaceDetector.h"
 
 #include "lang/AstPrinter.h"
+#include "pardyn/EdgeClosure.h"
+#include "support/FixedVarSet.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstring>
 #include <map>
+#include <mutex>
 #include <unordered_set>
 
 using namespace ppd;
+
+const char *ppd::raceAlgorithmName(RaceAlgorithm Algorithm) {
+  switch (Algorithm) {
+  case RaceAlgorithm::NaiveAllPairs:
+    return "naive";
+  case RaceAlgorithm::VarIndexed:
+    return "indexed";
+  case RaceAlgorithm::Vectorized:
+    return "vectorized";
+  }
+  return "unknown";
+}
+
+bool ppd::parseRaceAlgorithm(const std::string &Name, RaceAlgorithm &Out) {
+  if (Name == "naive")
+    Out = RaceAlgorithm::NaiveAllPairs;
+  else if (Name == "indexed")
+    Out = RaceAlgorithm::VarIndexed;
+  else if (Name == "vectorized")
+    Out = RaceAlgorithm::Vectorized;
+  else
+    return false;
+  return true;
+}
 
 RaceDetector::RaceDetector(const ParallelDynamicGraph &Graph,
                            const SymbolTable &Symbols)
@@ -21,6 +51,9 @@ RaceDetector::RaceDetector(const ParallelDynamicGraph &Graph,
   for (const VarInfo &Info : Symbols.Vars)
     if (Info.SharedIndex != InvalidId)
       SharedToVar[Info.SharedIndex] = Info.Id;
+  ScratchWW.reserveFor(Symbols.NumSharedVars);
+  ScratchRW.reserveFor(Symbols.NumSharedVars);
+  ScratchWR.reserveFor(Symbols.NumSharedVars);
 }
 
 Race RaceDetector::makeRace(EdgeRef A, EdgeRef B, uint32_t SharedIdx,
@@ -42,29 +75,58 @@ void RaceDetector::classifyPair(EdgeRef A, EdgeRef B,
   const InternalEdge &EA = Graph.edge(A);
   const InternalEdge &EB = Graph.edge(B);
 
+  // Fused pretest: most simultaneous pairs don't conflict at all; one
+  // early-exit pass over (W_A ∪ R_A) ∩ ... words rejects them before the
+  // three classifying intersections below.
+  if (!EA.Writes.intersectsAny(EB.Writes, EB.Reads) &&
+      !EB.Writes.intersects(EA.Reads))
+    return;
+
   // Def 6.3: write/write and read/write conflicts per shared variable.
-  BitVarSet WW = EA.Writes;
-  WW.intersectWith(EB.Writes);
+  // The scratch members are sized to the shared universe once, so these
+  // assignments reuse capacity instead of allocating three sets per pair.
+  BitVarSet &WW = ScratchWW;
+  WW.assignIntersection(EA.Writes, EB.Writes);
   WW.forEach([&](unsigned S) {
     Out.push_back(makeRace(A, B, S, RaceKind::WriteWrite));
   });
 
-  BitVarSet RW = EA.Reads;
-  RW.intersectWith(EB.Writes);
+  BitVarSet &RW = ScratchRW;
+  RW.assignIntersection(EA.Reads, EB.Writes);
   RW.forEach([&](unsigned S) {
     if (!WW.contains(S))
       Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
   });
 
-  BitVarSet WR = EA.Writes;
-  WR.intersectWith(EB.Reads);
+  BitVarSet &WR = ScratchWR;
+  WR.assignIntersection(EA.Writes, EB.Reads);
   WR.forEach([&](unsigned S) {
     if (!WW.contains(S) && !RW.contains(S))
       Out.push_back(makeRace(A, B, S, RaceKind::ReadWrite));
   });
 }
 
-RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm) const {
+void RaceDetector::canonicalize(RaceDetectionResult &Result) {
+  // Canonical result order, independent of discovery order — this is what
+  // makes the three algorithms' race lists byte-comparable.
+  std::sort(Result.Races.begin(), Result.Races.end(),
+            [](const Race &A, const Race &B) {
+              auto KeyOf = [](const Race &R) {
+                return std::make_tuple(R.SharedIdx, R.First.Pid,
+                                       R.First.EndNode, R.Second.Pid,
+                                       R.Second.EndNode, uint8_t(R.Kind));
+              };
+              return KeyOf(A) < KeyOf(B);
+            });
+  Result.Races.erase(std::unique(Result.Races.begin(), Result.Races.end()),
+                     Result.Races.end());
+}
+
+RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm,
+                                         ThreadPool *Pool) const {
+  if (Algorithm == RaceAlgorithm::Vectorized)
+    return detectVectorized(Pool);
+
   RaceDetectionResult Result;
   std::vector<EdgeRef> All = Graph.allEdges();
 
@@ -123,18 +185,168 @@ RaceDetectionResult RaceDetector::detect(RaceAlgorithm Algorithm) const {
     }
   }
 
-  // Canonical result order, independent of discovery order.
-  std::sort(Result.Races.begin(), Result.Races.end(),
-            [](const Race &A, const Race &B) {
-              auto KeyOf = [](const Race &R) {
-                return std::make_tuple(R.SharedIdx, R.First.Pid,
-                                       R.First.EndNode, R.Second.Pid,
-                                       R.Second.EndNode, uint8_t(R.Kind));
-              };
-              return KeyOf(A) < KeyOf(B);
-            });
-  Result.Races.erase(std::unique(Result.Races.begin(), Result.Races.end()),
-                     Result.Races.end());
+  canonicalize(Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Vectorized tier: batched closure + inverted index + SIMD sweep.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One shard of the per-variable sweep; shards own their scratch and race
+/// output so workers never share mutable state.
+struct SweepShard {
+  std::vector<Race> Races;
+  uint64_t Pairs = 0;
+};
+
+} // namespace
+
+RaceDetectionResult RaceDetector::detectVectorized(ThreadPool *Pool) const {
+  RaceDetectionResult Result;
+  const uint32_t NumShared = uint32_t(SharedToVar.size());
+
+  // Layer 2: the batched happens-before closure — simultaneity becomes a
+  // bit test (or two compares on row-less giant traces).
+  EdgeClosure Closure(Graph);
+  Result.ClosureBuildNs = Closure.buildNanos();
+  const uint32_t E = Closure.numEdges();
+  if (E == 0 || NumShared == 0)
+    return Result;
+
+  // Layer 1: all per-edge READ/WRITE sets in one flat, universe-width
+  // arena (row 2g = reads of edge g, row 2g+1 = writes), memcpy'd from
+  // the graph's BitVarSets — the sweep below never touches a
+  // grow-on-demand set again.
+  VarSetArena Sets(E * 2, NumShared);
+  const uint32_t SetWords = Sets.wordsPerRow();
+  // Inverted index: shared var → writer edges / reader-only edges, in
+  // ascending global-id order (the construction below guarantees it).
+  std::vector<std::vector<uint32_t>> WritersOf(NumShared);
+  std::vector<std::vector<uint32_t>> ReadersOf(NumShared);
+  for (uint32_t Gid = 0; Gid != E; ++Gid) {
+    const InternalEdge &Edge = Graph.edge(Closure.edgeOf(Gid));
+    FixedVarSet R = Sets.row(2 * Gid);
+    FixedVarSet W = Sets.row(2 * Gid + 1);
+    if (size_t N = std::min<size_t>(Edge.Reads.numWords(), SetWords))
+      std::memcpy(R.words(), Edge.Reads.wordsData(), N * sizeof(uint64_t));
+    if (size_t N = std::min<size_t>(Edge.Writes.numWords(), SetWords))
+      std::memcpy(W.words(), Edge.Writes.wordsData(), N * sizeof(uint64_t));
+    W.forEach([&](unsigned S) { WritersOf[S].push_back(Gid); });
+    // Readers that also write S classify as write/write there; keeping
+    // them out of the reader list is what makes the sweep emit each
+    // conflict exactly once with the same kind the legacy classifier
+    // picks.
+    R.forEach([&](unsigned S) {
+      if (!W.contains(S))
+        ReadersOf[S].push_back(Gid);
+    });
+  }
+
+  // Layer 3: the sweep, shardable by variable. Each shard enumerates
+  // candidate pairs for its variables via row ∧ mask (rows present) or a
+  // bounds-tested pairwise loop (giant traces).
+  auto sweepVar = [&](uint32_t S, SweepShard &Out, FixedVarSet Mask,
+                      FixedVarSet Cand) {
+    const std::vector<uint32_t> &Ws = WritersOf[S];
+    if (Ws.empty())
+      return;
+    const std::vector<uint32_t> &Rs = ReadersOf[S];
+    Out.Pairs += uint64_t(Ws.size()) * (Ws.size() - 1) / 2 +
+                 uint64_t(Ws.size()) * Rs.size();
+    if (!Closure.hasRows()) {
+      for (size_t I = 0; I != Ws.size(); ++I)
+        for (size_t J = I + 1; J != Ws.size(); ++J)
+          if (Closure.simultaneous(Ws[I], Ws[J]))
+            Out.Races.push_back(makeRace(Closure.edgeOf(Ws[I]),
+                                         Closure.edgeOf(Ws[J]), S,
+                                         RaceKind::WriteWrite));
+      for (uint32_t W : Ws)
+        for (uint32_t R : Rs)
+          if (Closure.simultaneous(W, R))
+            Out.Races.push_back(makeRace(Closure.edgeOf(W),
+                                         Closure.edgeOf(R), S,
+                                         RaceKind::ReadWrite));
+      return;
+    }
+    // Write/write: partners above the current writer only, so each
+    // unordered pair surfaces exactly once.
+    if (Ws.size() > 1) {
+      Mask.clear();
+      for (uint32_t G : Ws)
+        Mask.insert(G);
+      for (size_t I = 0; I + 1 != Ws.size(); ++I) {
+        uint32_t A = Ws[I];
+        Cand.assignIntersection(Closure.simultaneousRow(A), Mask);
+        Cand.forEachFrom(A + 1, [&](unsigned B) {
+          Out.Races.push_back(makeRace(Closure.edgeOf(A),
+                                       Closure.edgeOf(B), S,
+                                       RaceKind::WriteWrite));
+        });
+      }
+    }
+    // Read/write: reader side never writes S, so (writer, reader) pairs
+    // are unique without ordering tricks.
+    if (!Rs.empty()) {
+      Mask.clear();
+      for (uint32_t G : Rs)
+        Mask.insert(G);
+      for (uint32_t A : Ws) {
+        Cand.assignIntersection(Closure.simultaneousRow(A), Mask);
+        Cand.forEach([&](unsigned B) {
+          Out.Races.push_back(makeRace(Closure.edgeOf(A),
+                                       Closure.edgeOf(B), S,
+                                       RaceKind::ReadWrite));
+        });
+      }
+    }
+  };
+
+  auto sweepShard = [&](uint32_t First, uint32_t Stride, SweepShard &Out) {
+    // Per-worker scratch: a candidate row and a mask row over the edge
+    // universe, reused across this shard's variables.
+    VarSetArena Scratch(2, E);
+    for (uint32_t S = First; S < NumShared; S += Stride)
+      sweepVar(S, Out, Scratch.row(0), Scratch.row(1));
+  };
+
+  unsigned Workers = Pool ? Pool->numThreads() : 0;
+  uint32_t NumShards =
+      Workers ? std::min(NumShared, uint32_t(Workers) * 4) : 1;
+  std::vector<SweepShard> Shards(NumShards);
+  if (NumShards == 1) {
+    sweepShard(0, 1, Shards[0]);
+  } else {
+    // Fan the shards out and help drain the pool; the merge below runs in
+    // shard order, and canonicalize() makes the final list independent of
+    // scheduling anyway.
+    struct WaitState {
+      std::mutex Mutex;
+      std::condition_variable Cv;
+      uint32_t Remaining;
+    } Wait;
+    Wait.Remaining = NumShards;
+    for (uint32_t I = 0; I != NumShards; ++I)
+      Pool->submit([&, I] {
+        sweepShard(I, NumShards, Shards[I]);
+        std::lock_guard<std::mutex> Lock(Wait.Mutex);
+        if (--Wait.Remaining == 0)
+          Wait.Cv.notify_all();
+      });
+    while (Pool->runOneTask())
+      ;
+    std::unique_lock<std::mutex> Lock(Wait.Mutex);
+    Wait.Cv.wait(Lock, [&] { return Wait.Remaining == 0; });
+  }
+
+  for (SweepShard &Shard : Shards) {
+    Result.PairsExamined += Shard.Pairs;
+    Result.Races.insert(Result.Races.end(), Shard.Races.begin(),
+                        Shard.Races.end());
+  }
+  canonicalize(Result);
   return Result;
 }
 

@@ -1,0 +1,208 @@
+//===- support/FixedVarSet.h - Flat-arena fixed-universe sets ---*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third variable-set representation next to BitVarSet and ListVarSet
+/// (VarSet.h): a *fixed-universe* bit set whose words live in one
+/// contiguous arena shared by every set of a family. The vectorized race
+/// detector stores all per-edge READ/WRITE sets and all happens-before
+/// closure rows this way, so the sweep's inner loops stream over one flat
+/// buffer — no per-set std::vector header chasing, no grow-on-demand
+/// branches, and every row is the same width, which is what lets the
+/// simd::* kernels (Simd.h) run without per-element bounds logic.
+///
+/// A VarSetArena owns the words; a FixedVarSet is a cheap handle
+/// (pointer + width) into it. Handles stay valid for the arena's lifetime
+/// — the arena allocates its entire buffer up front and never reallocates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_FIXEDVARSET_H
+#define PPD_SUPPORT_FIXEDVARSET_H
+
+#include "support/Simd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ppd {
+
+/// A view over one fixed-width row of set words. All binary operations
+/// require operands of the same universe (asserted); the race detector
+/// only ever combines rows of one arena family.
+class FixedVarSet {
+public:
+  FixedVarSet() = default;
+  FixedVarSet(uint64_t *Words, uint32_t NumWords)
+      : Words(Words), NumWords(NumWords) {}
+
+  bool valid() const { return Words != nullptr; }
+  uint32_t numWords() const { return NumWords; }
+  const uint64_t *words() const { return Words; }
+  uint64_t *words() { return Words; }
+
+  bool insert(unsigned Id) {
+    assert(Id / 64 < NumWords && "id outside the fixed universe");
+    uint64_t Mask = uint64_t(1) << (Id % 64);
+    uint64_t &Word = Words[Id / 64];
+    if (Word & Mask)
+      return false;
+    Word |= Mask;
+    return true;
+  }
+
+  bool contains(unsigned Id) const {
+    if (Id / 64 >= NumWords)
+      return false;
+    return (Words[Id / 64] >> (Id % 64)) & 1;
+  }
+
+  bool remove(unsigned Id) {
+    if (Id / 64 >= NumWords)
+      return false;
+    uint64_t Mask = uint64_t(1) << (Id % 64);
+    uint64_t &Word = Words[Id / 64];
+    if (!(Word & Mask))
+      return false;
+    Word &= ~Mask;
+    return true;
+  }
+
+  bool intersects(const FixedVarSet &Other) const {
+    assert(NumWords == Other.NumWords);
+    return simd::intersectsNonEmpty(Words, Other.Words, NumWords);
+  }
+
+  /// this = A ∩ B, the scratch-filling form the sweep uses.
+  void assignIntersection(const FixedVarSet &A, const FixedVarSet &B) {
+    assert(NumWords == A.NumWords && NumWords == B.NumWords);
+    simd::intersectInto(Words, A.Words, B.Words, NumWords);
+  }
+
+  void unionWith(const FixedVarSet &Other) {
+    assert(NumWords == Other.NumWords);
+    simd::orInto(Words, Other.Words, NumWords);
+  }
+
+  unsigned size() const {
+    return unsigned(simd::popcountWords(Words, NumWords));
+  }
+
+  bool empty() const {
+    for (uint32_t I = 0; I != NumWords; ++I)
+      if (Words[I])
+        return false;
+    return true;
+  }
+
+  void clear() { std::fill_n(Words, NumWords, uint64_t(0)); }
+
+  /// Sets every bit in [First, Last] — the word-wide fill the closure
+  /// construction uses for its per-process simultaneity intervals.
+  void insertRange(unsigned First, unsigned Last) {
+    if (First > Last)
+      return;
+    assert(Last / 64 < NumWords && "range outside the fixed universe");
+    uint32_t FirstWord = First / 64, LastWord = Last / 64;
+    uint64_t FirstMask = ~uint64_t(0) << (First % 64);
+    uint64_t LastMask = ~uint64_t(0) >> (63 - Last % 64);
+    if (FirstWord == LastWord) {
+      Words[FirstWord] |= FirstMask & LastMask;
+      return;
+    }
+    Words[FirstWord] |= FirstMask;
+    for (uint32_t W = FirstWord + 1; W != LastWord; ++W)
+      Words[W] = ~uint64_t(0);
+    Words[LastWord] |= LastMask;
+  }
+
+  /// As forEach, but only elements >= \p Start — the sweep enumerates
+  /// conflict partners above the current writer's id this way, so each
+  /// unordered pair is visited exactly once without a dedup set.
+  template <typename Fn> void forEachFrom(unsigned Start, Fn &&Callback) const {
+    uint32_t FirstWord = Start / 64;
+    if (FirstWord >= NumWords)
+      return;
+    uint64_t First = Words[FirstWord] & (~uint64_t(0) << (Start % 64));
+    for (uint32_t I = FirstWord; I != NumWords; ++I) {
+      uint64_t Word = I == FirstWord ? First : Words[I];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        Callback(unsigned(I) * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  /// Calls \p Callback for each element in increasing order.
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    for (uint32_t I = 0; I != NumWords; ++I) {
+      uint64_t Word = Words[I];
+      while (Word) {
+        unsigned Bit = std::countr_zero(Word);
+        Callback(unsigned(I) * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  std::vector<unsigned> toVector() const {
+    std::vector<unsigned> Out;
+    Out.reserve(size());
+    forEach([&Out](unsigned Id) { Out.push_back(Id); });
+    return Out;
+  }
+
+  friend bool operator==(const FixedVarSet &A, const FixedVarSet &B) {
+    assert(A.NumWords == B.NumWords);
+    return std::equal(A.Words, A.Words + A.NumWords, B.Words);
+  }
+
+private:
+  uint64_t *Words = nullptr;
+  uint32_t NumWords = 0;
+};
+
+/// Owns the contiguous buffer behind a family of same-universe
+/// FixedVarSets: Rows × ceil(Universe/64) words, zero-initialized, laid
+/// out row-major so row i's words directly follow row i-1's.
+class VarSetArena {
+public:
+  VarSetArena() = default;
+  VarSetArena(uint32_t Rows, uint32_t Universe)
+      : WordsPerRow(std::max<uint32_t>(1, (Universe + 63) / 64)),
+        NumRows(Rows), Buffer(size_t(WordsPerRow) * Rows, 0) {}
+
+  uint32_t numRows() const { return NumRows; }
+  uint32_t wordsPerRow() const { return WordsPerRow; }
+
+  FixedVarSet row(uint32_t Index) {
+    assert(Index < NumRows);
+    return FixedVarSet(Buffer.data() + size_t(Index) * WordsPerRow,
+                       WordsPerRow);
+  }
+  const FixedVarSet row(uint32_t Index) const {
+    assert(Index < NumRows);
+    return FixedVarSet(const_cast<uint64_t *>(Buffer.data()) +
+                           size_t(Index) * WordsPerRow,
+                       WordsPerRow);
+  }
+
+  /// Total buffer footprint, for the bench counters.
+  size_t bytes() const { return Buffer.size() * sizeof(uint64_t); }
+
+private:
+  uint32_t WordsPerRow = 0;
+  uint32_t NumRows = 0;
+  std::vector<uint64_t> Buffer;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_FIXEDVARSET_H

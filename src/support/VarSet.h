@@ -108,6 +108,20 @@ public:
       Words[I] &= Other.Words[I];
     for (size_t I = Common, E = Words.size(); I != E; ++I)
       Words[I] = 0;
+    trim();
+  }
+
+  /// this = A ∩ B without allocating when capacity suffices — the form
+  /// race detection's per-pair classification uses with member scratch
+  /// sets instead of three fresh copies per pair.
+  void assignIntersection(const BitVarSet &A, const BitVarSet &B) {
+    size_t Common = std::min(A.Words.size(), B.Words.size());
+    if (Words.size() < Common)
+      Words.resize(Common, 0);
+    for (size_t I = 0; I != Common; ++I)
+      Words[I] = A.Words[I] & B.Words[I];
+    std::fill(Words.begin() + Common, Words.end(), 0);
+    trim();
   }
 
   /// Removes every element of \p Other from this set.
@@ -115,6 +129,7 @@ public:
     size_t Common = std::min(Words.size(), Other.Words.size());
     for (size_t I = 0; I != Common; ++I)
       Words[I] &= ~Other.Words[I];
+    trim();
   }
 
   /// True if the two sets share at least one element. This is the hot
@@ -124,6 +139,26 @@ public:
     size_t Common = std::min(Words.size(), Other.Words.size());
     for (size_t I = 0; I != Common; ++I)
       if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  /// True if this set shares an element with \p B1 ∪ \p B2, fused into a
+  /// single early-exit word loop — the Def 6.3 "any conflict at all"
+  /// pretest (does WRITE ∩ (READ' ∪ WRITE') ≠ ∅) without materializing
+  /// the union.
+  bool intersectsAny(const BitVarSet &B1, const BitVarSet &B2) const {
+    size_t N1 = std::min(Words.size(), B1.Words.size());
+    size_t N2 = std::min(Words.size(), B2.Words.size());
+    size_t Common = std::min(N1, N2);
+    for (size_t I = 0; I != Common; ++I)
+      if (Words[I] & (B1.Words[I] | B2.Words[I]))
+        return true;
+    for (size_t I = Common; I < N1; ++I)
+      if (Words[I] & B1.Words[I])
+        return true;
+    for (size_t I = Common; I < N2; ++I)
+      if (Words[I] & B2.Words[I])
         return true;
     return false;
   }
@@ -170,6 +205,13 @@ public:
     return Out;
   }
 
+  /// Raw word storage (64 ids per word, LSB first). Lets the vectorized
+  /// race tier memcpy a set into its flat arena rows; trim() guarantees
+  /// no trailing zero words after shrinking ops, so numWords() is also a
+  /// sound upper bound for word-wise hashing.
+  const uint64_t *wordsData() const { return Words.data(); }
+  size_t numWords() const { return Words.size(); }
+
   friend bool operator==(const BitVarSet &A, const BitVarSet &B) {
     size_t Common = std::min(A.Words.size(), B.Words.size());
     for (size_t I = 0; I != Common; ++I)
@@ -189,6 +231,19 @@ private:
     size_t Need = size_t(Id) / 64 + 1;
     if (Need > Words.size())
       Words.resize(Need, 0);
+  }
+
+  /// Drops trailing zero words after shrinking operations. Equality and
+  /// empty() already skip dead capacity; trimming keeps size()/forEach
+  /// loops short and means any word-wise hash of Words needs no
+  /// trailing-zero special case. Capacity is retained (vector resize
+  /// never shrinks allocation), so hot scratch reuse stays
+  /// allocation-free.
+  void trim() {
+    size_t Live = Words.size();
+    while (Live && Words[Live - 1] == 0)
+      --Live;
+    Words.resize(Live);
   }
 
   std::vector<uint64_t> Words;

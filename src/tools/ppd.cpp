@@ -50,7 +50,7 @@ struct CliOptions {
   std::vector<std::vector<int64_t>> Inputs;
   std::string LogPath;
   std::string Mode = "logging";
-  std::string Algorithm = "indexed";
+  std::string Algorithm = "vectorized";
   bool DumpDisassembly = false;
   bool DumpPdg = false;
   bool DumpSimplified = false;
@@ -109,7 +109,9 @@ options:
                         format is detected, and --replay-threads workers
                         decode v2 process sections in parallel
   --mode M              (run) plain | logging | fulltrace
-  --algorithm A         (races) naive | indexed
+  --race-strategy A     (races) vectorized (default) | indexed | naive;
+                        all three report identical races (--algorithm is
+                        a synonym)
   --leaf-inheritance    partitioner: unlog small call-graph leaves
   --loop-blocks         partitioner: loops become their own e-blocks
   --replay-threads N    (debug) worker threads for parallel replay
@@ -237,7 +239,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Mode = V;
-    } else if (Arg == "--algorithm") {
+    } else if (Arg == "--race-strategy" || Arg == "--algorithm") {
+      // --algorithm is the historical spelling, kept as a synonym.
       const char *V = Next();
       if (!V)
         return false;
@@ -445,9 +448,13 @@ int cmdRaces(const CliOptions &Opts) {
   reportRun(*Prog, M, Result);
 
   PpdController Controller(*Prog, M.takeLog());
-  RaceAlgorithm Algorithm = Opts.Algorithm == "naive"
-                                ? RaceAlgorithm::NaiveAllPairs
-                                : RaceAlgorithm::VarIndexed;
+  RaceAlgorithm Algorithm = RaceAlgorithm::Vectorized;
+  if (!parseRaceAlgorithm(Opts.Algorithm, Algorithm)) {
+    std::fprintf(stderr, "error: unknown race strategy '%s' (expected "
+                         "naive, indexed, or vectorized)\n",
+                 Opts.Algorithm.c_str());
+    return 64;
+  }
   auto Races = Controller.detectRaces(Algorithm);
   if (Races.raceFree()) {
     std::printf("-- execution instance is race-free (Def 6.4); %llu edge "

@@ -1,0 +1,324 @@
+//===- tests/race_simd_test.cpp - Vectorized race tier differentials ------===//
+//
+// Part of PPD test suite.
+//
+// The vectorized race-detection tier (SIMD set kernels + batched
+// happens-before closure + sharded sweep) must produce byte-identical race
+// lists to NaiveAllPairs and VarIndexed on every input: the examples/
+// corpus, a fuzz sweep of generated programs, every SIMD dispatch level
+// the host can run (including the forced portable fallback), any worker
+// count, and the rowless closure fallback for oversized traces. This suite
+// asserts all of that, plus the closure's simultaneity answers against the
+// vector-clock oracle and the SIMD kernels against their portable
+// reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pardyn/EdgeClosure.h"
+#include "pardyn/ParallelDynamicGraph.h"
+#include "pardyn/RaceDetector.h"
+#include "support/Simd.h"
+#include "support/ThreadPool.h"
+#include "testing/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ppd;
+using namespace ppd::test;
+using ppd::testing::GenProgram;
+using ppd::testing::generateProgram;
+
+namespace {
+
+/// Restores the host-detected dispatch level when a test that forced one
+/// exits (including via an assertion failure).
+struct ScopedSimdLevel {
+  explicit ScopedSimdLevel(simd::Level L) { simd::forceLevel(L); }
+  ~ScopedSimdLevel() { simd::forceLevel(simd::detectedLevel()); }
+};
+
+std::string readCorpusFile(const std::string &Name) {
+  std::ifstream In(std::string(PPD_EXAMPLES_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << "cannot open corpus file " << Name;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+std::string describeRace(const Race &R) {
+  std::ostringstream Out;
+  Out << "s" << R.SharedIdx << " p" << R.First.Pid << "e" << R.First.EndNode
+      << "/p" << R.Second.Pid << "e" << R.Second.EndNode << " "
+      << (R.Kind == RaceKind::WriteWrite ? "WW" : "RW");
+  return Out.str();
+}
+
+/// All three algorithms over one execution instance must agree
+/// element-for-element; returns the (canonical) race list.
+std::vector<Race> expectAgreement(const ExecutionLog &Log,
+                                  const SymbolTable &Symbols,
+                                  const std::string &Label,
+                                  ThreadPool *Pool = nullptr) {
+  ParallelDynamicGraph Graph(Log, Symbols.NumSharedVars);
+  RaceDetector Detector(Graph, Symbols);
+  RaceDetectionResult Naive = Detector.detect(RaceAlgorithm::NaiveAllPairs);
+  RaceDetectionResult Indexed = Detector.detect(RaceAlgorithm::VarIndexed);
+  RaceDetectionResult Vec =
+      Detector.detect(RaceAlgorithm::Vectorized, Pool);
+  EXPECT_EQ(Naive.Races.size(), Indexed.Races.size()) << Label;
+  EXPECT_EQ(Naive.Races.size(), Vec.Races.size()) << Label;
+  size_t N = std::min(Naive.Races.size(),
+                      std::min(Indexed.Races.size(), Vec.Races.size()));
+  for (size_t I = 0; I != N; ++I) {
+    EXPECT_TRUE(Naive.Races[I] == Indexed.Races[I])
+        << Label << " race " << I << ": naive "
+        << describeRace(Naive.Races[I]) << " vs indexed "
+        << describeRace(Indexed.Races[I]);
+    EXPECT_TRUE(Naive.Races[I] == Vec.Races[I])
+        << Label << " race " << I << ": naive "
+        << describeRace(Naive.Races[I]) << " vs vectorized "
+        << describeRace(Vec.Races[I]);
+  }
+  return Naive.Races;
+}
+
+//===----------------------------------------------------------------------===//
+// SIMD kernels: every runnable level against the portable reference.
+//===----------------------------------------------------------------------===//
+
+TEST(SimdKernelTest, AllLevelsMatchPortableReference) {
+  std::mt19937_64 Rng(0x5eed);
+  std::vector<simd::Level> Levels = {simd::Level::Portable,
+                                     simd::detectedLevel()};
+#if defined(__x86_64__)
+  // An AVX2 host can also run the SSE2 bodies; exercise them too.
+  if (simd::detectedLevel() == simd::Level::AVX2)
+    Levels.push_back(simd::Level::SSE2);
+#endif
+  // Widths straddle every vector-stride boundary (AVX2 does 8-word then
+  // 4-word strides, SSE2 2-word, portable 4-word unrolled).
+  for (size_t Words : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+    std::vector<uint64_t> A(Words), B(Words);
+    for (int Trial = 0; Trial != 8; ++Trial) {
+      for (size_t I = 0; I != Words; ++I) {
+        // Mix dense, sparse, and zero words so the early-exit paths and
+        // the all-zero case both occur.
+        A[I] = Trial % 3 == 0 ? Rng() : Rng() & Rng() & Rng();
+        B[I] = Trial % 2 == 0 ? Rng() : Rng() & Rng() & Rng();
+        if (Trial == 5)
+          B[I] = ~A[I]; // disjoint: intersects must say false.
+      }
+      ScopedSimdLevel Force(simd::Level::Portable);
+      bool RefNonEmpty = simd::intersectsNonEmpty(A.data(), B.data(), Words);
+      uint64_t RefPop = simd::popcountWords(A.data(), Words);
+      std::vector<uint64_t> RefAnd(Words), RefOr(A);
+      simd::intersectInto(RefAnd.data(), A.data(), B.data(), Words);
+      simd::orInto(RefOr.data(), B.data(), Words);
+
+      for (simd::Level L : Levels) {
+        simd::forceLevel(L);
+        if (simd::activeLevel() != L)
+          continue; // clamped: the build lacks this level's bodies.
+        EXPECT_EQ(simd::intersectsNonEmpty(A.data(), B.data(), Words),
+                  RefNonEmpty)
+            << simd::levelName(L) << " words=" << Words;
+        EXPECT_EQ(simd::popcountWords(A.data(), Words), RefPop)
+            << simd::levelName(L) << " words=" << Words;
+        std::vector<uint64_t> And(Words), Or(A);
+        simd::intersectInto(And.data(), A.data(), B.data(), Words);
+        simd::orInto(Or.data(), B.data(), Words);
+        EXPECT_EQ(And, RefAnd) << simd::levelName(L) << " words=" << Words;
+        EXPECT_EQ(Or, RefOr) << simd::levelName(L) << " words=" << Words;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ForceLevelClampsUnrunnableLevels) {
+  ScopedSimdLevel Restore(simd::detectedLevel());
+#if defined(__x86_64__)
+  simd::forceLevel(simd::Level::NEON); // wrong architecture entirely.
+#else
+  simd::forceLevel(simd::Level::AVX2);
+#endif
+  EXPECT_EQ(int(simd::activeLevel()), int(simd::Level::Portable));
+  simd::forceLevel(simd::Level::Portable);
+  EXPECT_EQ(int(simd::activeLevel()), int(simd::Level::Portable));
+}
+
+//===----------------------------------------------------------------------===//
+// EdgeClosure: bit rows and interval bounds against the vector-clock
+// oracle.
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeClosureTest, MatchesVectorClockOracle) {
+  // Racy generated programs give graphs with real concurrency; sweep a
+  // few seeds so different interleavings are covered.
+  for (uint64_t Seed : {2u, 7u, 11u, 23u, 40u}) {
+    GenProgram Gen = generateProgram(Seed);
+    MachineOptions MOpts;
+    MOpts.Quantum = Gen.Quantum;
+    Ran R = runProgram(Gen.render(), Gen.SchedSeed, MOpts, {},
+                       /*ExpectCompleted=*/false);
+    if (!R.Prog)
+      continue;
+    ParallelDynamicGraph Graph(R.Log, R.Prog->Symbols->NumSharedVars);
+    std::vector<EdgeRef> Edges = Graph.allEdges();
+    // Rows materialized (default cap) and the rowless interval fallback
+    // must both reproduce Def 6.1 exactly.
+    EdgeClosure WithRows(Graph);
+    EdgeClosure Rowless(Graph, /*MaxRowBytes=*/0);
+    EXPECT_FALSE(Rowless.hasRows());
+    for (EdgeRef A : Edges)
+      for (EdgeRef B : Edges) {
+        bool Oracle = Graph.simultaneous(A, B);
+        uint32_t Ga = WithRows.globalId(A), Gb = WithRows.globalId(B);
+        EXPECT_EQ(WithRows.simultaneous(Ga, Gb), Oracle)
+            << "seed " << Seed << " rows: p" << A.Pid << "e" << A.EndNode
+            << " vs p" << B.Pid << "e" << B.EndNode;
+        EXPECT_EQ(Rowless.simultaneous(Ga, Gb), Oracle)
+            << "seed " << Seed << " bounds: p" << A.Pid << "e" << A.EndNode
+            << " vs p" << B.Pid << "e" << B.EndNode;
+        EXPECT_EQ(WithRows.edgeOf(Ga), A);
+      }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: corpus programs.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceSimdDifferentialTest, ExamplesCorpus) {
+  // Every shipped example, including the deliberately racy one; crash and
+  // deadlock programs don't complete, which is fine — races are detected
+  // over whatever log the run produced.
+  const char *const Corpus[] = {
+      "bank_race.ppl", "bounded_buffer.ppl", "crash.ppl",
+      "deadlock.ppl",  "fig41.ppl",
+  };
+  bool SawRace = false;
+  for (const char *Name : Corpus) {
+    std::string Source = readCorpusFile(Name);
+    for (uint64_t Seed : {1u, 5u, 9u}) {
+      Ran R = runProgram(Source, Seed, {}, {}, /*ExpectCompleted=*/false);
+      ASSERT_TRUE(R.Prog) << Name;
+      std::string Label = std::string(Name) + " seed " + std::to_string(Seed);
+      SawRace |= !expectAgreement(R.Log, *R.Prog->Symbols, Label).empty();
+    }
+  }
+  // The corpus includes bank_race.ppl: at least one instance must race,
+  // otherwise this differential is vacuous.
+  EXPECT_TRUE(SawRace) << "no corpus instance raced; differential is vacuous";
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: generated-program fuzz sweep.
+//===----------------------------------------------------------------------===//
+
+TEST(RaceSimdDifferentialTest, FuzzSweep) {
+  // 16 seeds spanning the generator's profiles (racy, sync-heavy,
+  // channels, ...). Each runs with its derived schedule seed and quantum.
+  unsigned Raced = 0;
+  for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+    GenProgram Gen = generateProgram(Seed);
+    MachineOptions MOpts;
+    MOpts.Quantum = Gen.Quantum;
+    Ran R = runProgram(Gen.render(), Gen.SchedSeed, MOpts, {},
+                       /*ExpectCompleted=*/false);
+    ASSERT_TRUE(R.Prog) << "seed " << Seed;
+    std::string Label = "gen seed " + std::to_string(Seed);
+    Raced += !expectAgreement(R.Log, *R.Prog->Symbols, Label).empty();
+  }
+  EXPECT_GT(Raced, 0u) << "no generated instance raced; sweep is vacuous";
+}
+
+TEST(RaceSimdDifferentialTest, PortableFallbackAgrees) {
+  // Force the portable kernels and re-run the differential: the dispatch
+  // level must never change the race list.
+  ScopedSimdLevel Force(simd::Level::Portable);
+  ASSERT_EQ(int(simd::activeLevel()), int(simd::Level::Portable));
+  for (uint64_t Seed : {2u, 3u, 7u, 13u}) {
+    GenProgram Gen = generateProgram(Seed);
+    MachineOptions MOpts;
+    MOpts.Quantum = Gen.Quantum;
+    Ran R = runProgram(Gen.render(), Gen.SchedSeed, MOpts, {},
+                       /*ExpectCompleted=*/false);
+    ASSERT_TRUE(R.Prog) << "seed " << Seed;
+    expectAgreement(R.Log, *R.Prog->Symbols,
+                    "portable gen seed " + std::to_string(Seed));
+  }
+}
+
+TEST(RaceSimdDifferentialTest, ParallelSweepIsDeterministic) {
+  // The sharded sweep must merge deterministically: byte-identical output
+  // at any worker count, asserted against the serial run and both legacy
+  // algorithms.
+  ThreadPool Pool(3);
+  for (uint64_t Seed : {2u, 5u, 8u, 12u}) {
+    GenProgram Gen = generateProgram(Seed);
+    MachineOptions MOpts;
+    MOpts.Quantum = Gen.Quantum;
+    Ran R = runProgram(Gen.render(), Gen.SchedSeed, MOpts, {},
+                       /*ExpectCompleted=*/false);
+    ASSERT_TRUE(R.Prog) << "seed " << Seed;
+    std::string Label = "pooled gen seed " + std::to_string(Seed);
+    expectAgreement(R.Log, *R.Prog->Symbols, Label, &Pool);
+
+    ParallelDynamicGraph Graph(R.Log, R.Prog->Symbols->NumSharedVars);
+    RaceDetector Detector(Graph, *R.Prog->Symbols);
+    RaceDetectionResult Serial = Detector.detect(RaceAlgorithm::Vectorized);
+    RaceDetectionResult Pooled =
+        Detector.detect(RaceAlgorithm::Vectorized, &Pool);
+    ASSERT_EQ(Serial.Races.size(), Pooled.Races.size()) << Label;
+    for (size_t I = 0; I != Serial.Races.size(); ++I)
+      EXPECT_TRUE(Serial.Races[I] == Pooled.Races[I])
+          << Label << " race " << I;
+    // The cost counter is schedule-independent too: both runs enumerate
+    // the same candidate combinations.
+    EXPECT_EQ(Serial.PairsExamined, Pooled.PairsExamined) << Label;
+  }
+}
+
+TEST(RaceSimdDifferentialTest, RepeatedDetectIsIdempotent) {
+  // The detector reuses member scratch between calls; repeated detection
+  // on one instance must not be contaminated by earlier passes.
+  std::string Source = readCorpusFile("bank_race.ppl");
+  Ran R = runProgram(Source, 1, {}, {}, /*ExpectCompleted=*/false);
+  ASSERT_TRUE(R.Prog);
+  ParallelDynamicGraph Graph(R.Log, R.Prog->Symbols->NumSharedVars);
+  RaceDetector Detector(Graph, *R.Prog->Symbols);
+  RaceDetectionResult First = Detector.detect(RaceAlgorithm::Vectorized);
+  for (RaceAlgorithm A : {RaceAlgorithm::NaiveAllPairs,
+                          RaceAlgorithm::VarIndexed,
+                          RaceAlgorithm::Vectorized}) {
+    RaceDetectionResult Again = Detector.detect(A);
+    ASSERT_EQ(First.Races.size(), Again.Races.size())
+        << raceAlgorithmName(A);
+    for (size_t I = 0; I != First.Races.size(); ++I)
+      EXPECT_TRUE(First.Races[I] == Again.Races[I])
+          << raceAlgorithmName(A) << " race " << I;
+  }
+}
+
+TEST(RaceSimdDifferentialTest, AlgorithmNamesRoundTrip) {
+  RaceAlgorithm A = RaceAlgorithm::NaiveAllPairs;
+  EXPECT_TRUE(parseRaceAlgorithm("naive", A));
+  EXPECT_EQ(int(A), int(RaceAlgorithm::NaiveAllPairs));
+  EXPECT_TRUE(parseRaceAlgorithm("indexed", A));
+  EXPECT_EQ(int(A), int(RaceAlgorithm::VarIndexed));
+  EXPECT_TRUE(parseRaceAlgorithm("vectorized", A));
+  EXPECT_EQ(int(A), int(RaceAlgorithm::Vectorized));
+  EXPECT_FALSE(parseRaceAlgorithm("avx512", A));
+  EXPECT_EQ(int(A), int(RaceAlgorithm::Vectorized)) << "Out must be untouched";
+  EXPECT_STREQ(raceAlgorithmName(RaceAlgorithm::Vectorized), "vectorized");
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include "log/RecordArena.h"
 #include "support/Diagnostics.h"
 #include "support/DotWriter.h"
+#include "support/FixedVarSet.h"
 #include "support/Rng.h"
 #include "support/SmallVec.h"
 #include "support/VarSet.h"
@@ -139,6 +140,175 @@ TEST(VarSetCross, RepresentationsAgreeOnRandomOps) {
     EXPECT_EQ(Bits.toVector(), List.toVector());
     EXPECT_EQ(Bits.size(), List.size());
   }
+}
+
+//===----------------------------------------------------------------------===//
+// BitVarSet extensions for the vectorized race tier: the fused conflict
+// pretest, the capacity-reusing intersection, and the trailing-zero-word
+// trim that makes numWords() a tight bound for the arena memcpy.
+//===----------------------------------------------------------------------===//
+
+TEST(BitVarSetTest, IntersectsAnyIsFusedUnionTest) {
+  BitVarSet W, R1, W1;
+  W.insert(5);
+  W.insert(200);
+  EXPECT_FALSE(W.intersectsAny(R1, W1)); // both empty
+  R1.insert(6);
+  W1.insert(7);
+  EXPECT_FALSE(W.intersectsAny(R1, W1));
+  R1.insert(200); // hit in the second operand only
+  EXPECT_TRUE(W.intersectsAny(R1, W1));
+  R1.remove(200);
+  W1.insert(5); // hit in the third operand only
+  EXPECT_TRUE(W.intersectsAny(R1, W1));
+}
+
+TEST(BitVarSetTest, IntersectsAnyHandlesDifferingWordCounts) {
+  // The three sets deliberately span different word counts so every tail
+  // loop of the fused test runs: this longer than B1, B1 longer than B2,
+  // and the element sits in the non-common region.
+  BitVarSet W, R1, W1;
+  W.insert(500);
+  R1.insert(3);
+  EXPECT_FALSE(W.intersectsAny(R1, W1));
+  R1.insert(500);
+  EXPECT_TRUE(W.intersectsAny(R1, W1));
+  R1.remove(500);
+  W1.insert(500);
+  EXPECT_TRUE(W.intersectsAny(R1, W1));
+  BitVarSet Short;
+  Short.insert(500);
+  EXPECT_TRUE(Short.intersectsAny(W, R1));
+}
+
+TEST(BitVarSetTest, ShrinkingOpsTrimTrailingZeroWords) {
+  BitVarSet A, B;
+  A.insert(2);
+  A.insert(700); // ~11 words
+  B.insert(2);
+  A.intersectWith(B);
+  EXPECT_EQ(A.numWords(), 1u) << "intersectWith must drop the zero tail";
+  EXPECT_TRUE(A.contains(2));
+
+  BitVarSet C, D;
+  C.insert(1);
+  C.insert(640);
+  D.insert(640);
+  C.subtract(D);
+  EXPECT_EQ(C.numWords(), 1u) << "subtract must drop the zero tail";
+  EXPECT_EQ(C.toVector(), (std::vector<unsigned>{1}));
+
+  BitVarSet E;
+  E.insert(900);
+  E.assignIntersection(A, C); // {2} ∩ {1} = ∅
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.numWords(), 0u) << "assignIntersection must trim to empty";
+}
+
+TEST(BitVarSetTest, AssignIntersectionMatchesCopyingForm) {
+  Rng R(7);
+  for (int Round = 0; Round != 30; ++Round) {
+    BitVarSet A, B;
+    for (int I = 0; I != 40; ++I) {
+      A.insert(unsigned(R.nextBelow(400)));
+      B.insert(unsigned(R.nextBelow(400)));
+    }
+    BitVarSet Copied = A;
+    Copied.intersectWith(B);
+    BitVarSet Assigned;
+    Assigned.insert(999); // pre-existing garbage must be overwritten
+    Assigned.assignIntersection(A, B);
+    EXPECT_TRUE(Assigned == Copied);
+    EXPECT_EQ(Assigned.toVector(), Copied.toVector());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FixedVarSet / VarSetArena: the flat-arena representation behind the
+// vectorized tier's per-edge rows and closure rows.
+//===----------------------------------------------------------------------===//
+
+TEST(FixedVarSetTest, ArenaRowsAreIndependentAndZeroed) {
+  VarSetArena Arena(3, 130); // 3 rows × 3 words
+  EXPECT_EQ(Arena.numRows(), 3u);
+  EXPECT_EQ(Arena.wordsPerRow(), 3u);
+  EXPECT_EQ(Arena.bytes(), 3u * 3u * sizeof(uint64_t));
+  for (uint32_t I = 0; I != 3; ++I)
+    EXPECT_TRUE(Arena.row(I).empty());
+  Arena.row(1).insert(129);
+  EXPECT_TRUE(Arena.row(0).empty());
+  EXPECT_TRUE(Arena.row(2).empty());
+  EXPECT_TRUE(Arena.row(1).contains(129));
+  EXPECT_EQ(Arena.row(1).size(), 1u);
+}
+
+TEST(FixedVarSetTest, SetOperationsMatchBitVarSet) {
+  Rng R(11);
+  for (int Round = 0; Round != 20; ++Round) {
+    VarSetArena Arena(3, 256);
+    FixedVarSet A = Arena.row(0), B = Arena.row(1), Out = Arena.row(2);
+    BitVarSet RefA, RefB;
+    for (int I = 0; I != 60; ++I) {
+      unsigned IdA = unsigned(R.nextBelow(256));
+      unsigned IdB = unsigned(R.nextBelow(256));
+      EXPECT_EQ(A.insert(IdA), RefA.insert(IdA));
+      EXPECT_EQ(B.insert(IdB), RefB.insert(IdB));
+    }
+    EXPECT_EQ(A.intersects(B), RefA.intersects(RefB));
+    EXPECT_EQ(A.size(), RefA.size());
+    Out.assignIntersection(A, B);
+    BitVarSet RefOut = RefA;
+    RefOut.intersectWith(RefB);
+    EXPECT_EQ(Out.toVector(), RefOut.toVector());
+    Out.clear();
+    EXPECT_TRUE(Out.empty());
+    Out.unionWith(A);
+    Out.unionWith(B);
+    BitVarSet RefUnion = RefA;
+    RefUnion.unionWith(RefB);
+    EXPECT_EQ(Out.toVector(), RefUnion.toVector());
+  }
+}
+
+TEST(FixedVarSetTest, InsertRangeFillsWordSpans) {
+  VarSetArena Arena(1, 300);
+  FixedVarSet Set = Arena.row(0);
+  Set.insertRange(10, 5); // empty range: no-op
+  EXPECT_TRUE(Set.empty());
+  Set.insertRange(7, 7); // single element
+  EXPECT_EQ(Set.toVector(), (std::vector<unsigned>{7}));
+  Set.clear();
+  Set.insertRange(60, 200); // straddles word boundaries, fills middle words
+  EXPECT_EQ(Set.size(), 141u);
+  EXPECT_FALSE(Set.contains(59));
+  EXPECT_TRUE(Set.contains(60));
+  EXPECT_TRUE(Set.contains(64));
+  EXPECT_TRUE(Set.contains(128));
+  EXPECT_TRUE(Set.contains(200));
+  EXPECT_FALSE(Set.contains(201));
+  Set.clear();
+  Set.insertRange(65, 70); // within one non-first word
+  EXPECT_EQ(Set.toVector(), (std::vector<unsigned>{65, 66, 67, 68, 69, 70}));
+}
+
+TEST(FixedVarSetTest, ForEachFromStartsMidWord) {
+  VarSetArena Arena(1, 200);
+  FixedVarSet Set = Arena.row(0);
+  for (unsigned Id : {0u, 3u, 63u, 64u, 100u, 199u})
+    Set.insert(Id);
+  auto From = [&Set](unsigned Start) {
+    std::vector<unsigned> Out;
+    Set.forEachFrom(Start, [&Out](unsigned Id) { Out.push_back(Id); });
+    return Out;
+  };
+  EXPECT_EQ(From(0), (std::vector<unsigned>{0, 3, 63, 64, 100, 199}));
+  EXPECT_EQ(From(1), (std::vector<unsigned>{3, 63, 64, 100, 199}));
+  EXPECT_EQ(From(63), (std::vector<unsigned>{63, 64, 100, 199}));
+  EXPECT_EQ(From(64), (std::vector<unsigned>{64, 100, 199}));
+  EXPECT_EQ(From(101), (std::vector<unsigned>{199}));
+  EXPECT_EQ(From(199), (std::vector<unsigned>{199}));
+  EXPECT_TRUE(From(200).empty());
+  EXPECT_TRUE(From(100000).empty()); // past the universe: no read
 }
 
 //===----------------------------------------------------------------------===//
