@@ -22,8 +22,10 @@
 #define PPD_BENCH_BENCHPROGRAMS_H
 
 #include "compiler/Compiler.h"
+#include "core/ReplayService.h"
 #include "log/ExecutionLog.h"
 #include "log/LogIO.h"
+#include "vm/Machine.h"
 
 #include <algorithm>
 #include <chrono>
@@ -31,6 +33,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace ppd::bench {
 
@@ -214,6 +217,123 @@ mustCompile(const std::string &Source, const CompileOptions &Options = {}) {
     std::abort();
   }
   return Prog;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared replay-phase world: the E8b and E9 replay rows regenerate the
+// same interval sets from the same generator, so their cold/warm numbers
+// are comparable across binaries.
+//===----------------------------------------------------------------------===//
+
+/// Many sibling intervals under main: each unit() call is its own logged
+/// interval of ~6*InnerIters mostly-compute instructions, so a query over
+/// all of them is a wide, embarrassingly parallel replay fan-out — and,
+/// per interval, the JIT tier's target shape (straight-line arithmetic
+/// between rare side-exits).
+inline std::string manyIntervalWorkload(unsigned Units,
+                                        unsigned InnerIters = 60) {
+  return R"(
+func unit(int k) {
+  int i = 0;
+  int s = 0;
+  for (i = 0; i < )" +
+         std::to_string(InnerIters) + R"(; i = i + 1) s = (s + k * i) % 9973;
+  return s;
+}
+func main() {
+  int j = 0;
+  int acc = 0;
+  for (j = 0; j < )" +
+         std::to_string(Units) + R"(; j = j + 1) acc = acc + unit(j);
+  print(acc);
+}
+)";
+}
+
+/// The JIT tier's best case, and E9's "compute-heavy e-block" row: the
+/// same many-interval shape as manyIntervalWorkload, but each loop
+/// iteration is two statements of long chained arithmetic (~45
+/// instructions per traced statement instead of ~3). Replay cost here is
+/// dispatch-bound rather than trace-event-bound, which is exactly the
+/// cost the JIT removes; the manyIntervalWorkload rows show the
+/// event-bound other end.
+inline std::string computeHeavyUnitWorkload(unsigned Units,
+                                            unsigned InnerIters = 40) {
+  return R"(
+func unit(int k) {
+  int i = 0;
+  int s = k + 1;
+  for (i = 0; i < )" +
+         std::to_string(InnerIters) + R"(; i = i + 1) {
+    s = ((((((((((((((((((((s * 31 + 7) * 17 + 5) * 13 + 3) * 11 + 2)
+        * 7 + 1) * 29 + 4) * 23 + 6) * 19 + 8) * 5 + 9) * 3 + 2)
+        * 31 + 6) * 17 + 2) * 13 + 8) * 11 + 4) * 7 + 9) * 29 + 1)
+        * 23 + 5) * 19 + 3) * 5 + 7) * 3 + 4) % 999983;
+    s = ((((((((((((((((((((s * 29 + 1) * 23 + 4) * 19 + 6) * 5 + 8)
+        * 3 + 9) * 31 + 3) * 17 + 5) * 13 + 7) * 11 + 1) * 7 + 6)
+        * 29 + 2) * 23 + 8) * 19 + 4) * 5 + 1) * 3 + 5) * 31 + 9)
+        * 17 + 7) * 13 + 2) * 11 + 3) * 7 + 8) % 999979;
+  }
+  return s;
+}
+func main() {
+  int j = 0;
+  int acc = 0;
+  for (j = 0; j < )" +
+         std::to_string(Units) + R"(; j = j + 1) acc = acc + unit(j);
+  print(acc);
+}
+)";
+}
+
+/// A compiled program, its execution log, and every closed interval — the
+/// fixed input of one replay benchmark.
+struct ReplayWorld {
+  std::unique_ptr<CompiledProgram> Prog;
+  ExecutionLog Log;
+  std::unique_ptr<LogIndex> Index;
+  std::vector<ParallelReplayer::IntervalRef> All;
+};
+
+inline ReplayWorld makeReplayWorldFor(const std::string &Source) {
+  ReplayWorld W;
+  W.Prog = mustCompile(Source);
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*W.Prog, MOpts);
+  M.run();
+  W.Log = M.takeLog();
+  W.Index = std::make_unique<LogIndex>(W.Log);
+  for (uint32_t Pid = 0; Pid != W.Log.Procs.size(); ++Pid)
+    for (const LogInterval &Interval : W.Index->intervals(Pid))
+      if (Interval.PostlogRecord != InvalidId)
+        W.All.push_back({Pid, Interval.Index});
+  return W;
+}
+
+inline ReplayWorld makeReplayWorld(unsigned Units, unsigned InnerIters = 60) {
+  return makeReplayWorldFor(manyIntervalWorkload(Units, InnerIters));
+}
+
+/// One full sweep: replays every closed interval of \p W on \p Kind and
+/// returns the instructions retired. Doubles as the warm-up pass (fills
+/// the JIT hotness counters and triggers compiles) and as the timed body,
+/// so warm rows measure exactly what the warm-up produced.
+inline uint64_t sweepIntervals(ReplayEngine &Engine, const ReplayWorld &W,
+                               ReplayEngineKind Kind) {
+  uint64_t Instructions = 0;
+  ReplayOptions Options;
+  Options.Engine = Kind;
+  for (const auto &[Pid, Idx] : W.All) {
+    ReplayResult R =
+        Engine.replay(W.Log, Pid, W.Index->intervals(Pid)[Idx], Options);
+    if (!R.Ok) {
+      std::fprintf(stderr, "benchmark replay failed: %s\n", R.Error.c_str());
+      std::abort();
+    }
+    Instructions += R.Instructions;
+  }
+  return Instructions;
 }
 
 } // namespace ppd::bench

@@ -125,50 +125,9 @@ void incremental_execution(benchmark::State &State) {
 //===----------------------------------------------------------------------===//
 // Replay-service variants: cold / cold-parallel / warm
 //===----------------------------------------------------------------------===//
-
-/// Many sibling intervals under main: each unit() call is its own logged
-/// interval, so a query over all of them is a wide, embarrassingly
-/// parallel replay fan-out.
-std::string manyIntervalWorkload(unsigned Units) {
-  return R"(
-func unit(int k) {
-  int i = 0;
-  int s = 0;
-  for (i = 0; i < 60; i = i + 1) s = (s + k * i) % 9973;
-  return s;
-}
-func main() {
-  int j = 0;
-  int acc = 0;
-  for (j = 0; j < )" +
-         std::to_string(Units) + R"(; j = j + 1) acc = acc + unit(j);
-  print(acc);
-}
-)";
-}
-
-struct ReplayWorld {
-  std::unique_ptr<CompiledProgram> Prog;
-  ExecutionLog Log;
-  std::unique_ptr<LogIndex> Index;
-  std::vector<ParallelReplayer::IntervalRef> All;
-};
-
-ReplayWorld makeReplayWorld(unsigned Units) {
-  ReplayWorld W;
-  W.Prog = mustCompile(manyIntervalWorkload(Units));
-  MachineOptions MOpts;
-  MOpts.Seed = 11;
-  Machine M(*W.Prog, MOpts);
-  M.run();
-  W.Log = M.takeLog();
-  W.Index = std::make_unique<LogIndex>(W.Log);
-  for (uint32_t Pid = 0; Pid != W.Log.Procs.size(); ++Pid)
-    for (const LogInterval &Interval : W.Index->intervals(Pid))
-      if (Interval.PostlogRecord != InvalidId)
-        W.All.push_back({Pid, Interval.Index});
-  return W;
-}
+// The workload and interval set come from BenchPrograms.h
+// (manyIntervalWorkload / makeReplayWorld), shared with bench_interp's E9
+// replay rows so both experiments sweep identical interval sets.
 
 void serviceCounters(benchmark::State &State,
                      const ParallelReplayer &Service, size_t Intervals) {

@@ -2,13 +2,16 @@
 //
 // Part of PPD. See Replay.h.
 //
-// Two interpreters live here, mirroring vm/Machine.cpp: the decoded fast
-// path (runDecoded) is a token-threaded loop over the emulation package's
-// pre-decoded stream; the legacy engine (step) remains as the portable
-// reference and the UseDecoded=false fallback. Every record-cursor
+// Three replay tiers live here, mirroring vm/Machine.cpp: the JIT runner
+// (runJit) drives natively compiled e-block code with interpreter
+// side-exits; the decoded fast path (runDecoded) is a token-threaded loop
+// over the emulation package's pre-decoded stream; the legacy engine
+// (step) remains as the portable reference. Every record-cursor
 // operation — the sync no-ops, prelog/postlog/unit-log handling, trace
 // event construction, nested-call skipping — is a helper shared verbatim
-// by both engines, so the two paths cannot drift.
+// by all engines, so the paths cannot drift. The JIT additionally routes
+// its side-exit instructions through step() and its trace events through
+// the same helpers, which is what makes it bit-identical by construction.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,9 +20,11 @@
 #include "support/Arith.h"
 #include "vm/Dispatch.h"
 #include "vm/InterpCore.h"
+#include "vm/Jit.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace ppd;
 
@@ -42,9 +47,9 @@ class Replayer {
 public:
   Replayer(const CompiledProgram &Prog, const ExecutionLog &Log,
            uint32_t Pid, const LogInterval &Interval,
-           const ReplayOptions &Options)
+           const ReplayOptions &Options, JitProgram *Jit)
       : Prog(Prog), Records(Log.Procs[Pid].Records), Pid(Pid),
-        Interval(Interval), Options(Options) {}
+        Interval(Interval), Options(Options), Jit(Jit) {}
 
   ReplayResult run();
 
@@ -163,6 +168,22 @@ private:
       E->Writes.push_back({Var, Value, Index});
   }
 
+  /// Drains the JIT access buffers into the open event (in recording
+  /// order, appending exactly what traceRead/traceWrite would have) and
+  /// resets the cursors. Must run before anything that reads or changes
+  /// the open event: every statement helper, every side exit.
+  void flushJitAccesses() {
+    JitContext &Ctx = *ActiveJitCtx;
+    if (TraceEvent *E = openEvent()) {
+      for (const TraceAccess *P = JitReadBuf.data(); P != Ctx.ReadTop; ++P)
+        E->Reads.push_back({VarId(P->Var), P->Value, P->Index});
+      for (const TraceAccess *P = JitWriteBuf.data(); P != Ctx.WriteTop; ++P)
+        E->Writes.push_back({VarId(P->Var), P->Value, P->Index});
+    }
+    Ctx.ReadTop = JitReadBuf.data();
+    Ctx.WriteTop = JitWriteBuf.data();
+  }
+
   void failHere(RuntimeErrorKind Kind, StmtId Stmt) {
     Result.FailureHit = true;
     Result.Failure = {Kind, Pid, Stmt};
@@ -206,6 +227,10 @@ private:
 
   StepOutcome step();
   void runDecoded();
+  /// The JIT runner: native execution with interpreter side-exits.
+  /// Returns the number of Interp bailouts taken; \p NativeEntries counts
+  /// how many times native code was actually entered.
+  uint64_t runJit(uint64_t &NativeEntries);
 
   const CompiledProgram &Prog;
   const RecordSeq &Records;
@@ -227,6 +252,13 @@ private:
   uint32_t Pc = 0;
   uint32_t Cursor = 0;
   uint32_t RootFunc = 0;
+  JitProgram *Jit = nullptr;
+  /// Native code records accesses here (three stores + bump per access);
+  /// stencils side-exit before overflowing, so 128 bounds one native
+  /// run's un-flushed accesses, not a statement's total.
+  std::array<TraceAccess, 128> JitReadBuf;
+  std::array<TraceAccess, 128> JitWriteBuf;
+  JitContext *ActiveJitCtx = nullptr;
 };
 
 void Replayer::skipNestedCall(uint32_t Callee, StmtId Stmt) {
@@ -285,9 +317,6 @@ void Replayer::skipNestedCall(uint32_t Callee, StmtId Stmt) {
 
   uint32_t Argc = Prog.func(Callee).NumParams;
   assert(Stack.size() >= Argc && "call arguments missing");
-  std::vector<int64_t> Args(Stack.end() - Argc, Stack.end());
-  Stack.resize(Stack.size() - Argc);
-  Stack.push_back(RetVal);
 
   TraceEvent E;
   E.Kind = TraceEventKind::CallSkipped;
@@ -295,7 +324,9 @@ void Replayer::skipNestedCall(uint32_t Callee, StmtId Stmt) {
   E.Stmt = Stmt;
   E.Callee = Callee;
   E.Value = RetVal;
-  E.Args = std::move(Args);
+  E.Args.assign(Stack.end() - Argc, Stack.end());
+  Stack.resize(Stack.size() - Argc);
+  Stack.push_back(RetVal);
   E.LogCursor = StartCursor;
   Result.Events.append(std::move(E));
 }
@@ -437,12 +468,11 @@ Replayer::StepOutcome Replayer::doTraceStmt(StmtId Stmt) {
     return StepOutcome::Stop;
   }
   applyOverrides();
-  TraceEvent E;
-  E.Kind = TraceEventKind::Stmt;
+  TraceEvent &E = Result.Events.emplace();
   E.Pid = Pid;
   E.Stmt = Stmt;
   E.LogCursor = Cursor;
-  Frames.back().OpenEvent = Result.Events.append(std::move(E)).Index;
+  Frames.back().OpenEvent = E.Index;
   return StepOutcome::Continue;
 }
 
@@ -1143,6 +1173,110 @@ Exit:
   Pc = Ip;
 }
 
+//===----------------------------------------------------------------------===//
+// The JIT tier
+//===----------------------------------------------------------------------===//
+
+// Drives natively compiled code (vm/Jit.cpp). The loop alternates between
+// native runs and single interpreter steps: native code executes the pure
+// stack/arithmetic/memory/branch instructions (with its budget prologue
+// matching runDecoded's loop header instruction for instruction) and
+// side-exits for everything that touches the log cursor or the frame
+// stack; those slots — and any pc whose stack depth the compiler could
+// not prove — execute through the legacy step(), which shares every cold
+// helper with the decoded engine. Instruction accounting, events, output,
+// and final state are therefore bit-identical across all three tiers.
+uint64_t Replayer::runJit(uint64_t &NativeEntries) {
+  JitContext Ctx;
+  Ctx.Shared = Shared.data();
+  Ctx.Priv = Priv.data();
+  Ctx.MaxInstructions = Options.MaxInstructions;
+  Ctx.Host = this;
+  Ctx.ReadTop = JitReadBuf.data();
+  Ctx.ReadLimit = JitReadBuf.data() + JitReadBuf.size();
+  Ctx.WriteTop = JitWriteBuf.data();
+  Ctx.WriteLimit = JitWriteBuf.data() + JitWriteBuf.size();
+  ActiveJitCtx = &Ctx;
+  Ctx.TraceStmt = [](void *Host, uint32_t Ip) -> int {
+    Replayer *R = static_cast<Replayer *>(Host);
+    // The buffered accesses belong to the event this statement closes.
+    R->flushJitAccesses();
+    const DecodedInstr &I =
+        R->Prog.func(R->Frames.back().Func).EmuDecoded.at(Ip);
+    return R->doTraceStmt(StmtId(I.A)) == StepOutcome::Stop ? 1 : 0;
+  };
+  Ctx.TraceBranch = [](void *Host, int64_t Cond) {
+    Replayer *R = static_cast<Replayer *>(Host);
+    if (TraceEvent *E = R->openEvent()) {
+      E->IsPredicate = true;
+      E->BranchTaken = Cond != 0;
+    }
+  };
+  Ctx.Print = [](void *Host, int64_t Value, uint32_t Ip) {
+    Replayer *R = static_cast<Replayer *>(Host);
+    const DecodedInstr &I =
+        R->Prog.func(R->Frames.back().Func).EmuDecoded.at(Ip);
+    R->Result.Output.push_back({R->Pid, Value, I.Stmt});
+  };
+
+  uint64_t Bailouts = 0;
+  while (!Done) {
+    const RFrame &Top = Frames.back();
+    const JitCode *Code = Jit->getOrCompile(Top.Func);
+    if (Code && Pc < Code->DepthAt.size() && Code->DepthAt[Pc] >= 0 &&
+        Stack.size() == Top.StackBase + uint32_t(Code->DepthAt[Pc])) {
+      // Entry protocol: pre-reserve the proven maximum operand-stack
+      // depth so native pushes are straight stores, run, then trim the
+      // stack back to the logical depth the exit reported.
+      size_t Logical = Stack.size();
+      size_t Reserve = size_t(Top.StackBase) + Code->MaxStackDepth;
+      Stack.resize(std::max(Reserve, Logical));
+      Ctx.StackTop = Stack.data() + Logical;
+      Ctx.Slots = topSlots();
+      Ctx.Instructions = Result.Instructions;
+      ++NativeEntries;
+      JitExit Exit = Code->enter(Ctx, Pc);
+      Result.Instructions = Ctx.Instructions;
+      Stack.resize(size_t(Ctx.StackTop - Stack.data()));
+      // Accesses recorded since the last in-native flush belong to the
+      // still-open event; drain them before any interpreter step, failure
+      // report, or result read below.
+      flushJitAccesses();
+      Pc = Exit.Ip;
+      if (Exit.Kind == JitExitKind::Budget) {
+        Result.Error = "replay instruction budget exceeded";
+        Result.Ok = false;
+        break;
+      }
+      if (Exit.Kind == JitExitKind::Stop)
+        break; // the statement helper already finished the replay
+      if (Exit.Kind != JitExitKind::Interp) {
+        StmtId Stmt =
+            Prog.func(Frames.back().Func).EmuDecoded.at(Exit.Ip).Stmt;
+        failHere(Exit.Kind == JitExitKind::FailDiv0
+                     ? RuntimeErrorKind::DivideByZero
+                 : Exit.Kind == JitExitKind::FailMod0
+                     ? RuntimeErrorKind::ModuloByZero
+                     : RuntimeErrorKind::IndexOutOfBounds,
+                 Stmt);
+        break;
+      }
+      ++Bailouts;
+    }
+    // One interpreter step: a side-exit instruction, a function whose
+    // compile failed, or a pc without a proven depth. Charge first,
+    // exactly like runDecoded's prologue and run()'s legacy loop.
+    if (Result.Instructions++ >= Options.MaxInstructions) {
+      Result.Error = "replay instruction budget exceeded";
+      Result.Ok = false;
+      break;
+    }
+    if (step() == StepOutcome::Stop)
+      break;
+  }
+  return Bailouts;
+}
+
 ReplayResult Replayer::run() {
   WhatIf = !Options.Overrides.empty();
 
@@ -1162,16 +1296,36 @@ ReplayResult Replayer::run() {
   Pc = EBlock.EmuEntryPc;
   Cursor = Interval.PrelogRecord;
 
-  // The fast path needs usable decoded emulation streams for every
-  // function (hand-assembled CompiledPrograms may lack them).
-  bool Decoded = Options.UseDecoded;
+  // Tier selection. The decoded and JIT paths need usable decoded
+  // emulation streams for every function (hand-assembled CompiledPrograms
+  // may lack them). The JIT tier additionally needs a live JitProgram
+  // (compiled in, x86-64 host) and a warm e-block — cold intervals replay
+  // decoded and only cache-driven re-executions pay the compile, which
+  // then amortizes across the session.
+  ReplayEngineKind Engine = Options.Engine;
   for (const CompiledFunction &F : Prog.Funcs)
     if (F.EmuDecoded.size() != F.Emu.size())
-      Decoded = false;
+      Engine = ReplayEngineKind::Legacy;
+  if (Engine == ReplayEngineKind::Jit &&
+      (!Jit || !Jit->shouldTier(Interval.EBlock)))
+    Engine = ReplayEngineKind::Decoded;
 
-  if (Decoded) {
+  switch (Engine) {
+  case ReplayEngineKind::Jit: {
+    auto T0 = std::chrono::steady_clock::now();
+    uint64_t NativeEntries = 0;
+    uint64_t Bailouts = runJit(NativeEntries);
+    Jit->noteExec(
+        uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count()),
+        Bailouts, NativeEntries != 0);
+    break;
+  }
+  case ReplayEngineKind::Decoded:
     runDecoded();
-  } else {
+    break;
+  case ReplayEngineKind::Legacy:
     while (!Done) {
       if (Result.Instructions++ >= Options.MaxInstructions) {
         Result.Error = "replay instruction budget exceeded";
@@ -1181,6 +1335,7 @@ ReplayResult Replayer::run() {
       if (step() == StepOutcome::Stop)
         break;
     }
+    break;
   }
 
   Result.Shared = std::move(Shared);
@@ -1192,9 +1347,39 @@ ReplayResult Replayer::run() {
 
 } // namespace
 
+bool ppd::parseReplayEngine(const std::string &Name,
+                            ReplayEngineKind &Kind) {
+  if (Name == "jit")
+    Kind = ReplayEngineKind::Jit;
+  else if (Name == "decoded")
+    Kind = ReplayEngineKind::Decoded;
+  else if (Name == "legacy")
+    Kind = ReplayEngineKind::Legacy;
+  else
+    return false;
+  return true;
+}
+
+const char *ppd::replayEngineName(ReplayEngineKind Kind) {
+  switch (Kind) {
+  case ReplayEngineKind::Jit:
+    return "jit";
+  case ReplayEngineKind::Decoded:
+    return "decoded";
+  case ReplayEngineKind::Legacy:
+    return "legacy";
+  }
+  return "?";
+}
+
+ReplayEngine::ReplayEngine(const CompiledProgram &Prog,
+                           std::shared_ptr<JitProgram> SharedJit)
+    : Prog(Prog),
+      Jit(SharedJit ? std::move(SharedJit) : JitProgram::create(Prog)) {}
+
 ReplayResult ReplayEngine::replay(const ExecutionLog &Log, uint32_t Pid,
                                   const LogInterval &Interval,
                                   const ReplayOptions &Options) const {
-  Replayer R(Prog, Log, Pid, Interval, Options);
+  Replayer R(Prog, Log, Pid, Interval, Options, Jit.get());
   return R.run();
 }

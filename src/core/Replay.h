@@ -41,10 +41,25 @@
 #include "trace/TraceEvent.h"
 #include "vm/Machine.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace ppd {
+
+class JitProgram;
+
+/// The replay tier. Jit compiles hot e-blocks to native code with the
+/// decoded engine underneath (warm-up replays, side-exits, unsupported
+/// hosts all run decoded); Decoded is the pre-decoded threaded
+/// interpreter; Legacy is the one-instruction switch reference. All three
+/// produce bit-identical results — tests/jit_test.cpp, interp_test.cpp,
+/// and the fuzz oracle matrix assert it.
+enum class ReplayEngineKind : uint8_t { Jit, Decoded, Legacy };
+
+/// Maps "jit" / "decoded" / "legacy" to the kind; false on anything else.
+bool parseReplayEngine(const std::string &Name, ReplayEngineKind &Kind);
+const char *replayEngineName(ReplayEngineKind Kind);
 
 /// A §5.7 experiment: before the event numbered AtEvent is executed, set
 /// Var (element Index, or -1 for scalars) to Value.
@@ -58,11 +73,10 @@ struct ReplayOverride {
 struct ReplayOptions {
   std::vector<ReplayOverride> Overrides;
   uint64_t MaxInstructions = 50'000'000;
-  /// Replay on the pre-decoded fast path (threaded dispatch over the
-  /// emulation package's DecodedChunk). Off = the legacy one-instruction
-  /// switch interpreter; both produce identical traces and final state,
-  /// which tests/interp_test.cpp asserts.
-  bool UseDecoded = true;
+  /// Which replay tier executes the interval. Jit degrades to Decoded
+  /// transparently when the backend is compiled out (PPD_JIT=OFF), the
+  /// host is not x86-64, or the function's e-blocks are not hot yet.
+  ReplayEngineKind Engine = ReplayEngineKind::Jit;
 };
 
 /// A replayed value that disagrees with the logged postlog.
@@ -101,15 +115,24 @@ struct ReplayResult {
 
 class ReplayEngine {
 public:
-  explicit ReplayEngine(const CompiledProgram &Prog) : Prog(Prog) {}
+  /// \p SharedJit lets several engines of one program (server sessions,
+  /// the parallel replayer's workers) share compiled code and hotness;
+  /// by default each engine owns a JitProgram (null when the backend is
+  /// unavailable — the Jit tier then degrades to Decoded).
+  explicit ReplayEngine(const CompiledProgram &Prog,
+                        std::shared_ptr<JitProgram> SharedJit = nullptr);
 
   /// Replays the given interval of process \p Pid.
   ReplayResult replay(const ExecutionLog &Log, uint32_t Pid,
                       const LogInterval &Interval,
                       const ReplayOptions &Options = {}) const;
 
+  /// The JIT state backing this engine; null when unavailable.
+  JitProgram *jit() const { return Jit.get(); }
+
 private:
   const CompiledProgram &Prog;
+  std::shared_ptr<JitProgram> Jit;
 };
 
 } // namespace ppd

@@ -6,6 +6,8 @@
 
 #include "core/ReplayService.h"
 
+#include "vm/Jit.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -52,6 +54,11 @@ std::string ppd::renderReplayServiceStats(const ReplayServiceStats &Stats) {
          ", executed " + std::to_string(Stats.Pool.Executed) + ", stolen " +
          std::to_string(Stats.Pool.Stolen) + ", inline " +
          std::to_string(Stats.Pool.InlineRuns) + "\n";
+  Out += "jit: compiles " + std::to_string(Stats.JitCompiles) +
+         ", compile_ms " + std::to_string(Stats.JitCompileNs / 1000000) +
+         ", exec_ms " + std::to_string(Stats.JitExecNs / 1000000) +
+         ", replays " + std::to_string(Stats.JitReplays) + ", bailouts " +
+         std::to_string(Stats.JitBailouts) + "\n";
   return Out;
 }
 
@@ -59,7 +66,8 @@ ParallelReplayer::ParallelReplayer(const CompiledProgram &Prog,
                                    const ExecutionLog &Log,
                                    const LogIndex &Index,
                                    ReplayServiceOptions Options)
-    : Prog(Prog), Log(Log), Index(Index), Options(Options), Engine(Prog) {
+    : Prog(Prog), Log(Log), Index(Index), Options(Options),
+      Engine(Prog, this->Options.SharedJit) {
   assert(bool(this->Options.SharedCache) ==
              bool(this->Options.SharedFlights) &&
          "a shared cache needs a shared single-flight table (and vice "
@@ -107,6 +115,12 @@ ParallelReplayer::replayMiss(const ReplayKey &Key,
       Lock.unlock();
       return Future.get();
     }
+    // No flight in progress — but a leader may have finished between our
+    // caller's cache miss and this lock: it inserts into the cache before
+    // erasing its flight, so re-checking the cache here closes the window
+    // where we would redo its replay.
+    if (ReplayPtr Cached = Cache->peek(Key))
+      return Cached;
     Flights->Pending.emplace(Key, Promise.get_future().share());
   }
 
@@ -114,6 +128,7 @@ ParallelReplayer::replayMiss(const ReplayKey &Key,
          "interval index out of range");
   ReplayOptions ROpts;
   ROpts.Overrides = Overrides;
+  ROpts.Engine = Options.Engine;
   auto Result = std::make_shared<const ReplayResult>(Engine.replay(
       Log, Key.Pid, Index.intervals(Key.Pid)[Key.Interval], ROpts));
   EngineReplays.fetch_add(1, std::memory_order_relaxed);
@@ -252,5 +267,13 @@ ReplayServiceStats ParallelReplayer::stats() const {
   Out.EngineInstructions =
       EngineInstructions.load(std::memory_order_relaxed);
   Out.PrefetchesIssued = PrefetchesIssued.load(std::memory_order_relaxed);
+  if (const JitProgram *Jit = Engine.jit()) {
+    JitStats JS = Jit->stats();
+    Out.JitCompiles = JS.Compiles;
+    Out.JitCompileNs = JS.CompileNs;
+    Out.JitExecNs = JS.ExecNs;
+    Out.JitBailouts = JS.Bailouts;
+    Out.JitReplays = JS.JittedReplays;
+  }
   return Out;
 }

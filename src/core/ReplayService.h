@@ -87,6 +87,13 @@ struct ReplayServiceOptions {
   /// the replayer owns a private pool with `Threads` workers. The pool
   /// must outlive the replayer.
   ThreadPool *SharedPool = nullptr;
+
+  /// The replay tier every miss runs with.
+  ReplayEngineKind Engine = ReplayEngineKind::Jit;
+  /// JIT state shared with other replayers of the same program (the
+  /// server's per-program JitProgram), so compiled code and hotness
+  /// aggregate across sessions. Null: the engine owns a private one.
+  std::shared_ptr<JitProgram> SharedJit;
 };
 
 struct ReplayServiceStats {
@@ -98,6 +105,12 @@ struct ReplayServiceStats {
   uint64_t EngineInstructions = 0;
   /// Background prefetch tasks issued.
   uint64_t PrefetchesIssued = 0;
+  // JIT tier counters (all zero when the backend is unavailable).
+  uint64_t JitCompiles = 0;
+  uint64_t JitCompileNs = 0;
+  uint64_t JitExecNs = 0;
+  uint64_t JitBailouts = 0;
+  uint64_t JitReplays = 0;
 };
 
 /// Canonical text rendering of a stats snapshot — the single source of

@@ -54,6 +54,8 @@ struct SessionRegistryOptions {
   /// Replay workers shared by all sessions (0 = replay inline on the
   /// request thread, deterministic per request).
   unsigned ReplayThreads = 0;
+  /// Replay tier every session runs with.
+  ReplayEngineKind Engine = ReplayEngineKind::Jit;
 };
 
 class SessionRegistry {
@@ -144,6 +146,9 @@ private:
     ExecutionLog TemplateLog;
     std::shared_ptr<ReplayCache<ReplayResult>> Cache;
     std::shared_ptr<ReplayFlightTable> Flights;
+    /// One JIT state per program: compiled code and hotness aggregate
+    /// across every session (null when the backend is unavailable).
+    std::shared_ptr<JitProgram> Jit;
   };
 
   SessionRegistryOptions Options;

@@ -1,0 +1,129 @@
+//===- support/ExecMem.cpp - W^X executable-memory arena ------------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ExecMem.h"
+
+#if PPD_EXECMEM_SUPPORTED
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace ppd {
+
+namespace {
+
+size_t pageSize() {
+#if PPD_EXECMEM_SUPPORTED
+  static const size_t Size = [] {
+    long Page = sysconf(_SC_PAGESIZE);
+    return Page > 0 ? size_t(Page) : size_t(4096);
+  }();
+  return Size;
+#else
+  return 4096;
+#endif
+}
+
+} // namespace
+
+ExecMemArena::ExecMemArena(size_t BudgetBytes) : Budget(BudgetBytes) {}
+
+ExecMemArena::~ExecMemArena() {
+#if PPD_EXECMEM_SUPPORTED
+  for (auto &B : Blocks)
+    if (B->Data)
+      ::munmap(B->Data, B->Size);
+#endif
+}
+
+ExecMemArena::Block *ExecMemArena::allocate(size_t Bytes) {
+  if (!supported() || Bytes == 0)
+    return nullptr;
+  size_t Page = pageSize();
+  size_t Rounded = (Bytes + Page - 1) / Page * Page;
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  // Smallest released block that fits; reusing keeps a recompiling session
+  // at a bounded footprint instead of growing the mapping set forever.
+  auto It = FreeList.lower_bound(Rounded);
+  if (It != FreeList.end()) {
+    Block *B = It->second;
+    FreeList.erase(It);
+    if (!B->Writable) {
+#if PPD_EXECMEM_SUPPORTED
+      if (::mprotect(B->Data, B->Size, PROT_READ | PROT_WRITE) != 0) {
+        FreeList.emplace(B->Size, B);
+        return nullptr;
+      }
+#endif
+      B->Writable = true;
+    }
+    return B;
+  }
+
+  if (Reserved + Rounded > Budget)
+    return nullptr;
+
+#if PPD_EXECMEM_SUPPORTED
+  void *Mem = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  auto Owned = std::make_unique<Block>();
+  Owned->Data = static_cast<uint8_t *>(Mem);
+  Owned->Size = Rounded;
+  Owned->Writable = true;
+  Block *B = Owned.get();
+  Blocks.push_back(std::move(Owned));
+  Reserved += Rounded;
+  return B;
+#else
+  return nullptr;
+#endif
+}
+
+bool ExecMemArena::makeExecutable(Block &B) {
+#if PPD_EXECMEM_SUPPORTED
+  if (!B.Data || !B.Writable)
+    return false;
+  if (::mprotect(B.Data, B.Size, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  B.Writable = false;
+  return true;
+#else
+  (void)B;
+  return false;
+#endif
+}
+
+bool ExecMemArena::makeWritable(Block &B) {
+#if PPD_EXECMEM_SUPPORTED
+  if (!B.Data || B.Writable)
+    return false;
+  if (::mprotect(B.Data, B.Size, PROT_READ | PROT_WRITE) != 0)
+    return false;
+  B.Writable = true;
+  return true;
+#else
+  (void)B;
+  return false;
+#endif
+}
+
+void ExecMemArena::release(Block *B) {
+  if (!B)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  FreeList.emplace(B->Size, B);
+}
+
+size_t ExecMemArena::bytesReserved() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Reserved;
+}
+
+} // namespace ppd

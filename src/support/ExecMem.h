@@ -1,0 +1,94 @@
+//===- support/ExecMem.h - W^X executable-memory arena ----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page-granular executable memory for the replay JIT (vm/Jit.cpp), with
+/// strict W^X discipline: a block is mapped read+write while code is being
+/// emitted into it, flipped to read+execute before the first call, and
+/// must be flipped back before any patching. No mapping is ever writable
+/// and executable at the same time.
+///
+/// The arena hands out whole-page blocks (one per compiled function; code
+/// for a function is immutable once published, so there is no benefit to
+/// packing functions into shared pages and a hard correctness cost — a
+/// W^X flip on a shared page would yank execute from code another thread
+/// is running). Released blocks go to a size-keyed free list and are
+/// reused by later allocations, so a session that recompiles churns pages
+/// instead of leaking address space. A byte budget bounds the total
+/// mapped; allocate() returns null once it would be exceeded, which the
+/// JIT treats as a compile failure and falls back to the decoded tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SUPPORT_EXECMEM_H
+#define PPD_SUPPORT_EXECMEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PPD_EXECMEM_SUPPORTED 1
+#else
+#define PPD_EXECMEM_SUPPORTED 0
+#endif
+
+namespace ppd {
+
+class ExecMemArena {
+public:
+  /// One page-rounded code block. Data/Size cover the usable (mapped)
+  /// range; Writable tracks which side of the W^X flip it is on.
+  struct Block {
+    uint8_t *Data = nullptr;
+    size_t Size = 0;
+    bool Writable = true;
+  };
+
+  explicit ExecMemArena(size_t BudgetBytes = DefaultBudget);
+  ~ExecMemArena();
+  ExecMemArena(const ExecMemArena &) = delete;
+  ExecMemArena &operator=(const ExecMemArena &) = delete;
+
+  /// False on platforms without mmap/mprotect; every allocate() returns
+  /// null there and the JIT tier silently disables itself.
+  static bool supported() { return PPD_EXECMEM_SUPPORTED != 0; }
+
+  /// A read+write block of at least \p Bytes (page-rounded), reusing a
+  /// released block when one is large enough. Null when unsupported, when
+  /// \p Bytes is zero, or when mapping it would exceed the byte budget.
+  Block *allocate(size_t Bytes);
+
+  /// Flips RW -> RX. The block must currently be writable.
+  bool makeExecutable(Block &B);
+  /// Flips RX -> RW for patching. The block must not be executing.
+  bool makeWritable(Block &B);
+
+  /// Returns the block's pages to the free list for reuse. The pages stay
+  /// mapped (and counted against the budget) until the arena dies.
+  void release(Block *B);
+
+  /// Total bytes currently mapped, live blocks and free list together.
+  size_t bytesReserved() const;
+  size_t budget() const { return Budget; }
+
+  static constexpr size_t DefaultBudget = size_t(8) << 20;
+
+private:
+  size_t Budget;
+  mutable std::mutex Mutex;
+  size_t Reserved = 0;
+  std::vector<std::unique_ptr<Block>> Blocks;
+  /// Released blocks keyed by size, smallest-fit reuse.
+  std::multimap<size_t, Block *> FreeList;
+};
+
+} // namespace ppd
+
+#endif // PPD_SUPPORT_EXECMEM_H

@@ -89,6 +89,14 @@ public:
     assert(Size && "back of empty SmallVec");
     return Data[Size - 1];
   }
+  T &front() {
+    assert(Size && "front of empty SmallVec");
+    return Data[0];
+  }
+  const T &front() const {
+    assert(Size && "front of empty SmallVec");
+    return Data[0];
+  }
 
   void push_back(const T &V) { emplace_back(V); }
   void push_back(T &&V) { emplace_back(std::move(V)); }

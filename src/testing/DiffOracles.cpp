@@ -19,6 +19,7 @@
 #include "server/DebugServer.h"
 #include "server/Protocol.h"
 #include "support/Rng.h"
+#include "vm/Jit.h"
 #include "vm/Machine.h"
 
 #include <algorithm>
@@ -600,19 +601,31 @@ DiffReport runDifferential(const std::string &Source, uint64_t SchedSeed,
     Refs.resize(2000);
 
   ReplayEngine Engine(*Prog);
+  // The JIT leg tiers up immediately (threshold 1) so every interval takes
+  // the native path on its first replay; null on hosts without the
+  // backend, where the leg degrades to re-checking the decoded tier.
+  JitOptions HotNow;
+  HotNow.HotThreshold = 1;
+  std::shared_ptr<JitProgram> HotJit = JitProgram::create(*Prog, HotNow);
+  ReplayEngine JitEngine(*Prog, HotJit);
   std::vector<ReplayResult> Reference;
   Reference.reserve(Refs.size());
   for (const auto &[P, IVIdx] : Refs) {
     const LogInterval &IV = Index.intervals(P)[IVIdx];
-    ReplayOptions Dec, Leg;
-    Dec.UseDecoded = true;
-    Leg.UseDecoded = false;
+    ReplayOptions Dec, Leg, Jit;
+    Dec.Engine = ReplayEngineKind::Decoded;
+    Leg.Engine = ReplayEngineKind::Legacy;
+    Jit.Engine = ReplayEngineKind::Jit;
     ReplayResult RD = Engine.replay(L, P, IV, Dec);
     ReplayResult RL = Engine.replay(L, P, IV, Leg);
+    ReplayResult RJ = JitEngine.replay(L, P, IV, Jit);
     if (auto D = cmpReplay(RD, RL); !D.empty())
       return Fail("replay/engines", "pid " + std::to_string(P) +
                                         " interval " + std::to_string(IVIdx) +
                                         ": " + D);
+    if (auto D = cmpReplay(RD, RJ); !D.empty())
+      return Fail("replay/jit", "pid " + std::to_string(P) + " interval " +
+                                    std::to_string(IVIdx) + ": " + D);
     // §5.5: on a race-free instance every closed interval replays
     // faithfully and verifies its postlog exactly.
     if (Report.RaceFree && IV.PostlogRecord != InvalidId) {

@@ -60,6 +60,7 @@ struct CliOptions {
   std::vector<uint32_t> BreakLines;
   unsigned ReplayThreads = 0;
   bool Prefetch = false;
+  std::string ReplayEngine = "jit";
   LogFormat SaveFormat = LogFormat::V2;
 
   // serve / client
@@ -118,6 +119,9 @@ options:
                         (default 0 = serial)
   --prefetch            (debug) warm neighboring intervals in the
                         background after each query
+  --replay-engine E     (debug/serve) jit (default) | decoded | legacy;
+                        all three regenerate bit-identical traces; jit
+                        degrades to decoded where unavailable
   --dump-ir             (compile) disassemble both artifacts
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
@@ -269,6 +273,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ReplayThreads = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--prefetch") {
       Opts.Prefetch = true;
+    } else if (Arg == "--replay-engine") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ReplayEngine = V;
     } else if (Arg == "--runs") {
       const char *V = Next();
       if (!V)
@@ -352,11 +361,26 @@ int cmdCompile(const CliOptions &Opts) {
   return 0;
 }
 
+/// Resolves --replay-engine; prints the error and returns false on an
+/// unknown name (callers exit 64, matching --race-strategy).
+bool resolveReplayEngine(const CliOptions &Opts, ReplayEngineKind &Kind) {
+  if (parseReplayEngine(Opts.ReplayEngine, Kind))
+    return true;
+  std::fprintf(stderr, "error: unknown replay engine '%s' (expected jit, "
+                       "decoded, or legacy)\n",
+               Opts.ReplayEngine.c_str());
+  return false;
+}
+
 MachineOptions machineOptions(const CliOptions &Opts,
                               const CompiledProgram &Prog) {
   MachineOptions MOpts;
   MOpts.Seed = Opts.Seed;
   MOpts.Quantum = Opts.Quantum;
+  // The legacy replay tier pairs with the legacy run-phase interpreter,
+  // so `--replay-engine legacy` exercises the reference path end to end.
+  if (Opts.ReplayEngine == "legacy")
+    MOpts.UseDecoded = false;
   MOpts.ProcessInputs = Opts.Inputs;
   if (Opts.Mode == "plain")
     MOpts.Mode = RunMode::Plain;
@@ -476,6 +500,9 @@ int cmdRaces(const CliOptions &Opts) {
 //===----------------------------------------------------------------------===//
 
 int cmdDebug(const CliOptions &Opts) {
+  ReplayEngineKind Engine;
+  if (!resolveReplayEngine(Opts, Engine))
+    return 64;
   auto Prog = compileFile(Opts);
   if (!Prog)
     return 1;
@@ -501,6 +528,7 @@ int cmdDebug(const CliOptions &Opts) {
   PpdControllerOptions COpts;
   COpts.Service.Threads = Opts.ReplayThreads;
   COpts.Service.Prefetch = Opts.Prefetch;
+  COpts.Service.Engine = Engine;
   PpdController Controller(*Prog, std::move(Log), COpts);
   DebugSession Session(*Prog, Controller);
   std::printf("PPD debugging phase. Type 'help' for commands.\n");
@@ -547,12 +575,16 @@ int cmdServe(const CliOptions &Opts) {
     std::fprintf(stderr, "error: serve needs --socket PATH\n");
     return 64;
   }
+  ReplayEngineKind Engine;
+  if (!resolveReplayEngine(Opts, Engine))
+    return 64;
   DebugServerOptions SOpts;
   SOpts.Threads = Opts.ServerThreads;
   SOpts.QueueLimit = Opts.QueueLimit;
   SOpts.TimeoutMs = Opts.TimeoutMs;
   SOpts.Registry.MaxSessions = Opts.MaxSessions;
   SOpts.Registry.ReplayThreads = Opts.ReplayThreads;
+  SOpts.Registry.Engine = Engine;
   DebugServer Server(SOpts);
 
   std::vector<std::string> Files;

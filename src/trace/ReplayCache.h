@@ -96,6 +96,20 @@ public:
     return It->second->Value;
   }
 
+  /// lookup without the hit/miss accounting: the single-flight path
+  /// re-checks the cache under its own lock before becoming the leader,
+  /// and that internal probe must not show up in the stats a user's
+  /// request pattern is read from.
+  std::shared_ptr<const V> peek(const ReplayKey &Key) {
+    Shard &S = shardOf(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end())
+      return nullptr;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return It->second->Value;
+  }
+
   /// Inserts (or replaces) \p Value, accounted as \p Bytes, evicting
   /// least-recently-used entries of the same shard as needed.
   void insert(const ReplayKey &Key, std::shared_ptr<const V> Value,

@@ -24,9 +24,9 @@
 #define PPD_TRACE_TRACEEVENT_H
 
 #include "lang/Ast.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
-#include <vector>
 
 namespace ppd {
 
@@ -59,10 +59,15 @@ struct TraceEvent {
   uint32_t Callee = InvalidId;
   /// Return value (CallEnd/CallSkipped).
   int64_t Value = 0;
-  /// Argument values (CallBegin).
-  std::vector<int64_t> Args;
-  std::vector<TraceAccess> Reads;
-  std::vector<TraceAccess> Writes;
+  /// Argument values (CallBegin). Inline storage: events are constructed
+  /// once per replayed statement, so a heap allocation per access list
+  /// would put the allocator on the replay engines' hot path (it was
+  /// ~half the per-statement cost of a warm replay before these were
+  /// SmallVecs). Typical statements read one or two variables and write
+  /// at most one; the spill path covers the rest.
+  SmallVec<int64_t, 2> Args;
+  SmallVec<TraceAccess, 2> Reads;
+  SmallVec<TraceAccess, 1> Writes;
   /// Predicate outcome: set for if/while/for condition events.
   bool IsPredicate = false;
   bool BranchTaken = false;
@@ -91,6 +96,15 @@ public:
     Event.Index = uint32_t(Events.size());
     Events.push_back(std::move(Event));
     return Events.back();
+  }
+
+  /// In-place append for the per-statement hot path: constructs the event
+  /// directly in the buffer (no intermediate move of the ~200-byte
+  /// event), numbered and defaulted to Stmt kind. Callers fill the rest.
+  TraceEvent &emplace() {
+    TraceEvent &E = Events.emplace_back();
+    E.Index = uint32_t(Events.size() - 1);
+    return E;
   }
 
   size_t byteSize() const {

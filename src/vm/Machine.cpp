@@ -712,11 +712,10 @@ bool Machine::step(Process &P) {
 
   case Op::TraceStmt: {
     if (tracing()) {
-      TraceEvent E;
-      E.Kind = TraceEventKind::Stmt;
+      TraceEvent &E = Traces[P.Pid].emplace();
       E.Pid = P.Pid;
       E.Stmt = StmtId(I.A);
-      P.Frames.back().OpenEvent = Traces[P.Pid].append(std::move(E)).Index;
+      P.Frames.back().OpenEvent = E.Index;
     }
     return true;
   }
@@ -1165,12 +1164,10 @@ uint32_t Machine::runSlice(Process &P, uint32_t Budget) {
 
       PPD_OP(TraceStmt) {
         if constexpr (DoTrace) {
-          TraceEvent E;
-          E.Kind = TraceEventKind::Stmt;
+          TraceEvent &E = Traces[P.Pid].emplace();
           E.Pid = P.Pid;
           E.Stmt = StmtId(I.A);
-          P.Frames.back().OpenEvent =
-              Traces[P.Pid].append(std::move(E)).Index;
+          P.Frames.back().OpenEvent = E.Index;
         }
         continue;
       }

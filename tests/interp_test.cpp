@@ -244,9 +244,9 @@ TEST(InterpTest, ReplayEnginesAgreeOnEveryInterval) {
     for (uint32_t Pid = 0; Pid != R.Log.Procs.size(); ++Pid) {
       for (const LogInterval &Interval : Index.intervals(Pid)) {
         ReplayOptions Decoded;
-        Decoded.UseDecoded = true;
+        Decoded.Engine = ReplayEngineKind::Decoded;
         ReplayOptions Legacy;
-        Legacy.UseDecoded = false;
+        Legacy.Engine = ReplayEngineKind::Legacy;
         ReplayResult D = Engine.replay(R.Log, Pid, Interval, Decoded);
         ReplayResult L = Engine.replay(R.Log, Pid, Interval, Legacy);
         std::string Label = std::string(Name) + " pid " +
