@@ -25,6 +25,26 @@ LogIndex buildIndex(const ExecutionLog &Log, unsigned Threads) {
   return LogIndex(Log, &Pool);
 }
 
+/// Paged-mode index: adopt the caller's (the `.ppdb` sidecar's) when one
+/// came along, else skim the store — record bodies stay on disk either
+/// way.
+LogIndex buildPagedIndex(const PageStore &Store,
+                         std::shared_ptr<const LogIndex> Index,
+                         unsigned Threads) {
+  if (Index)
+    return *Index;
+  if (Threads == 0 || Store.numProcs() < 2)
+    return LogIndex(Store);
+  ThreadPool Pool(Threads);
+  return LogIndex(Store, &Pool);
+}
+
+ReplayServiceOptions withPaged(ReplayServiceOptions Options,
+                               const PagedLog &Paged) {
+  Options.Paged = Paged;
+  return Options;
+}
+
 } // namespace
 
 PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log,
@@ -32,7 +52,18 @@ PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log,
     : Prog(Prog), Log(std::move(Log)),
       Index(buildIndex(this->Log, Options.Service.Threads)),
       Service(Prog, this->Log, Index, Options.Service),
-      Builder(Prog, Graph) {}
+      Builder(Prog, Graph), ParGraph(std::move(Options.AdoptedGraph)) {}
+
+PpdController::PpdController(const CompiledProgram &Prog, PagedLog PagedIn,
+                             std::shared_ptr<const LogIndex> IndexIn,
+                             PpdControllerOptions Options)
+    : Prog(Prog), Paged(std::move(PagedIn)), Log(Paged.Store->facadeLog()),
+      Index(buildPagedIndex(*Paged.Store, std::move(IndexIn),
+                            Options.Service.Threads)),
+      Service(Prog, this->Log, Index, withPaged(Options.Service, Paged)),
+      Builder(Prog, Graph), ParGraph(std::move(Options.AdoptedGraph)) {
+  assert(Paged && "paged controller needs both a store and a pool");
+}
 
 void PpdController::syncServiceStats() {
   ReplayServiceStats S = Service.stats();
@@ -287,10 +318,33 @@ DynNodeId PpdController::materializeWriter(EdgeRef Producer, VarId Var,
   return Best;
 }
 
+uint32_t PpdController::recordEnd(uint32_t Pid) const {
+  if (Paged)
+    return uint32_t(Paged.Store->section(Pid).NumRecords);
+  return uint32_t(Log.Procs[Pid].Records.size());
+}
+
 const ParallelDynamicGraph &PpdController::parallelGraph() {
-  if (!ParGraph)
+  if (ParGraph)
+    return *ParGraph;
+  if (Paged) {
+    // Incremental build, pinning one section at a time: peak memory is
+    // the largest single section (plus whatever else the pool caches),
+    // never the whole log. The result is identical to the whole-log
+    // constructor's.
+    auto PG = std::make_unique<ParallelDynamicGraph>(
+        Prog.Symbols->NumSharedVars, uint32_t(Paged.Store->numProcs()));
+    for (uint32_t Pid = 0; Pid != Paged.Store->numProcs(); ++Pid) {
+      BufferPool::Pin Pin = Paged.Pool->pin(*Paged.Store, Pid);
+      if (Pin)
+        PG->addProcess(Pid, Pin.log());
+    }
+    PG->finalize();
+    ParGraph = std::move(PG);
+  } else {
     ParGraph = std::make_unique<ParallelDynamicGraph>(
         Log, Prog.Symbols->NumSharedVars);
+  }
   return *ParGraph;
 }
 
@@ -356,7 +410,7 @@ void PpdController::spliceSyncEdges(uint32_t Pid, uint32_t IntervalIdx) {
   const ParallelDynamicGraph &PG = parallelGraph();
   const LogInterval &Interval = Index.intervals(Pid)[IntervalIdx];
   uint32_t End = Interval.PostlogRecord == InvalidId
-                     ? uint32_t(Log.Procs[Pid].Records.size())
+                     ? recordEnd(Pid)
                      : Interval.PostlogRecord;
 
   for (uint32_t NodeIdx = 0; NodeIdx != PG.nodes(Pid).size(); ++NodeIdx) {
@@ -418,15 +472,23 @@ RestoredState PpdController::restoreGlobals(uint32_t Pid,
          "interval index out of range");
   uint32_t EndRecord = Index.intervals(Pid)[UptoInterval].PostlogRecord;
   if (EndRecord == InvalidId)
-    EndRecord = uint32_t(Log.Procs[Pid].Records.size());
+    EndRecord = recordEnd(Pid);
 
   // §5.7: "the accumulation of the information carried by all the postlogs
   // from postlog(1) up to postlog(i) is the same as the program state at
   // the time postlog(i) is made." (Globals; unit logs refresh shared
-  // values read from other processes.)
-  const RecordSeq &Records = Log.Procs[Pid].Records;
-  for (uint32_t Idx = 0; Idx <= EndRecord && Idx < Records.size(); ++Idx) {
-    const LogRecord &R = Records[Idx];
+  // values read from other processes.) In paged mode the walk pins the
+  // process's section for its duration; the facade log has no records.
+  BufferPool::Pin Pin;
+  const RecordSeq *Records = &Log.Procs[Pid].Records;
+  if (Paged) {
+    Pin = Paged.Pool->pin(*Paged.Store, Pid);
+    if (!Pin)
+      return State;
+    Records = &Pin.log().Records;
+  }
+  for (uint32_t Idx = 0; Idx <= EndRecord && Idx < Records->size(); ++Idx) {
+    const LogRecord &R = (*Records)[Idx];
     if (R.Kind != LogRecordKind::Postlog && R.Kind != LogRecordKind::UnitLog)
       continue;
     for (const VarValue &V : R.Vars) {

@@ -81,6 +81,12 @@ struct PpdControllerOptions {
   /// keeps the controller fully deterministic and its Replays counter
   /// equal to exactly the intervals queries demanded.
   ReplayServiceOptions Service;
+  /// A pre-built parallel dynamic graph (the `.ppdb` sidecar's) to adopt
+  /// instead of constructing one on first use. Constructing it scans
+  /// every process's sync records — in paged mode that faults every
+  /// section in — so adoption is what makes a warm open's first query
+  /// touch only the sections it actually replays.
+  std::shared_ptr<const ParallelDynamicGraph> AdoptedGraph;
 };
 
 class PpdController {
@@ -88,8 +94,19 @@ public:
   PpdController(const CompiledProgram &Prog, ExecutionLog Log,
                 PpdControllerOptions Options = {});
 
+  /// Paged session: record streams stay in \p Paged's store and fault in
+  /// through its buffer pool; the controller's log() is the store's
+  /// facade (headers + output, empty records). \p Index may carry a
+  /// pre-built index (the `.ppdb` sidecar's); null skims one from the
+  /// store without decoding record bodies.
+  PpdController(const CompiledProgram &Prog, PagedLog Paged,
+                std::shared_ptr<const LogIndex> Index = nullptr,
+                PpdControllerOptions Options = {});
+
   const CompiledProgram &program() const { return Prog; }
   const ExecutionLog &log() const { return Log; }
+  /// Paged mode's store/pool pair; falsy for whole-load sessions.
+  const PagedLog &paged() const { return Paged; }
   const LogIndex &logIndex() const { return Index; }
   DynamicGraph &graph() { return Graph; }
   const DynamicGraph &graph() const { return Graph; }
@@ -175,6 +192,11 @@ private:
     BuiltFragment Fragment;
   };
 
+  /// One past the last record of \p Pid — the open-interval end marker.
+  /// Comes from the section header in paged mode (the facade log has no
+  /// records) and from the loaded records otherwise.
+  uint32_t recordEnd(uint32_t Pid) const;
+
   CrossReadResolution resolveCrossRead(uint32_t ReaderPid,
                                        const UnresolvedRead &Read);
   /// Finds the node of the write to (Var) within \p Producer's internal
@@ -190,13 +212,15 @@ private:
   void syncServiceStats();
 
   const CompiledProgram &Prog;
+  /// Falsy in whole-load mode; in paged mode Log below is the facade.
+  PagedLog Paged;
   ExecutionLog Log;
   LogIndex Index;
   ParallelReplayer Service;
   DynamicGraph Graph;
   GraphBuilder Builder;
   std::map<std::pair<uint32_t, uint32_t>, CacheEntry> Cache;
-  std::unique_ptr<ParallelDynamicGraph> ParGraph;
+  std::shared_ptr<const ParallelDynamicGraph> ParGraph;
   ControllerStats Stats;
 };
 

@@ -45,11 +45,11 @@ struct RFrame {
 /// The single-process replay interpreter.
 class Replayer {
 public:
-  Replayer(const CompiledProgram &Prog, const ExecutionLog &Log,
+  Replayer(const CompiledProgram &Prog, const ProcessLog &Proc,
            uint32_t Pid, const LogInterval &Interval,
            const ReplayOptions &Options, JitProgram *Jit)
-      : Prog(Prog), Records(Log.Procs[Pid].Records), Pid(Pid),
-        Interval(Interval), Options(Options), Jit(Jit) {}
+      : Prog(Prog), Records(Proc.Records), Pid(Pid), Interval(Interval),
+        Options(Options), Jit(Jit) {}
 
   ReplayResult run();
 
@@ -1380,6 +1380,12 @@ ReplayEngine::ReplayEngine(const CompiledProgram &Prog,
 ReplayResult ReplayEngine::replay(const ExecutionLog &Log, uint32_t Pid,
                                   const LogInterval &Interval,
                                   const ReplayOptions &Options) const {
-  Replayer R(Prog, Log, Pid, Interval, Options, Jit.get());
+  return replay(Log.Procs[Pid], Pid, Interval, Options);
+}
+
+ReplayResult ReplayEngine::replay(const ProcessLog &Proc, uint32_t Pid,
+                                  const LogInterval &Interval,
+                                  const ReplayOptions &Options) const {
+  Replayer R(Prog, Proc, Pid, Interval, Options, Jit.get());
   return R.run();
 }

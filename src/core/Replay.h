@@ -127,6 +127,14 @@ public:
                       const LogInterval &Interval,
                       const ReplayOptions &Options = {}) const;
 
+  /// Same, over one process's log directly — the paged path, where the
+  /// section arrives as a buffer-pool pin rather than a whole
+  /// ExecutionLog. Replay only ever reads the replayed process's records,
+  /// so both overloads produce identical results.
+  ReplayResult replay(const ProcessLog &Proc, uint32_t Pid,
+                      const LogInterval &Interval,
+                      const ReplayOptions &Options = {}) const;
+
   /// The JIT state backing this engine; null when unavailable.
   JitProgram *jit() const { return Jit.get(); }
 

@@ -59,6 +59,14 @@ std::string ppd::renderReplayServiceStats(const ReplayServiceStats &Stats) {
          ", exec_ms " + std::to_string(Stats.JitExecNs / 1000000) +
          ", replays " + std::to_string(Stats.JitReplays) + ", bailouts " +
          std::to_string(Stats.JitBailouts) + "\n";
+  if (Stats.HasBuffer)
+    Out += "bufferpool: hits " + std::to_string(Stats.Buffer.Hits) +
+           ", misses " + std::to_string(Stats.Buffer.Misses) +
+           ", evictions " + std::to_string(Stats.Buffer.Evictions) +
+           ", resident " + std::to_string(Stats.Buffer.BytesResident) +
+           ", pinned " + std::to_string(Stats.Buffer.BytesPinned) +
+           ", peak " + std::to_string(Stats.Buffer.PeakBytes) +
+           ", budget " + std::to_string(Stats.Buffer.Budget) + "\n";
   return Out;
 }
 
@@ -129,8 +137,27 @@ ParallelReplayer::replayMiss(const ReplayKey &Key,
   ReplayOptions ROpts;
   ROpts.Overrides = Overrides;
   ROpts.Engine = Options.Engine;
-  auto Result = std::make_shared<const ReplayResult>(Engine.replay(
-      Log, Key.Pid, Index.intervals(Key.Pid)[Key.Interval], ROpts));
+  std::shared_ptr<const ReplayResult> Result;
+  if (Options.Paged) {
+    // Paged mode: fault the section in and pin it for exactly the span of
+    // the interval re-execution; the pin releases before the result is
+    // published, so cached hits hold no pool memory.
+    BufferPool::Pin Pin =
+        Options.Paged.Pool->pin(*Options.Paged.Store, Key.Pid);
+    if (!Pin) {
+      ReplayResult Failed;
+      Failed.Ok = false;
+      Failed.Error = "section decode failed (corrupt log bytes)";
+      Result = std::make_shared<const ReplayResult>(std::move(Failed));
+    } else {
+      Result = std::make_shared<const ReplayResult>(
+          Engine.replay(Pin.log(), Key.Pid,
+                        Index.intervals(Key.Pid)[Key.Interval], ROpts));
+    }
+  } else {
+    Result = std::make_shared<const ReplayResult>(Engine.replay(
+        Log, Key.Pid, Index.intervals(Key.Pid)[Key.Interval], ROpts));
+  }
   EngineReplays.fetch_add(1, std::memory_order_relaxed);
   EngineInstructions.fetch_add(Result->Instructions,
                                std::memory_order_relaxed);
@@ -267,6 +294,10 @@ ReplayServiceStats ParallelReplayer::stats() const {
   Out.EngineInstructions =
       EngineInstructions.load(std::memory_order_relaxed);
   Out.PrefetchesIssued = PrefetchesIssued.load(std::memory_order_relaxed);
+  if (Options.Paged) {
+    Out.Buffer = Options.Paged.Pool->stats();
+    Out.HasBuffer = true;
+  }
   if (const JitProgram *Jit = Engine.jit()) {
     JitStats JS = Jit->stats();
     Out.JitCompiles = JS.Compiles;

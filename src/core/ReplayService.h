@@ -34,7 +34,9 @@
 #define PPD_CORE_REPLAYSERVICE_H
 
 #include "core/Replay.h"
+#include "log/BufferPool.h"
 #include "log/ExecutionLog.h"
+#include "log/PageStore.h"
 #include "support/ThreadPool.h"
 #include "trace/ReplayCache.h"
 
@@ -88,6 +90,13 @@ struct ReplayServiceOptions {
   /// must outlive the replayer.
   ThreadPool *SharedPool = nullptr;
 
+  /// Paged mode: when set, the ExecutionLog passed to the replayer is the
+  /// store's facade (headers only) and every cache miss pins the
+  /// replayed process's section in the buffer pool for the duration of
+  /// the interval re-execution, unpinning on completion. Unset: records
+  /// come from the whole-loaded log, as before.
+  PagedLog Paged;
+
   /// The replay tier every miss runs with.
   ReplayEngineKind Engine = ReplayEngineKind::Jit;
   /// JIT state shared with other replayers of the same program (the
@@ -99,6 +108,9 @@ struct ReplayServiceOptions {
 struct ReplayServiceStats {
   ReplayCacheStats Cache;
   ThreadPoolStats Pool;
+  /// Buffer-pool counters; meaningful only when HasBuffer (paged mode).
+  BufferPoolStats Buffer;
+  bool HasBuffer = false;
   /// Replays actually executed by the engine (cache misses).
   uint64_t EngineReplays = 0;
   /// Instructions executed across those replays.

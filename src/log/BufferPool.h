@@ -1,0 +1,140 @@
+//===- log/BufferPool.h - Shared LRU pool of decoded sections ---*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BufferPool caches decoded process sections under a byte budget — the
+/// memory half of the paged log tier (DESIGN.md §12). One pool is shared
+/// by every session of a server (and by the single session of `ppd
+/// debug`), so resident decoded-log memory is bounded by the budget plus
+/// whatever is pinned, no matter how many programs are hosted.
+///
+/// The design follows the classic database buffer-pool split (InnoDB's
+/// handler/buffer-pool seam is the idiom reference): the PageStore knows
+/// how to materialize a page (decode a section), the pool decides which
+/// materialized pages stay resident. Frames are keyed by (store id, pid),
+/// LRU-ordered per shard, and pinned by refcount while a replay walks
+/// them; eviction takes unpinned frames from the cold end. Concurrent
+/// faults of the same section single-flight: one thread decodes, the
+/// rest wait on the shard's condvar and share the frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LOG_BUFFERPOOL_H
+#define PPD_LOG_BUFFERPOOL_H
+
+#include "log/LogRecord.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ppd {
+
+class PageStore;
+
+/// Monotonic counters plus a point-in-time residency snapshot, surfaced
+/// through `stats` and the server's /metrics.
+struct BufferPoolStats {
+  uint64_t Hits = 0;       ///< pin() served from a resident frame.
+  uint64_t Misses = 0;     ///< pin() had to decode (includes failures).
+  uint64_t Evictions = 0;  ///< frames dropped for budget.
+  uint64_t Insertions = 0; ///< frames decoded and admitted.
+  size_t BytesResident = 0;
+  size_t BytesPinned = 0;
+  size_t Entries = 0;
+  size_t PeakBytes = 0; ///< high-water resident bytes.
+  size_t Budget = 0;
+};
+
+class BufferPool {
+public:
+  /// \p BudgetBytes bounds resident decoded sections (pinned frames can
+  /// exceed it — correctness needs the pinned section regardless of
+  /// budget). Shard count is rounded to a power of two.
+  explicit BufferPool(size_t BudgetBytes, unsigned NumShards = 8);
+  ~BufferPool();
+
+  BufferPool(const BufferPool &) = delete;
+  BufferPool &operator=(const BufferPool &) = delete;
+
+  /// One resident decoded section. The refcount (not the shared_ptr use
+  /// count) is what eviction consults: shard bookkeeping also holds the
+  /// shared_ptr, so liveness and pinnedness are separate notions.
+  struct Frame {
+    ProcessLog Log;
+    size_t Bytes = 0; ///< in-memory footprint (records + spilled vectors).
+    std::atomic<uint32_t> Pins{0};
+  };
+
+  /// RAII pin on one decoded section. While alive, the frame cannot be
+  /// evicted and log() is stable. A default/failed Pin is falsy.
+  class Pin {
+  public:
+    Pin() = default;
+    Pin(Pin &&Other) noexcept : F(std::move(Other.F)) { Other.F = nullptr; }
+    Pin &operator=(Pin &&Other) noexcept {
+      if (this != &Other) {
+        release();
+        F = std::move(Other.F);
+        Other.F = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin &) = delete;
+    Pin &operator=(const Pin &) = delete;
+    ~Pin() { release(); }
+
+    explicit operator bool() const { return F != nullptr; }
+    const ProcessLog &log() const { return F->Log; }
+
+  private:
+    friend class BufferPool;
+    explicit Pin(std::shared_ptr<Frame> F) : F(std::move(F)) {}
+    void release() {
+      if (F) {
+        F->Pins.fetch_sub(1, std::memory_order_release);
+        F = nullptr;
+      }
+    }
+    std::shared_ptr<Frame> F;
+  };
+
+  /// Faults in process \p Pid of \p Store: resident → LRU-front + pin
+  /// (hit); absent → decode, admit, pin (miss), evicting cold unpinned
+  /// frames if over budget. Returns a falsy Pin iff the section fails to
+  /// decode (corrupt bytes under an already-validated header).
+  Pin pin(const PageStore &Store, uint32_t Pid);
+
+  /// Drops every unpinned frame belonging to \p Store (session teardown
+  /// hygiene; pinned frames stay until released, then age out by LRU).
+  void dropStore(const PageStore &Store);
+
+  BufferPoolStats stats() const;
+  size_t budget() const { return Budget; }
+
+private:
+  struct Shard;
+
+  uint64_t keyOf(const PageStore &Store, uint32_t Pid) const;
+  Shard &shardFor(uint64_t Key);
+  void evictCold(Shard &S);
+
+  size_t Budget;
+  size_t ShardBudget;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Insertions{0};
+  std::atomic<size_t> Resident{0};
+  std::atomic<size_t> Peak{0};
+};
+
+} // namespace ppd
+
+#endif // PPD_LOG_BUFFERPOOL_H

@@ -23,10 +23,12 @@
 #include "log/ExecutionLog.h"
 
 #include "bytecode/Instr.h"
+#include "log/LogFormatV2.h"
 #include "log/LogIO.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 using namespace ppd;
@@ -104,7 +106,7 @@ size_t ExecutionLog::byteSize() const {
 
 namespace {
 
-constexpr uint32_t Magic = 0x5050444cu; // "PPDL"
+constexpr uint32_t Magic = v2::FileMagic; // "PPDL"
 
 //===----------------------------------------------------------------------===//
 // v1: fixed-width field stream over stdio (legacy migration format)
@@ -337,12 +339,14 @@ void parallelFor(ThreadPool *Pool, size_t N, const FnT &Fn) {
       std::this_thread::yield();
 }
 
-/// StmtId's InvalidId (~0u) maps to 0 so the common "no statement" case
-/// costs one byte; uint32_t wraparound makes the mapping exact.
-uint64_t stmtCode(uint32_t Stmt) { return uint64_t(uint32_t(Stmt + 1)); }
-uint32_t stmtDecode(uint64_t Code) { return uint32_t(Code) - 1; }
+} // namespace
 
-void writeRecordV2(LogWriter &W, const LogRecord &R, uint64_t &PrevSeq) {
+//===----------------------------------------------------------------------===//
+// The v2 record/section codec (shared interface: LogFormatV2.h)
+//===----------------------------------------------------------------------===//
+
+void ppd::v2::writeRecord(LogWriter &W, const LogRecord &R,
+                          uint64_t &PrevSeq) {
   // One capacity check covers the whole record: 10 bytes per worst-case
   // varint over every field the record can carry, so the per-field
   // emitters below run branch-free on capacity.
@@ -410,7 +414,7 @@ void writeRecordV2(LogWriter &W, const LogRecord &R, uint64_t &PrevSeq) {
   }
 }
 
-bool readRecordV2(ByteReader &R, LogRecord &Out, uint64_t &PrevSeq) {
+bool ppd::v2::readRecord(ByteReader &R, LogRecord &Out, uint64_t &PrevSeq) {
   Out.Kind = LogRecordKind(R.u8());
   auto Vars = [&] {
     uint64_t NumVars = R.varint();
@@ -481,6 +485,170 @@ bool readRecordV2(ByteReader &R, LogRecord &Out, uint64_t &PrevSeq) {
   return R.ok();
 }
 
+bool ppd::v2::readSectionHeader(ByteReader &R, SectionHeader &Out) {
+  Out.Pid = uint32_t(R.varint());
+  Out.RootFunc = uint32_t(R.varint());
+  uint64_t NumArgs = R.varint();
+  if (!R.plausibleCount(NumArgs))
+    return false;
+  Out.Args.resize(NumArgs);
+  for (int64_t &A : Out.Args)
+    A = R.svarint();
+  Out.NumRecords = R.varint();
+  if (!R.plausibleCount(Out.NumRecords))
+    return false;
+  Out.PrelogCount = R.varint();
+  if (!R.plausibleCount(Out.PrelogCount))
+    return false;
+  return R.ok();
+}
+
+bool ppd::v2::decodeSection(ByteReader R, ProcessLog &P) {
+  SectionHeader Header;
+  if (!readSectionHeader(R, Header))
+    return false;
+  P.Pid = Header.Pid;
+  P.RootFunc = Header.RootFunc;
+  P.Args = std::move(Header.Args);
+  P.Records.reserve(Header.NumRecords);
+  uint64_t PrevSeq = 0;
+  for (uint64_t I = 0; I != Header.NumRecords; ++I) {
+    LogRecord &Rec = P.Records.emplace_back();
+    if (!readRecord(R, Rec, PrevSeq))
+      return false;
+    if (Rec.Kind == LogRecordKind::Prelog)
+      ++P.PrelogCount;
+  }
+  // The header's prelog count is the LogIndex reservation; reject files
+  // whose sections disagree with their own headers.
+  return R.ok() && R.atEnd() && P.PrelogCount == Header.PrelogCount;
+}
+
+bool ppd::v2::skimSection(ByteReader R, std::vector<LogInterval> &Intervals,
+                          std::vector<uint32_t> &Open) {
+  SectionHeader Header;
+  if (!readSectionHeader(R, Header))
+    return false;
+  Intervals.reserve(Header.PrelogCount);
+  std::vector<uint32_t> Stack; // interval indices
+
+  // Skips one captured-variables list (the Vars of Prelog/Postlog/UnitLog
+  // records) without materializing values.
+  auto SkipVars = [&] {
+    uint64_t NumVars = R.varint();
+    if (!R.plausibleCount(NumVars))
+      return false;
+    for (uint64_t V = 0; V != NumVars; ++V) {
+      R.varint(); // variable id
+      uint64_t NumValues = R.varint();
+      if (!R.plausibleCount(NumValues))
+        return false;
+      for (uint64_t I = 0; I != NumValues; ++I)
+        R.svarint();
+    }
+    return R.ok();
+  };
+
+  uint64_t Prelogs = 0;
+  for (uint64_t Idx = 0; Idx != Header.NumRecords; ++Idx) {
+    switch (LogRecordKind(R.u8())) {
+    case LogRecordKind::Prelog: {
+      uint32_t EBlock = uint32_t(R.varint());
+      if (!SkipVars())
+        return false;
+      LogInterval Interval;
+      Interval.Index = uint32_t(Intervals.size());
+      Interval.EBlock = EBlock;
+      Interval.PrelogRecord = uint32_t(Idx);
+      Interval.PostlogRecord = InvalidId;
+      Interval.Parent = Stack.empty() ? InvalidId : Stack.back();
+      Interval.Depth = uint32_t(Stack.size());
+      Stack.push_back(Interval.Index);
+      Intervals.push_back(Interval);
+      ++Prelogs;
+      break;
+    }
+    case LogRecordKind::Postlog: {
+      uint32_t EBlock = uint32_t(R.varint());
+      uint32_t Flags = uint32_t(R.varint());
+      if (Flags & PostlogExitsFunction)
+        R.svarint(); // return value
+      if (!SkipVars())
+        return false;
+      // Unlike the in-memory index build (which asserts), a skim reads
+      // untrusted file bytes: structural violations fail the load.
+      if (Stack.empty() || Intervals[Stack.back()].EBlock != EBlock)
+        return false;
+      LogInterval &Interval = Intervals[Stack.back()];
+      Interval.PostlogRecord = uint32_t(Idx);
+      Interval.ExitsFunction = (Flags & PostlogExitsFunction) != 0;
+      Stack.pop_back();
+      break;
+    }
+    case LogRecordKind::UnitLog:
+      R.varint(); // unit id
+      if (!SkipVars())
+        return false;
+      break;
+    case LogRecordKind::Input:
+      R.svarint();
+      break;
+    case LogRecordKind::SyncEvent: {
+      R.u8();      // sync kind
+      R.varint();  // object id
+      R.varint();  // stmt
+      R.svarint(); // value
+      R.svarint(); // seq delta
+      R.varint();  // partner distance
+      uint64_t NumRead = R.varint();
+      if (!R.plausibleCount(NumRead))
+        return false;
+      for (uint64_t I = 0; I != NumRead; ++I)
+        R.varint();
+      uint64_t NumWrite = R.varint();
+      if (!R.plausibleCount(NumWrite))
+        return false;
+      for (uint64_t I = 0; I != NumWrite; ++I)
+        R.varint();
+      break;
+    }
+    case LogRecordKind::Stop:
+      R.varint(); // stmt
+      break;
+    default:
+      return false;
+    }
+    if (!R.ok())
+      return false;
+  }
+  Open = std::move(Stack);
+  return R.ok() && R.atEnd() && Prelogs == Header.PrelogCount;
+}
+
+void ppd::v2::writeOutput(LogWriter &W, const std::vector<OutputRecord> &Out) {
+  W.varint(Out.size());
+  for (const OutputRecord &O : Out) {
+    W.varint(O.Pid);
+    W.svarint(O.Value);
+    W.varint(stmtCode(O.Stmt));
+  }
+}
+
+bool ppd::v2::readOutput(ByteReader &R, std::vector<OutputRecord> &Out) {
+  uint64_t NumOutput = R.varint();
+  if (!R.plausibleCount(NumOutput))
+    return false;
+  Out.resize(NumOutput);
+  for (OutputRecord &O : Out) {
+    O.Pid = uint32_t(R.varint());
+    O.Value = R.svarint();
+    O.Stmt = stmtDecode(R.varint());
+  }
+  return R.ok();
+}
+
+namespace {
+
 void saveV2(LogWriter &W, const ExecutionLog &Log, ThreadPool *Pool) {
   W.varint(Log.Procs.size());
   // Each section is a pure function of its process's records, so with a
@@ -509,7 +677,7 @@ void saveV2(LogWriter &W, const ExecutionLog &Log, ThreadPool *Pool) {
     S.varint(Prelogs);
     uint64_t PrevSeq = 0;
     for (const LogRecord &R : P.Records)
-      writeRecordV2(S, R, PrevSeq);
+      v2::writeRecord(S, R, PrevSeq);
   });
   for (const LogWriter &S : Sections) {
     // The byte length lets the loader skip to the next section without
@@ -517,43 +685,7 @@ void saveV2(LogWriter &W, const ExecutionLog &Log, ThreadPool *Pool) {
     W.varint(S.size());
     W.bytes(S);
   }
-  W.varint(Log.Output.size());
-  for (const OutputRecord &O : Log.Output) {
-    W.varint(O.Pid);
-    W.svarint(O.Value);
-    W.varint(stmtCode(O.Stmt));
-  }
-}
-
-/// Decodes one v2 process section into \p P. Thread-safe: touches only
-/// its own section's bytes and its own ProcessLog.
-bool decodeSectionV2(ByteReader R, ProcessLog &P) {
-  P.Pid = uint32_t(R.varint());
-  P.RootFunc = uint32_t(R.varint());
-  uint64_t NumArgs = R.varint();
-  if (!R.plausibleCount(NumArgs))
-    return false;
-  P.Args.resize(NumArgs);
-  for (int64_t &A : P.Args)
-    A = R.svarint();
-  uint64_t NumRecords = R.varint();
-  if (!R.plausibleCount(NumRecords))
-    return false;
-  uint64_t ClaimedPrelogs = R.varint();
-  if (!R.plausibleCount(ClaimedPrelogs))
-    return false;
-  P.Records.reserve(NumRecords);
-  uint64_t PrevSeq = 0;
-  for (uint64_t I = 0; I != NumRecords; ++I) {
-    LogRecord &Rec = P.Records.emplace_back();
-    if (!readRecordV2(R, Rec, PrevSeq))
-      return false;
-    if (Rec.Kind == LogRecordKind::Prelog)
-      ++P.PrelogCount;
-  }
-  // The header's prelog count is the LogIndex reservation; reject files
-  // whose sections disagree with their own headers.
-  return R.ok() && R.atEnd() && P.PrelogCount == ClaimedPrelogs;
+  v2::writeOutput(W, Log.Output);
 }
 
 bool loadV2(ByteReader &R, ExecutionLog &Out, ThreadPool *Pool) {
@@ -580,21 +712,14 @@ bool loadV2(ByteReader &R, ExecutionLog &Out, ThreadPool *Pool) {
   // the assembled log is identical at any worker count.
   std::atomic<bool> AllOk{true};
   parallelFor(Pool, Sections.size(), [&](size_t I) {
-    if (!decodeSectionV2(Sections[I], Out.Procs[I]))
+    if (!v2::decodeSection(Sections[I], Out.Procs[I]))
       AllOk.store(false, std::memory_order_relaxed);
   });
   if (!AllOk.load(std::memory_order_acquire))
     return false;
 
-  uint64_t NumOutput = R.varint();
-  if (!R.plausibleCount(NumOutput))
+  if (!v2::readOutput(R, Out.Output))
     return false;
-  Out.Output.resize(NumOutput);
-  for (OutputRecord &O : Out.Output) {
-    O.Pid = uint32_t(R.varint());
-    O.Value = R.svarint();
-    O.Stmt = stmtDecode(R.varint());
-  }
   return R.ok() && R.atEnd();
 }
 
@@ -658,6 +783,141 @@ bool ExecutionLog::load(const std::string &Path, ExecutionLog &Out,
     return false;
   Out = std::move(Scratch);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// compactLogFile — streaming v1 → v2 migration
+//===----------------------------------------------------------------------===//
+
+CompactResult ppd::compactLogFile(const std::string &Path,
+                                  std::string &Message) {
+  FileHandle In(Path, "rb");
+  if (!In) {
+    Message = "cannot open '" + Path + "'";
+    return CompactResult::Error;
+  }
+  if (std::fseek(In.get(), 0, SEEK_END) != 0) {
+    Message = "cannot seek '" + Path + "'";
+    return CompactResult::Error;
+  }
+  long FileSize = std::ftell(In.get());
+  if (FileSize < 0 || std::fseek(In.get(), 0, SEEK_SET) != 0) {
+    Message = "cannot seek '" + Path + "'";
+    return CompactResult::Error;
+  }
+
+  StdioReader R(In.get(), size_t(FileSize));
+  if (R.u32() != Magic || !R.ok()) {
+    Message = "'" + Path + "' is not a PPD log (bad magic)";
+    return CompactResult::Error;
+  }
+  uint32_t Version = R.u32();
+  if (Version == uint32_t(LogFormat::V2)) {
+    Message = "'" + Path + "' is already v2";
+    return CompactResult::AlreadyV2;
+  }
+  if (Version != uint32_t(LogFormat::V1)) {
+    Message = "'" + Path + "' has unknown format version " +
+              std::to_string(Version);
+    return CompactResult::Error;
+  }
+
+  // v1 is a sequential per-process stream with record counts up front, so
+  // the conversion streams one section at a time: decode a v1 record,
+  // re-encode it v2, flush the section. Peak memory is one section's
+  // records plus its encoded bytes — never the whole log.
+  std::string TmpPath = Path + ".compact.tmp";
+  FileHandle Out(TmpPath, "wb");
+  if (!Out) {
+    Message = "cannot create '" + TmpPath + "'";
+    return CompactResult::Error;
+  }
+
+  auto Fail = [&](const std::string &Why) {
+    Out.close();
+    std::remove(TmpPath.c_str());
+    Message = Why;
+    return CompactResult::Error;
+  };
+  size_t Written = 0;
+  auto Flush = [&](const LogWriter &W) {
+    Written += W.size();
+    return W.size() == 0 ||
+           std::fwrite(W.data(), 1, W.size(), Out.get()) == W.size();
+  };
+
+  LogWriter Head;
+  Head.u32(Magic);
+  Head.u32(uint32_t(LogFormat::V2));
+  uint32_t NumProcs = R.u32();
+  if (!R.plausibleCount(NumProcs))
+    return Fail("'" + Path + "' is corrupt (bad process count)");
+  Head.varint(NumProcs);
+  if (!Flush(Head))
+    return Fail("write failed on '" + TmpPath + "'");
+
+  LogWriter Section;
+  for (uint32_t ProcIdx = 0; ProcIdx != NumProcs; ++ProcIdx) {
+    Section.clear();
+    Section.varint(R.u32()); // Pid
+    Section.varint(R.u32()); // RootFunc
+    uint32_t NumArgs = R.u32();
+    if (!R.plausibleCount(NumArgs))
+      return Fail("'" + Path + "' is corrupt (bad arg count)");
+    Section.varint(NumArgs);
+    for (uint32_t I = 0; I != NumArgs; ++I)
+      Section.svarint(R.i64());
+    uint32_t NumRecords = R.u32();
+    if (!R.plausibleCount(NumRecords))
+      return Fail("'" + Path + "' is corrupt (bad record count)");
+    // The section header carries the record and prelog counts before the
+    // record stream, so encode the records into a scratch writer first.
+    LogWriter Body;
+    Body.reserve(16 * size_t(NumRecords));
+    uint64_t Prelogs = 0, PrevSeq = 0;
+    LogRecord Rec;
+    for (uint32_t I = 0; I != NumRecords; ++I) {
+      Rec = LogRecord();
+      if (!readRecordV1(R, Rec))
+        return Fail("'" + Path + "' is corrupt (truncated record)");
+      if (Rec.Kind == LogRecordKind::Prelog)
+        ++Prelogs;
+      v2::writeRecord(Body, Rec, PrevSeq);
+    }
+    Section.varint(NumRecords);
+    Section.varint(Prelogs);
+    // Section length prefix = header bytes + record bytes.
+    LogWriter Len;
+    Len.varint(Section.size() + Body.size());
+    if (!Flush(Len) || !Flush(Section) || !Flush(Body))
+      return Fail("write failed on '" + TmpPath + "'");
+  }
+
+  LogWriter Trailer;
+  uint32_t NumOutput = R.u32();
+  if (!R.plausibleCount(NumOutput))
+    return Fail("'" + Path + "' is corrupt (bad output count)");
+  Trailer.varint(NumOutput);
+  for (uint32_t I = 0; I != NumOutput; ++I) {
+    Trailer.varint(R.u32());                // Pid
+    Trailer.svarint(R.i64());               // Value
+    Trailer.varint(v2::stmtCode(R.u32())); // Stmt
+  }
+  if (!R.ok() || !R.atEof())
+    return Fail("'" + Path + "' is corrupt (trailing bytes)");
+  if (!Flush(Trailer) || !Out.close())
+    return Fail("write failed on '" + TmpPath + "'");
+
+  // In-place: replace the v1 file only after the v2 bytes are fully
+  // flushed, so an interrupted compact leaves the original untouched.
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    Message = "cannot replace '" + Path + "'";
+    return CompactResult::Error;
+  }
+  Message = "converted '" + Path + "' to v2: " + std::to_string(FileSize) +
+            " -> " + std::to_string(Written) + " bytes";
+  return CompactResult::Converted;
 }
 
 //===----------------------------------------------------------------------===//

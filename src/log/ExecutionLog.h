@@ -29,6 +29,7 @@
 
 namespace ppd {
 
+class PageStore;
 class ThreadPool;
 
 /// On-disk format versions. V1 is the original fixed-width stream; V2 is
@@ -77,6 +78,20 @@ public:
                    ThreadPool *Pool = nullptr);
 };
 
+/// Outcome of a `ppd compact` in-place migration.
+enum class CompactResult {
+  Converted, ///< file was v1 and is now v2.
+  AlreadyV2, ///< nothing to do.
+  Error,     ///< open/decode/write failure; original file left untouched.
+};
+
+/// Rewrites a v1 log file as v2 in place, streaming one process section at
+/// a time (peak memory is one section, never the whole log). The original
+/// file is replaced only after the converted bytes are fully flushed; on
+/// any error it is left untouched. \p Message carries the human-readable
+/// reason for AlreadyV2/Error outcomes.
+CompactResult compactLogFile(const std::string &Path, std::string &Message);
+
 /// One dynamic log interval I_i (the execution of one e-block).
 struct LogInterval {
   uint32_t Index = 0;       ///< per-process interval number, by prelog order.
@@ -98,8 +113,28 @@ public:
   /// exactly from ProcessLog::PrelogCount.
   explicit LogIndex(const ExecutionLog &Log, ThreadPool *Pool = nullptr);
 
+  /// Derives the interval structure straight from a paged store's encoded
+  /// sections (v2::skimSection): record bodies are never materialized, so
+  /// index-only opens cost interval vectors, not decoded logs. Implemented
+  /// in PageStore.cpp. Aborts on sections the store already validated, so
+  /// it cannot fail for a successfully opened store.
+  explicit LogIndex(const PageStore &Store, ThreadPool *Pool = nullptr);
+
+  /// Adopts pre-built interval tables (the `.ppdb` sidecar's persisted
+  /// index).
+  LogIndex(std::vector<std::vector<LogInterval>> Intervals,
+           std::vector<std::vector<uint32_t>> Open)
+      : Intervals(std::move(Intervals)), OpenIntervals(std::move(Open)) {}
+
+  size_t numProcs() const { return Intervals.size(); }
+
   const std::vector<LogInterval> &intervals(uint32_t Pid) const {
     return Intervals[Pid];
+  }
+
+  /// Indices of intervals whose postlog was never written, innermost last.
+  const std::vector<uint32_t> &openIntervals(uint32_t Pid) const {
+    return OpenIntervals[Pid];
   }
 
   /// The interval whose prelog record index is \p RecordIdx, or null.

@@ -1,0 +1,86 @@
+//===- log/LogFormatV2.h - v2 on-disk codec internals -----------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The v2 log format's record and section codecs, shared by the consumers
+/// that must agree byte-for-byte on the encoding:
+///
+///   * ExecutionLog::save/load — whole-file serialization (the original
+///     home of these functions);
+///   * PageStore — the paged storage layer, which decodes one process
+///     section at a time on buffer-pool fault-in and *skims* sections
+///     (record kinds and interval structure only, no body
+///     materialization) for index-only opens;
+///   * compactLogFile — the streaming v1→v2 migration, which re-encodes
+///     one section at a time.
+///
+/// Everything here is an internal interface of src/log: the layout is
+/// documented in DESIGN.md §6 and changes only with a format-version
+/// bump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_LOG_LOGFORMATV2_H
+#define PPD_LOG_LOGFORMATV2_H
+
+#include "log/ExecutionLog.h"
+#include "log/LogIO.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppd {
+namespace v2 {
+
+/// "PPDL" — shared by every format version; the u32 after it selects the
+/// version (LogFormat).
+inline constexpr uint32_t FileMagic = 0x5050444cu;
+
+/// StmtId's InvalidId (~0u) maps to 0 so the common "no statement" case
+/// costs one byte; uint32_t wraparound makes the mapping exact.
+inline uint64_t stmtCode(uint32_t Stmt) { return uint64_t(uint32_t(Stmt + 1)); }
+inline uint32_t stmtDecode(uint64_t Code) { return uint32_t(Code) - 1; }
+
+/// Record codec. \p PrevSeq carries the per-process SyncEvent sequence
+/// delta state across calls; start each section at 0.
+void writeRecord(LogWriter &W, const LogRecord &R, uint64_t &PrevSeq);
+bool readRecord(ByteReader &R, LogRecord &Out, uint64_t &PrevSeq);
+
+/// The fixed prefix of one process section, before the record stream.
+struct SectionHeader {
+  uint32_t Pid = 0;
+  uint32_t RootFunc = 0;
+  std::vector<int64_t> Args;
+  uint64_t NumRecords = 0;
+  uint64_t PrelogCount = 0;
+};
+
+/// Reads a section header, leaving \p R positioned at the first record.
+bool readSectionHeader(ByteReader &R, SectionHeader &Out);
+
+/// Decodes one whole v2 process section into \p P. Thread-safe: touches
+/// only its own section's bytes and its own ProcessLog. Validates the
+/// header's prelog count against the decoded records.
+bool decodeSection(ByteReader R, ProcessLog &P);
+
+/// Skims one v2 process section: walks the record stream reading only the
+/// fields interval construction needs (kind, e-block id, postlog flags)
+/// and builds the LogInterval tree directly. Record bodies — captured
+/// variable values, read/write sets — are skipped over, never
+/// materialized. Validates as strictly as decodeSection (full-section
+/// walk, prelog-count cross-check), but allocates only the interval
+/// vectors.
+bool skimSection(ByteReader R, std::vector<LogInterval> &Intervals,
+                 std::vector<uint32_t> &Open);
+
+/// Output-stream codec (the trailer after the process sections).
+void writeOutput(LogWriter &W, const std::vector<OutputRecord> &Out);
+bool readOutput(ByteReader &R, std::vector<OutputRecord> &Out);
+
+} // namespace v2
+} // namespace ppd
+
+#endif // PPD_LOG_LOGFORMATV2_H

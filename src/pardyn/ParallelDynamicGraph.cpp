@@ -15,48 +15,73 @@
 
 using namespace ppd;
 
+ParallelDynamicGraph::ParallelDynamicGraph(unsigned NumSharedVars,
+                                           uint32_t NumProcs)
+    : NumShared(NumSharedVars) {
+  Nodes.resize(NumProcs);
+  Edges.resize(NumProcs);
+}
+
 ParallelDynamicGraph::ParallelDynamicGraph(const ExecutionLog &Log,
                                            unsigned NumSharedVars)
-    : NumShared(NumSharedVars) {
-  Nodes.resize(Log.Procs.size());
-  Edges.resize(Log.Procs.size());
+    : ParallelDynamicGraph(NumSharedVars, uint32_t(Log.Procs.size())) {
+  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid)
+    addProcess(Pid, Log.Procs[Pid]);
+  finalize();
+}
 
-  // Collect sync nodes and internal edges per process.
-  uint64_t MaxSeq = 0;
-  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
-    const ProcessLog &PL = Log.Procs[Pid];
-    for (uint32_t Idx = 0; Idx != PL.Records.size(); ++Idx) {
-      const LogRecord &R = PL.Records[Idx];
-      if (R.Kind != LogRecordKind::SyncEvent)
-        continue;
-      SyncNode N;
-      N.Kind = R.Sync;
-      N.Object = R.Id;
-      N.Seq = R.Seq;
-      N.PartnerSeq = R.PartnerSeq;
-      N.Stmt = R.Stmt;
-      N.RecordIdx = Idx;
-      MaxSeq = std::max(MaxSeq, R.Seq);
+void ParallelDynamicGraph::addProcess(uint32_t Pid, const ProcessLog &PL) {
+  assert(Pid < Nodes.size() && "pid out of range");
+  assert(Nodes[Pid].empty() && "process added twice");
+  // Collect the process's sync nodes and internal edges.
+  for (uint32_t Idx = 0; Idx != PL.Records.size(); ++Idx) {
+    const LogRecord &R = PL.Records[Idx];
+    if (R.Kind != LogRecordKind::SyncEvent)
+      continue;
+    SyncNode N;
+    N.Kind = R.Sync;
+    N.Object = R.Id;
+    N.Seq = R.Seq;
+    N.PartnerSeq = R.PartnerSeq;
+    N.Stmt = R.Stmt;
+    N.RecordIdx = Idx;
 
-      if (!Nodes[Pid].empty()) {
-        InternalEdge E;
-        E.Pid = Pid;
-        E.EndNode = uint32_t(Nodes[Pid].size());
-        // Pre-size to the shared segment so the insert loops never
-        // reallocate (ids are SharedIndex values, bounded by NumShared).
-        E.Reads.reserveFor(NumShared);
-        E.Writes.reserveFor(NumShared);
-        for (uint32_t S : R.ReadSet)
-          E.Reads.insert(S);
-        for (uint32_t S : R.WriteSet)
-          E.Writes.insert(S);
-        Edges[Pid].push_back(std::move(E));
-      }
-      Nodes[Pid].push_back(std::move(N));
+    if (!Nodes[Pid].empty()) {
+      InternalEdge E;
+      E.Pid = Pid;
+      E.EndNode = uint32_t(Nodes[Pid].size());
+      // Pre-size to the shared segment so the insert loops never
+      // reallocate (ids are SharedIndex values, bounded by NumShared).
+      E.Reads.reserveFor(NumShared);
+      E.Writes.reserveFor(NumShared);
+      for (uint32_t S : R.ReadSet)
+        E.Reads.insert(S);
+      for (uint32_t S : R.WriteSet)
+        E.Writes.insert(S);
+      Edges[Pid].push_back(std::move(E));
     }
+    Nodes[Pid].push_back(std::move(N));
   }
+}
 
+void ParallelDynamicGraph::adoptProcess(uint32_t Pid,
+                                        std::vector<SyncNode> ProcNodes,
+                                        std::vector<InternalEdge> ProcEdges) {
+  assert(Pid < Nodes.size() && "pid out of range");
+  assert(Nodes[Pid].empty() && "process added twice");
+  assert((ProcNodes.empty() ? ProcEdges.empty()
+                            : ProcEdges.size() == ProcNodes.size() - 1) &&
+         "edge i must end at node i+1");
+  Nodes[Pid] = std::move(ProcNodes);
+  Edges[Pid] = std::move(ProcEdges);
+}
+
+void ParallelDynamicGraph::finalize() {
   // Seq lookup table.
+  uint64_t MaxSeq = 0;
+  for (const std::vector<SyncNode> &ProcNodes : Nodes)
+    for (const SyncNode &N : ProcNodes)
+      MaxSeq = std::max(MaxSeq, N.Seq);
   BySeq.assign(size_t(MaxSeq) + 1, SyncNodeRef());
   for (uint32_t Pid = 0; Pid != Nodes.size(); ++Pid)
     for (uint32_t Idx = 0; Idx != Nodes[Pid].size(); ++Idx)

@@ -83,6 +83,24 @@ class ParallelDynamicGraph {
 public:
   ParallelDynamicGraph(const ExecutionLog &Log, unsigned NumSharedVars);
 
+  /// Incremental construction, for callers that materialize one process's
+  /// records at a time (the paged controller pins sections through a
+  /// buffer pool and never holds the whole log): construct with the
+  /// process count, addProcess() each section in any order, finalize()
+  /// once. The finished graph is identical to the whole-log constructor's.
+  ParallelDynamicGraph(unsigned NumSharedVars, uint32_t NumProcs);
+  void addProcess(uint32_t Pid, const ProcessLog &PL);
+  void finalize();
+
+  /// Deserialization path (the `.ppdb` sidecar persists the graph so a
+  /// warm open never scans record streams): install one process's
+  /// pre-extracted node and edge rows verbatim, then finalize() once.
+  /// Rows carry only what addProcess reads from sync records — Clock and
+  /// the seq lookup are recomputed by finalize(). Edge i must end at
+  /// node i+1, the invariant addProcess establishes.
+  void adoptProcess(uint32_t Pid, std::vector<SyncNode> ProcNodes,
+                    std::vector<InternalEdge> ProcEdges);
+
   unsigned numProcs() const { return unsigned(Nodes.size()); }
   const std::vector<SyncNode> &nodes(uint32_t Pid) const {
     return Nodes[Pid];

@@ -27,6 +27,14 @@ uint32_t DebugServer::addProgram(std::unique_ptr<CompiledProgram> Prog,
   return Registry->addProgram(std::move(Prog), std::move(Log));
 }
 
+uint32_t DebugServer::addProgram(
+    std::unique_ptr<CompiledProgram> Prog, PagedLog Paged,
+    std::shared_ptr<const LogIndex> Index,
+    std::shared_ptr<const ParallelDynamicGraph> Graph) {
+  return Registry->addProgram(std::move(Prog), std::move(Paged),
+                              std::move(Index), std::move(Graph));
+}
+
 void DebugServer::drain() { Scheduler->drain(); }
 
 bool DebugServer::shuttingDown() const {

@@ -63,6 +63,14 @@ public:
   uint32_t addProgram(std::unique_ptr<CompiledProgram> Prog,
                       ExecutionLog Log);
 
+  /// Paged variant: sessions fault log sections in through the registry's
+  /// shared buffer pool instead of copying the whole log. \p Index and
+  /// \p Graph carry the `.ppdb` sidecar's persisted artifacts when warm.
+  uint32_t
+  addProgram(std::unique_ptr<CompiledProgram> Prog, PagedLog Paged,
+             std::shared_ptr<const LogIndex> Index = nullptr,
+             std::shared_ptr<const ParallelDynamicGraph> Graph = nullptr);
+
   /// Dispatches one decoded request synchronously.
   Response handle(const Request &Req);
 

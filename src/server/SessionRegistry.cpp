@@ -32,6 +32,32 @@ uint32_t SessionRegistry::addProgram(std::unique_ptr<CompiledProgram> Prog,
   return uint32_t(Programs.size() - 1);
 }
 
+uint32_t SessionRegistry::addProgram(
+    std::unique_ptr<CompiledProgram> Prog, PagedLog Paged,
+    std::shared_ptr<const LogIndex> Index,
+    std::shared_ptr<const ParallelDynamicGraph> Graph) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Paged.Pool) {
+    if (!SectionPool)
+      SectionPool = std::make_shared<BufferPool>(Options.PoolBudget);
+    Paged.Pool = SectionPool;
+  }
+  ProgramEntry Entry;
+  Entry.Prog = std::move(Prog);
+  Entry.TemplateLog = Paged.Store->facadeLog();
+  Entry.PagedIndex =
+      Index ? std::move(Index)
+            : std::make_shared<const LogIndex>(*Paged.Store);
+  Entry.PagedGraph = std::move(Graph);
+  Entry.Paged = std::move(Paged);
+  Entry.Cache = std::make_shared<ReplayCache<ReplayResult>>(
+      Options.CacheBytes, Options.CacheShards);
+  Entry.Flights = std::make_shared<ReplayFlightTable>();
+  Entry.Jit = JitProgram::create(*Entry.Prog);
+  Programs.push_back(std::move(Entry));
+  return uint32_t(Programs.size() - 1);
+}
+
 size_t SessionRegistry::numPrograms() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Programs.size();
@@ -57,9 +83,16 @@ uint64_t SessionRegistry::open(uint32_t ProgramIndex) {
   S->ProgramIndex = ProgramIndex;
   // Each session owns a copy of the template log: controllers mutate
   // nothing in it, but owning the copy keeps session lifetime independent
-  // of registry growth (Programs may reallocate its vector).
-  S->Controller = std::make_unique<PpdController>(
-      *Entry.Prog, Entry.TemplateLog, COpts);
+  // of registry growth (Programs may reallocate its vector). Paged
+  // programs copy only the facade — record bodies fault in through the
+  // shared pool and are never duplicated per session.
+  if (Entry.Paged) {
+    COpts.AdoptedGraph = Entry.PagedGraph;
+    S->Controller = std::make_unique<PpdController>(
+        *Entry.Prog, Entry.Paged, Entry.PagedIndex, COpts);
+  } else
+    S->Controller = std::make_unique<PpdController>(
+        *Entry.Prog, Entry.TemplateLog, COpts);
   S->Debug = std::make_unique<DebugSession>(*Entry.Prog, *S->Controller);
   S->LastUsedTick = ++Tick;
   Sessions.emplace(S->Id, S);
@@ -143,5 +176,30 @@ ReplayServiceStats SessionRegistry::aggregateReplayStats() const {
   }
   if (ReplayPool)
     Out.Pool = ReplayPool->stats();
+  // Buffer-pool stats: programs may share one pool (the registry's) or
+  // bring their own, so sum each distinct pool exactly once.
+  std::vector<const BufferPool *> Seen;
+  auto AddPool = [&](const std::shared_ptr<BufferPool> &P) {
+    if (!P)
+      return;
+    for (const BufferPool *Q : Seen)
+      if (Q == P.get())
+        return;
+    Seen.push_back(P.get());
+    BufferPoolStats B = P->stats();
+    Out.Buffer.Hits += B.Hits;
+    Out.Buffer.Misses += B.Misses;
+    Out.Buffer.Evictions += B.Evictions;
+    Out.Buffer.Insertions += B.Insertions;
+    Out.Buffer.BytesResident += B.BytesResident;
+    Out.Buffer.BytesPinned += B.BytesPinned;
+    Out.Buffer.Entries += B.Entries;
+    Out.Buffer.PeakBytes += B.PeakBytes;
+    Out.Buffer.Budget += B.Budget;
+    Out.HasBuffer = true;
+  };
+  AddPool(SectionPool);
+  for (const ProgramEntry &Entry : Programs)
+    AddPool(Entry.Paged.Pool);
   return Out;
 }

@@ -34,6 +34,8 @@
 
 #include "core/Controller.h"
 #include "core/DebugSession.h"
+#include "log/BufferPool.h"
+#include "log/PageStore.h"
 
 #include <atomic>
 #include <cstdint>
@@ -56,6 +58,9 @@ struct SessionRegistryOptions {
   unsigned ReplayThreads = 0;
   /// Replay tier every session runs with.
   ReplayEngineKind Engine = ReplayEngineKind::Jit;
+  /// Byte budget of the buffer pool shared by every paged program whose
+  /// PagedLog arrives without a pool of its own.
+  size_t PoolBudget = size_t(256) << 20;
 };
 
 class SessionRegistry {
@@ -115,6 +120,18 @@ public:
   uint32_t addProgram(std::unique_ptr<CompiledProgram> Prog,
                       ExecutionLog Log);
 
+  /// Paged variant: the template log is the store's facade (headers +
+  /// output, no record bodies); sessions fault sections in through the
+  /// pool. When \p Paged carries no pool, the registry's shared pool
+  /// (created on demand with Options.PoolBudget) is used. \p Index may be
+  /// a pre-built sidecar index; null skims one from the store here, once.
+  /// \p Graph, when set, is the sidecar's parallel dynamic graph, adopted
+  /// by every session instead of each faulting all sections to build one.
+  uint32_t
+  addProgram(std::unique_ptr<CompiledProgram> Prog, PagedLog Paged,
+             std::shared_ptr<const LogIndex> Index = nullptr,
+             std::shared_ptr<const ParallelDynamicGraph> Graph = nullptr);
+
   size_t numPrograms() const;
 
   /// Opens a session against program \p ProgramIndex. Returns 0 when the
@@ -144,6 +161,14 @@ private:
   struct ProgramEntry {
     std::unique_ptr<CompiledProgram> Prog;
     ExecutionLog TemplateLog;
+    /// Falsy for whole-load programs; when set, TemplateLog is the facade.
+    PagedLog Paged;
+    /// Shared per-program index for paged programs (sessions reference it
+    /// instead of re-skimming per open).
+    std::shared_ptr<const LogIndex> PagedIndex;
+    /// Sidecar parallel dynamic graph for paged programs; null when the
+    /// program was registered without one (sessions build lazily).
+    std::shared_ptr<const ParallelDynamicGraph> PagedGraph;
     std::shared_ptr<ReplayCache<ReplayResult>> Cache;
     std::shared_ptr<ReplayFlightTable> Flights;
     /// One JIT state per program: compiled code and hotness aggregate
@@ -152,6 +177,9 @@ private:
   };
 
   SessionRegistryOptions Options;
+  /// Section buffer pool shared by paged programs that did not bring
+  /// their own; created on first paged addProgram.
+  std::shared_ptr<BufferPool> SectionPool;
   /// Replay pool shared by every session's replay service; null when
   /// Options.ReplayThreads == 0. Only replay tasks run here — request
   /// tasks live on the scheduler's pool — so a help-draining request

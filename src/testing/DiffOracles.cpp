@@ -12,8 +12,10 @@
 #include "core/DebugSession.h"
 #include "core/Replay.h"
 #include "core/ReplayService.h"
+#include "log/BufferPool.h"
 #include "log/ExecutionLog.h"
 #include "log/LogIO.h"
+#include "log/PageStore.h"
 #include "pardyn/ParallelDynamicGraph.h"
 #include "pardyn/RaceDetector.h"
 #include "server/DebugServer.h"
@@ -673,6 +675,80 @@ DiffReport runDifferential(const std::string &Source, uint64_t SchedSeed,
                     "pid " + std::to_string(Refs[I].first) + " interval " +
                         std::to_string(Refs[I].second) + ": " + D);
     }
+  }
+
+  //===--- paged/*: pooled sessions vs whole-load ------------------------===//
+  // Save the log as v2, re-open it as a paged store, and demand (a) the
+  // skim-built index equals the decoded one and (b) a flowback session
+  // over the pooled controller answers exactly like one over the eagerly
+  // decoded log. The pool budget is randomized from the seed, from one
+  // byte (every fault evicts) up to comfortable: eviction churn must
+  // never change an answer.
+  if (Config.CheckPaged) {
+    std::string Path = Config.TempDir + "/ppd_fuzz_" +
+                       std::to_string(uint64_t(::getpid())) + "_" +
+                       std::to_string(TempCounter.fetch_add(1)) +
+                       ".paged.ppdlog";
+    if (!L.save(Path, LogFormat::V2)) {
+      std::remove(Path.c_str());
+      return Fail("paged/save", "v2 save failed");
+    }
+    std::string OpenErr;
+    std::shared_ptr<const PageStore> Store = PageStore::open(Path, &OpenErr);
+    if (!Store) {
+      std::remove(Path.c_str());
+      return Fail("paged/open", OpenErr);
+    }
+
+    std::string PagedErr;
+    LogIndex Skim(*Store);
+    for (uint32_t P = 0; PagedErr.empty() && P != L.Procs.size(); ++P) {
+      const auto &VA = Index.intervals(P), &VB = Skim.intervals(P);
+      if (VA.size() != VB.size() ||
+          Index.openIntervals(P) != Skim.openIntervals(P)) {
+        PagedErr = "pid " + std::to_string(P) + " skim index differs";
+        break;
+      }
+      for (size_t I = 0; I != VA.size(); ++I)
+        if (VA[I].Index != VB[I].Index || VA[I].EBlock != VB[I].EBlock ||
+            VA[I].PrelogRecord != VB[I].PrelogRecord ||
+            VA[I].PostlogRecord != VB[I].PostlogRecord ||
+            VA[I].Parent != VB[I].Parent || VA[I].Depth != VB[I].Depth ||
+            VA[I].ExitsFunction != VB[I].ExitsFunction) {
+          PagedErr = "pid " + std::to_string(P) + " skim interval " +
+                     std::to_string(I) + " differs";
+          break;
+        }
+    }
+    if (!PagedErr.empty()) {
+      std::remove(Path.c_str());
+      return Fail("paged/index", PagedErr);
+    }
+
+    size_t Budget = size_t(1) << (SchedSeed % 17);
+    auto Pool = std::make_shared<BufferPool>(Budget);
+    PpdController WholeCtl(*Prog, ExecutionLog(L));
+    DebugSession WholeSession(*Prog, WholeCtl);
+    PpdController PagedCtl(*Prog, PagedLog{Store, Pool});
+    DebugSession PagedSession(*Prog, PagedCtl);
+    uint32_t FocusPid = Ref.Result.Outcome == RunResult::Status::Failed
+                            ? Ref.Result.Error.Pid
+                            : 0;
+    std::string WhereCmd = "where " + std::to_string(FocusPid);
+    const char *Script[] = {WhereCmd.c_str(), "back",   "back", "fwd",
+                            "races",          "node 1", WhereCmd.c_str()};
+    for (const char *Cmd : Script) {
+      std::string Whole = WholeSession.execute(Cmd);
+      std::string Paged = PagedSession.execute(Cmd);
+      if (Whole != Paged) {
+        std::remove(Path.c_str());
+        return Fail("paged/session",
+                    std::string("command '") + Cmd + "' differs (budget " +
+                        std::to_string(Budget) + "):\n--- whole ---\n" +
+                        Whole + "\n--- paged ---\n" + Paged);
+      }
+    }
+    std::remove(Path.c_str());
   }
 
   //===--- deadlock/*: report coherence on Deadlock outcomes -------------===//

@@ -40,6 +40,9 @@
 ///   server/*    a scripted DebugSession vs the same script through
 ///               DebugServer::handleFrame on a re-run of the same
 ///               program (machine determinism makes the logs identical).
+///   paged/*     the whole-load session vs a pooled session over the same
+///               v2 file under a seed-randomized (often starved) buffer
+///               pool budget, plus skim-index-vs-decoded-index equality.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +64,9 @@ struct DiffConfig {
   bool CheckServer = true;
   /// Run the flowback-edge oracle (builds the full dynamic graph).
   bool CheckFlowback = true;
+  /// Run the pooled-vs-whole oracle (saves the log and re-opens it
+  /// through a PageStore + BufferPool with a seed-randomized budget).
+  bool CheckPaged = true;
   /// Directory for the on-disk log round-trips.
   std::string TempDir = "/tmp";
 };

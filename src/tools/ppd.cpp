@@ -24,6 +24,9 @@
 #include "core/DeadlockAnalyzer.h"
 #include "core/DebugSession.h"
 #include "lang/AstPrinter.h"
+#include "log/BufferPool.h"
+#include "log/PageStore.h"
+#include "log/ProgramDb.h"
 #include "server/DebugServer.h"
 #include "server/Wire.h"
 #include "support/ThreadPool.h"
@@ -31,6 +34,7 @@
 #include "vm/Machine.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -62,6 +66,11 @@ struct CliOptions {
   bool Prefetch = false;
   std::string ReplayEngine = "jit";
   LogFormat SaveFormat = LogFormat::V2;
+
+  // paged log tier (debug/serve)
+  size_t PoolBudget = 0; ///< 0 = PPD_POOL_BUDGET env, else 256 MiB.
+  bool WholeLog = false;
+  bool NoPpdb = false;
 
   // serve / client
   std::string SocketPath;
@@ -95,6 +104,9 @@ commands:
   fuzz      differential fuzzing: random PPL programs through every
             redundant pipeline pair (ppd fuzz --runs N --seed S; takes no
             file argument)
+  compact   convert a v1 log to the compact v2 format in place
+            (ppd compact file.log; the file argument is the log, not a
+            .ppl program)
 
 options:
   --seed N              scheduler seed (default 1); one seed = one
@@ -122,6 +134,13 @@ options:
   --replay-engine E     (debug/serve) jit (default) | decoded | legacy;
                         all three regenerate bit-identical traces; jit
                         degrades to decoded where unavailable
+  --pool-budget N[kmg]  (debug/serve) buffer-pool byte budget for paged
+                        logs (default 256m; the PPD_POOL_BUDGET env var
+                        overrides the default, the flag overrides both)
+  --whole-log           (debug/serve) decode --log files whole up front
+                        instead of paging sections in on demand
+  --no-ppdb             (run/debug/serve) neither read nor write the
+                        .ppdb program-database sidecar
   --dump-ir             (compile) disassemble both artifacts
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
@@ -143,6 +162,39 @@ options:
   --repro-out PATH      (fuzz) write the (minimized) repro source to PATH
                         when a divergence is found
 )");
+}
+
+/// Parses "N", "Nk", "Nm", "Ng" (binary multiples) into bytes.
+bool parseByteSize(const char *V, size_t &Out) {
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V, &End, 10);
+  if (End == V)
+    return false;
+  size_t Mult = 1;
+  switch (*End) {
+  case 'k': case 'K': Mult = size_t(1) << 10; ++End; break;
+  case 'm': case 'M': Mult = size_t(1) << 20; ++End; break;
+  case 'g': case 'G': Mult = size_t(1) << 30; ++End; break;
+  default: break;
+  }
+  if (*End != '\0')
+    return false;
+  Out = size_t(N) * Mult;
+  return true;
+}
+
+/// Buffer-pool budget resolution: --pool-budget flag, then the
+/// PPD_POOL_BUDGET environment variable (how CI squeezes every test under
+/// a 1 MiB pool), then 256 MiB.
+size_t effectivePoolBudget(const CliOptions &Opts) {
+  if (Opts.PoolBudget != 0)
+    return Opts.PoolBudget;
+  if (const char *Env = std::getenv("PPD_POOL_BUDGET")) {
+    size_t Bytes = 0;
+    if (parseByteSize(Env, Bytes) && Bytes != 0)
+      return Bytes;
+  }
+  return size_t(256) << 20;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -226,6 +278,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.MaxSessions = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--metrics-dump") {
       Opts.MetricsDump = true;
+    } else if (Arg == "--pool-budget") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!parseByteSize(V, Opts.PoolBudget) || Opts.PoolBudget == 0) {
+        std::fprintf(stderr, "error: bad --pool-budget '%s' (expected "
+                             "N, Nk, Nm, or Ng)\n",
+                     V);
+        return false;
+      }
+    } else if (Arg == "--whole-log") {
+      Opts.WholeLog = true;
+    } else if (Arg == "--no-ppdb") {
+      Opts.NoPpdb = true;
     } else if (Arg == "--log-format") {
       const char *V = Next();
       if (!V)
@@ -442,6 +508,38 @@ void reportRun(const CompiledProgram &Prog, const Machine &M,
   }
 }
 
+/// Opens \p LogPath as a paged store and resolves its `.ppdb` sidecar:
+/// a valid sidecar hands back its persisted index and parallel dynamic
+/// graph, anything else skims a fresh index from the store and
+/// (re)writes the sidecar (leaving \p Graph null — the controller
+/// rebuilds it lazily if a query needs it). Returns null on open
+/// failure with the reason in \p Error.
+std::shared_ptr<const PageStore>
+openPagedStore(const CliOptions &Opts, const CompiledProgram &Prog,
+               const std::string &LogPath,
+               std::shared_ptr<const LogIndex> &Index,
+               std::shared_ptr<const ParallelDynamicGraph> &Graph,
+               std::string &Error) {
+  auto Store = PageStore::open(LogPath, &Error);
+  if (!Store)
+    return nullptr;
+  if (Opts.NoPpdb)
+    return Store;
+  std::string DbPath = programDbPathFor(LogPath);
+  ProgramDbStatus Status = readProgramDb(DbPath, Prog, *Store, Index, &Graph);
+  if (Status == ProgramDbStatus::Ok) {
+    std::printf("program database: %s (warm)\n", DbPath.c_str());
+    return Store;
+  }
+  Index = std::make_shared<const LogIndex>(*Store);
+  if (writeProgramDb(DbPath, Prog, *Store, *Index))
+    std::printf("program database: %s rebuilt (was %s)\n", DbPath.c_str(),
+                programDbStatusName(Status));
+  else
+    std::fprintf(stderr, "warning: cannot write %s\n", DbPath.c_str());
+  return Store;
+}
+
 int cmdRun(const CliOptions &Opts) {
   auto Prog = compileFile(Opts);
   if (!Prog)
@@ -459,6 +557,24 @@ int cmdRun(const CliOptions &Opts) {
       return 1;
     }
     std::printf("-- log written to %s\n", Opts.LogPath.c_str());
+    // Drop the `.ppdb` sidecar next to a v2 log so the first debug open
+    // is already warm (skims here, where the run just paid far more).
+    if (Opts.SaveFormat == LogFormat::V2 && !Opts.NoPpdb) {
+      std::string Error;
+      auto Store = PageStore::open(Opts.LogPath, &Error);
+      if (Store) {
+        LogIndex Index(*Store, SavePool.get());
+        std::string DbPath = programDbPathFor(Opts.LogPath);
+        if (writeProgramDb(DbPath, *Prog, *Store, Index))
+          std::printf("-- program database written to %s\n", DbPath.c_str());
+        else
+          std::fprintf(stderr, "warning: cannot write %s\n", DbPath.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot reopen %s for the program "
+                             "database: %s\n",
+                     Opts.LogPath.c_str(), Error.c_str());
+      }
+    }
   }
   return Result.Outcome == RunResult::Status::Completed ? 0 : 2;
 }
@@ -507,30 +623,58 @@ int cmdDebug(const CliOptions &Opts) {
   if (!Prog)
     return 1;
 
-  ExecutionLog Log;
-  if (!Opts.LogPath.empty()) {
-    std::unique_ptr<ThreadPool> LoadPool;
-    if (Opts.ReplayThreads > 0)
-      LoadPool = std::make_unique<ThreadPool>(Opts.ReplayThreads);
-    if (!ExecutionLog::load(Opts.LogPath, Log, LoadPool.get())) {
-      std::fprintf(stderr, "error: cannot load log %s\n",
-                   Opts.LogPath.c_str());
-      return 1;
-    }
-    std::printf("loaded log: %zu process(es)\n", Log.Procs.size());
-  } else {
-    Machine M(*Prog, machineOptions(Opts, *Prog));
-    RunResult Result = M.run();
-    reportRun(*Prog, M, Result);
-    Log = M.takeLog();
-  }
-
   PpdControllerOptions COpts;
   COpts.Service.Threads = Opts.ReplayThreads;
   COpts.Service.Prefetch = Opts.Prefetch;
   COpts.Service.Engine = Engine;
-  PpdController Controller(*Prog, std::move(Log), COpts);
-  DebugSession Session(*Prog, Controller);
+
+  // A --log file opens paged by default: mmap the store, adopt (or
+  // rebuild) the .ppdb sidecar, and let queries fault sections in through
+  // the pool. --whole-log restores the old eager decode; files the store
+  // rejects (v1 logs) fall back to it with a note.
+  std::unique_ptr<PpdController> Controller;
+  if (!Opts.LogPath.empty() && !Opts.WholeLog) {
+    std::string Error;
+    std::shared_ptr<const LogIndex> Index;
+    std::shared_ptr<const ParallelDynamicGraph> Graph;
+    auto Store =
+        openPagedStore(Opts, *Prog, Opts.LogPath, Index, Graph, Error);
+    if (Store) {
+      size_t Budget = effectivePoolBudget(Opts);
+      auto Pool = std::make_shared<BufferPool>(Budget);
+      std::printf("paged log: %u process(es), %zu bytes on disk, pool "
+                  "budget %zu bytes\n",
+                  Store->numProcs(), Store->fileBytes(), Budget);
+      COpts.AdoptedGraph = std::move(Graph);
+      Controller = std::make_unique<PpdController>(
+          *Prog, PagedLog{std::move(Store), std::move(Pool)},
+          std::move(Index), COpts);
+    } else {
+      std::fprintf(stderr, "note: %s; loading whole\n", Error.c_str());
+    }
+  }
+  if (!Controller) {
+    ExecutionLog Log;
+    if (!Opts.LogPath.empty()) {
+      std::unique_ptr<ThreadPool> LoadPool;
+      if (Opts.ReplayThreads > 0)
+        LoadPool = std::make_unique<ThreadPool>(Opts.ReplayThreads);
+      if (!ExecutionLog::load(Opts.LogPath, Log, LoadPool.get())) {
+        std::fprintf(stderr, "error: cannot load log %s\n",
+                     Opts.LogPath.c_str());
+        return 1;
+      }
+      std::printf("loaded log: %zu process(es)\n", Log.Procs.size());
+    } else {
+      Machine M(*Prog, machineOptions(Opts, *Prog));
+      RunResult Result = M.run();
+      reportRun(*Prog, M, Result);
+      Log = M.takeLog();
+    }
+    Controller =
+        std::make_unique<PpdController>(*Prog, std::move(Log), COpts);
+  }
+  DebugSession Session(*Prog, *Controller);
   std::printf("PPD debugging phase. Type 'help' for commands.\n");
   std::string Line;
   while (std::printf("(ppd) "), std::fflush(stdout),
@@ -585,6 +729,7 @@ int cmdServe(const CliOptions &Opts) {
   SOpts.Registry.MaxSessions = Opts.MaxSessions;
   SOpts.Registry.ReplayThreads = Opts.ReplayThreads;
   SOpts.Registry.Engine = Engine;
+  SOpts.Registry.PoolBudget = effectivePoolBudget(Opts);
   DebugServer Server(SOpts);
 
   std::vector<std::string> Files;
@@ -594,12 +739,41 @@ int cmdServe(const CliOptions &Opts) {
   for (size_t I = 0; I != Files.size(); ++I) {
     std::string LogPath =
         I < Opts.LogPaths.size() ? Opts.LogPaths[I] : std::string();
-    ExecutionLog Log;
-    auto Prog = prepareProgram(Opts, Files[I], LogPath, Log);
-    if (!Prog)
-      return 1;
-    uint32_t Index = Server.addProgram(std::move(Prog), std::move(Log));
-    std::printf("program %u: %s\n", Index, Files[I].c_str());
+    // --log files serve paged (every session of the program faults
+    // sections through the registry's shared pool); generated logs and
+    // --whole-log stay on the eager path.
+    bool Paged = false;
+    uint32_t Index = 0;
+    if (!LogPath.empty() && !Opts.WholeLog) {
+      CliOptions FileOpts = Opts;
+      FileOpts.File = Files[I];
+      auto Prog = compileFile(FileOpts);
+      if (!Prog)
+        return 1;
+      std::string Error;
+      std::shared_ptr<const LogIndex> PagedIndex;
+      std::shared_ptr<const ParallelDynamicGraph> PagedGraph;
+      auto Store = openPagedStore(Opts, *Prog, LogPath, PagedIndex,
+                                  PagedGraph, Error);
+      if (Store) {
+        Index = Server.addProgram(std::move(Prog),
+                                  PagedLog{std::move(Store), nullptr},
+                                  std::move(PagedIndex),
+                                  std::move(PagedGraph));
+        Paged = true;
+      } else {
+        std::fprintf(stderr, "note: %s; loading whole\n", Error.c_str());
+      }
+    }
+    if (!Paged) {
+      ExecutionLog Log;
+      auto Prog = prepareProgram(Opts, Files[I], LogPath, Log);
+      if (!Prog)
+        return 1;
+      Index = Server.addProgram(std::move(Prog), std::move(Log));
+    }
+    std::printf("program %u: %s%s\n", Index, Files[I].c_str(),
+                Paged ? " (paged)" : "");
   }
 
   int ListenFd = listenUnix(Opts.SocketPath);
@@ -730,6 +904,23 @@ int cmdClient(const CliOptions &Opts) {
   return 0;
 }
 
+int cmdCompact(const CliOptions &Opts) {
+  // The positional argument is the log file here, not a .ppl program.
+  std::string Message;
+  switch (compactLogFile(Opts.File, Message)) {
+  case CompactResult::Converted:
+    std::printf("-- %s\n", Message.c_str());
+    return 0;
+  case CompactResult::AlreadyV2:
+    std::printf("-- %s\n", Message.c_str());
+    return 0;
+  case CompactResult::Error:
+    std::fprintf(stderr, "error: %s\n", Message.c_str());
+    return 1;
+  }
+  return 1;
+}
+
 int cmdFuzz(const CliOptions &Opts) {
   testing::FuzzOptions FOpts;
   FOpts.Runs = Opts.FuzzRuns;
@@ -778,6 +969,8 @@ int main(int Argc, char **Argv) {
     return cmdClient(Opts);
   if (Opts.Command == "fuzz")
     return cmdFuzz(Opts);
+  if (Opts.Command == "compact")
+    return cmdCompact(Opts);
   // One error path for every unrecognized command: name it, show usage,
   // and exit with a code distinct from argument-parse failures (64).
   std::fprintf(stderr, "error: unknown command '%s'\n",

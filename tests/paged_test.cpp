@@ -1,0 +1,552 @@
+//===- tests/paged_test.cpp - Paged log store tier ------------------------===//
+//
+// Part of PPD test suite.
+//
+// The paged log tier (PageStore + BufferPool + ProgramDb) must be
+// observationally identical to the whole-load path: a debugging session
+// over a pooled store answers every query with the same bytes a session
+// over an eagerly decoded log answers, whatever the pool budget. This
+// suite drives pooled-vs-whole differentials across the examples/ corpus
+// × seeds under an eviction-forcing budget, pins the eviction/pinning
+// contract of the pool directly (pinned frames never evicted, single
+// decode under concurrent faults), validates the skim-built index against
+// the decoded one, round-trips the `.ppdb` sidecar through staleness and
+// every-byte truncation, and checks `ppd compact`'s streaming v1→v2
+// migration produces byte-identical files to a direct v2 save.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Controller.h"
+#include "core/DebugSession.h"
+#include "log/BufferPool.h"
+#include "log/PageStore.h"
+#include "log/ProgramDb.h"
+#include "pardyn/ParallelDynamicGraph.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ppd;
+using namespace ppd::test;
+
+namespace {
+
+const char *const Corpus[] = {
+    "bank_race.ppl", "bounded_buffer.ppl", "crash.ppl",
+    "deadlock.ppl",  "fig41.ppl",
+};
+
+std::string readCorpusFile(const std::string &Name) {
+  std::ifstream In(std::string(PPD_EXAMPLES_DIR) + "/" + Name);
+  EXPECT_TRUE(In.good()) << "cannot open corpus file " << Name;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Four processes (main + three workers): enough distinct sections to
+/// exercise eviction and concurrent fault-in.
+const char *const FourProcSource = R"(
+shared int total;
+chan done;
+func worker(int n) {
+  int i = 0;
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + i;
+    total = total + 1;
+  }
+  send(done, acc);
+}
+func main() {
+  spawn worker(8);
+  spawn worker(12);
+  spawn worker(16);
+  int a = recv(done);
+  int b = recv(done);
+  int c = recv(done);
+  print(a + b + c);
+}
+)";
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "/ppd_paged_" + Name;
+}
+
+/// Saves \p Log as v2 and opens it as a paged store.
+std::shared_ptr<const PageStore> saveAndOpen(const ExecutionLog &Log,
+                                             const std::string &Path) {
+  EXPECT_TRUE(Log.save(Path));
+  std::string Error;
+  auto Store = PageStore::open(Path, &Error);
+  EXPECT_TRUE(Store != nullptr) << Error;
+  return Store;
+}
+
+void expectIndexEqual(const LogIndex &A, const LogIndex &B,
+                      const std::string &Label) {
+  ASSERT_EQ(A.numProcs(), B.numProcs()) << Label;
+  for (uint32_t Pid = 0; Pid != A.numProcs(); ++Pid) {
+    const std::vector<LogInterval> &IA = A.intervals(Pid);
+    const std::vector<LogInterval> &IB = B.intervals(Pid);
+    ASSERT_EQ(IA.size(), IB.size()) << Label << " pid " << Pid;
+    for (size_t I = 0; I != IA.size(); ++I) {
+      EXPECT_EQ(IA[I].Index, IB[I].Index) << Label;
+      EXPECT_EQ(IA[I].EBlock, IB[I].EBlock) << Label;
+      EXPECT_EQ(IA[I].PrelogRecord, IB[I].PrelogRecord) << Label;
+      EXPECT_EQ(IA[I].PostlogRecord, IB[I].PostlogRecord) << Label;
+      EXPECT_EQ(IA[I].Parent, IB[I].Parent) << Label;
+      EXPECT_EQ(IA[I].Depth, IB[I].Depth) << Label;
+      EXPECT_EQ(IA[I].ExitsFunction, IB[I].ExitsFunction) << Label;
+    }
+    EXPECT_EQ(A.openIntervals(Pid), B.openIntervals(Pid))
+        << Label << " pid " << Pid;
+  }
+}
+
+/// Field-for-field equality of two parallel dynamic graphs, including
+/// the finalize()-derived vector clocks — an adopted sidecar graph must
+/// be indistinguishable from one built by scanning the records.
+void expectGraphEqual(const ParallelDynamicGraph &A,
+                      const ParallelDynamicGraph &B,
+                      const std::string &Label) {
+  ASSERT_EQ(A.numProcs(), B.numProcs()) << Label;
+  for (uint32_t Pid = 0; Pid != A.numProcs(); ++Pid) {
+    const std::vector<SyncNode> &NA = A.nodes(Pid);
+    const std::vector<SyncNode> &NB = B.nodes(Pid);
+    ASSERT_EQ(NA.size(), NB.size()) << Label << " pid " << Pid;
+    for (size_t I = 0; I != NA.size(); ++I) {
+      EXPECT_EQ(int(NA[I].Kind), int(NB[I].Kind)) << Label;
+      EXPECT_EQ(NA[I].Object, NB[I].Object) << Label;
+      EXPECT_EQ(NA[I].Seq, NB[I].Seq) << Label;
+      EXPECT_EQ(NA[I].PartnerSeq, NB[I].PartnerSeq) << Label;
+      EXPECT_EQ(NA[I].Stmt, NB[I].Stmt) << Label;
+      EXPECT_EQ(NA[I].RecordIdx, NB[I].RecordIdx) << Label;
+      EXPECT_EQ(NA[I].Clock, NB[I].Clock) << Label << " clock pid " << Pid
+                                          << " node " << I;
+    }
+    const std::vector<InternalEdge> &EA = A.edges(Pid);
+    const std::vector<InternalEdge> &EB = B.edges(Pid);
+    ASSERT_EQ(EA.size(), EB.size()) << Label << " pid " << Pid;
+    for (size_t I = 0; I != EA.size(); ++I) {
+      EXPECT_EQ(EA[I].Pid, EB[I].Pid) << Label;
+      EXPECT_EQ(EA[I].EndNode, EB[I].EndNode) << Label;
+      EXPECT_EQ(EA[I].Reads.toVector(), EB[I].Reads.toVector()) << Label;
+      EXPECT_EQ(EA[I].Writes.toVector(), EB[I].Writes.toVector()) << Label;
+    }
+  }
+}
+
+std::vector<uint8_t> readFileRaw(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileRaw(const std::string &Path, const uint8_t *Data,
+                  size_t Size) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Data), std::streamsize(Size));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+//===----------------------------------------------------------------------===//
+// Pooled-vs-whole differentials
+//===----------------------------------------------------------------------===//
+
+// The main oracle: the same debug-session script over the same log must
+// produce byte-identical answers whether the log was decoded whole up
+// front or faulted in section by section through an 8 KiB pool — a budget
+// small enough that multi-process logs evict sections mid-session.
+TEST(PagedTest, SessionMatchesWholeLoadAcrossCorpusAndSeeds) {
+  const char *Script[] = {"where 0", "back",  "back",        "fwd",
+                          "where 1", "back",  "races",       "restore 0 1",
+                          "node 3",  "where 0"};
+  int FileIdx = 0;
+  for (const char *Name : Corpus) {
+    std::string Source = readCorpusFile(Name);
+    for (uint64_t Seed : {1, 5, 11}) {
+      Ran R = runProgram(Source, Seed, {}, {}, /*ExpectCompleted=*/false);
+      ASSERT_TRUE(R.Prog != nullptr);
+      std::string Label =
+          std::string(Name) + " seed " + std::to_string(Seed);
+      std::string Path =
+          tempPath("corpus_" + std::to_string(FileIdx++) + ".log");
+      auto Store = saveAndOpen(R.Log, Path);
+      ASSERT_TRUE(Store != nullptr);
+
+      ExecutionLog WholeLog;
+      ASSERT_TRUE(ExecutionLog::load(Path, WholeLog)) << Label;
+      PpdController Whole(*R.Prog, std::move(WholeLog));
+      DebugSession WholeSession(*R.Prog, Whole);
+
+      auto Pool = std::make_shared<BufferPool>(size_t(8) << 10);
+      PpdController Paged(*R.Prog, PagedLog{Store, Pool});
+      DebugSession PagedSession(*R.Prog, Paged);
+
+      EXPECT_EQ(Whole.log().Procs.size(), Paged.log().Procs.size())
+          << Label;
+      for (const char *Cmd : Script)
+        EXPECT_EQ(WholeSession.execute(Cmd), PagedSession.execute(Cmd))
+            << Label << " cmd '" << Cmd << "'";
+      std::remove(Path.c_str());
+    }
+  }
+}
+
+// The skim-built index (no record bodies decoded) must equal the index
+// derived from fully decoded records, and the store facade must carry the
+// same headers and output trailer as the real log.
+TEST(PagedTest, SkimIndexAndFacadeMatchDecodedLog) {
+  for (const char *Name : Corpus) {
+    std::string Source = readCorpusFile(Name);
+    Ran R = runProgram(Source, 7, {}, {}, /*ExpectCompleted=*/false);
+    ASSERT_TRUE(R.Prog != nullptr);
+    std::string Path = tempPath(std::string("skim_") + Name + ".log");
+    auto Store = saveAndOpen(R.Log, Path);
+    ASSERT_TRUE(Store != nullptr);
+
+    LogIndex Decoded(R.Log);
+    LogIndex Skimmed(*Store);
+    expectIndexEqual(Decoded, Skimmed, Name);
+
+    ExecutionLog Facade = Store->facadeLog();
+    ASSERT_EQ(Facade.Procs.size(), R.Log.Procs.size()) << Name;
+    for (uint32_t Pid = 0; Pid != R.Log.Procs.size(); ++Pid) {
+      EXPECT_EQ(Facade.Procs[Pid].Pid, R.Log.Procs[Pid].Pid);
+      EXPECT_EQ(Facade.Procs[Pid].RootFunc, R.Log.Procs[Pid].RootFunc);
+      EXPECT_EQ(Facade.Procs[Pid].Args, R.Log.Procs[Pid].Args);
+      EXPECT_EQ(Facade.Procs[Pid].PrelogCount,
+                R.Log.Procs[Pid].PrelogCount);
+      EXPECT_EQ(Facade.Procs[Pid].Records.size(), size_t(0)) << Name;
+      EXPECT_EQ(Store->section(Pid).NumRecords,
+                R.Log.Procs[Pid].Records.size());
+    }
+    ASSERT_EQ(Facade.Output.size(), R.Log.Output.size()) << Name;
+    for (size_t I = 0; I != Facade.Output.size(); ++I) {
+      EXPECT_EQ(Facade.Output[I].Pid, R.Log.Output[I].Pid);
+      EXPECT_EQ(Facade.Output[I].Value, R.Log.Output[I].Value);
+      EXPECT_EQ(Facade.Output[I].Stmt, R.Log.Output[I].Stmt);
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BufferPool eviction and concurrency
+//===----------------------------------------------------------------------===//
+
+// A one-byte budget forces eviction on every unpinned insert, but pinned
+// frames must survive any pressure and keep serving correct bytes.
+TEST(PagedTest, EvictionUnderPressureNeverDropsPinnedFrames) {
+  Ran R = runProgram(FourProcSource, 3);
+  ASSERT_TRUE(R.Prog != nullptr);
+  ASSERT_EQ(R.Log.Procs.size(), size_t(4));
+  std::string Path = tempPath("evict.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+
+  BufferPool Pool(/*BudgetBytes=*/1, /*NumShards=*/1);
+  BufferPool::Pin P0 = Pool.pin(*Store, 0);
+  ASSERT_TRUE(P0);
+  // Insert the remaining sections while section 0 stays pinned: the pool
+  // is over budget the whole time, yet the pinned frame must survive.
+  for (uint32_t Pid = 1; Pid != 4; ++Pid) {
+    BufferPool::Pin P = Pool.pin(*Store, Pid);
+    ASSERT_TRUE(P);
+    EXPECT_EQ(P.log().Records.size(), Store->section(Pid).NumRecords);
+  }
+  EXPECT_EQ(P0.log().Records.size(), Store->section(0).NumRecords);
+  BufferPoolStats S = Pool.stats();
+  EXPECT_GT(S.Evictions, uint64_t(0));
+  EXPECT_GT(S.BytesPinned, uint64_t(0));
+  EXPECT_EQ(S.Misses, uint64_t(4));
+
+  // Re-pinning section 0 is a hit — pinned frames were never evicted.
+  BufferPool::Pin Again = Pool.pin(*Store, 0);
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Pool.stats().Hits, S.Hits + 1);
+
+  // After every pin drops, eviction pressure may reclaim everything but
+  // the per-shard LRU survivor.
+  P0 = BufferPool::Pin();
+  Again = BufferPool::Pin();
+  EXPECT_EQ(Pool.stats().BytesPinned, uint64_t(0));
+  std::remove(Path.c_str());
+}
+
+// With room for everything, concurrent faults on the same sections must
+// decode each section exactly once (single-flight) and every pin must
+// observe fully decoded records. Run under TSan in CI.
+TEST(PagedTest, ConcurrentPinsDecodeEachSectionOnce) {
+  Ran R = runProgram(FourProcSource, 5);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("concurrent.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+
+  BufferPool Pool(size_t(64) << 20);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 8; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != 64; ++I) {
+        uint32_t Pid = (T + I) % Store->numProcs();
+        BufferPool::Pin P = Pool.pin(*Store, Pid);
+        ASSERT_TRUE(P);
+        EXPECT_EQ(P.log().Records.size(),
+                  Store->section(Pid).NumRecords);
+        if (I % 16 == 0)
+          (void)Pool.stats();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  BufferPoolStats S = Pool.stats();
+  EXPECT_EQ(S.Insertions, uint64_t(Store->numProcs()));
+  EXPECT_EQ(S.Evictions, uint64_t(0));
+  EXPECT_EQ(S.Hits + S.Misses, uint64_t(8 * 64));
+  std::remove(Path.c_str());
+}
+
+// A pooled session under a starved pool and a concurrent replay service
+// still matches the whole-load session: eviction churn must never change
+// an answer. Run under TSan in CI.
+TEST(PagedTest, StarvedPoolWithReplayWorkersMatchesWhole) {
+  Ran R = runProgram(FourProcSource, 9);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("starved.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+
+  PpdControllerOptions COpts;
+  COpts.Service.Threads = 4;
+  ExecutionLog WholeLog;
+  ASSERT_TRUE(ExecutionLog::load(Path, WholeLog));
+  PpdController Whole(*R.Prog, std::move(WholeLog), COpts);
+  DebugSession WholeSession(*R.Prog, Whole);
+
+  auto Pool = std::make_shared<BufferPool>(/*BudgetBytes=*/1);
+  PpdController Paged(*R.Prog, PagedLog{Store, Pool}, nullptr, COpts);
+  DebugSession PagedSession(*R.Prog, Paged);
+
+  const char *Script[] = {"where 0", "back", "where 1", "back", "where 2",
+                          "back",    "fwd",  "races",   "restore 0 1"};
+  for (const char *Cmd : Script)
+    EXPECT_EQ(WholeSession.execute(Cmd), PagedSession.execute(Cmd))
+        << "cmd '" << Cmd << "'";
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The .ppdb sidecar
+//===----------------------------------------------------------------------===//
+
+TEST(PagedTest, ProgramDbRoundTripAdoptsPersistedIndex) {
+  Ran R = runProgram(readCorpusFile("bounded_buffer.ppl"), 3);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("ppdb_rt.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+  std::string DbPath = programDbPathFor(Path);
+
+  LogIndex Skimmed(*Store);
+  ASSERT_TRUE(writeProgramDb(DbPath, *R.Prog, *Store, Skimmed));
+
+  std::shared_ptr<const LogIndex> Adopted;
+  EXPECT_EQ(int(readProgramDb(DbPath, *R.Prog, *Store, Adopted)),
+            int(ProgramDbStatus::Ok));
+  ASSERT_TRUE(Adopted != nullptr);
+  expectIndexEqual(Skimmed, *Adopted, "round trip");
+
+  std::remove(Path.c_str());
+  std::remove(DbPath.c_str());
+}
+
+// The sidecar's persisted parallel dynamic graph, adopted on a warm
+// open, must match the graph built by scanning the whole decoded log —
+// node rows, edge READ/WRITE sets, and the recomputed vector clocks.
+// Multi-process source so partner edges and cross-process clocks are
+// actually exercised.
+TEST(PagedTest, ProgramDbRoundTripAdoptsPersistedGraph) {
+  Ran R = runProgram(FourProcSource, 7);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("ppdb_graph.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+  std::string DbPath = programDbPathFor(Path);
+
+  LogIndex Skimmed(*Store);
+  ASSERT_TRUE(writeProgramDb(DbPath, *R.Prog, *Store, Skimmed));
+
+  std::shared_ptr<const LogIndex> Index;
+  std::shared_ptr<const ParallelDynamicGraph> Adopted;
+  ASSERT_EQ(int(readProgramDb(DbPath, *R.Prog, *Store, Index, &Adopted)),
+            int(ProgramDbStatus::Ok));
+  ASSERT_TRUE(Adopted != nullptr);
+
+  ParallelDynamicGraph FromLog(R.Log, R.Prog->Symbols->NumSharedVars);
+  expectGraphEqual(FromLog, *Adopted, "graph round trip");
+
+  // A session adopting the graph answers queries identically to a
+  // whole-load session (the graph feeds races and cross-process reads).
+  PpdController Whole(*R.Prog, R.Log);
+  DebugSession WholeSession(*R.Prog, Whole);
+  auto Pool = std::make_shared<BufferPool>(size_t(1) << 20);
+  PpdControllerOptions COpts;
+  COpts.AdoptedGraph = Adopted;
+  PpdController Paged(*R.Prog, PagedLog{Store, Pool}, Index, COpts);
+  DebugSession PagedSession(*R.Prog, Paged);
+  const char *Script[] = {"where 0", "back", "races", "where 1", "back"};
+  for (const char *Cmd : Script)
+    EXPECT_EQ(WholeSession.execute(Cmd), PagedSession.execute(Cmd))
+        << "cmd '" << Cmd << "'";
+
+  std::remove(Path.c_str());
+  std::remove(DbPath.c_str());
+}
+
+TEST(PagedTest, ProgramDbDetectsStaleProgramAndStaleLog) {
+  std::string Source = readCorpusFile("bounded_buffer.ppl");
+  Ran R = runProgram(Source, 3);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("ppdb_stale.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+  std::string DbPath = programDbPathFor(Path);
+  std::remove(DbPath.c_str());
+
+  std::shared_ptr<const LogIndex> Index;
+  EXPECT_EQ(int(readProgramDb(DbPath, *R.Prog, *Store, Index)),
+            int(ProgramDbStatus::Missing));
+
+  LogIndex Skimmed(*Store);
+  ASSERT_TRUE(writeProgramDb(DbPath, *R.Prog, *Store, Skimmed));
+
+  // Same source, different partitioning: a recompile that changes
+  // debugging-visible structure must read as Stale.
+  CompileOptions LoopOpts;
+  LoopOpts.EBlocks.LoopBlocks = true;
+  auto OtherProg = compileOk(Source, LoopOpts);
+  ASSERT_TRUE(OtherProg != nullptr);
+  EXPECT_EQ(int(readProgramDb(DbPath, *OtherProg, *Store, Index)),
+            int(ProgramDbStatus::Stale));
+
+  // Same program, different execution instance: the sidecar is keyed to
+  // one exact log file. (Mutate the log rather than re-running with a
+  // different seed — bounded_buffer's channel synchronization makes its
+  // schedule, and therefore its log bytes, seed-independent.)
+  ExecutionLog OtherLog = R.Log;
+  OtherLog.Output.push_back({0, 42, InvalidId});
+  std::string OtherPath = tempPath("ppdb_stale_other.log");
+  auto OtherStore = saveAndOpen(OtherLog, OtherPath);
+  ASSERT_TRUE(OtherStore != nullptr);
+  EXPECT_EQ(int(readProgramDb(DbPath, *R.Prog, *OtherStore, Index)),
+            int(ProgramDbStatus::Stale));
+  EXPECT_TRUE(Index == nullptr);
+
+  std::remove(Path.c_str());
+  std::remove(OtherPath.c_str());
+  std::remove(DbPath.c_str());
+}
+
+// Truncation at every byte offset: the sidecar codec must answer
+// Corrupt/Stale — never Ok, never crash, never hand back an index.
+TEST(PagedTest, ProgramDbTruncationAtEveryByteIsRejected) {
+  Ran R = runProgram(readCorpusFile("bounded_buffer.ppl"), 3);
+  ASSERT_TRUE(R.Prog != nullptr);
+  std::string Path = tempPath("ppdb_trunc.log");
+  auto Store = saveAndOpen(R.Log, Path);
+  ASSERT_TRUE(Store != nullptr);
+  std::string DbPath = programDbPathFor(Path);
+  LogIndex Skimmed(*Store);
+  ASSERT_TRUE(writeProgramDb(DbPath, *R.Prog, *Store, Skimmed));
+
+  std::vector<uint8_t> Bytes = readFileRaw(DbPath);
+  ASSERT_GT(Bytes.size(), size_t(0));
+  std::string TruncPath = tempPath("ppdb_trunc.log.ppdb.cut");
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    writeFileRaw(TruncPath, Bytes.data(), Len);
+    std::shared_ptr<const LogIndex> Index;
+    std::shared_ptr<const ParallelDynamicGraph> Graph;
+    ProgramDbStatus Status =
+        readProgramDb(TruncPath, *R.Prog, *Store, Index, &Graph);
+    EXPECT_NE(int(Status), int(ProgramDbStatus::Ok)) << "length " << Len;
+    EXPECT_TRUE(Index == nullptr) << "length " << Len;
+    EXPECT_TRUE(Graph == nullptr) << "length " << Len;
+  }
+
+  std::remove(Path.c_str());
+  std::remove(DbPath.c_str());
+  std::remove(TruncPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// PageStore validation and compact migration
+//===----------------------------------------------------------------------===//
+
+// A store must reject a truncated v2 file at every byte offset (open
+// validates section extents and the output trailer), and name the
+// compact migration when pointed at a v1 file.
+TEST(PagedTest, StoreRejectsV1AndEveryTruncation) {
+  Ran R = runProgram(readCorpusFile("fig41.ppl"), 1);
+  ASSERT_TRUE(R.Prog != nullptr);
+
+  std::string V1Path = tempPath("store_v1.log");
+  ASSERT_TRUE(R.Log.save(V1Path, LogFormat::V1));
+  std::string Error;
+  EXPECT_TRUE(PageStore::open(V1Path, &Error) == nullptr);
+  EXPECT_NE(Error.find("ppd compact"), std::string::npos) << Error;
+
+  std::string V2Path = tempPath("store_v2.log");
+  ASSERT_TRUE(R.Log.save(V2Path));
+  std::vector<uint8_t> Bytes = readFileRaw(V2Path);
+  std::string CutPath = tempPath("store_cut.log");
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    writeFileRaw(CutPath, Bytes.data(), Len);
+    EXPECT_TRUE(PageStore::open(CutPath, &Error) == nullptr)
+        << "length " << Len;
+  }
+
+  std::remove(V1Path.c_str());
+  std::remove(V2Path.c_str());
+  std::remove(CutPath.c_str());
+}
+
+// The streaming v1→v2 migration must produce the exact bytes a direct v2
+// save produces, and the result must open as a paged store.
+TEST(PagedTest, CompactProducesByteIdenticalV2) {
+  for (const char *Name : Corpus) {
+    Ran R = runProgram(readCorpusFile(Name), 5, {}, {},
+                       /*ExpectCompleted=*/false);
+    ASSERT_TRUE(R.Prog != nullptr);
+    std::string V1Path = tempPath(std::string("compact_") + Name + ".v1");
+    std::string V2Path = tempPath(std::string("compact_") + Name + ".v2");
+    ASSERT_TRUE(R.Log.save(V1Path, LogFormat::V1));
+    ASSERT_TRUE(R.Log.save(V2Path, LogFormat::V2));
+
+    std::string Message;
+    EXPECT_EQ(int(compactLogFile(V1Path, Message)),
+              int(CompactResult::Converted))
+        << Message;
+    EXPECT_EQ(readFileRaw(V1Path), readFileRaw(V2Path)) << Name;
+
+    // Idempotent: a second compact reports AlreadyV2 and changes nothing.
+    EXPECT_EQ(int(compactLogFile(V1Path, Message)),
+              int(CompactResult::AlreadyV2));
+    EXPECT_EQ(readFileRaw(V1Path), readFileRaw(V2Path)) << Name;
+
+    std::string Error;
+    EXPECT_TRUE(PageStore::open(V1Path, &Error) != nullptr) << Error;
+    std::remove(V1Path.c_str());
+    std::remove(V2Path.c_str());
+  }
+}
+
+} // namespace
