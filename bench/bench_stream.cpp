@@ -1,0 +1,251 @@
+//===- bench/bench_stream.cpp - Experiment E12 ----------------------------===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+// E12 measures live attach (DESIGN.md §13) off the socket — the sealer,
+// the credit loop, and the ingest path are the variables, kernel buffers
+// are not:
+//
+//   * `stream_ingest/<W>` — a traced run streams consistent cuts through
+//     a bounded hand-off queue of depth W (the credit window) into an
+//     IngestRegistry drained by one server thread. The tracer blocks at
+//     zero credit exactly as the socket client does. Counters: ingest
+//     MB/s, cuts, and StallPct — the share of tracer wall-clock spent
+//     blocked on credit. Growing W should push StallPct toward zero;
+//     that curve is the experiment.
+//   * `tail_query_warm` — repeated TailQuery against a live stream's
+//     frontier snapshot (cached per frontier version).
+//   * `batch_query_warm` — the same query against a warm batch
+//     DebugSession over the final log: the baseline for the acceptance
+//     bound (tail within 2x of warm batch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchPrograms.h"
+
+#include "core/DebugSession.h"
+#include "log/ProgramDb.h"
+#include "server/DebugServer.h"
+#include "stream/Ingest.h"
+#include "stream/StreamClient.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace ppd;
+using namespace ppd::bench;
+
+namespace {
+
+std::string streamWorkload() { return mixedWorkload(6, 60); }
+
+/// A DebugServer + IngestRegistry pair over one registered program.
+struct IngestRig {
+  DebugServer Server;
+  stream::IngestRegistry Ingest;
+  std::unique_ptr<CompiledProgram> Prog; ///< tracer-side compile.
+  uint32_t ProgramIndex = 0;
+  uint64_t Hash = 0;
+
+  explicit IngestRig(stream::IngestOptions Options = {})
+      : Ingest(Server, std::move(Options)) {
+    Prog = mustCompile(streamWorkload());
+    auto SrvProg = mustCompile(streamWorkload());
+    Hash = programHash(*SrvProg);
+    ProgramIndex = Server.addProgram(std::move(SrvProg), ExecutionLog());
+  }
+
+  uint64_t hello() {
+    Request Req;
+    Req.Type = MsgType::StreamHello;
+    Req.ProgramIndex = ProgramIndex;
+    Req.ProgramHash = Hash;
+    Response Resp = Ingest.dispatch(Req);
+    if (Resp.Type != RespType::Ack) {
+      std::fprintf(stderr, "benchmark stream hello failed\n");
+      std::abort();
+    }
+    return Resp.StreamId;
+  }
+};
+
+/// Bounded frame hand-off modeling the credit loop: capacity = the credit
+/// window, producer blocks at zero credit (timing the stall), a server
+/// thread drains into the registry.
+struct CreditQueue {
+  explicit CreditQueue(size_t Window) : Window(Window) {}
+
+  /// Returns microseconds spent blocked waiting for credit.
+  uint64_t push(Request Frame) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Frames.size() < Window) {
+      Frames.push_back(std::move(Frame));
+      Cv.notify_all();
+      return 0;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    Cv.wait(Lock, [&] { return Frames.size() < Window; });
+    Frames.push_back(std::move(Frame));
+    Cv.notify_all();
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count());
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+    Cv.notify_all();
+  }
+
+  bool pop(Request &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return !Frames.empty() || Closed; });
+    if (Frames.empty())
+      return false;
+    Out = std::move(Frames.front());
+    Frames.pop_front();
+    Cv.notify_all();
+    return true;
+  }
+
+  size_t Window;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  std::deque<Request> Frames;
+  bool Closed = false;
+};
+
+/// One streamed run through a window-W credit loop. Returns the tracer's
+/// stall micros; Bytes/Cuts report the ingest volume.
+struct StreamedRunStats {
+  uint64_t StallMicros = 0;
+  uint64_t Bytes = 0;
+  uint64_t Cuts = 0;
+  uint64_t Sid = 0;
+};
+
+StreamedRunStats streamOnce(IngestRig &Rig, uint32_t Window,
+                            uint32_t SectionRecords) {
+  StreamedRunStats Stats;
+  Stats.Sid = Rig.hello();
+
+  stream::SealerOptions SOpts;
+  SOpts.ProgramIndex = Rig.ProgramIndex;
+  SOpts.ProgramHash = Rig.Hash;
+  SOpts.SectionRecords = SectionRecords;
+  stream::StreamSealer Sealer(SOpts);
+  Sealer.setStreamId(Stats.Sid);
+
+  CreditQueue Queue(Window);
+  std::thread Drainer([&] {
+    Request Frame;
+    while (Queue.pop(Frame)) {
+      Response Resp = Rig.Ingest.dispatch(Frame);
+      if (Resp.Type != RespType::Ack) {
+        std::fprintf(stderr, "benchmark ingest rejected a frame: %s\n",
+                     Resp.Text.c_str());
+        std::abort();
+      }
+    }
+  });
+
+  auto Ship = [&](std::vector<Request> Frames) {
+    for (Request &Fr : Frames) {
+      Stats.Bytes += Fr.Blob.size();
+      if (Fr.Flags & SectionLastInCut)
+        ++Stats.Cuts;
+      Stats.StallMicros += Queue.push(std::move(Fr));
+    }
+  };
+
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*Rig.Prog, MOpts);
+  M.onRound([&](Machine &Mach) { Ship(Sealer.sealRound(Mach.log())); });
+  M.run();
+  Ship(Sealer.sealRound(M.log(), /*Force=*/true));
+  Ship({Sealer.endFrame(M.log())});
+  Queue.close();
+  Drainer.join();
+  return Stats;
+}
+
+/// Ingest throughput and tracer stall share as a function of the credit
+/// window — the E12 curve.
+void stream_ingest(benchmark::State &State) {
+  uint32_t Window = uint32_t(State.range(0));
+  uint64_t Bytes = 0, Cuts = 0, StallMicros = 0, WallMicros = 0;
+  for (auto _ : State) {
+    IngestRig Rig;
+    auto T0 = std::chrono::steady_clock::now();
+    StreamedRunStats Stats = streamOnce(Rig, Window, /*SectionRecords=*/8);
+    WallMicros += uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - T0)
+                               .count());
+    Bytes += Stats.Bytes;
+    Cuts += Stats.Cuts;
+    StallMicros += Stats.StallMicros;
+  }
+  State.SetBytesProcessed(int64_t(Bytes));
+  State.counters["Window"] = double(Window);
+  State.counters["Cuts"] = double(Cuts) / double(State.iterations());
+  State.counters["StallPct"] =
+      WallMicros ? 100.0 * double(StallMicros) / double(WallMicros) : 0.0;
+}
+
+/// Tail query against the cached frontier snapshot of an ended stream.
+void tail_query_warm(benchmark::State &State) {
+  IngestRig Rig;
+  StreamedRunStats Stats = streamOnce(Rig, /*Window=*/8, /*SectionRecords=*/8);
+  Request Req;
+  Req.Type = MsgType::TailQuery;
+  Req.StreamId = Stats.Sid;
+  Req.Command = "where 0";
+  // First query builds the snapshot; timed iterations hit it warm — the
+  // apples-to-apples partner of batch_query_warm.
+  Response First = Rig.Ingest.dispatch(Req);
+  if (First.Type != RespType::Result) {
+    std::fprintf(stderr, "benchmark tail query failed\n");
+    std::abort();
+  }
+  for (auto _ : State) {
+    Response Resp = Rig.Ingest.dispatch(Req);
+    benchmark::DoNotOptimize(Resp.Text.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+/// The batch baseline: the same query against a warm DebugSession over
+/// the equivalent batch log.
+void batch_query_warm(benchmark::State &State) {
+  auto Prog = mustCompile(streamWorkload());
+  MachineOptions MOpts;
+  MOpts.Seed = 11;
+  Machine M(*Prog, MOpts);
+  M.run();
+  PpdController Controller(*Prog, M.takeLog());
+  DebugSession Session(*Prog, Controller);
+  std::string First = Session.execute("where 0"); // warm caches
+  benchmark::DoNotOptimize(First.data());
+  for (auto _ : State) {
+    std::string Text = Session.execute("where 0");
+    benchmark::DoNotOptimize(Text.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+} // namespace
+
+BENCHMARK(stream_ingest)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(tail_query_warm);
+BENCHMARK(batch_query_warm);
+
+BENCHMARK_MAIN();

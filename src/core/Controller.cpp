@@ -18,7 +18,11 @@ namespace {
 /// a transient pool when the controller is configured for parallelism.
 /// (The replay service's pool doesn't exist yet at this point — it is
 /// constructed after the index it consumes.)
-LogIndex buildIndex(const ExecutionLog &Log, unsigned Threads) {
+LogIndex buildIndex(const ExecutionLog &Log,
+                    const std::shared_ptr<const LogIndex> &Adopted,
+                    unsigned Threads) {
+  if (Adopted)
+    return *Adopted;
   if (Threads == 0 || Log.Procs.size() < 2)
     return LogIndex(Log);
   ThreadPool Pool(Threads);
@@ -50,7 +54,8 @@ ReplayServiceOptions withPaged(ReplayServiceOptions Options,
 PpdController::PpdController(const CompiledProgram &Prog, ExecutionLog Log,
                              PpdControllerOptions Options)
     : Prog(Prog), Log(std::move(Log)),
-      Index(buildIndex(this->Log, Options.Service.Threads)),
+      Index(buildIndex(this->Log, Options.AdoptedIndex,
+                       Options.Service.Threads)),
       Service(Prog, this->Log, Index, Options.Service),
       Builder(Prog, Graph), ParGraph(std::move(Options.AdoptedGraph)) {}
 

@@ -87,6 +87,11 @@ struct PpdControllerOptions {
   /// section in — so adoption is what makes a warm open's first query
   /// touch only the sections it actually replays.
   std::shared_ptr<const ParallelDynamicGraph> AdoptedGraph;
+  /// A pre-built interval index to adopt instead of deriving one from the
+  /// log. The streaming ingest session maintains its index incrementally
+  /// (LogIndex::appendRecords) and hands frontier snapshots a copy, so a
+  /// tail query's controller never re-scans the accumulated records.
+  std::shared_ptr<const LogIndex> AdoptedIndex;
 };
 
 class PpdController {

@@ -998,3 +998,45 @@ const LogInterval *LogIndex::lastOpenInterval(uint32_t Pid) const {
     return nullptr;
   return &Intervals[Pid][OpenIntervals[Pid].back()];
 }
+
+bool LogIndex::appendRecords(uint32_t Pid, const ProcessLog &PL,
+                             uint32_t FromRecord) {
+  if (Pid > Intervals.size() || FromRecord > PL.Records.size())
+    return false;
+  if (Pid == Intervals.size()) {
+    Intervals.emplace_back();
+    OpenIntervals.emplace_back();
+  }
+  // Same algorithm as buildProcIndex, resumed: the saved open-interval
+  // stack is exactly the builder's stack at the point the previous
+  // records ended, so continuing from it yields the tables a full
+  // rebuild would.
+  std::vector<LogInterval> &Ivs = Intervals[Pid];
+  std::vector<uint32_t> Stack = std::move(OpenIntervals[Pid]);
+  const RecordSeq &Records = PL.Records;
+  for (uint32_t Idx = FromRecord; Idx != Records.size(); ++Idx) {
+    const LogRecord &R = Records[Idx];
+    if (R.Kind == LogRecordKind::Prelog) {
+      LogInterval Interval;
+      Interval.Index = uint32_t(Ivs.size());
+      Interval.EBlock = R.Id;
+      Interval.PrelogRecord = Idx;
+      Interval.PostlogRecord = InvalidId;
+      Interval.Parent = Stack.empty() ? InvalidId : Stack.back();
+      Interval.Depth = uint32_t(Stack.size());
+      Stack.push_back(Interval.Index);
+      Ivs.push_back(Interval);
+    } else if (R.Kind == LogRecordKind::Postlog) {
+      if (Stack.empty())
+        return false;
+      LogInterval &Interval = Ivs[Stack.back()];
+      if (Interval.EBlock != R.Id)
+        return false;
+      Interval.PostlogRecord = Idx;
+      Interval.ExitsFunction = (R.Flags & PostlogExitsFunction) != 0;
+      Stack.pop_back();
+    }
+  }
+  OpenIntervals[Pid] = std::move(Stack);
+  return true;
+}

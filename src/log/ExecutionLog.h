@@ -150,6 +150,18 @@ public:
   /// generated").
   const LogInterval *lastOpenInterval(uint32_t Pid) const;
 
+  /// Extends process \p Pid's interval tree with \p PL's records from
+  /// index \p FromRecord (streamed ingest: the tail the tracer just
+  /// shipped). The open-interval stack saved by the previous build is
+  /// restored, so the result is identical to rebuilding from the whole
+  /// stream. \p Pid == numProcs() grows the index by one process (new
+  /// pids arrive densely). Returns false — with this process's tables
+  /// unspecified — on structurally invalid input (a postlog with no open
+  /// interval, or closing a different e-block than it opened), so a
+  /// hostile stream is reported instead of tripping debug-only asserts.
+  bool appendRecords(uint32_t Pid, const ProcessLog &PL,
+                     uint32_t FromRecord);
+
 private:
   std::vector<std::vector<LogInterval>> Intervals;
   std::vector<std::vector<uint32_t>> OpenIntervals; ///< never closed, per pid.

@@ -64,6 +64,41 @@ void ParallelDynamicGraph::addProcess(uint32_t Pid, const ProcessLog &PL) {
   }
 }
 
+void ParallelDynamicGraph::appendProcess(uint32_t Pid, const ProcessLog &PL,
+                                         uint32_t FromRecord) {
+  assert(Pid <= Nodes.size() && "pid out of range");
+  if (Pid == Nodes.size()) {
+    Nodes.emplace_back();
+    Edges.emplace_back();
+  }
+  for (uint32_t Idx = FromRecord; Idx < PL.Records.size(); ++Idx) {
+    const LogRecord &R = PL.Records[Idx];
+    if (R.Kind != LogRecordKind::SyncEvent)
+      continue;
+    SyncNode N;
+    N.Kind = R.Sync;
+    N.Object = R.Id;
+    N.Seq = R.Seq;
+    N.PartnerSeq = R.PartnerSeq;
+    N.Stmt = R.Stmt;
+    N.RecordIdx = Idx;
+
+    if (!Nodes[Pid].empty()) {
+      InternalEdge E;
+      E.Pid = Pid;
+      E.EndNode = uint32_t(Nodes[Pid].size());
+      E.Reads.reserveFor(NumShared);
+      E.Writes.reserveFor(NumShared);
+      for (uint32_t S : R.ReadSet)
+        E.Reads.insert(S);
+      for (uint32_t S : R.WriteSet)
+        E.Writes.insert(S);
+      Edges[Pid].push_back(std::move(E));
+    }
+    Nodes[Pid].push_back(std::move(N));
+  }
+}
+
 void ParallelDynamicGraph::adoptProcess(uint32_t Pid,
                                         std::vector<SyncNode> ProcNodes,
                                         std::vector<InternalEdge> ProcEdges) {
@@ -112,6 +147,62 @@ void ParallelDynamicGraph::finalize() {
     }
     N.Clock[Ref.Pid] = Ref.Index + 1;
   }
+  FinalizeWatermark = BySeq.size();
+}
+
+void ParallelDynamicGraph::finalizeTail() {
+  // Zero-extend already-finalized clocks when streaming grew the process
+  // count: component p stays 0 for old nodes because none of a
+  // later-arriving process's nodes can happen-before a node sealed in an
+  // earlier cut.
+  for (std::vector<SyncNode> &ProcNodes : Nodes)
+    for (SyncNode &N : ProcNodes)
+      if (!N.Clock.empty() && N.Clock.size() < Nodes.size())
+        N.Clock.resize(Nodes.size(), 0);
+
+  // Extend the seq lookup and register the appended nodes (empty clock =
+  // not yet finalized). Their seqs all land at or past the watermark —
+  // the ingest session rejects anything else before it applies.
+  uint64_t MaxSeq = BySeq.empty() ? 0 : uint64_t(BySeq.size()) - 1;
+  for (const std::vector<SyncNode> &ProcNodes : Nodes)
+    for (const SyncNode &N : ProcNodes)
+      MaxSeq = std::max(MaxSeq, N.Seq);
+  if (BySeq.size() < size_t(MaxSeq) + 1)
+    BySeq.resize(size_t(MaxSeq) + 1);
+  for (uint32_t Pid = 0; Pid != Nodes.size(); ++Pid)
+    for (uint32_t Idx = 0; Idx != Nodes[Pid].size(); ++Idx)
+      if (Nodes[Pid][Idx].Clock.empty())
+        BySeq[Nodes[Pid][Idx].Seq] = {Pid, Idx};
+
+  // Same clock step as finalize(), resumed at the watermark: processing
+  // in global seq order is still a topological order, and every
+  // predecessor (previous node of the process, partner) is either below
+  // the watermark — finalized in an earlier round, zero-extended above —
+  // or earlier in this walk.
+  for (uint64_t S = FinalizeWatermark; S < BySeq.size(); ++S) {
+    const SyncNodeRef Ref = BySeq[S];
+    if (!Ref.valid())
+      continue;
+    SyncNode &N = Nodes[Ref.Pid][Ref.Index];
+    if (!N.Clock.empty())
+      continue; // registered before this round's watermark
+    N.Clock.assign(Nodes.size(), 0);
+    if (Ref.Index > 0) {
+      const SyncNode &Prev = Nodes[Ref.Pid][Ref.Index - 1];
+      N.Clock = Prev.Clock;
+      N.Clock.resize(Nodes.size(), 0);
+    }
+    if (N.PartnerSeq != NoPartner) {
+      assert(N.PartnerSeq < BySeq.size() && BySeq[N.PartnerSeq].valid() &&
+             "dangling partner sequence");
+      const SyncNode &Partner = node(BySeq[N.PartnerSeq]);
+      assert(!Partner.Clock.empty() && "partner processed after dependent");
+      for (size_t I = 0; I != Partner.Clock.size(); ++I)
+        N.Clock[I] = std::max(N.Clock[I], Partner.Clock[I]);
+    }
+    N.Clock[Ref.Pid] = Ref.Index + 1;
+  }
+  FinalizeWatermark = BySeq.size();
 }
 
 std::vector<EdgeRef> ParallelDynamicGraph::allEdges() const {

@@ -101,6 +101,25 @@ public:
   void adoptProcess(uint32_t Pid, std::vector<SyncNode> ProcNodes,
                     std::vector<InternalEdge> ProcEdges);
 
+  /// Streamed-ingest construction: extends process \p Pid with the sync
+  /// records in \p PL starting at record \p FromRecord, then
+  /// finalizeTail() closes the clocks of everything appended since the
+  /// last finalize. \p Pid == numProcs() grows the graph by one process.
+  /// Valid whenever every appended node's Seq exceeds every
+  /// already-finalized Seq and partners of appended nodes are either
+  /// already finalized or appended in the same round (the consistent-cut
+  /// invariant the ingest session enforces); the finished graph is then
+  /// identical to a batch build over the same records.
+  void appendProcess(uint32_t Pid, const ProcessLog &PL,
+                     uint32_t FromRecord);
+  void finalizeTail();
+
+  /// True when a finalized node with global sequence number \p Seq
+  /// exists — the ingest session's partner-validation primitive.
+  bool hasSeq(uint64_t Seq) const {
+    return Seq < BySeq.size() && BySeq[Seq].valid();
+  }
+
   unsigned numProcs() const { return unsigned(Nodes.size()); }
   const std::vector<SyncNode> &nodes(uint32_t Pid) const {
     return Nodes[Pid];
@@ -165,6 +184,9 @@ private:
   /// Seq → node lookup.
   std::vector<SyncNodeRef> BySeq;
   unsigned NumShared;
+  /// First BySeq slot not yet clock-finalized; finalizeTail() resumes
+  /// here. Every batch finalize() leaves it at BySeq.size().
+  uint64_t FinalizeWatermark = 0;
 };
 
 } // namespace ppd

@@ -127,6 +127,20 @@ Response DebugServer::dispatch(const Request &Req) {
     Resp.Type = RespType::Closed;
     return Resp;
 
+  case MsgType::StreamHello:
+  case MsgType::SectionData:
+  case MsgType::StreamEnd:
+  case MsgType::TailQuery:
+  case MsgType::Frontier: {
+    if (!StreamDispatcher)
+      return Fail(ErrCode::NoSuchStream, "streaming ingest not enabled");
+    Response StreamResp = StreamDispatcher(Req);
+    StreamResp.RequestId = Req.RequestId;
+    if (StreamResp.Type == RespType::Error)
+      Metrics.countError();
+    return StreamResp;
+  }
+
   case MsgType::Shutdown: {
     std::function<void()> Hook;
     {
@@ -194,6 +208,17 @@ void DebugServer::submitFrame(
   Request Req;
   if (!decodeRequest(Payload.data(), Payload.size(), Req)) {
     Done(handleFrame(Payload.data(), Payload.size()));
+    return;
+  }
+
+  // Stream ingest frames are order-sensitive (a cut's SectionData frames
+  // must apply in ship order) and their per-connection TCP ordering is
+  // exactly what the reader thread sees: handle them inline instead of
+  // letting the scheduler's pool race them. Tail queries have no ordering
+  // contract and go through the queue like any debug request.
+  if (Req.Type == MsgType::StreamHello || Req.Type == MsgType::SectionData ||
+      Req.Type == MsgType::StreamEnd) {
+    Done(encodeFrameBytes(handle(Req)));
     return;
   }
 

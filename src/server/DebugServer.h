@@ -95,6 +95,16 @@ public:
   /// the socket transport uses it to break its accept loop.
   void onShutdown(std::function<void()> Hook);
 
+  /// Installs the streaming-ingest dispatcher (the src/stream layer,
+  /// which links against this library — hence a hook, not a direct
+  /// call). Stream messages (StreamHello/SectionData/StreamEnd/
+  /// TailQuery/Frontier) forward to it; without one they answer
+  /// NoSuchStream. Install before serving frames — the pointer itself is
+  /// unsynchronized.
+  void setStreamDispatcher(std::function<Response(const Request &)> Fn) {
+    StreamDispatcher = std::move(Fn);
+  }
+
   ServerMetrics &metrics() { return Metrics; }
   SessionRegistry &registry() { return *Registry; }
   RequestScheduler &scheduler() { return *Scheduler; }
@@ -114,6 +124,7 @@ private:
 
   mutable std::mutex ShutdownMutex;
   std::function<void()> ShutdownHook;
+  std::function<Response(const Request &)> StreamDispatcher;
   bool ShutdownRequested = false;
 };
 

@@ -43,6 +43,25 @@ bool readString32(ByteReader &R, std::string &Out) {
   return R.ok();
 }
 
+void blob32(LogWriter &Out, const std::vector<uint8_t> &B) {
+  Out.u32(uint32_t(B.size()));
+  for (uint8_t C : B)
+    Out.u8(C);
+}
+
+/// Reads a u32-length-prefixed byte blob with the same bounds discipline
+/// as readString32.
+bool readBlob32(ByteReader &R, std::vector<uint8_t> &Out) {
+  uint32_t Len = R.u32();
+  if (!R.ok() || Len > R.remaining())
+    return false;
+  Out.clear();
+  Out.reserve(Len);
+  for (uint32_t I = 0; I != Len; ++I)
+    Out.push_back(R.u8());
+  return R.ok();
+}
+
 } // namespace
 
 void ppd::encodeRequest(const Request &Req, LogWriter &Out) {
@@ -66,6 +85,31 @@ void ppd::encodeRequest(const Request &Req, LogWriter &Out) {
       break;
     case MsgType::Shutdown:
       break;
+    case MsgType::StreamHello:
+      P.u32(Req.ProgramIndex);
+      P.u64(Req.ProgramHash);
+      break;
+    case MsgType::SectionData:
+      P.u64(Req.StreamId);
+      P.u64(Req.CutSeq);
+      P.u32(Req.Pid);
+      P.u8(Req.Flags);
+      P.u64(Req.Stalls);
+      P.u32(Req.FirstRecord);
+      blob32(P, Req.Blob);
+      break;
+    case MsgType::StreamEnd:
+      P.u64(Req.StreamId);
+      P.u64(Req.Stalls);
+      blob32(P, Req.Blob);
+      break;
+    case MsgType::TailQuery:
+      P.u64(Req.StreamId);
+      string32(P, Req.Command);
+      break;
+    case MsgType::Frontier:
+      P.u64(Req.StreamId);
+      break;
     }
   });
 }
@@ -88,6 +132,10 @@ void ppd::encodeResponse(const Response &Resp, LogWriter &Out) {
     case RespType::Busy:
     case RespType::ShutdownAck:
       break;
+    case RespType::Ack:
+      P.u64(Resp.StreamId);
+      P.u32(Resp.Credits);
+      break;
     }
   });
 }
@@ -102,7 +150,7 @@ bool ppd::decodeRequest(const uint8_t *Data, size_t Size, Request &Out) {
   if (!R.ok() || Version != ProtocolVersion)
     return false;
   if (RawType < uint8_t(MsgType::OpenSession) ||
-      RawType > uint8_t(MsgType::Shutdown))
+      RawType > uint8_t(MsgType::Frontier))
     return false;
   Out.Type = MsgType(RawType);
   switch (Out.Type) {
@@ -127,6 +175,36 @@ bool ppd::decodeRequest(const uint8_t *Data, size_t Size, Request &Out) {
     break;
   case MsgType::Shutdown:
     break;
+  case MsgType::StreamHello:
+    Out.ProgramIndex = R.u32();
+    Out.ProgramHash = R.u64();
+    break;
+  case MsgType::SectionData:
+    Out.StreamId = R.u64();
+    Out.CutSeq = R.u64();
+    Out.Pid = R.u32();
+    Out.Flags = R.u8();
+    if (R.ok() && (Out.Flags & ~SectionLastInCut) != 0)
+      return false;
+    Out.Stalls = R.u64();
+    Out.FirstRecord = R.u32();
+    if (!readBlob32(R, Out.Blob))
+      return false;
+    break;
+  case MsgType::StreamEnd:
+    Out.StreamId = R.u64();
+    Out.Stalls = R.u64();
+    if (!readBlob32(R, Out.Blob))
+      return false;
+    break;
+  case MsgType::TailQuery:
+    Out.StreamId = R.u64();
+    if (!readString32(R, Out.Command))
+      return false;
+    break;
+  case MsgType::Frontier:
+    Out.StreamId = R.u64();
+    break;
   }
   // A frame with trailing garbage is malformed, not silently tolerated:
   // that is what catches a body meant for a different message type.
@@ -143,7 +221,7 @@ bool ppd::decodeResponse(const uint8_t *Data, size_t Size, Response &Out) {
   if (!R.ok() || Version != ProtocolVersion)
     return false;
   if (RawType < uint8_t(RespType::SessionOpened) ||
-      RawType > uint8_t(RespType::ShutdownAck))
+      RawType > uint8_t(RespType::Ack))
     return false;
   Out.Type = RespType(RawType);
   switch (Out.Type) {
@@ -158,7 +236,7 @@ bool ppd::decodeResponse(const uint8_t *Data, size_t Size, Response &Out) {
   case RespType::Error: {
     uint32_t Code = R.u32();
     if (!R.ok() || Code < uint32_t(ErrCode::BadFrame) ||
-        Code > uint32_t(ErrCode::ShuttingDown))
+        Code > uint32_t(ErrCode::StreamProtocol))
       return false;
     Out.Code = ErrCode(Code);
     if (!readString32(R, Out.Text))
@@ -168,6 +246,10 @@ bool ppd::decodeResponse(const uint8_t *Data, size_t Size, Response &Out) {
   case RespType::Closed:
   case RespType::Busy:
   case RespType::ShutdownAck:
+    break;
+  case RespType::Ack:
+    Out.StreamId = R.u64();
+    Out.Credits = R.u32();
     break;
   }
   return R.ok() && R.atEnd();

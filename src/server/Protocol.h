@@ -37,7 +37,7 @@
 namespace ppd {
 
 /// Protocol revision; bumped on any wire-visible change.
-inline constexpr uint8_t ProtocolVersion = 1;
+inline constexpr uint8_t ProtocolVersion = 2;
 
 /// Hard cap on one frame's payload. Debug responses are text and DOT
 /// dumps; a megabyte is generous, and the cap is what lets a reader
@@ -53,7 +53,21 @@ enum class MsgType : uint8_t {
   Stats = 5,       ///< body: u64 session (0 = whole-server metrics)
   CloseSession = 6, ///< body: u64 session
   Shutdown = 7,    ///< body: empty
+  // Streaming ingest (live attach). A tracer opens a stream with
+  // StreamHello, ships consistent cuts as SectionData frames (one per
+  // process with new records; the last in a cut carries LastInCut), and
+  // closes with StreamEnd carrying the program output. The server grants
+  // send credit via RespType::Ack; the tracer blocks at zero credit.
+  StreamHello = 8, ///< body: u32 program index, u64 program hash
+  SectionData = 9, ///< body: u64 stream, u64 cut, u32 pid, u8 flags,
+                   ///<       u64 stalls, u32 first record, u32 len, blob
+  StreamEnd = 10,  ///< body: u64 stream, u64 stalls, u32 len, output blob
+  TailQuery = 11,  ///< body: u64 stream, u32 len, command text
+  Frontier = 12,   ///< body: u64 stream (0 = list live streams)
 };
+
+/// SectionData flag bits.
+inline constexpr uint8_t SectionLastInCut = 1u << 0;
 
 /// Server → client message types.
 enum class RespType : uint8_t {
@@ -64,6 +78,7 @@ enum class RespType : uint8_t {
   Busy = 5,          ///< body: empty — queue full, retry later
   Error = 6,         ///< body: u32 code, u32 len, message text
   ShutdownAck = 7,   ///< body: empty
+  Ack = 8,           ///< body: u64 stream id, u32 credits granted
 };
 
 /// Error codes carried by RespType::Error.
@@ -76,6 +91,8 @@ enum class ErrCode : uint32_t {
   TooManySessions = 6,
   Timeout = 7,      ///< request expired in the queue
   ShuttingDown = 8, ///< server is draining
+  NoSuchStream = 9, ///< stream id unknown or already ended
+  StreamProtocol = 10, ///< ingest invariant violated; stream is dead
 };
 
 /// A decoded client request. Fields not used by a given Type stay at
@@ -86,7 +103,16 @@ struct Request {
   uint32_t ProgramIndex = 0; ///< OpenSession
   uint64_t SessionId = 0;    ///< Query/Step/Races/Stats/CloseSession
   uint8_t Direction = 0;     ///< Step: 0 back, 1 fwd
-  std::string Command;       ///< Query
+  std::string Command;       ///< Query/TailQuery
+  uint64_t ProgramHash = 0;  ///< StreamHello
+  uint64_t StreamId = 0;     ///< SectionData/StreamEnd/TailQuery/Frontier
+  uint64_t CutSeq = 0;       ///< SectionData: consistent-cut sequence
+  uint32_t Pid = 0;          ///< SectionData
+  uint32_t FirstRecord = 0;  ///< SectionData: index of first new record
+  uint8_t Flags = 0;         ///< SectionData: SectionLastInCut etc.
+  uint64_t Stalls = 0;       ///< SectionData/StreamEnd: cumulative
+                             ///< tracer credit stalls
+  std::vector<uint8_t> Blob; ///< SectionData records / StreamEnd output
 };
 
 /// A decoded server response.
@@ -96,6 +122,8 @@ struct Response {
   uint64_t SessionId = 0;            ///< SessionOpened
   ErrCode Code = ErrCode::BadFrame;  ///< Error
   std::string Text;                  ///< Result/StatsText/Error message
+  uint64_t StreamId = 0;             ///< Ack
+  uint32_t Credits = 0;              ///< Ack: send credit granted
 };
 
 /// Appends one complete frame (length prefix included) for \p Req.

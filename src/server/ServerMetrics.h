@@ -77,7 +77,7 @@ private:
 class ServerMetrics {
 public:
   /// MsgType values are 1-based; slot 0 is unused.
-  static constexpr unsigned NumTypes = 8;
+  static constexpr unsigned NumTypes = 13;
 
   void countRequest(MsgType Type) {
     Requests[unsigned(Type) % NumTypes].fetch_add(
@@ -101,6 +101,39 @@ public:
   }
 
   void recordLatency(uint64_t Micros) { Latency.record(Micros); }
+
+  /// Streaming-ingest accounting (live attach).
+  void countSectionIngested(uint64_t Bytes) {
+    SectionsIngested.fetch_add(1, std::memory_order_relaxed);
+    BytesIngested.fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  /// Tracer-reported cumulative credit stalls; monotone per stream, so
+  /// the metric stores the running max contribution via a plain add of
+  /// the delta computed by the ingest session.
+  void countCreditStalls(uint64_t Delta) {
+    CreditStalls.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  /// Tracks the deepest any ingest session's staged-cut queue has been.
+  void noteIngestQueueDepth(uint64_t Depth) {
+    uint64_t Prev = IngestQueueHighWater.load(std::memory_order_relaxed);
+    while (Prev < Depth &&
+           !IngestQueueHighWater.compare_exchange_weak(
+               Prev, Depth, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t sectionsIngested() const {
+    return SectionsIngested.load(std::memory_order_relaxed);
+  }
+  uint64_t bytesIngested() const {
+    return BytesIngested.load(std::memory_order_relaxed);
+  }
+  uint64_t creditStalls() const {
+    return CreditStalls.load(std::memory_order_relaxed);
+  }
+  uint64_t ingestQueueDepth() const {
+    return IngestQueueHighWater.load(std::memory_order_relaxed);
+  }
 
   uint64_t requests(MsgType Type) const {
     return Requests[unsigned(Type) % NumTypes].load(
@@ -131,7 +164,8 @@ public:
   std::string render(const std::string &ReplayLines) const {
     static const char *Names[NumTypes] = {
         nullptr,   "open",  "query",    "step",
-        "races",   "stats", "close",    "shutdown"};
+        "races",   "stats", "close",    "shutdown",
+        "hello",   "section", "streamend", "tail", "frontier"};
     std::string Out = "server: requests " +
                       std::to_string(totalRequests()) + ", malformed " +
                       std::to_string(malformedFrames()) + ", busy " +
@@ -145,6 +179,11 @@ public:
       Out += std::string(" ") + Names[I] + " " +
              std::to_string(Requests[I].load(std::memory_order_relaxed));
     Out += "\n";
+    Out += "ingest: sections " + std::to_string(sectionsIngested()) +
+           ", bytes " + std::to_string(bytesIngested()) +
+           ", credit stalls " + std::to_string(creditStalls()) +
+           ", queue high-water " + std::to_string(ingestQueueDepth()) +
+           "\n";
     Out += "latency: count " + std::to_string(Latency.count()) +
            ", mean " + std::to_string(Latency.meanMicros()) + "us, p50 <" +
            std::to_string(Latency.percentileMicros(50)) + "us, p99 <" +
@@ -160,6 +199,10 @@ private:
   std::atomic<uint64_t> Timeouts{0};
   std::atomic<uint64_t> Errors{0};
   std::atomic<uint64_t> QueueHighWater{0};
+  std::atomic<uint64_t> SectionsIngested{0};
+  std::atomic<uint64_t> BytesIngested{0};
+  std::atomic<uint64_t> CreditStalls{0};
+  std::atomic<uint64_t> IngestQueueHighWater{0};
   LatencyHistogram Latency;
 };
 

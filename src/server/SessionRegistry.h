@@ -134,6 +134,15 @@ public:
 
   size_t numPrograms() const;
 
+  /// The compiled program registered at \p Index, or null when out of
+  /// range. The pointee's address is stable for the registry's lifetime
+  /// (entries are never removed); the streaming ingest layer resolves a
+  /// StreamHello's target program through this.
+  const CompiledProgram *program(uint32_t Index) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Index < Programs.size() ? Programs[Index].Prog.get() : nullptr;
+  }
+
   /// Opens a session against program \p ProgramIndex. Returns 0 when the
   /// index is bad or MaxSessions is reached (ids start at 1).
   uint64_t open(uint32_t ProgramIndex);

@@ -1,0 +1,221 @@
+//===- stream/Spill.cpp ---------------------------------------------------===//
+//
+// Part of PPD. See Spill.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stream/Spill.h"
+
+#include "log/LogFormatV2.h"
+
+using namespace ppd;
+using namespace ppd::stream;
+
+void stream::encodeSectionBlob(const ProcessLog &PL, uint32_t FromRecord,
+                               uint32_t NumRecords,
+                               std::vector<uint8_t> &Out) {
+  assert(size_t(FromRecord) + NumRecords <= PL.Records.size() &&
+         "blob range past the log");
+  LogWriter W;
+  W.varint(PL.RootFunc);
+  W.varint(PL.Args.size());
+  for (int64_t A : PL.Args)
+    W.svarint(A);
+  W.varint(NumRecords);
+  // Fresh delta state per blob: a blob decodes standalone, at the price
+  // that concatenated blobs are not a whole-section v2 encoding (see the
+  // header comment on finalization).
+  uint64_t PrevSeq = 0;
+  for (uint32_t I = 0; I != NumRecords; ++I)
+    v2::writeRecord(W, PL.Records[FromRecord + I], PrevSeq);
+  Out.assign(W.data(), W.data() + W.size());
+}
+
+bool stream::decodeSectionBlob(const std::vector<uint8_t> &Blob,
+                               ProcessLog &Out) {
+  ByteReader R(Blob.data(), Blob.size());
+  Out.RootFunc = uint32_t(R.varint());
+  uint64_t NumArgs = R.varint();
+  if (!R.ok() || !R.plausibleCount(NumArgs))
+    return false;
+  Out.Args.clear();
+  Out.Args.reserve(size_t(NumArgs));
+  for (uint64_t I = 0; I != NumArgs; ++I)
+    Out.Args.push_back(R.svarint());
+  uint64_t NumRecords = R.varint();
+  if (!R.ok() || (NumRecords != 0 && !R.plausibleCount(NumRecords)))
+    return false;
+  Out.PrelogCount = 0;
+  uint64_t PrevSeq = 0;
+  for (uint64_t I = 0; I != NumRecords; ++I) {
+    LogRecord &Rec = Out.Records.emplace_back();
+    if (!v2::readRecord(R, Rec, PrevSeq))
+      return false;
+    if (Rec.Kind == LogRecordKind::Prelog)
+      ++Out.PrelogCount;
+  }
+  return R.ok() && R.atEnd();
+}
+
+//===----------------------------------------------------------------------===//
+// SpillWriter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void encodeChunk(const SpillCut &Cut, LogWriter &W) {
+  W.varint(Cut.CutSeq);
+  W.varint(Cut.Sections.size());
+  for (const SpillSection &S : Cut.Sections) {
+    W.varint(S.Pid);
+    W.varint(S.FirstRecord);
+    W.varint(S.Blob.size());
+    for (uint8_t B : S.Blob)
+      W.u8(B);
+  }
+}
+
+} // namespace
+
+bool SpillWriter::open(const std::string &Path, uint64_t ProgramHash) {
+  close();
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  FilePath = Path;
+  LogWriter W;
+  W.u32(SpillMagic);
+  W.u32(SpillVersion);
+  W.u64(ProgramHash);
+  if (std::fwrite(W.data(), 1, W.size(), File) != W.size() ||
+      std::fflush(File) != 0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+size_t SpillWriter::chunkSize(const SpillCut &Cut) {
+  LogWriter W;
+  encodeChunk(Cut, W);
+  return 4 + W.size();
+}
+
+bool SpillWriter::appendCut(const SpillCut &Cut) {
+  if (!File)
+    return false;
+  LogWriter Chunk;
+  encodeChunk(Cut, Chunk);
+  LogWriter Framed;
+  Framed.u32(uint32_t(Chunk.size()));
+  Framed.bytes(Chunk);
+  // Flush per cut: the durability unit of live attach is the consistent
+  // cut, so a crash can only lose the chunk in flight.
+  if (std::fwrite(Framed.data(), 1, Framed.size(), File) != Framed.size() ||
+      std::fflush(File) != 0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+void SpillWriter::close() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery
+//===----------------------------------------------------------------------===//
+
+bool stream::loadSpill(const std::string &Path, uint64_t &ProgramHash,
+                       std::vector<SpillCut> &Cuts, bool *Truncated) {
+  if (Truncated)
+    *Truncated = false;
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  ByteReader R(Bytes.data(), Bytes.size());
+  if (R.u32() != SpillMagic || R.u32() != SpillVersion)
+    return false;
+  ProgramHash = R.u64();
+  if (!R.ok())
+    return false;
+
+  Cuts.clear();
+  while (!R.atEnd()) {
+    // Anything short or malformed from here on is a torn tail, not an
+    // error: keep the cuts that made it to disk whole.
+    if (R.remaining() < 4) {
+      if (Truncated)
+        *Truncated = true;
+      break;
+    }
+    uint32_t Len = R.u32();
+    if (Len > R.remaining()) {
+      if (Truncated)
+        *Truncated = true;
+      break;
+    }
+    ByteReader C = R.sub(Len);
+    SpillCut Cut;
+    Cut.CutSeq = C.varint();
+    uint64_t NumSections = C.varint();
+    bool Ok = C.ok() && C.plausibleCount(NumSections);
+    for (uint64_t I = 0; Ok && I != NumSections; ++I) {
+      SpillSection S;
+      S.Pid = uint32_t(C.varint());
+      S.FirstRecord = uint32_t(C.varint());
+      uint64_t BlobLen = C.varint();
+      if (!C.ok() || BlobLen > C.remaining()) {
+        Ok = false;
+        break;
+      }
+      S.Blob.resize(size_t(BlobLen));
+      for (uint64_t B = 0; B != BlobLen; ++B)
+        S.Blob[size_t(B)] = C.u8();
+      Cut.Sections.push_back(std::move(S));
+    }
+    if (!Ok || !C.ok() || !C.atEnd()) {
+      if (Truncated)
+        *Truncated = true;
+      break;
+    }
+    Cuts.push_back(std::move(Cut));
+  }
+  return true;
+}
+
+bool stream::buildLogFromCuts(const std::vector<SpillCut> &Cuts,
+                              size_t NumCuts, ExecutionLog &Out) {
+  Out = ExecutionLog();
+  if (NumCuts > Cuts.size())
+    return false;
+  for (size_t I = 0; I != NumCuts; ++I) {
+    for (const SpillSection &S : Cuts[I].Sections) {
+      if (S.Pid > Out.Procs.size())
+        return false; // pids arrive densely
+      if (S.Pid == Out.Procs.size())
+        Out.Procs.emplace_back();
+      ProcessLog Frag;
+      if (!decodeSectionBlob(S.Blob, Frag))
+        return false;
+      ProcessLog &P = Out.Procs[S.Pid];
+      if (S.FirstRecord != P.Records.size())
+        return false;
+      if (P.Records.size() == 0) {
+        P.Pid = S.Pid;
+        P.RootFunc = Frag.RootFunc;
+        P.Args = Frag.Args;
+      } else if (P.RootFunc != Frag.RootFunc || P.Args != Frag.Args) {
+        return false;
+      }
+      for (size_t Idx = 0; Idx != Frag.Records.size(); ++Idx)
+        P.Records.push_back(Frag.Records[Idx]);
+      P.PrelogCount += Frag.PrelogCount;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,114 @@
+//===- stream/Spill.h - Streamed-ingest spill file --------------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side durability layer of live attach (DESIGN.md §13): every
+/// consistent cut an ingest session applies is appended to a spill file
+/// as one length-prefixed chunk and flushed, so a tracer crash — or a
+/// server crash — mid-stream loses at most the cut in flight. The chunk
+/// payload keeps the SectionData blobs verbatim (the v2 record codec with
+/// per-blob delta state), and loadSpill() recovers the longest complete-
+/// cut prefix from a truncated file instead of failing.
+///
+/// When the stream ends, the accumulated log is re-encoded as a canonical
+/// v2 log file (ExecutionLog::save, temp + rename). Concatenated blob
+/// encodings are *not* byte-identical to whole-section v2 encodings — the
+/// sequence-delta state resets per blob — which is why finalization
+/// re-encodes instead of splicing: the finalized file is exactly what a
+/// batch run would have saved, openable by PageStore and `ppd serve`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_STREAM_SPILL_H
+#define PPD_STREAM_SPILL_H
+
+#include "log/ExecutionLog.h"
+#include "log/LogIO.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppd {
+namespace stream {
+
+/// "PPDS" (little-endian), followed by u32 version and the u64 program
+/// hash the stream was opened with.
+inline constexpr uint32_t SpillMagic = 0x53445050u;
+inline constexpr uint32_t SpillVersion = 1;
+
+/// One process's share of a consistent cut: the records appended since
+/// the previous cut, as an encoded section blob.
+struct SpillSection {
+  uint32_t Pid = 0;
+  uint32_t FirstRecord = 0; ///< absolute index of the blob's first record.
+  std::vector<uint8_t> Blob;
+};
+
+struct SpillCut {
+  uint64_t CutSeq = 0;
+  std::vector<SpillSection> Sections;
+};
+
+/// Encodes records [FromRecord, FromRecord + NumRecords) of \p PL as a
+/// section blob: varint RootFunc, varint NumArgs, svarint args, varint
+/// NumRecords, then the v2 record codec with fresh delta state.
+void encodeSectionBlob(const ProcessLog &PL, uint32_t FromRecord,
+                       uint32_t NumRecords, std::vector<uint8_t> &Out);
+
+/// Decodes a section blob into \p Out (RootFunc, Args, Records,
+/// PrelogCount; Pid is the caller's). False on any malformed byte,
+/// including trailing garbage.
+bool decodeSectionBlob(const std::vector<uint8_t> &Blob, ProcessLog &Out);
+
+/// Append-only spill writer; one chunk per applied cut, flushed before
+/// appendCut returns.
+class SpillWriter {
+public:
+  SpillWriter() = default;
+  ~SpillWriter() { close(); }
+  SpillWriter(const SpillWriter &) = delete;
+  SpillWriter &operator=(const SpillWriter &) = delete;
+
+  bool open(const std::string &Path, uint64_t ProgramHash);
+  bool isOpen() const { return File != nullptr; }
+  const std::string &path() const { return FilePath; }
+
+  /// Appends one cut chunk and flushes. False on I/O failure (the file is
+  /// then unusable; the caller kills the stream).
+  bool appendCut(const SpillCut &Cut);
+
+  /// Bytes appendCut would write for \p Cut — the spill-budget currency,
+  /// computable before committing anything.
+  static size_t chunkSize(const SpillCut &Cut);
+
+  void close();
+
+private:
+  FILE *File = nullptr;
+  std::string FilePath;
+};
+
+/// Reads back a spill file: the header's program hash and every
+/// *complete* cut chunk. A file truncated mid-chunk (connection drop,
+/// crash) yields the intact prefix with \p Truncated set — never a
+/// failure — so a spill is openable up to the last sealed cut by
+/// construction. False only when the header itself is damaged.
+bool loadSpill(const std::string &Path, uint64_t &ProgramHash,
+               std::vector<SpillCut> &Cuts, bool *Truncated = nullptr);
+
+/// Replays the first \p NumCuts cuts into an ExecutionLog (no output —
+/// that travels only in StreamEnd). The spill-recovery path and the
+/// streamed-vs-batch oracle's prefix loads. False on malformed blobs or
+/// inconsistent cut bookkeeping.
+bool buildLogFromCuts(const std::vector<SpillCut> &Cuts, size_t NumCuts,
+                      ExecutionLog &Out);
+
+} // namespace stream
+} // namespace ppd
+
+#endif // PPD_STREAM_SPILL_H

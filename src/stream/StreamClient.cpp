@@ -1,0 +1,241 @@
+//===- stream/StreamClient.cpp --------------------------------------------===//
+//
+// Part of PPD. See StreamClient.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stream/StreamClient.h"
+
+#include "log/LogFormatV2.h"
+#include "server/Wire.h"
+#include "stream/Spill.h"
+
+#include <chrono>
+
+#include <unistd.h>
+
+using namespace ppd;
+using namespace ppd::stream;
+
+//===----------------------------------------------------------------------===//
+// StreamSealer
+//===----------------------------------------------------------------------===//
+
+Request StreamSealer::helloFrame() const {
+  Request Req;
+  Req.Type = MsgType::StreamHello;
+  Req.ProgramIndex = Options.ProgramIndex;
+  Req.ProgramHash = Options.ProgramHash;
+  return Req;
+}
+
+std::vector<Request> StreamSealer::sealRound(const ExecutionLog &Log,
+                                             bool Force) {
+  if (Shipped.size() < Log.Procs.size())
+    Shipped.resize(Log.Procs.size(), 0);
+
+  bool Trigger = Force;
+  for (uint32_t Pid = 0; !Trigger && Pid != Log.Procs.size(); ++Pid)
+    Trigger = Log.Procs[Pid].Records.size() - Shipped[Pid] >=
+              Options.SectionRecords;
+  if (!Trigger)
+    return {};
+
+  std::vector<Request> Frames;
+  for (uint32_t Pid = 0; Pid != Log.Procs.size(); ++Pid) {
+    const ProcessLog &PL = Log.Procs[Pid];
+    uint32_t Unsealed = uint32_t(PL.Records.size()) - Shipped[Pid];
+    // A record-empty process ships only in the Force round (and only if
+    // never shipped): the final cut must pin the process count, but
+    // intermediate cuts skip processes with nothing new.
+    if (Unsealed == 0 && !(Force && Shipped[Pid] == 0 &&
+                           PL.Records.size() == 0))
+      continue;
+    // Split a large share into several frames: FirstRecord advances, so
+    // the cut stays one atomic unit server-side while no blob ever
+    // approaches the frame cap.
+    uint32_t From = Shipped[Pid];
+    do {
+      uint32_t Take = 0;
+      size_t Bytes = 0;
+      while (Take != Unsealed && Bytes < Options.SoftBlobBytes) {
+        Bytes += PL.Records[From + Take].byteSize();
+        ++Take;
+      }
+      Request Req;
+      Req.Type = MsgType::SectionData;
+      Req.StreamId = StreamId;
+      Req.CutSeq = NextCutSeq;
+      Req.Pid = Pid;
+      Req.FirstRecord = From;
+      Req.Stalls = Stalls;
+      encodeSectionBlob(PL, From, Take, Req.Blob);
+      Frames.push_back(std::move(Req));
+      From += Take;
+      Unsealed -= Take;
+    } while (Unsealed != 0);
+    Shipped[Pid] = From;
+  }
+  if (Frames.empty())
+    return {};
+  Frames.back().Flags = SectionLastInCut;
+  ++NextCutSeq;
+  return Frames;
+}
+
+Request StreamSealer::endFrame(const ExecutionLog &Log) const {
+  Request Req;
+  Req.Type = MsgType::StreamEnd;
+  Req.StreamId = StreamId;
+  Req.Stalls = Stalls;
+  LogWriter W;
+  v2::writeOutput(W, Log.Output);
+  Req.Blob.assign(W.data(), W.data() + W.size());
+  return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// StreamClient
+//===----------------------------------------------------------------------===//
+
+StreamClient::StreamClient(StreamClientOptions Options)
+    : Options(Options), Sealer(Options.Sealer) {}
+
+StreamClient::~StreamClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void StreamClient::fail(std::string Msg) {
+  Failed = true;
+  if (Error.empty())
+    Error = std::move(Msg);
+}
+
+bool StreamClient::awaitResponse(Response &Resp) {
+  std::vector<uint8_t> Payload;
+  if (!recvFrame(Fd, Payload)) {
+    fail("connection lost");
+    return false;
+  }
+  if (!decodeResponse(Payload.data(), Payload.size(), Resp)) {
+    fail("malformed response frame");
+    return false;
+  }
+  if (Resp.Type == RespType::Busy) {
+    fail("server rejected the stream: busy (spill budget exhausted?)");
+    return false;
+  }
+  if (Resp.Type == RespType::Error) {
+    fail("server error: " + Resp.Text);
+    return false;
+  }
+  return true;
+}
+
+bool StreamClient::start() {
+  Fd = connectUnix(Options.SocketPath);
+  if (Fd < 0) {
+    fail("cannot connect to " + Options.SocketPath);
+    return false;
+  }
+  Request Hello = Sealer.helloFrame();
+  Hello.RequestId = NextRequestId++;
+  LogWriter W;
+  encodeRequest(Hello, W);
+  // sendFrame prefixes the length itself; skip encodeRequest's prefix.
+  if (!sendFrame(Fd, W.data() + 4, W.size() - 4)) {
+    fail("cannot send StreamHello");
+    return false;
+  }
+  Response Resp;
+  if (!awaitResponse(Resp))
+    return false;
+  if (Resp.Type != RespType::Ack || Resp.Credits == 0) {
+    fail("expected a credit-granting Ack for StreamHello");
+    return false;
+  }
+  Sealer.setStreamId(Resp.StreamId);
+  Credits = Resp.Credits;
+  return true;
+}
+
+bool StreamClient::ship(Request Req) {
+  if (Failed)
+    return false;
+  // Credit gate: at zero, block until the server returns credit. This is
+  // the tracer stall E12 measures — the alternative is unbounded
+  // buffering on one side or the other.
+  while (Credits == 0) {
+    auto T0 = std::chrono::steady_clock::now();
+    Sealer.noteStall();
+    Response Resp;
+    if (!awaitResponse(Resp))
+      return false;
+    StallMicros += uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    if (Resp.Type != RespType::Ack) {
+      fail("expected an Ack while stalled");
+      return false;
+    }
+    Credits += Resp.Credits;
+    --Outstanding;
+  }
+  Req.RequestId = NextRequestId++;
+  Req.Stalls = Sealer.stalls(); // include stalls from the gate above
+  LogWriter W;
+  encodeRequest(Req, W);
+  if (!sendFrame(Fd, W.data() + 4, W.size() - 4)) {
+    fail("connection lost mid-section");
+    return false;
+  }
+  --Credits;
+  ++Outstanding;
+  ++Sections;
+  return true;
+}
+
+void StreamClient::pollRound(const ExecutionLog &Log) {
+  if (Failed)
+    return;
+  for (Request &Req : Sealer.sealRound(Log, /*Force=*/false))
+    if (!ship(std::move(Req)))
+      return;
+}
+
+bool StreamClient::finish(const ExecutionLog &Log) {
+  if (Failed)
+    return false;
+  for (Request &Req : Sealer.sealRound(Log, /*Force=*/true))
+    if (!ship(std::move(Req)))
+      return false;
+
+  Request End = Sealer.endFrame(Log);
+  End.RequestId = NextRequestId++;
+  LogWriter W;
+  encodeRequest(End, W);
+  if (!sendFrame(Fd, W.data() + 4, W.size() - 4)) {
+    fail("connection lost at StreamEnd");
+    return false;
+  }
+  // Responses arrive in order: the outstanding SectionData acks first,
+  // then StreamEnd's.
+  for (uint32_t I = 0; I != Outstanding; ++I) {
+    Response Resp;
+    if (!awaitResponse(Resp))
+      return false;
+    if (Resp.Type == RespType::Ack)
+      Credits += Resp.Credits;
+  }
+  Outstanding = 0;
+  Response Resp;
+  if (!awaitResponse(Resp))
+    return false;
+  if (Resp.Type != RespType::Ack) {
+    fail("expected an Ack for StreamEnd");
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,142 @@
+//===- stream/StreamClient.h - Tracer-side streaming sink -------*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracer side of live attach (DESIGN.md §13). Two layers:
+///
+///   * StreamSealer — transport-independent cut policy. Hooked into the
+///     machine's scheduler round, it watches the growing ExecutionLog and,
+///     once any process accumulates SectionRecords unsealed records,
+///     seals a *consistent cut*: one SectionData request per process with
+///     new records, covering everything logged so far. Cuts are
+///     consistent by construction — a sync record's partner was logged
+///     before it, so a cut that ships every unsealed record can never
+///     ship a receive without its send. The oracle legs drive the sealer
+///     straight into DebugServer::handleFrame; no socket required.
+///
+///   * StreamClient — the socket wrapper `ppd run --stream` uses:
+///     connect, StreamHello, credit-gated SectionData shipping
+///     (blocking on the server's Acks at zero credit — the backpressure
+///     that throttles the tracer instead of dropping or buffering
+///     unboundedly), StreamEnd with the program output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_STREAM_STREAMCLIENT_H
+#define PPD_STREAM_STREAMCLIENT_H
+
+#include "log/ExecutionLog.h"
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppd {
+namespace stream {
+
+struct SealerOptions {
+  uint32_t ProgramIndex = 0;
+  uint64_t ProgramHash = 0;
+  /// Unsealed-record threshold that triggers a cut.
+  uint32_t SectionRecords = 64;
+  /// Soft cap on one SectionData blob; a process's share of a cut splits
+  /// into multiple frames past it (FirstRecord keeps them ordered), so a
+  /// blob can never approach MaxFramePayload.
+  uint32_t SoftBlobBytes = 1u << 18;
+};
+
+class StreamSealer {
+public:
+  explicit StreamSealer(SealerOptions Options) : Options(Options) {}
+
+  Request helloFrame() const;
+
+  /// SectionData requests for one consistent cut over \p Log, pid-ascending,
+  /// last one flagged SectionLastInCut. Empty when no process reached the
+  /// threshold (or, with \p Force, when nothing is unsealed at all —
+  /// except that a never-shipped pid is always shipped under Force, even
+  /// record-empty, so the stream's process count matches the batch log's).
+  std::vector<Request> sealRound(const ExecutionLog &Log, bool Force = false);
+
+  /// The StreamEnd request carrying \p Log's output stream. Call after a
+  /// final sealRound(Log, /*Force=*/true).
+  Request endFrame(const ExecutionLog &Log) const;
+
+  void setStreamId(uint64_t Id) { StreamId = Id; }
+  uint64_t streamId() const { return StreamId; }
+
+  /// Cumulative credit stalls, stamped into every outgoing frame so the
+  /// server's CreditStalls metric sees tracer-side backpressure.
+  void noteStall() { ++Stalls; }
+  uint64_t stalls() const { return Stalls; }
+  uint64_t cutsSealed() const { return NextCutSeq - 1; }
+
+private:
+  SealerOptions Options;
+  uint64_t StreamId = 0;
+  std::vector<uint32_t> Shipped; ///< records shipped, per pid.
+  uint64_t NextCutSeq = 1;
+  uint64_t Stalls = 0;
+};
+
+struct StreamClientOptions {
+  std::string SocketPath;
+  SealerOptions Sealer;
+};
+
+/// Synchronous streaming connection; single-threaded (driven from the
+/// machine's round hook). Any transport or protocol failure latches
+/// failed() and turns the remaining calls into no-ops — the program run
+/// itself is never aborted by a lost debugger.
+class StreamClient {
+public:
+  explicit StreamClient(StreamClientOptions Options);
+  ~StreamClient();
+  StreamClient(const StreamClient &) = delete;
+  StreamClient &operator=(const StreamClient &) = delete;
+
+  /// Connects, sends StreamHello, blocks for the credit-granting Ack.
+  bool start();
+
+  /// Machine round hook body: seal + ship if the threshold was reached.
+  void pollRound(const ExecutionLog &Log);
+
+  /// Ships the final cut (Force) and StreamEnd, then drains outstanding
+  /// Acks. True when the whole stream was accepted.
+  bool finish(const ExecutionLog &Log);
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return Error; }
+  uint64_t streamId() const { return Sealer.streamId(); }
+  uint64_t stalls() const { return Sealer.stalls(); }
+  /// Wall-clock microseconds spent blocked at zero credit (E12's tracer
+  /// stall time).
+  uint64_t stallMicros() const { return StallMicros; }
+  uint64_t sectionsShipped() const { return Sections; }
+  uint64_t cutsSealed() const { return Sealer.cutsSealed(); }
+
+private:
+  bool ship(Request Req);      ///< credit-gated send of one SectionData.
+  bool awaitResponse(Response &Resp); ///< ordered recv + decode.
+  void fail(std::string Msg);
+
+  StreamClientOptions Options;
+  StreamSealer Sealer;
+  int Fd = -1;
+  uint64_t NextRequestId = 1;
+  uint32_t Credits = 0;
+  uint32_t Outstanding = 0; ///< SectionData frames not yet acked.
+  uint64_t StallMicros = 0;
+  uint64_t Sections = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+} // namespace stream
+} // namespace ppd
+
+#endif // PPD_STREAM_STREAMCLIENT_H

@@ -18,8 +18,11 @@
 #include "log/PageStore.h"
 #include "pardyn/ParallelDynamicGraph.h"
 #include "pardyn/RaceDetector.h"
+#include "log/ProgramDb.h"
 #include "server/DebugServer.h"
 #include "server/Protocol.h"
+#include "stream/Ingest.h"
+#include "stream/StreamClient.h"
 #include "support/Rng.h"
 #include "vm/Jit.h"
 #include "vm/Machine.h"
@@ -868,6 +871,167 @@ DiffReport runDifferential(const std::string &Source, uint64_t SchedSeed,
     Response Closed;
     if (!Roundtrip(Close, Closed) || Closed.Type != RespType::Closed)
       return Fail("server/close", "CloseSession did not acknowledge");
+  }
+
+  //===--- stream/*: live-attach ingest vs the batch pipeline ------------===//
+  // Re-run the program with a StreamSealer hooked into scheduler rounds —
+  // cuts must be sealed DURING execution to be consistent — and feed the
+  // frames straight into an in-process IngestRegistry. The section
+  // threshold is seed-randomized down to a single record so cut
+  // boundaries land everywhere, including one-record sections. At
+  // sampled frontiers a tail query must answer exactly like a batch
+  // controller over a copy of the same prefix (the incremental
+  // append-equals-rebuild invariant); at the end the frontier must equal
+  // the batch log field-by-field and byte-for-byte as v2.
+  if (Config.CheckStream) {
+    DiagnosticEngine SrvDiags;
+    auto SrvProg = Compiler::compile(Source, CompileOptions(), SrvDiags);
+    if (!SrvProg)
+      return Fail("compile", "recompile failed: " + SrvDiags.str());
+    DebugServer Server;
+    uint32_t ProgIdx = Server.addProgram(std::move(SrvProg), ExecutionLog());
+    stream::IngestRegistry Ingest(Server, stream::IngestOptions());
+
+    stream::SealerOptions SOpts;
+    SOpts.ProgramIndex = ProgIdx;
+    SOpts.ProgramHash = programHash(*Prog);
+    SOpts.SectionRecords = 1 + uint32_t(SchedSeed % 9);
+    stream::StreamSealer Sealer(SOpts);
+
+    Response Hello = Ingest.dispatch(Sealer.helloFrame());
+    if (Hello.Type != RespType::Ack)
+      return Fail("stream/hello", "StreamHello rejected: " + Hello.Text);
+    Sealer.setStreamId(Hello.StreamId);
+    const uint64_t Sid = Hello.StreamId;
+
+    std::string StreamErr;
+    auto ShipAll = [&](std::vector<Request> Frames) {
+      for (Request &F : Frames) {
+        Response R = Ingest.dispatch(F);
+        if (R.Type != RespType::Ack) {
+          StreamErr = "SectionData rejected (cut " +
+                      std::to_string(F.CutSeq) + "): " + R.Text;
+          return;
+        }
+      }
+    };
+
+    // Sampled prefix checks: after some applied cuts, the ingest
+    // snapshot and a batch controller over the same prefix run a short
+    // flowback script and must agree verbatim.
+    unsigned PrefixChecks = 0;
+    uint64_t CheckedVersion = 0;
+    auto CheckPrefix = [&]() {
+      if (PrefixChecks >= 4 || !StreamErr.empty())
+        return;
+      uint64_t Version = Ingest.frontierVersion(Sid);
+      if (Version == CheckedVersion ||
+          (Version % 3) != (SchedSeed % 3)) // seed-skewed sampling
+        return;
+      CheckedVersion = Version;
+      ++PrefixChecks;
+      ExecutionLog Prefix;
+      if (!Ingest.frontierLog(Sid, Prefix) || Prefix.Procs.empty())
+        return;
+      PpdController BatchCtl(*Prog, ExecutionLog(Prefix));
+      DebugSession BatchSess(*Prog, BatchCtl);
+      for (const char *Cmd : {"where 0", "back", "races"}) {
+        Request Tail;
+        Tail.Type = MsgType::TailQuery;
+        Tail.StreamId = Sid;
+        Tail.Command = Cmd;
+        Response R = Ingest.dispatch(Tail);
+        std::string Batch = BatchSess.execute(Cmd);
+        if (R.Type != RespType::Result) {
+          StreamErr = std::string("tail '") + Cmd +
+                      "' did not yield a Result: " + R.Text;
+          return;
+        }
+        if (R.Text != Batch) {
+          StreamErr = std::string("prefix (version ") +
+                      std::to_string(Version) + ") tail '" + Cmd +
+                      "' differs:\n--- batch ---\n" + Batch +
+                      "\n--- tail ---\n" + R.Text;
+          return;
+        }
+      }
+    };
+
+    MachineOptions Opts = Base;
+    Opts.Mode = RunMode::Logging;
+    Machine M(*Prog, Opts);
+    M.onRound([&](Machine &Mach) {
+      if (!StreamErr.empty())
+        return;
+      ShipAll(Sealer.sealRound(Mach.log(), /*Force=*/false));
+      CheckPrefix();
+    });
+    M.run();
+    if (!StreamErr.empty())
+      return Fail("stream/ingest", StreamErr);
+    ShipAll(Sealer.sealRound(M.log(), /*Force=*/true));
+    if (!StreamErr.empty())
+      return Fail("stream/ingest", StreamErr);
+    {
+      std::string RerunErr = cmpLogs(L, M.log());
+      if (!RerunErr.empty())
+        return Fail("stream/determinism", "re-run log differs: " + RerunErr);
+      Response EndResp = Ingest.dispatch(Sealer.endFrame(M.log()));
+      if (EndResp.Type != RespType::Ack)
+        return Fail("stream/end", "StreamEnd rejected: " + EndResp.Text);
+    }
+
+    ExecutionLog Frontier;
+    if (!Ingest.frontierLog(Sid, Frontier))
+      return Fail("stream/final", "frontier log unavailable after end");
+    if (auto D = cmpLogs(L, Frontier); !D.empty())
+      return Fail("stream/final-log", D);
+    {
+      // Byte identity: the streamed accumulation must serialize to the
+      // exact v2 file a batch save produces.
+      std::string PathA = Config.TempDir + "/ppd_fuzz_" +
+                          std::to_string(uint64_t(::getpid())) + "_" +
+                          std::to_string(TempCounter.fetch_add(1)) +
+                          ".stream.ppdlog";
+      std::string PathB = PathA + ".batch";
+      std::vector<uint8_t> BytesA, BytesB;
+      bool Ok = Frontier.save(PathA, LogFormat::V2) &&
+                L.save(PathB, LogFormat::V2) &&
+                readFileBytes(PathA, BytesA) && readFileBytes(PathB, BytesB);
+      std::remove(PathA.c_str());
+      std::remove(PathB.c_str());
+      if (!Ok)
+        return Fail("stream/v2-bytes", "save or read-back failed");
+      if (BytesA != BytesB)
+        return Fail("stream/v2-bytes",
+                    "streamed v2 bytes differ from batch (size " +
+                        std::to_string(BytesA.size()) + " vs " +
+                        std::to_string(BytesB.size()) + ")");
+    }
+    // Final-frontier script vs a fresh batch session over the reference
+    // log: the adopted incremental index/graph answer like rebuilt ones,
+    // races included.
+    {
+      PpdController BatchCtl(*Prog, ExecutionLog(L));
+      DebugSession BatchSess(*Prog, BatchCtl);
+      uint32_t FocusPid = Ref.Result.Outcome == RunResult::Status::Failed
+                              ? Ref.Result.Error.Pid
+                              : 0;
+      std::string WhereCmd = "where " + std::to_string(FocusPid);
+      const char *Script[] = {WhereCmd.c_str(), "back", "fwd", "races"};
+      for (const char *Cmd : Script) {
+        Request Tail;
+        Tail.Type = MsgType::TailQuery;
+        Tail.StreamId = Sid;
+        Tail.Command = Cmd;
+        Response R = Ingest.dispatch(Tail);
+        std::string Batch = BatchSess.execute(Cmd);
+        if (R.Type != RespType::Result || R.Text != Batch)
+          return Fail("stream/tail", std::string("final tail '") + Cmd +
+                                         "' differs:\n--- batch ---\n" +
+                                         Batch + "\n--- tail ---\n" + R.Text);
+      }
+    }
   }
 
   //===--- flowback/*: dependence edges vs semantic ground truth ---------===//

@@ -43,6 +43,13 @@
 ///   paged/*     the whole-load session vs a pooled session over the same
 ///               v2 file under a seed-randomized (often starved) buffer
 ///               pool budget, plus skim-index-vs-decoded-index equality.
+///   stream/*    a re-run streamed as consistent cuts (seed-randomized
+///               section threshold, down to one record) into the ingest
+///               registry: the final frontier must equal the batch log
+///               bit-for-bit as v2, and sampled mid-run frontiers must
+///               answer tail queries exactly like a batch controller
+///               over the same prefix (incremental index/graph append =
+///               rebuild, prefix-closedness of live answers).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +74,12 @@ struct DiffConfig {
   /// Run the pooled-vs-whole oracle (saves the log and re-opens it
   /// through a PageStore + BufferPool with a seed-randomized budget).
   bool CheckPaged = true;
+  /// Run the streamed-vs-batch oracle (re-runs the program with a cut
+  /// sealer hooked into scheduler rounds, ingests the cuts through an
+  /// in-process IngestRegistry, and demands the final frontier equal the
+  /// batch log bit-for-bit — with sampled mid-run frontiers answering
+  /// tail queries exactly like a batch load of the same prefix).
+  bool CheckStream = true;
   /// Directory for the on-disk log round-trips.
   std::string TempDir = "/tmp";
 };

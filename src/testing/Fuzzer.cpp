@@ -31,7 +31,7 @@ FuzzResult runFuzz(const FuzzOptions &Options) {
     DiffReport Report = runDifferential(Source, Program.SchedSeed,
                                         Program.Quantum, Options.Diff);
     ++Result.Stats.Runs;
-    ++Result.Stats.ByProfile[unsigned(Program.Profile) % 5];
+    ++Result.Stats.ByProfile[unsigned(Program.Profile) % 6];
     switch (RunResult::Status(Report.Outcome)) {
     case RunResult::Status::Completed:
       ++Result.Stats.Completed;
@@ -99,7 +99,7 @@ std::string summarizeFuzz(const FuzzResult &Result) {
      << " deadlocked, " << S.Failures << " failed, " << S.StepLimits
      << " hit the step limit\n";
   Os << "profiles:";
-  for (unsigned P = 0; P != 5; ++P)
+  for (unsigned P = 0; P != 6; ++P)
     Os << " " << genProfileName(GenProfile(P)) << "=" << S.ByProfile[P];
   Os << "\n";
   Os << S.RacyRuns << " racy runs (" << S.TotalRaces << " races), "

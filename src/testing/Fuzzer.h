@@ -45,7 +45,7 @@ struct FuzzStats {
   uint64_t TotalRaces = 0;
   uint64_t TotalIntervals = 0;
   uint64_t TotalSteps = 0;
-  uint64_t ByProfile[5] = {};
+  uint64_t ByProfile[6] = {};
 };
 
 struct FuzzResult {

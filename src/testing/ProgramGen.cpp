@@ -25,6 +25,8 @@ const char *ppd::testing::genProfileName(GenProfile Profile) {
     return "deadlock-prone";
   case GenProfile::Channels:
     return "channels";
+  case GenProfile::Streamed:
+    return "streamed";
   }
   return "?";
 }
@@ -119,6 +121,11 @@ public:
     case GenProfile::SyncHeavy:
     case GenProfile::Racy:
       genWorkersAndMain(/*Locked=*/Options.Profile == GenProfile::SyncHeavy);
+      break;
+    case GenProfile::Streamed:
+      // Either worker shape, chosen per seed: the streamed-vs-batch
+      // oracle wants cut boundaries across both locked and racy traffic.
+      genWorkersAndMain(/*Locked=*/R.nextBelow(2) == 0);
       break;
     case GenProfile::DeadlockProne:
       genDeadlockProne();
@@ -568,9 +575,9 @@ GenProgram ppd::testing::generateProgram(uint64_t Seed,
   Prog.Profile = Options.Profile;
   // Machine parameters: cycle quanta so preemption boundaries vary, and
   // decouple the scheduling stream from the grammar stream. The quantum
-  // index must not be Seed % 5 — the default profile is, and a quantum
-  // locked to the profile would mean (say) compute programs never run
-  // with a budget wide enough to reach fused-dispatch fast halves.
+  // index must not track the profile index (Seed % 6) — a quantum locked
+  // to the profile would mean (say) compute programs never run with a
+  // budget wide enough to reach fused-dispatch fast halves.
   static const uint32_t Quanta[] = {1, 2, 3, 5, 8};
   Prog.Quantum = Quanta[(Seed / 5) % 5];
   Prog.SchedSeed = Seed * 2654435761u + 17;
@@ -580,8 +587,8 @@ GenProgram ppd::testing::generateProgram(uint64_t Seed,
 GenProgram ppd::testing::generateProgram(uint64_t Seed) {
   GenOptions Options;
   static const GenProfile Profiles[] = {
-      GenProfile::Compute, GenProfile::SyncHeavy, GenProfile::Racy,
-      GenProfile::DeadlockProne, GenProfile::Channels};
-  Options.Profile = Profiles[Seed % 5];
+      GenProfile::Compute,       GenProfile::SyncHeavy, GenProfile::Racy,
+      GenProfile::DeadlockProne, GenProfile::Channels,  GenProfile::Streamed};
+  Options.Profile = Profiles[Seed % 6];
   return generateProgram(Seed, Options);
 }

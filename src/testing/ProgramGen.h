@@ -43,13 +43,16 @@ struct GenUnit {
 /// toward different subsystems: pure computation (engines, replay),
 /// semaphore traffic (unit logs, sync edges), deliberate races (race
 /// detection, §5.5 validity), opposite lock orders (deadlock analysis),
-/// and channel pipelines (send/recv partner matching).
+/// and channel pipelines (send/recv partner matching), plus a mixed
+/// multi-process shape reserved for the streamed-ingest oracle (random
+/// section thresholds make its cut boundaries land everywhere).
 enum class GenProfile : uint8_t {
   Compute,
   SyncHeavy,
   Racy,
   DeadlockProne,
   Channels,
+  Streamed,
 };
 
 const char *genProfileName(GenProfile Profile);

@@ -29,6 +29,8 @@
 #include "log/ProgramDb.h"
 #include "server/DebugServer.h"
 #include "server/Wire.h"
+#include "stream/Ingest.h"
+#include "stream/StreamClient.h"
 #include "support/ThreadPool.h"
 #include "testing/Fuzzer.h"
 #include "vm/Machine.h"
@@ -36,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -82,6 +85,14 @@ struct CliOptions {
   unsigned MaxSessions = 64;
   bool MetricsDump = false;
 
+  // streaming ingest (run --stream / serve)
+  std::string StreamAddr;       ///< --stream (run): server socket path.
+  uint32_t StreamProgram = 0;   ///< --stream-program (run)
+  uint32_t SectionRecords = 64; ///< --section-records (run)
+  std::string SpillDir;         ///< --spill-dir (serve)
+  size_t SpillBudget = 0;       ///< --spill-budget (serve); 0 = unbounded
+  unsigned CreditWindow = 8;    ///< --credit-window (serve)
+
   // fuzz
   uint64_t FuzzRuns = 100;
   bool Minimize = false;
@@ -100,7 +111,8 @@ commands:
             socket (ppd serve file.ppl --socket PATH)
   client    scriptable client for a running server (ppd client --socket
             PATH; commands from stdin: open/query/step/races/stats/close/
-            shutdown/quit)
+            tail/frontier/shutdown/quit; `tail ID CMD` debugs a live
+            stream's frontier, `frontier [ID]` shows ingest progress)
   fuzz      differential fuzzing: random PPL programs through every
             redundant pipeline pair (ppd fuzz --runs N --seed S; takes no
             file argument)
@@ -145,6 +157,23 @@ options:
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
   --dump-db             (compile) the program database
+  --stream PATH         (run) live attach: ship completed log sections to
+                        the ppd server at this socket while the program
+                        runs (requires --mode logging, the default); the
+                        server's `tail`/`frontier` client commands then
+                        debug the still-running program
+  --stream-program N    (run --stream) program index on the server the
+                        stream belongs to (default 0)
+  --section-records N   (run --stream) unsealed-record threshold that
+                        seals a consistent cut (default 64)
+  --spill-dir PATH      (serve) append each ingested cut to a spill file
+                        here and finalize a canonical v2 log when the
+                        stream ends (default: ingest in memory only)
+  --spill-budget N[kmg] (serve) total spill bytes across all ingest
+                        sessions; past it new cuts are rejected Busy
+                        (default unbounded)
+  --credit-window N     (serve) SectionData frames a tracer may have in
+                        flight before it must stall (default 8)
   --socket PATH         (serve/client) unix socket path
   --program FILE        (serve) serve another program too (repeatable);
                         the Nth --log pairs with the Nth program
@@ -278,6 +307,49 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.MaxSessions = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--metrics-dump") {
       Opts.MetricsDump = true;
+    } else if (Arg == "--stream") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.StreamAddr = V;
+    } else if (Arg == "--stream-program") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.StreamProgram = uint32_t(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--section-records") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SectionRecords = uint32_t(std::strtoul(V, nullptr, 10));
+      if (Opts.SectionRecords == 0) {
+        std::fprintf(stderr, "error: --section-records must be positive\n");
+        return false;
+      }
+    } else if (Arg == "--spill-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SpillDir = V;
+    } else if (Arg == "--spill-budget") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!parseByteSize(V, Opts.SpillBudget) || Opts.SpillBudget == 0) {
+        std::fprintf(stderr, "error: bad --spill-budget '%s' (expected "
+                             "N, Nk, Nm, or Ng)\n",
+                     V);
+        return false;
+      }
+    } else if (Arg == "--credit-window") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CreditWindow = unsigned(std::strtoul(V, nullptr, 10));
+      if (Opts.CreditWindow == 0) {
+        std::fprintf(stderr, "error: --credit-window must be positive\n");
+        return false;
+      }
     } else if (Arg == "--pool-budget") {
       const char *V = Next();
       if (!V)
@@ -544,9 +616,50 @@ int cmdRun(const CliOptions &Opts) {
   auto Prog = compileFile(Opts);
   if (!Prog)
     return 1;
-  Machine M(*Prog, machineOptions(Opts, *Prog));
+  MachineOptions MOpts = machineOptions(Opts, *Prog);
+  if (!Opts.StreamAddr.empty() && MOpts.Mode != RunMode::Logging) {
+    std::fprintf(stderr,
+                 "error: --stream needs --mode logging (sections are "
+                 "sealed from the incremental log)\n");
+    return 64;
+  }
+  Machine M(*Prog, MOpts);
+
+  // Live attach: seal consistent cuts from the growing log at scheduler
+  // rounds and ship them; the server debugs the frontier while we run.
+  std::unique_ptr<stream::StreamClient> Stream;
+  if (!Opts.StreamAddr.empty()) {
+    stream::StreamClientOptions SCOpts;
+    SCOpts.SocketPath = Opts.StreamAddr;
+    SCOpts.Sealer.ProgramIndex = Opts.StreamProgram;
+    SCOpts.Sealer.ProgramHash = programHash(*Prog);
+    SCOpts.Sealer.SectionRecords = Opts.SectionRecords;
+    Stream = std::make_unique<stream::StreamClient>(SCOpts);
+    if (!Stream->start()) {
+      std::fprintf(stderr, "error: cannot attach stream: %s\n",
+                   Stream->error().c_str());
+      return 1;
+    }
+    M.onRound(
+        [&Stream](Machine &Mach) { Stream->pollRound(Mach.log()); });
+  }
+
   RunResult Result = M.run();
   reportRun(*Prog, M, Result);
+
+  if (Stream) {
+    if (Stream->finish(M.log()))
+      std::printf("-- streamed %llu section(s) in %llu cut(s) to %s "
+                  "(stream %llu, %llu stall(s))\n",
+                  (unsigned long long)Stream->sectionsShipped(),
+                  (unsigned long long)Stream->cutsSealed(),
+                  Opts.StreamAddr.c_str(),
+                  (unsigned long long)Stream->streamId(),
+                  (unsigned long long)Stream->stalls());
+    else
+      std::fprintf(stderr, "warning: stream did not complete: %s\n",
+                   Stream->error().c_str());
+  }
   if (!Opts.LogPath.empty()) {
     std::unique_ptr<ThreadPool> SavePool;
     if (Opts.ReplayThreads > 0)
@@ -776,6 +889,26 @@ int cmdServe(const CliOptions &Opts) {
                 Paged ? " (paged)" : "");
   }
 
+  // Streaming ingest is always armed: `ppd run --stream` opens a stream
+  // against any served program; --spill-dir adds durability, and
+  // --spill-budget bounds the total it may accumulate.
+  stream::IngestOptions IOpts;
+  if (!Opts.SpillDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Opts.SpillDir, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "error: cannot create spill directory %s: %s\n",
+                   Opts.SpillDir.c_str(), Ec.message().c_str());
+      return 1;
+    }
+  }
+  IOpts.SpillDir = Opts.SpillDir;
+  IOpts.CreditWindow = Opts.CreditWindow;
+  IOpts.SpillBudget = Opts.SpillBudget;
+  stream::IngestRegistry Ingest(Server, IOpts);
+  Server.setStreamDispatcher(
+      [&Ingest](const Request &Req) { return Ingest.dispatch(Req); });
+
   int ListenFd = listenUnix(Opts.SocketPath);
   if (ListenFd < 0)
     return 1;
@@ -838,6 +971,21 @@ bool clientCommand(const std::string &Line, Request &Req, bool &Send) {
     Req.Type = MsgType::CloseSession;
     Req.SessionId = ParseSession(true);
     Send = Req.SessionId != 0;
+  } else if (Cmd == "tail") {
+    // tail STREAM CMD... — run a debug command against the stream's
+    // current frontier (the prefix of the run ingested so far).
+    Req.Type = MsgType::TailQuery;
+    Req.StreamId = ParseSession(true);
+    std::string Rest;
+    std::getline(Args, Rest);
+    size_t Start = Rest.find_first_not_of(' ');
+    Req.Command = Start == std::string::npos ? "" : Rest.substr(Start);
+    Send = Req.StreamId != 0;
+  } else if (Cmd == "frontier") {
+    // frontier [STREAM] — ingest progress of one stream, or all of them.
+    Req.Type = MsgType::Frontier;
+    Req.StreamId = ParseSession(false);
+    Send = true;
   } else if (Cmd == "shutdown") {
     Req.Type = MsgType::Shutdown;
     Send = true;
@@ -870,6 +1018,10 @@ void printResponse(const Response &Resp) {
     break;
   case RespType::ShutdownAck:
     std::printf("shutdown requested\n");
+    break;
+  case RespType::Ack:
+    std::printf("ack stream %llu, credits %u\n",
+                (unsigned long long)Resp.StreamId, Resp.Credits);
     break;
   }
 }

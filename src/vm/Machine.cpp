@@ -1248,6 +1248,8 @@ RunResult Machine::run() {
   };
 
   for (;;) {
+    if (RoundHook)
+      RoundHook(*this);
     if (BreakHit) {
       Result.BreakPid = BreakPid;
       Result.BreakStmt = BreakStmt;

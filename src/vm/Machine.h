@@ -38,6 +38,7 @@
 #include "trace/TraceEvent.h"
 
 #include <deque>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -172,6 +173,15 @@ public:
   /// Runs to completion, deadlock, failure, or the step budget.
   RunResult run();
 
+  /// Installs a hook invoked once per scheduler round, before the next
+  /// process is picked. The streaming tracer uses it to seal and ship
+  /// completed log sections while the program is still running; the hook
+  /// may block (credit backpressure) but must not mutate the machine
+  /// beyond reading log().
+  void onRound(std::function<void(Machine &)> Hook) {
+    RoundHook = std::move(Hook);
+  }
+
   const ExecutionLog &log() const { return Log; }
   ExecutionLog takeLog() { return std::move(Log); }
   const std::vector<OutputRecord> &output() const { return Log.Output; }
@@ -274,6 +284,7 @@ private:
   ExecutionLog Log;
   uint64_t NextSyncSeq = 0;
   uint64_t Steps = 0;
+  std::function<void(Machine &)> RoundHook;
 };
 
 } // namespace ppd

@@ -51,7 +51,7 @@ TEST(ProgramGenTest, AllProfilesReachable) {
   std::set<int> Seen;
   for (uint64_t Seed = 1; Seed != 30; ++Seed)
     Seen.insert(int(generateProgram(Seed).Profile));
-  EXPECT_EQ(Seen.size(), 5u);
+  EXPECT_EQ(Seen.size(), 6u);
 }
 
 TEST(ProgramGenTest, SingleUnitRemovalsStayWellFormed) {

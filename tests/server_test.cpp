@@ -92,6 +92,41 @@ std::vector<Request> sampleRequests() {
   R.Type = MsgType::Shutdown;
   R.RequestId = 107;
   Out.push_back(R);
+  R = Request();
+  R.Type = MsgType::StreamHello;
+  R.RequestId = 108;
+  R.ProgramIndex = 1;
+  R.ProgramHash = 0xdeadbeefcafef00dull;
+  Out.push_back(R);
+  R = Request();
+  R.Type = MsgType::SectionData;
+  R.RequestId = 109;
+  R.StreamId = 4;
+  R.CutSeq = 3;
+  R.Pid = 2;
+  R.FirstRecord = 17;
+  R.Flags = SectionLastInCut;
+  R.Stalls = 5;
+  R.Blob = {0x01, 0x02, 0x03, 0xff};
+  Out.push_back(R);
+  R = Request();
+  R.Type = MsgType::StreamEnd;
+  R.RequestId = 110;
+  R.StreamId = 4;
+  R.Stalls = 6;
+  R.Blob = {0xaa, 0xbb};
+  Out.push_back(R);
+  R = Request();
+  R.Type = MsgType::TailQuery;
+  R.RequestId = 111;
+  R.StreamId = 4;
+  R.Command = "where 0";
+  Out.push_back(R);
+  R = Request();
+  R.Type = MsgType::Frontier;
+  R.RequestId = 112;
+  R.StreamId = 0;
+  Out.push_back(R);
   return Out;
 }
 
@@ -130,6 +165,18 @@ std::vector<Response> sampleResponses() {
   R.Type = RespType::ShutdownAck;
   R.RequestId = 207;
   Out.push_back(R);
+  R = Response();
+  R.Type = RespType::Ack;
+  R.RequestId = 208;
+  R.StreamId = 11;
+  R.Credits = 8;
+  Out.push_back(R);
+  R = Response();
+  R.Type = RespType::Error;
+  R.RequestId = 209;
+  R.Code = ErrCode::StreamProtocol;
+  R.Text = "cut 3 is not a consistent extension";
+  Out.push_back(R);
   return Out;
 }
 
@@ -145,6 +192,14 @@ TEST(ProtocolTest, RequestRoundTripEveryType) {
     EXPECT_EQ(Back.SessionId, Req.SessionId);
     EXPECT_EQ(Back.Direction, Req.Direction);
     EXPECT_EQ(Back.Command, Req.Command);
+    EXPECT_EQ(Back.ProgramHash, Req.ProgramHash);
+    EXPECT_EQ(Back.StreamId, Req.StreamId);
+    EXPECT_EQ(Back.CutSeq, Req.CutSeq);
+    EXPECT_EQ(Back.Pid, Req.Pid);
+    EXPECT_EQ(Back.FirstRecord, Req.FirstRecord);
+    EXPECT_EQ(Back.Flags, Req.Flags);
+    EXPECT_EQ(Back.Stalls, Req.Stalls);
+    EXPECT_EQ(Back.Blob, Req.Blob);
   }
 }
 
@@ -161,6 +216,8 @@ TEST(ProtocolTest, ResponseRoundTripEveryType) {
       EXPECT_EQ(int(Back.Code), int(Resp.Code));
     }
     EXPECT_EQ(Back.Text, Resp.Text);
+    EXPECT_EQ(Back.StreamId, Resp.StreamId);
+    EXPECT_EQ(Back.Credits, Resp.Credits);
   }
 }
 
