@@ -1,0 +1,555 @@
+//===- server/Bots.cpp ----------------------------------------------------===//
+//
+// Part of PPD. See Bots.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Bots.h"
+
+#include "server/EventDispatcher.h"
+#include "server/Protocol.h"
+#include "server/ServerMetrics.h"
+#include "server/Wire.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ppd;
+
+namespace {
+
+uint64_t nowMicros() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+struct Bot {
+  enum class State : uint8_t {
+    Idle,       ///< not started yet.
+    Connecting, ///< non-blocking connect in flight.
+    Opening,    ///< OpenSession sent, awaiting SessionOpened.
+    Querying,   ///< a query in flight.
+    Holding,    ///< script done, keeping the session live (HoldOpen).
+    Closing,    ///< CloseSession sent, awaiting Closed.
+    Done,
+    Failed,
+  };
+
+  State St = State::Idle;
+  int Fd = -1;
+  FrameReader Frames;
+  std::vector<uint8_t> WriteBuf;
+  size_t WriteOff = 0;
+  bool WantWrite = false;
+  uint64_t SessionId = 0;
+  uint64_t NextRequestId = 1;
+  uint64_t PendingRequestId = 0;
+  unsigned QueriesDone = 0;
+  unsigned Retries = 0;
+  uint64_t SendTimeUs = 0;
+};
+
+class BotFleet {
+public:
+  BotFleet(const BotFleetOptions &Options, uint64_t SharedSessionId)
+      : Opts(Options), SharedSessionId(SharedSessionId) {}
+  BotFleetResult run();
+
+private:
+  void tick();
+  void startBot(size_t I);
+  void onBotEvent(size_t I, uint32_t Events);
+  void onConnected(size_t I);
+  void readBot(size_t I);
+  void handleResponse(size_t I, const Response &Resp);
+  void sendRequest(size_t I, Request Req);
+  void flushBot(size_t I);
+  void sendNextQuery(size_t I);
+  void paceNextQuery(size_t I);
+  void finishQueries(size_t I);
+  void beginClose(size_t I);
+  void completeBot(size_t I);
+  void failBot(size_t I, const char *Why);
+  void releaseHolders();
+  void checkDone();
+  void dropSocket(Bot &B);
+
+  BotFleetOptions Opts;
+  uint64_t SharedSessionId = 0;
+  EventDispatcher Loop;
+  std::vector<Bot> Bots;
+  LatencyHistogram Latency;
+  BotFleetResult Result;
+  size_t Started = 0;
+  uint64_t CurConnected = 0;
+  uint64_t FinishedQueries = 0;
+  bool Releasing = false;
+};
+
+void BotFleet::dropSocket(Bot &B) {
+  if (B.Fd >= 0) {
+    Loop.remove(B.Fd);
+    ::close(B.Fd);
+    B.Fd = -1;
+  }
+}
+
+void BotFleet::startBot(size_t I) {
+  Bot &B = Bots[I];
+  bool Tcp = isTcpEndpoint(Opts.Address);
+  int Fd = ::socket(Tcp ? AF_INET : AF_UNIX,
+                    SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    failBot(I, "socket");
+    return;
+  }
+  int Rc;
+  if (Tcp) {
+    std::string Host;
+    uint16_t Port = 0;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    if (!splitHostPort(Opts.Address.substr(4), Host, Port) ||
+        ::inet_pton(AF_INET,
+                    (Host.empty() || Host == "localhost") ? "127.0.0.1"
+                                                          : Host.c_str(),
+                    &Addr.sin_addr) != 1) {
+      ::close(Fd);
+      failBot(I, "address");
+      return;
+    }
+    Addr.sin_port = htons(Port);
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } else {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Opts.Address.size() >= sizeof(Addr.sun_path)) {
+      ::close(Fd);
+      failBot(I, "path");
+      return;
+    }
+    std::memcpy(Addr.sun_path, Opts.Address.c_str(),
+                Opts.Address.size() + 1);
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  }
+  if (Rc < 0 && errno != EINPROGRESS) {
+    // A full unix backlog surfaces as EAGAIN with no completion to wait
+    // for; back off a tick and retry rather than failing the bot.
+    ::close(Fd);
+    if ((errno == EAGAIN || errno == ECONNREFUSED) && B.Retries++ < 50) {
+      Loop.addTimer(10, [this, I] { startBot(I); });
+      return;
+    }
+    failBot(I, "connect");
+    return;
+  }
+  B.Fd = Fd;
+  B.St = Bot::State::Connecting;
+  Loop.add(Fd, Rc == 0 ? EPOLLIN : EPOLLOUT,
+           [this, I](uint32_t Events) { onBotEvent(I, Events); });
+  if (Rc == 0)
+    onConnected(I);
+}
+
+void BotFleet::onConnected(size_t I) {
+  Bot &B = Bots[I];
+  ++Result.Connected;
+  ++CurConnected;
+  if (CurConnected > Result.PeakConcurrent)
+    Result.PeakConcurrent = CurConnected;
+  if (Opts.SharedSession) {
+    B.SessionId = SharedSessionId;
+    B.St = Bot::State::Querying;
+    sendNextQuery(I);
+    return;
+  }
+  Request Req;
+  Req.Type = MsgType::OpenSession;
+  Req.ProgramIndex = Opts.ProgramIndex;
+  B.St = Bot::State::Opening;
+  sendRequest(I, std::move(Req));
+}
+
+void BotFleet::onBotEvent(size_t I, uint32_t Events) {
+  Bot &B = Bots[I];
+  if (B.St == Bot::State::Connecting) {
+    if (Events & (EPOLLERR | EPOLLHUP)) {
+      dropSocket(B);
+      if (B.Retries++ < 50) {
+        Loop.addTimer(10, [this, I] { startBot(I); });
+        return;
+      }
+      failBot(I, "connect");
+      return;
+    }
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    ::getsockopt(B.Fd, SOL_SOCKET, SO_ERROR, &Err, &Len);
+    if (Err != 0) {
+      dropSocket(B);
+      if (B.Retries++ < 50) {
+        Loop.addTimer(10, [this, I] { startBot(I); });
+        return;
+      }
+      failBot(I, "connect");
+      return;
+    }
+    Loop.modify(B.Fd, EPOLLIN);
+    onConnected(I);
+    return;
+  }
+  if (Events & (EPOLLERR | EPOLLHUP)) {
+    failBot(I, "hangup");
+    return;
+  }
+  if (Events & EPOLLOUT)
+    flushBot(I);
+  if (Bots[I].Fd >= 0 && (Events & EPOLLIN))
+    readBot(I);
+}
+
+void BotFleet::sendRequest(size_t I, Request Req) {
+  Bot &B = Bots[I];
+  Req.RequestId = B.NextRequestId++;
+  B.PendingRequestId = Req.RequestId;
+  LogWriter W;
+  encodeRequest(Req, W); // includes the length prefix.
+  B.WriteBuf.insert(B.WriteBuf.end(), W.data(), W.data() + W.size());
+  B.SendTimeUs = nowMicros();
+  flushBot(I);
+}
+
+void BotFleet::flushBot(size_t I) {
+  Bot &B = Bots[I];
+  while (B.WriteBuf.size() != B.WriteOff) {
+    ssize_t N = ::send(B.Fd, B.WriteBuf.data() + B.WriteOff,
+                       B.WriteBuf.size() - B.WriteOff, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!B.WantWrite) {
+          B.WantWrite = true;
+          Loop.modify(B.Fd, EPOLLIN | EPOLLOUT);
+        }
+        return;
+      }
+      failBot(I, "send");
+      return;
+    }
+    B.WriteOff += size_t(N);
+  }
+  B.WriteBuf.clear();
+  B.WriteOff = 0;
+  if (B.WantWrite) {
+    B.WantWrite = false;
+    Loop.modify(B.Fd, EPOLLIN);
+  }
+}
+
+void BotFleet::readBot(size_t I) {
+  uint8_t Buf[1 << 14];
+  for (;;) {
+    Bot &B = Bots[I];
+    if (B.Fd < 0)
+      return;
+    ssize_t N = ::read(B.Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return;
+      failBot(I, "read");
+      return;
+    }
+    if (N == 0) {
+      failBot(I, "eof");
+      return;
+    }
+    B.Frames.feed(Buf, size_t(N));
+    std::vector<uint8_t> Payload;
+    while (Bots[I].Fd >= 0 && Bots[I].Frames.next(Payload)) {
+      Response Resp;
+      if (!decodeResponse(Payload.data(), Payload.size(), Resp)) {
+        failBot(I, "decode");
+        return;
+      }
+      handleResponse(I, Resp);
+      Payload.clear();
+    }
+    if (Bots[I].Fd >= 0 && Bots[I].Frames.malformed()) {
+      failBot(I, "malformed");
+      return;
+    }
+  }
+}
+
+void BotFleet::handleResponse(size_t I, const Response &Resp) {
+  Bot &B = Bots[I];
+  if (Resp.RequestId != B.PendingRequestId) {
+    failBot(I, "request-id mismatch");
+    return;
+  }
+  // Busy is the server's bounded queue doing its job; the protocol
+  // contract is that the client retries. Back off a tick (staggered by
+  // bot index so the herd doesn't re-arrive at once) and re-issue the
+  // same logical request. The fleet deadline bounds total retrying.
+  if (Resp.Type == RespType::Busy &&
+      (B.St == Bot::State::Opening || B.St == Bot::State::Querying ||
+       B.St == Bot::State::Closing)) {
+    ++Result.BusyRetries;
+    Bot::State St = B.St;
+    Loop.addTimer(5 + (I & 15), [this, I, St] {
+      Bot &B = Bots[I];
+      if (B.Fd < 0 || B.St != St)
+        return;
+      switch (St) {
+      case Bot::State::Opening: {
+        Request Req;
+        Req.Type = MsgType::OpenSession;
+        Req.ProgramIndex = Opts.ProgramIndex;
+        sendRequest(I, std::move(Req));
+        return;
+      }
+      case Bot::State::Querying:
+        sendNextQuery(I);
+        return;
+      case Bot::State::Closing: {
+        Request Req;
+        Req.Type = MsgType::CloseSession;
+        Req.SessionId = B.SessionId;
+        sendRequest(I, std::move(Req));
+        return;
+      }
+      default:
+        return;
+      }
+    });
+    return;
+  }
+  switch (B.St) {
+  case Bot::State::Opening:
+    if (Resp.Type != RespType::SessionOpened) {
+      failBot(I, "open rejected");
+      return;
+    }
+    B.SessionId = Resp.SessionId;
+    B.St = Bot::State::Querying;
+    paceNextQuery(I);
+    return;
+  case Bot::State::Querying:
+    if (Resp.Type != RespType::Result) {
+      failBot(I, "query rejected");
+      return;
+    }
+    Latency.record(nowMicros() - B.SendTimeUs);
+    ++Result.QueriesAnswered;
+    if (++B.QueriesDone >= Opts.QueriesPerBot) {
+      finishQueries(I);
+      return;
+    }
+    paceNextQuery(I);
+    return;
+  case Bot::State::Closing:
+    if (Resp.Type != RespType::Closed) {
+      failBot(I, "close rejected");
+      return;
+    }
+    completeBot(I);
+    return;
+  default:
+    failBot(I, "unexpected response");
+    return;
+  }
+}
+
+/// With ThinkMs the fleet is a pacer, not a firehose: the next query is
+/// delayed by a deterministic per-(bot, query) jitter uniform in
+/// [1, 2*ThinkMs] — mean ThinkMs, and no two bots phase-lock — so the
+/// offered load is NumBots/ThinkMs queries per ms and the measured
+/// round-trip is service + dispatch, not open-throttle queue depth.
+void BotFleet::paceNextQuery(size_t I) {
+  if (Opts.ThinkMs == 0) {
+    sendNextQuery(I);
+    return;
+  }
+  Bot &B = Bots[I];
+  uint64_t Jitter =
+      (I * 2654435761u + uint64_t(B.QueriesDone) * 40503u) %
+          (2 * uint64_t(Opts.ThinkMs)) +
+      1;
+  Loop.addTimer(Jitter, [this, I] {
+    Bot &B = Bots[I];
+    if (B.Fd < 0 || B.St != Bot::State::Querying)
+      return;
+    sendNextQuery(I);
+  });
+}
+
+void BotFleet::sendNextQuery(size_t I) {
+  Request Req;
+  Req.Type = MsgType::Query;
+  Req.SessionId = Bots[I].SessionId;
+  Req.Command = Opts.Command;
+  sendRequest(I, std::move(Req));
+}
+
+void BotFleet::finishQueries(size_t I) {
+  ++FinishedQueries;
+  if (Opts.Progress && FinishedQueries % 1024 == 0)
+    Opts.Progress(std::to_string(FinishedQueries) + "/" +
+                  std::to_string(Opts.NumBots) + " bots finished, " +
+                  std::to_string(CurConnected) + " concurrent");
+  if (!Opts.HoldOpen) {
+    beginClose(I);
+    checkDone();
+    return;
+  }
+  Bots[I].St = Bot::State::Holding;
+  // Everyone still alive is done querying: the concurrency plateau has
+  // been held, release the fleet.
+  if (FinishedQueries + Result.Failed == Opts.NumBots)
+    releaseHolders();
+}
+
+void BotFleet::releaseHolders() {
+  if (Releasing)
+    return;
+  Releasing = true;
+  for (size_t I = 0; I != Bots.size(); ++I)
+    if (Bots[I].St == Bot::State::Holding)
+      beginClose(I);
+  checkDone();
+}
+
+void BotFleet::beginClose(size_t I) {
+  Bot &B = Bots[I];
+  if (Opts.SharedSession) {
+    // The fleet runner owns the shared session; bots just hang up.
+    completeBot(I);
+    return;
+  }
+  Request Req;
+  Req.Type = MsgType::CloseSession;
+  Req.SessionId = B.SessionId;
+  B.St = Bot::State::Closing;
+  sendRequest(I, std::move(Req));
+}
+
+void BotFleet::completeBot(size_t I) {
+  Bot &B = Bots[I];
+  dropSocket(B);
+  B.St = Bot::State::Done;
+  ++Result.Completed;
+  --CurConnected;
+  checkDone();
+}
+
+void BotFleet::failBot(size_t I, const char *Why) {
+  Bot &B = Bots[I];
+  bool WasConnected = B.Fd >= 0 && B.St != Bot::State::Connecting;
+  bool CountedFinished = B.St == Bot::State::Holding ||
+                         B.St == Bot::State::Closing;
+  dropSocket(B);
+  B.St = Bot::State::Failed;
+  ++Result.Failed;
+  if (WasConnected)
+    --CurConnected;
+  if (Result.Error.empty())
+    Result.Error = Why;
+  // A bot that dies mid-script can be the last thing the holders were
+  // waiting for.
+  if (Opts.HoldOpen && !CountedFinished &&
+      FinishedQueries + Result.Failed == Opts.NumBots)
+    releaseHolders();
+  checkDone();
+}
+
+void BotFleet::checkDone() {
+  if (Result.Completed + Result.Failed >= Opts.NumBots)
+    Loop.stop();
+}
+
+void BotFleet::tick() {
+  size_t Batch = 0;
+  while (Started != Bots.size() && Batch++ != Opts.ConnectBatch)
+    startBot(Started++);
+  if (Started != Bots.size())
+    Loop.addTimer(10, [this] { tick(); });
+}
+
+BotFleetResult BotFleet::run() {
+  if (!Loop.valid()) {
+    Result.Error = "dispatcher";
+    return Result;
+  }
+  if (Opts.NumBots == 0 || Opts.QueriesPerBot == 0) {
+    Result.Error = "empty fleet";
+    return Result;
+  }
+  raiseFdLimit();
+  Bots.resize(Opts.NumBots);
+  uint64_t StartUs = nowMicros();
+  Loop.addTimer(Opts.DeadlineMs, [this] {
+    Result.TimedOut = true;
+    Loop.stop();
+  });
+  tick();
+  Loop.run();
+  for (Bot &B : Bots)
+    dropSocket(B);
+  Result.WallMs = (nowMicros() - StartUs) / 1000;
+  Result.P50us = Latency.percentileMicros(50);
+  Result.P99us = Latency.percentileMicros(99);
+  Result.MeanUs = Latency.meanMicros();
+  return Result;
+}
+
+} // namespace
+
+BotFleetResult ppd::runBotFleet(const BotFleetOptions &Options) {
+  const BotFleetOptions &Opts = Options;
+  uint64_t SharedId = 0;
+  ClientConnection Shared;
+  if (Opts.SharedSession) {
+    if (!Shared.connect(Opts.Address)) {
+      BotFleetResult R;
+      R.Error = "shared-session connect";
+      return R;
+    }
+    Request Req;
+    Req.Type = MsgType::OpenSession;
+    Req.ProgramIndex = Opts.ProgramIndex;
+    Response Resp;
+    if (!Shared.roundTrip(Req, Resp) ||
+        Resp.Type != RespType::SessionOpened) {
+      BotFleetResult R;
+      R.Error = "shared-session open";
+      return R;
+    }
+    SharedId = Resp.SessionId;
+  }
+  BotFleet Fleet(Opts, SharedId);
+  BotFleetResult Result = Fleet.run();
+  if (Opts.SharedSession && Shared.connected()) {
+    Request Req;
+    Req.Type = MsgType::CloseSession;
+    Req.SessionId = SharedId;
+    Response Resp;
+    Shared.roundTrip(Req, Resp);
+  }
+  return Result;
+}

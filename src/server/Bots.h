@@ -1,0 +1,85 @@
+//===- server/Bots.h - scripted client-fleet load generator -----*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ppd bots`: a single-threaded epoll fleet of scripted debug clients —
+/// the load half of the transport's 10k-connection acceptance proof.
+/// Each bot is a tiny state machine (connect → OpenSession → N serial
+/// queries → hold → CloseSession → disconnect) on a non-blocking socket;
+/// the whole fleet shares one EventDispatcher, so one process can hold
+/// tens of thousands of live sessions against a server on the same box.
+///
+/// Connects are started in batches per timer tick (a SYN avalanche
+/// would just measure the backlog), per-query latency lands in a
+/// client-side LatencyHistogram, and with HoldOpen every bot keeps its
+/// session open until the last bot has finished — which is what makes
+/// "N concurrent sessions" a measured fact (PeakConcurrent) instead of
+/// a churn artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SERVER_BOTS_H
+#define PPD_SERVER_BOTS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ppd {
+
+struct BotFleetOptions {
+  /// Endpoint: unix socket path or "tcp:HOST:PORT".
+  std::string Address;
+  unsigned NumBots = 100;
+  unsigned QueriesPerBot = 10;
+  /// The debugger command every query sends.
+  std::string Command = "where 0";
+  uint32_t ProgramIndex = 0;
+  /// One server session shared by every bot (opened and closed by the
+  /// fleet runner) instead of a session per bot.
+  bool SharedSession = false;
+  /// Bots that finish their queries stay connected until every bot has
+  /// finished, then all close — peak concurrency equals fleet size.
+  bool HoldOpen = true;
+  /// Mean think time between a query's answer and the next query
+  /// (uniform jitter in [1, 2*ThinkMs], staggered per bot). 0 = send
+  /// back-to-back: an open-throttle saturation run, where measured
+  /// latency is queueing depth, not service time. Nonzero makes the
+  /// fleet a closed-loop pacer, the connections-vs-latency instrument.
+  unsigned ThinkMs = 0;
+  /// Connects started per 10 ms tick.
+  unsigned ConnectBatch = 512;
+  /// Whole-fleet deadline; leftover bots count as failed.
+  uint64_t DeadlineMs = 120000;
+  /// Optional progress sink (CLI prints it; tests and bench leave it
+  /// empty).
+  std::function<void(const std::string &)> Progress;
+};
+
+struct BotFleetResult {
+  uint64_t Connected = 0;       ///< bots whose connect succeeded.
+  uint64_t Completed = 0;       ///< bots through the full script.
+  uint64_t Failed = 0;
+  uint64_t QueriesAnswered = 0;
+  uint64_t BusyRetries = 0;     ///< Busy responses retried after backoff.
+  uint64_t PeakConcurrent = 0;  ///< most sockets live at once.
+  uint64_t WallMs = 0;
+  uint64_t P50us = 0;           ///< per-query round-trip percentiles.
+  uint64_t P99us = 0;
+  uint64_t MeanUs = 0;
+  bool TimedOut = false;
+  std::string Error;            ///< empty on a usable run.
+
+  bool ok() const { return Error.empty() && !TimedOut && Failed == 0; }
+};
+
+/// Runs the fleet to completion (or deadline) and reports. Blocking;
+/// call from a thread that owns no dispatcher.
+BotFleetResult runBotFleet(const BotFleetOptions &Options);
+
+} // namespace ppd
+
+#endif // PPD_SERVER_BOTS_H

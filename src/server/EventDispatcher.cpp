@@ -1,0 +1,190 @@
+//===- server/EventDispatcher.cpp -----------------------------------------===//
+//
+// Part of PPD. See EventDispatcher.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/EventDispatcher.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+using namespace ppd;
+
+EventDispatcher::EventDispatcher() {
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (EpollFd < 0 || WakeFd < 0) {
+    std::perror("epoll_create1/eventfd");
+    return;
+  }
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = WakeFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev) < 0) {
+    std::perror("epoll_ctl(wakeup)");
+    ::close(EpollFd);
+    EpollFd = -1;
+  }
+}
+
+EventDispatcher::~EventDispatcher() {
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+uint64_t EventDispatcher::nowMs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+bool EventDispatcher::add(int Fd, uint32_t Events, FdHandler Handler) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) < 0)
+    return false;
+  Handlers[Fd] = std::move(Handler);
+  return true;
+}
+
+bool EventDispatcher::modify(int Fd, uint32_t Events) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  return ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev) == 0;
+}
+
+void EventDispatcher::remove(int Fd) {
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  Handlers.erase(Fd);
+}
+
+EventDispatcher::TimerId EventDispatcher::addTimer(uint64_t DelayMs,
+                                                   std::function<void()> Fn) {
+  uint64_t Ticks = DelayMs / TickMs;
+  if (Ticks == 0)
+    Ticks = 1;
+  TimerEntry E;
+  E.Id = NextTimerId++;
+  E.Rounds = Ticks / NumSlots;
+  E.Fn = std::move(Fn);
+  TimerId Id = E.Id;
+  Wheel[(CurSlot + size_t(Ticks)) % NumSlots].push_back(std::move(E));
+  ++ActiveTimers;
+  return Id;
+}
+
+void EventDispatcher::cancelTimer(TimerId Id) {
+  // Lazy cancellation: the entry stays in its slot and is discarded when
+  // the wheel reaches it. ActiveTimers counts live timers only, so an
+  // all-cancelled wheel still lets epoll block indefinitely.
+  if (Cancelled.insert(Id).second && ActiveTimers != 0)
+    --ActiveTimers;
+}
+
+void EventDispatcher::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(PostedMutex);
+    Posted.push_back(std::move(Task));
+  }
+  uint64_t One = 1;
+  // The eventfd counter saturates rather than blocks under EFD_NONBLOCK;
+  // a failed write means the loop is already due to wake.
+  (void)!::write(WakeFd, &One, sizeof(One));
+}
+
+void EventDispatcher::runPosted() {
+  std::vector<std::function<void()>> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(PostedMutex);
+    Batch.swap(Posted);
+  }
+  for (auto &Task : Batch)
+    Task();
+}
+
+void EventDispatcher::advanceTimers() {
+  uint64_t Now = nowMs();
+  std::vector<std::function<void()>> Due;
+  while (LastTickMs + TickMs <= Now) {
+    LastTickMs += TickMs;
+    CurSlot = (CurSlot + 1) % NumSlots;
+    auto &Slot = Wheel[CurSlot];
+    size_t Keep = 0;
+    for (size_t I = 0; I != Slot.size(); ++I) {
+      TimerEntry &E = Slot[I];
+      auto It = Cancelled.find(E.Id);
+      if (It != Cancelled.end()) {
+        Cancelled.erase(It);
+        continue;
+      }
+      if (E.Rounds != 0) {
+        --E.Rounds;
+        Slot[Keep++] = std::move(E);
+        continue;
+      }
+      --ActiveTimers;
+      Due.push_back(std::move(E.Fn));
+    }
+    Slot.resize(Keep);
+  }
+  // Fire outside the slot walk: a callback may re-arm into any slot,
+  // including the one just compacted.
+  for (auto &Fn : Due)
+    Fn();
+}
+
+int EventDispatcher::pollTimeoutMs() const {
+  if (ActiveTimers == 0)
+    return -1; // nothing timed; posts and stop() wake via the eventfd.
+  uint64_t Now = nowMs();
+  uint64_t NextTick = LastTickMs + TickMs;
+  return NextTick > Now ? int(NextTick - Now) : 0;
+}
+
+bool EventDispatcher::run() {
+  if (!valid())
+    return false;
+  LastTickMs = nowMs();
+  epoll_event Events[256];
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    int N = ::epoll_wait(EpollFd, Events, 256, pollTimeoutMs());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("epoll_wait");
+      return false;
+    }
+    for (int I = 0; I != N; ++I) {
+      int Fd = Events[I].data.fd;
+      if (Fd == WakeFd) {
+        uint64_t Drained = 0;
+        (void)!::read(WakeFd, &Drained, sizeof(Drained));
+        runPosted();
+        continue;
+      }
+      auto It = Handlers.find(Fd);
+      if (It == Handlers.end())
+        continue; // removed earlier in this batch.
+      FdHandler Handler = It->second; // copy: the handler may remove(Fd).
+      Handler(Events[I].events);
+    }
+    advanceTimers();
+  }
+  return true;
+}
+
+void EventDispatcher::stop() {
+  StopFlag.store(true, std::memory_order_release);
+  uint64_t One = 1;
+  (void)!::write(WakeFd, &One, sizeof(One));
+}

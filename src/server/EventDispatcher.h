@@ -1,0 +1,112 @@
+//===- server/EventDispatcher.h - epoll reactor + timer wheel ---*- C++ -*-===//
+//
+// Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-threaded readiness loop: epoll over registered fds, a hashed
+/// timer wheel for coarse timeouts (idle connections, deadlines), and an
+/// eventfd-backed post() so other threads — scheduler workers finishing a
+/// request, a shutdown hook — can hand work to the loop thread without
+/// locks on the fd paths. Everything except post() and stop() must be
+/// called from the loop thread.
+///
+/// The wheel is 256 slots of 10 ms ticks (2.56 s per rotation; longer
+/// delays carry a rounds counter), so arming and cancelling a timer is
+/// O(1) and firing a tick touches only its slot. Granularity is
+/// deliberately coarse: these are liveness timeouts, not schedulers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPD_SERVER_EVENTDISPATCHER_H
+#define PPD_SERVER_EVENTDISPATCHER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ppd {
+
+class EventDispatcher {
+public:
+  /// Receives the epoll event mask (EPOLLIN | EPOLLOUT | ...). The
+  /// handler may remove its own fd (or any other) — dispatch copies the
+  /// callable before invoking it.
+  using FdHandler = std::function<void(uint32_t Events)>;
+  using TimerId = uint64_t;
+
+  EventDispatcher();
+  ~EventDispatcher();
+  EventDispatcher(const EventDispatcher &) = delete;
+  EventDispatcher &operator=(const EventDispatcher &) = delete;
+
+  /// False when epoll/eventfd creation failed at construction.
+  bool valid() const { return EpollFd >= 0 && WakeFd >= 0; }
+
+  /// Registers \p Fd for \p Events (level-triggered). The fd stays owned
+  /// by the caller; remove() before closing it.
+  bool add(int Fd, uint32_t Events, FdHandler Handler);
+  /// Changes the interest mask of an already-added fd.
+  bool modify(int Fd, uint32_t Events);
+  /// Unregisters the fd. Does not close it.
+  void remove(int Fd);
+
+  /// One-shot timer after roughly \p DelayMs (tick granularity). Returns
+  /// an id for cancelTimer. Fires on the loop thread.
+  TimerId addTimer(uint64_t DelayMs, std::function<void()> Fn);
+  void cancelTimer(TimerId Id);
+
+  /// Thread-safe: queues \p Task for the loop thread and wakes it.
+  void post(std::function<void()> Task);
+  /// Drains queued posts now. Loop thread only; run() calls this on every
+  /// wakeup, the transport calls it once more after the loop exits.
+  void runPosted();
+
+  /// Dispatches until stop(). Returns false if the loop could not start
+  /// (invalid dispatcher).
+  bool run();
+  /// Thread-safe: makes run() return after the current dispatch round.
+  void stop();
+  bool stopped() const { return StopFlag.load(std::memory_order_acquire); }
+
+  /// Monotonic milliseconds (steady clock); cached per dispatch round on
+  /// the loop thread but safe to call anywhere.
+  static uint64_t nowMs();
+
+private:
+  static constexpr unsigned NumSlots = 256;
+  static constexpr uint64_t TickMs = 10;
+
+  struct TimerEntry {
+    TimerId Id = 0;
+    uint64_t Rounds = 0; ///< full wheel rotations still to wait.
+    std::function<void()> Fn;
+  };
+
+  void advanceTimers();
+  int pollTimeoutMs() const;
+
+  int EpollFd = -1;
+  int WakeFd = -1;
+  std::unordered_map<int, FdHandler> Handlers;
+
+  std::vector<std::vector<TimerEntry>> Wheel{NumSlots};
+  size_t CurSlot = 0;
+  uint64_t LastTickMs = 0;
+  size_t ActiveTimers = 0;
+  std::unordered_set<TimerId> Cancelled;
+  TimerId NextTimerId = 1;
+
+  std::atomic<bool> StopFlag{false};
+  std::mutex PostedMutex;
+  std::vector<std::function<void()>> Posted;
+};
+
+} // namespace ppd
+
+#endif // PPD_SERVER_EVENTDISPATCHER_H

@@ -102,6 +102,45 @@ public:
 
   void recordLatency(uint64_t Micros) { Latency.record(Micros); }
 
+  /// Transport-level connection accounting (epoll dispatcher).
+  void countConnAccepted() {
+    ConnsAccepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void countConnClosed() {
+    ConnsClosed.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Tracks the most connections ever open at once.
+  void noteActiveConns(uint64_t Count) {
+    uint64_t Prev = ConnHighWater.load(std::memory_order_relaxed);
+    while (Prev < Count && !ConnHighWater.compare_exchange_weak(
+                               Prev, Count, std::memory_order_relaxed))
+      ;
+  }
+  void countIdleDisconnect() {
+    IdleDisconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A peer stopped reading and its bounded write queue overflowed; the
+  /// transport disconnected it instead of buffering without bound.
+  void countWriteOverflow() {
+    WriteOverflows.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t connsAccepted() const {
+    return ConnsAccepted.load(std::memory_order_relaxed);
+  }
+  uint64_t connsClosed() const {
+    return ConnsClosed.load(std::memory_order_relaxed);
+  }
+  uint64_t connHighWater() const {
+    return ConnHighWater.load(std::memory_order_relaxed);
+  }
+  uint64_t idleDisconnects() const {
+    return IdleDisconnects.load(std::memory_order_relaxed);
+  }
+  uint64_t writeOverflows() const {
+    return WriteOverflows.load(std::memory_order_relaxed);
+  }
+
   /// Streaming-ingest accounting (live attach).
   void countSectionIngested(uint64_t Bytes) {
     SectionsIngested.fetch_add(1, std::memory_order_relaxed);
@@ -179,6 +218,11 @@ public:
       Out += std::string(" ") + Names[I] + " " +
              std::to_string(Requests[I].load(std::memory_order_relaxed));
     Out += "\n";
+    Out += "transport: accepted " + std::to_string(connsAccepted()) +
+           ", closed " + std::to_string(connsClosed()) + ", peak " +
+           std::to_string(connHighWater()) + ", idle-drops " +
+           std::to_string(idleDisconnects()) + ", write-overflows " +
+           std::to_string(writeOverflows()) + "\n";
     Out += "ingest: sections " + std::to_string(sectionsIngested()) +
            ", bytes " + std::to_string(bytesIngested()) +
            ", credit stalls " + std::to_string(creditStalls()) +
@@ -199,6 +243,11 @@ private:
   std::atomic<uint64_t> Timeouts{0};
   std::atomic<uint64_t> Errors{0};
   std::atomic<uint64_t> QueueHighWater{0};
+  std::atomic<uint64_t> ConnsAccepted{0};
+  std::atomic<uint64_t> ConnsClosed{0};
+  std::atomic<uint64_t> ConnHighWater{0};
+  std::atomic<uint64_t> IdleDisconnects{0};
+  std::atomic<uint64_t> WriteOverflows{0};
   std::atomic<uint64_t> SectionsIngested{0};
   std::atomic<uint64_t> BytesIngested{0};
   std::atomic<uint64_t> CreditStalls{0};

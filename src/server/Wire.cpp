@@ -8,14 +8,20 @@
 
 #include "server/DebugServer.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -64,6 +70,23 @@ bool readAll(int Fd, uint8_t *Data, size_t Size) {
   return true;
 }
 
+bool fillInetAddr(const std::string &Host, uint16_t Port, sockaddr_in &Addr) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (Host.empty() || Host == "*" || Host == "0.0.0.0") {
+    Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  const char *Numeric = Host == "localhost" ? "127.0.0.1" : Host.c_str();
+  if (::inet_pton(AF_INET, Numeric, &Addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: cannot parse host %s (IPv4 or localhost)\n",
+                 Host.c_str());
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 int ppd::listenUnix(const std::string &Path) {
@@ -75,9 +98,37 @@ int ppd::listenUnix(const std::string &Path) {
     std::perror("socket");
     return -1;
   }
-  ::unlink(Path.c_str());
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      std::fprintf(stderr,
+                   "error: %s exists and is not a socket; refusing to "
+                   "remove it\n",
+                   Path.c_str());
+      ::close(Fd);
+      return -1;
+    }
+    // A socket file proves nothing: it outlives the server that bound
+    // it. Probe with a connect — only a *refused* socket is stale and
+    // safe to clean up; a live server's socket must not be stolen.
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      int Rc = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr));
+      ::close(Probe);
+      if (Rc == 0) {
+        std::fprintf(stderr,
+                     "error: %s is in use by a live server; refusing to "
+                     "steal it\n",
+                     Path.c_str());
+        ::close(Fd);
+        return -1;
+      }
+    }
+    ::unlink(Path.c_str());
+  }
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
-      ::listen(Fd, 64) < 0) {
+      ::listen(Fd, 4096) < 0) {
     std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
                  std::strerror(errno));
     ::close(Fd);
@@ -98,6 +149,94 @@ int ppd::connectUnix(const std::string &Path) {
     return -1;
   }
   return Fd;
+}
+
+bool ppd::splitHostPort(const std::string &HostPort, std::string &Host,
+                        uint16_t &Port) {
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos)
+    return false;
+  Host = HostPort.substr(0, Colon);
+  std::string PortStr = HostPort.substr(Colon + 1);
+  if (PortStr.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(PortStr.c_str(), &End, 10);
+  if (*End != '\0' || V > 65535)
+    return false;
+  Port = uint16_t(V);
+  return true;
+}
+
+int ppd::listenTcp(const std::string &HostPort, uint16_t *BoundPort) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!splitHostPort(HostPort, Host, Port)) {
+    std::fprintf(stderr, "error: bad TCP address %s (want HOST:PORT)\n",
+                 HostPort.c_str());
+    return -1;
+  }
+  sockaddr_in Addr;
+  if (!fillInetAddr(Host, Port, Addr))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 4096) < 0) {
+    std::fprintf(stderr, "error: cannot listen on tcp %s: %s\n",
+                 HostPort.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_in Bound;
+    socklen_t Len = sizeof(Bound);
+    *BoundPort =
+        ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0
+            ? ntohs(Bound.sin_port)
+            : Port;
+  }
+  return Fd;
+}
+
+int ppd::connectTcp(const std::string &HostPort) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!splitHostPort(HostPort, Host, Port))
+    return -1;
+  sockaddr_in Addr;
+  if (!fillInetAddr(Host.empty() ? "localhost" : Host, Port, Addr))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool ppd::isTcpEndpoint(const std::string &Address) {
+  return Address.rfind("tcp:", 0) == 0;
+}
+
+int ppd::connectEndpoint(const std::string &Address) {
+  return isTcpEndpoint(Address) ? connectTcp(Address.substr(4))
+                                : connectUnix(Address);
+}
+
+void ppd::raiseFdLimit() {
+  rlimit RL;
+  if (::getrlimit(RLIMIT_NOFILE, &RL) == 0 && RL.rlim_cur < RL.rlim_max) {
+    RL.rlim_cur = RL.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &RL);
+  }
 }
 
 bool ppd::sendFrame(int Fd, const uint8_t *Data, size_t Size) {
@@ -121,9 +260,9 @@ bool ppd::recvFrame(int Fd, std::vector<uint8_t> &Out) {
   return Len == 0 || readAll(Fd, Out.data(), Len);
 }
 
-bool ClientConnection::connect(const std::string &Path) {
+bool ClientConnection::connect(const std::string &Address) {
   disconnect();
-  Fd = connectUnix(Path);
+  Fd = connectEndpoint(Address);
   return Fd >= 0;
 }
 
@@ -141,23 +280,38 @@ bool ClientConnection::roundTrip(Request Req, Response &Resp) {
   LogWriter W;
   encodeRequest(Req, W);
   // encodeRequest emitted the length prefix already.
-  if (!writeAll(Fd, W.data(), W.size()))
+  if (!writeAll(Fd, W.data(), W.size())) {
+    disconnect();
     return false;
+  }
   std::vector<uint8_t> Payload;
-  if (!recvFrame(Fd, Payload))
+  if (!recvFrame(Fd, Payload)) {
+    disconnect();
     return false;
-  return decodeResponse(Payload.data(), Payload.size(), Resp) &&
-         Resp.RequestId == Req.RequestId;
+  }
+  if (!decodeResponse(Payload.data(), Payload.size(), Resp) ||
+      Resp.RequestId != Req.RequestId) {
+    // The stream is desynced: either the payload did not parse or the
+    // id pairing broke. Any later read would return a stale response
+    // for the wrong request, so kill the connection now.
+    disconnect();
+    return false;
+  }
+  return true;
 }
 
 namespace {
 
 /// Per-connection server state: a write mutex so responses completed on
-/// different scheduler workers never interleave bytes.
+/// different scheduler workers never interleave bytes, and a Done flag
+/// plus in-flight count so the accept loop can reap the connection once
+/// the reader has exited and every pending response has been written.
 struct Connection {
   int Fd = -1;
-  std::mutex WriteMutex;
+  std::mutex WriteMutex; ///< also guards Fd against close-vs-write races.
   std::thread Reader;
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> InFlight{0};
 };
 
 void serveConnection(DebugServer &Server, Connection &Conn) {
@@ -172,12 +326,18 @@ void serveConnection(DebugServer &Server, Connection &Conn) {
     Frames.feed(Buf, size_t(N));
     std::vector<uint8_t> Payload;
     while (Frames.next(Payload)) {
+      Conn.InFlight.fetch_add(1, std::memory_order_acq_rel);
       Server.submitFrame(std::move(Payload),
                          [&Server, &Conn](std::vector<uint8_t> Frame) {
-                           std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
-                           // A dead peer is not an error worth more than
-                           // dropping the bytes; the reader will see EOF.
-                           writeAll(Conn.Fd, Frame.data(), Frame.size());
+                           {
+                             std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
+                             // A dead peer is not an error worth more than
+                             // dropping the bytes; the reader will see EOF.
+                             if (Conn.Fd >= 0)
+                               writeAll(Conn.Fd, Frame.data(), Frame.size());
+                           }
+                           Conn.InFlight.fetch_sub(1,
+                                                   std::memory_order_acq_rel);
                          });
       Payload.clear();
     }
@@ -192,7 +352,8 @@ void serveConnection(DebugServer &Server, Connection &Conn) {
       LogWriter W;
       encodeResponse(Resp, W);
       std::lock_guard<std::mutex> Lock(Conn.WriteMutex);
-      writeAll(Conn.Fd, W.data(), W.size());
+      if (Conn.Fd >= 0)
+        writeAll(Conn.Fd, W.data(), W.size());
       return;
     }
   }
@@ -210,6 +371,25 @@ int ppd::runUnixServer(DebugServer &Server, int ListenFd,
   std::mutex ConnsMutex;
   std::vector<std::unique_ptr<Connection>> Conns;
 
+  // Joins and frees every connection whose reader has exited (its fd is
+  // already closed — see below) and whose last response has been
+  // written. Called before each accept so a disconnected client costs
+  // one reap, not an fd and a zombie thread parked until shutdown.
+  auto Reap = [&ConnsMutex, &Conns] {
+    std::lock_guard<std::mutex> Lock(ConnsMutex);
+    size_t Keep = 0;
+    for (size_t I = 0; I != Conns.size(); ++I) {
+      Connection &C = *Conns[I];
+      if (C.Done.load(std::memory_order_acquire) &&
+          C.InFlight.load(std::memory_order_acquire) == 0) {
+        C.Reader.join();
+        continue;
+      }
+      Conns[Keep++] = std::move(Conns[I]);
+    }
+    Conns.resize(Keep);
+  };
+
   for (;;) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0) {
@@ -217,10 +397,23 @@ int ppd::runUnixServer(DebugServer &Server, int ListenFd,
         continue;
       break;
     }
+    Reap();
     auto Conn = std::make_unique<Connection>();
     Conn->Fd = Fd;
     Connection *C = Conn.get();
-    C->Reader = std::thread([&Server, C] { serveConnection(Server, *C); });
+    C->Reader = std::thread([&Server, C] {
+      serveConnection(Server, *C);
+      // Close under the write mutex: a response completing on a worker
+      // checks Fd under the same lock, so the fd can neither be written
+      // after close nor closed mid-write (and never aliases a freshly
+      // accepted connection's fd).
+      {
+        std::lock_guard<std::mutex> Lock(C->WriteMutex);
+        ::close(C->Fd);
+        C->Fd = -1;
+      }
+      C->Done.store(true, std::memory_order_release);
+    });
     std::lock_guard<std::mutex> Lock(ConnsMutex);
     Conns.push_back(std::move(Conn));
   }
@@ -231,13 +424,15 @@ int ppd::runUnixServer(DebugServer &Server, int ListenFd,
 
   {
     std::lock_guard<std::mutex> Lock(ConnsMutex);
-    for (auto &Conn : Conns)
-      ::shutdown(Conn->Fd, SHUT_RDWR);
+    for (auto &Conn : Conns) {
+      std::lock_guard<std::mutex> FdLock(Conn->WriteMutex);
+      if (Conn->Fd >= 0)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+    }
   }
   for (auto &Conn : Conns) {
     if (Conn->Reader.joinable())
       Conn->Reader.join();
-    ::close(Conn->Fd);
   }
   ::close(ListenFd);
   ::unlink(Path.c_str());

@@ -1,21 +1,28 @@
-//===- server/Wire.h - Unix-socket transport --------------------*- C++ -*-===//
+//===- server/Wire.h - Socket transport helpers -----------------*- C++ -*-===//
 //
 // Part of PPD, a reproduction of Miller & Choi (PLDI 1988).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The byte-moving layer under the debug server: AF_UNIX stream sockets,
-/// frame send/receive, an accept loop with one reader thread per
-/// connection, and the client-side connection the `ppd client` tool uses.
-/// Everything protocol-shaped lives in Protocol.h; everything
-/// session-shaped lives in DebugServer.h — this file only ships frames.
+/// The byte-moving layer under the debug server: AF_UNIX and TCP stream
+/// sockets, frame send/receive, the legacy thread-per-connection accept
+/// loop (kept as the `--transport threaded` differential oracle; the
+/// default epoll transport lives in Transport.h), and the client-side
+/// connection the `ppd client` tool uses. Everything protocol-shaped
+/// lives in Protocol.h; everything session-shaped lives in DebugServer.h
+/// — this file only ships frames.
 ///
-/// Shutdown path: a Shutdown request trips the server's shutdown hook,
-/// which half-closes the listening socket to break accept(); the loop
-/// then drains in-flight requests (every accepted request is answered),
-/// unblocks the connection readers, joins them, and removes the socket
-/// path.
+/// Addresses: helpers that take an *endpoint* accept either a unix
+/// socket path or `tcp:HOST:PORT`, so every client-side caller (ppd
+/// client, stream ingest, bots) reaches TCP servers with no code of its
+/// own.
+///
+/// Shutdown path (threaded transport): a Shutdown request trips the
+/// server's shutdown hook, which half-closes the listening socket to
+/// break accept(); the loop then drains in-flight requests (every
+/// accepted request is answered), unblocks the connection readers, joins
+/// them, and removes the socket path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,13 +39,37 @@ namespace ppd {
 
 class DebugServer;
 
-/// Creates, binds, and listens on an AF_UNIX stream socket at \p Path
-/// (removing a stale file first). Returns the fd, or -1 with a message
-/// on stderr.
+/// Creates, binds, and listens on an AF_UNIX stream socket at \p Path.
+/// A stale socket file (no listener behind it) is cleaned up; a *live*
+/// server's socket is refused with an error instead of stolen. Returns
+/// the fd, or -1 with a message on stderr.
 int listenUnix(const std::string &Path);
 
 /// Connects to the server socket at \p Path. Returns the fd or -1.
 int connectUnix(const std::string &Path);
+
+/// Splits "HOST:PORT" (host may be empty for INADDR_ANY). False on a
+/// missing colon or an unparseable port.
+bool splitHostPort(const std::string &HostPort, std::string &Host,
+                   uint16_t &Port);
+
+/// Creates, binds, and listens on a TCP socket at "HOST:PORT" (port 0
+/// picks an ephemeral port; the bound port comes back via \p BoundPort).
+/// Returns the fd, or -1 with a message on stderr.
+int listenTcp(const std::string &HostPort, uint16_t *BoundPort = nullptr);
+
+/// Connects to a TCP server at "HOST:PORT". Returns the fd or -1.
+int connectTcp(const std::string &HostPort);
+
+/// True when \p Address is "tcp:HOST:PORT" rather than a unix path.
+bool isTcpEndpoint(const std::string &Address);
+
+/// Connects to \p Address — "tcp:HOST:PORT" or a unix socket path.
+int connectEndpoint(const std::string &Address);
+
+/// Raises RLIMIT_NOFILE's soft limit to the hard limit (best effort).
+/// The serve and bots paths call this: 10k connections need 10k fds.
+void raiseFdLimit();
 
 /// Writes one frame: u32 length prefix + \p Size payload bytes. Retries
 /// short writes and EINTR. False on a broken connection.
@@ -57,12 +88,16 @@ public:
   ClientConnection(const ClientConnection &) = delete;
   ClientConnection &operator=(const ClientConnection &) = delete;
 
-  bool connect(const std::string &Path);
+  /// \p Address is an endpoint: unix path or "tcp:HOST:PORT".
+  bool connect(const std::string &Address);
   void disconnect();
   bool connected() const { return Fd >= 0; }
 
   /// Sends \p Req (stamping a fresh RequestId) and blocks for the
-  /// matching response. False on transport failure.
+  /// matching response. False on transport failure — including a decode
+  /// failure or a response id that does not match, both of which
+  /// disconnect: the stream position is unknowable after either, so the
+  /// next call must fail fast instead of reading a stale response.
   bool roundTrip(Request Req, Response &Resp);
 
 private:
@@ -73,7 +108,9 @@ private:
 /// Serves \p Server on the already-listening \p ListenFd until a
 /// Shutdown request (or accept failure). Owns the accept loop, the
 /// per-connection reader threads, and the drain-then-disconnect shutdown
-/// sequence. Returns 0 on a clean shutdown.
+/// sequence. Disconnected clients are reaped (fd closed as the reader
+/// exits; thread joined on a later accept) rather than parked until
+/// shutdown. Returns 0 on a clean shutdown.
 int runUnixServer(DebugServer &Server, int ListenFd,
                   const std::string &Path);
 

@@ -183,7 +183,8 @@ Response IngestRegistry::handleHello(const Request &Req) {
   if (!Options.SpillDir.empty()) {
     std::string Path =
         Options.SpillDir + "/stream-" + std::to_string(S->Id) + ".spill";
-    if (!S->Spill.open(Path, Req.ProgramHash)) {
+    if (!S->Spill.open(Path, Req.ProgramHash, Options.SpillSync,
+                       Options.Sync)) {
       std::lock_guard<std::mutex> Lock(Mutex);
       Streams.erase(S->Id);
       return makeError(ErrCode::StreamProtocol,
@@ -433,10 +434,19 @@ Response IngestRegistry::handleEnd(const Request &Req) {
     std::string Tmp = Path + ".tmp";
     if (!S->Accum.save(Tmp, LogFormat::V2))
       return Kill("cannot write finalized log");
+    // Publish-by-rename is only atomic *and durable* if the tmp file's
+    // bytes hit the platter before the rename and the directory entry
+    // after it; otherwise a power cut can leave the canonical name
+    // pointing at a hole.
+    if (!syncFileDurable(Tmp, Options.Sync)) {
+      std::remove(Tmp.c_str());
+      return Kill("cannot sync finalized log");
+    }
     if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
       std::remove(Tmp.c_str());
       return Kill("cannot publish finalized log");
     }
+    syncParentDir(Path, Options.Sync);
     S->FinalLogPath = Path;
   }
   S->Ended = true;

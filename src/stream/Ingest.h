@@ -63,6 +63,14 @@ struct IngestOptions {
   /// Total spill bytes across every ingest session; past it new cuts get
   /// a typed Busy rejection. 0 = unbounded.
   uint64_t SpillBudget = 0;
+  /// `--spill-sync`: fdatasync the spill after every acked cut, so an
+  /// acked cut survives power loss rather than just a process crash.
+  /// Stream finalization is always durable (fsync tmp + dir around the
+  /// rename) — this flag buys per-cut durability on top.
+  bool SpillSync = false;
+  /// Test hook standing in for fdatasync/fsync; empty = the real
+  /// syscalls. Lets tests count sync calls without strace.
+  SyncFn Sync;
 };
 
 class IngestRegistry {

@@ -8,8 +8,34 @@
 
 #include "log/LogFormatV2.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 using namespace ppd;
 using namespace ppd::stream;
+
+bool stream::syncFileDurable(const std::string &Path, const SyncFn &Sync) {
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  int Rc = Sync ? Sync(Fd) : ::fsync(Fd);
+  ::close(Fd);
+  return Rc == 0;
+}
+
+bool stream::syncParentDir(const std::string &Path, const SyncFn &Sync) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos
+                        ? std::string(".")
+                        : (Slash == 0 ? std::string("/")
+                                      : Path.substr(0, Slash));
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  int Rc = Sync ? Sync(Fd) : ::fsync(Fd);
+  ::close(Fd);
+  return Rc == 0;
+}
 
 void stream::encodeSectionBlob(const ProcessLog &PL, uint32_t FromRecord,
                                uint32_t NumRecords,
@@ -77,12 +103,15 @@ void encodeChunk(const SpillCut &Cut, LogWriter &W) {
 
 } // namespace
 
-bool SpillWriter::open(const std::string &Path, uint64_t ProgramHash) {
+bool SpillWriter::open(const std::string &Path, uint64_t ProgramHash,
+                       bool SyncEachCutIn, SyncFn SyncIn) {
   close();
   File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
   FilePath = Path;
+  SyncEachCut = SyncEachCutIn;
+  Sync = std::move(SyncIn);
   LogWriter W;
   W.u32(SpillMagic);
   W.u32(SpillVersion);
@@ -115,6 +144,16 @@ bool SpillWriter::appendCut(const SpillCut &Cut) {
       std::fflush(File) != 0) {
     close();
     return false;
+  }
+  // fflush only moves bytes into the page cache — that survives the
+  // process, not the power. --spill-sync pushes each acked cut to the
+  // platter before the ack.
+  if (SyncEachCut) {
+    int Fd = ::fileno(File);
+    if ((Sync ? Sync(Fd) : ::fdatasync(Fd)) != 0) {
+      close();
+      return false;
+    }
   }
   return true;
 }

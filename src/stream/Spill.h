@@ -29,12 +29,27 @@
 #include "log/LogIO.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace ppd {
 namespace stream {
+
+/// Injectable stand-in for fdatasync/fsync, so tests can count (or fail)
+/// sync calls without strace. Takes the fd, returns 0 on success. An
+/// empty function means the real thing.
+using SyncFn = std::function<int(int Fd)>;
+
+/// fsyncs the file at \p Path (opened read-only for the purpose). Part
+/// of the publish-by-rename protocol: the tmp file's bytes must be
+/// durable before the rename makes them the canonical name.
+bool syncFileDurable(const std::string &Path, const SyncFn &Sync = {});
+
+/// fsyncs \p Path's parent directory, making a completed rename (or the
+/// tmp file's dirent) durable. "." when the path has no directory part.
+bool syncParentDir(const std::string &Path, const SyncFn &Sync = {});
 
 /// "PPDS" (little-endian), followed by u32 version and the u64 program
 /// hash the stream was opened with.
@@ -74,12 +89,17 @@ public:
   SpillWriter(const SpillWriter &) = delete;
   SpillWriter &operator=(const SpillWriter &) = delete;
 
-  bool open(const std::string &Path, uint64_t ProgramHash);
+  /// \p SyncEachCut makes every appendCut fdatasync after its flush (the
+  /// `--spill-sync` durability level: an acked cut survives power loss,
+  /// not just a process crash). \p Sync overrides the syscall for tests.
+  bool open(const std::string &Path, uint64_t ProgramHash,
+            bool SyncEachCut = false, SyncFn Sync = {});
   bool isOpen() const { return File != nullptr; }
   const std::string &path() const { return FilePath; }
 
-  /// Appends one cut chunk and flushes. False on I/O failure (the file is
-  /// then unusable; the caller kills the stream).
+  /// Appends one cut chunk and flushes (plus fdatasync under
+  /// SyncEachCut). False on I/O failure (the file is then unusable; the
+  /// caller kills the stream).
   bool appendCut(const SpillCut &Cut);
 
   /// Bytes appendCut would write for \p Cut — the spill-budget currency,
@@ -91,6 +111,8 @@ public:
 private:
   FILE *File = nullptr;
   std::string FilePath;
+  bool SyncEachCut = false;
+  SyncFn Sync;
 };
 
 /// Reads back a spill file: the header's program hash and every

@@ -134,7 +134,7 @@ bool StreamClient::awaitResponse(Response &Resp) {
 }
 
 bool StreamClient::start() {
-  Fd = connectUnix(Options.SocketPath);
+  Fd = connectEndpoint(Options.SocketPath);
   if (Fd < 0) {
     fail("cannot connect to " + Options.SocketPath);
     return false;

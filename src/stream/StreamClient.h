@@ -84,6 +84,7 @@ private:
 };
 
 struct StreamClientOptions {
+  /// Server endpoint: unix socket path or "tcp:HOST:PORT".
   std::string SocketPath;
   SealerOptions Sealer;
 };

@@ -16,6 +16,8 @@
 //                                      socket
 //   ppd client  --socket PATH          scriptable client for ppd serve
 //                                      (commands from stdin)
+//   ppd bots    --tcp HOST:PORT        scripted client-fleet load
+//                                      generator against a running server
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +29,9 @@
 #include "log/BufferPool.h"
 #include "log/PageStore.h"
 #include "log/ProgramDb.h"
+#include "server/Bots.h"
 #include "server/DebugServer.h"
+#include "server/Transport.h"
 #include "server/Wire.h"
 #include "stream/Ingest.h"
 #include "stream/StreamClient.h"
@@ -39,6 +43,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+
+#include <unistd.h>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -75,8 +81,11 @@ struct CliOptions {
   bool WholeLog = false;
   bool NoPpdb = false;
 
-  // serve / client
+  // serve / client / bots
   std::string SocketPath;
+  std::string TcpAddr;              ///< --tcp HOST:PORT
+  std::string Transport = "epoll";  ///< --transport epoll | threaded
+  uint64_t IdleTimeoutMs = 0;       ///< --idle-timeout-ms (serve)
   std::vector<std::string> ExtraPrograms; ///< --program (serve)
   std::vector<std::string> LogPaths;      ///< --log occurrences (serve)
   unsigned ServerThreads = 0;
@@ -85,6 +94,15 @@ struct CliOptions {
   unsigned MaxSessions = 64;
   bool MetricsDump = false;
 
+  // bots
+  unsigned NumBots = 100;           ///< --bots
+  unsigned BotQueries = 10;         ///< --queries
+  std::string BotCommand = "where 0"; ///< --bot-command
+  uint32_t BotProgram = 0;          ///< --bot-program
+  bool BotShared = false;           ///< --shared-session
+  bool BotNoHold = false;           ///< --no-hold
+  unsigned BotThinkMs = 0;          ///< --think-ms
+
   // streaming ingest (run --stream / serve)
   std::string StreamAddr;       ///< --stream (run): server socket path.
   uint32_t StreamProgram = 0;   ///< --stream-program (run)
@@ -92,6 +110,7 @@ struct CliOptions {
   std::string SpillDir;         ///< --spill-dir (serve)
   size_t SpillBudget = 0;       ///< --spill-budget (serve); 0 = unbounded
   unsigned CreditWindow = 8;    ///< --credit-window (serve)
+  bool SpillSync = false;       ///< --spill-sync (serve)
 
   // fuzz
   uint64_t FuzzRuns = 100;
@@ -108,11 +127,19 @@ commands:
   races     run, then detect races on the execution instance
   debug     debugging phase: interactive flowback session
   serve     debugging phase as a daemon: concurrent sessions over a unix
-            socket (ppd serve file.ppl --socket PATH)
+            socket and/or TCP (ppd serve file.ppl --socket PATH
+            [--tcp HOST:PORT]); the epoll dispatcher serves both
+            listeners from one thread (--transport threaded keeps the
+            legacy thread-per-connection loop as a differential oracle)
   client    scriptable client for a running server (ppd client --socket
-            PATH; commands from stdin: open/query/step/races/stats/close/
-            tail/frontier/shutdown/quit; `tail ID CMD` debugs a live
-            stream's frontier, `frontier [ID]` shows ingest progress)
+            PATH | --tcp HOST:PORT; commands from stdin: open/query/step/
+            races/stats/close/tail/frontier/shutdown/quit; `tail ID CMD`
+            debugs a live stream's frontier, `frontier [ID]` shows ingest
+            progress)
+  bots      client-fleet load generator (ppd bots --tcp HOST:PORT --bots N
+            --queries Q; takes no file argument): N concurrent scripted
+            sessions — connect, open, Q serial queries, hold until the
+            fleet finishes, close — with client-side p50/p99 per query
   fuzz      differential fuzzing: random PPL programs through every
             redundant pipeline pair (ppd fuzz --runs N --seed S; takes no
             file argument)
@@ -157,8 +184,9 @@ options:
   --dump-pdg            (compile) static PDGs as DOT
   --dump-simplified     (compile) simplified static graphs + sync units
   --dump-db             (compile) the program database
-  --stream PATH         (run) live attach: ship completed log sections to
-                        the ppd server at this socket while the program
+  --stream ADDR         (run) live attach: ship completed log sections to
+                        the ppd server at this endpoint — a unix socket
+                        path or tcp:HOST:PORT — while the program
                         runs (requires --mode logging, the default); the
                         server's `tail`/`frontier` client commands then
                         debug the still-running program
@@ -174,7 +202,19 @@ options:
                         (default unbounded)
   --credit-window N     (serve) SectionData frames a tracer may have in
                         flight before it must stall (default 8)
-  --socket PATH         (serve/client) unix socket path
+  --spill-sync          (serve) fdatasync the spill file after every
+                        acked cut: an ack then survives power loss, not
+                        just a server crash (finalized logs are always
+                        fsynced through their rename)
+  --socket PATH         (serve/client/bots) unix socket path
+  --tcp HOST:PORT       (serve) also listen on TCP (port 0 = ephemeral;
+                        the bound port is printed); (client/bots/run
+                        --stream) connect over TCP instead of --socket
+  --transport T         (serve) epoll (default) | threaded; threaded is
+                        the legacy unix-only loop kept as the byte-level
+                        differential oracle
+  --idle-timeout-ms N   (serve, epoll) disconnect clients with no traffic
+                        for N ms (default 0 = never)
   --program FILE        (serve) serve another program too (repeatable);
                         the Nth --log pairs with the Nth program
   --server-threads N    (serve) request worker threads (default 0 =
@@ -185,6 +225,19 @@ options:
                         (default 0 = never)
   --max-sessions N      (serve) concurrent session cap (default 64)
   --metrics-dump        (serve) print the metrics report on shutdown
+  --bots N              (bots) fleet size (default 100)
+  --queries N           (bots) serial queries per bot (default 10)
+  --bot-command CMD     (bots) the debugger command each query sends
+                        (default "where 0")
+  --bot-program N       (bots) program index bots open (default 0)
+  --shared-session      (bots) every bot queries one shared session
+                        instead of opening its own
+  --no-hold             (bots) disconnect each bot as it finishes instead
+                        of holding until the whole fleet is done
+  --think-ms N          (bots) mean pause between a query's answer and the
+                        next query (default 0 = back-to-back saturation;
+                        nonzero paces the fleet so latency measures the
+                        server, not the client's own queue depth)
   --runs N              (fuzz) number of generated programs (default 100)
   --minimize            (fuzz) delta-debug the first divergence down to a
                         minimal repro before reporting it
@@ -230,10 +283,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (Argc < 2)
     return false;
   Opts.Command = Argv[1];
-  // `client` talks to a running server and `fuzz` generates its own
-  // programs; neither takes a program file.
+  // `client` and `bots` talk to a running server and `fuzz` generates
+  // its own programs; none of them takes a program file.
   int First = 2;
-  if (Opts.Command != "client" && Opts.Command != "fuzz") {
+  if (Opts.Command != "client" && Opts.Command != "fuzz" &&
+      Opts.Command != "bots") {
     if (Argc < 3)
       return false;
     Opts.File = Argv[2];
@@ -280,6 +334,63 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.SocketPath = V;
+    } else if (Arg == "--tcp") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TcpAddr = V;
+      std::string Host;
+      uint16_t Port = 0;
+      if (!splitHostPort(Opts.TcpAddr, Host, Port)) {
+        std::fprintf(stderr, "error: bad --tcp '%s' (want HOST:PORT)\n", V);
+        return false;
+      }
+    } else if (Arg == "--transport") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Transport = V;
+      if (Opts.Transport != "epoll" && Opts.Transport != "threaded") {
+        std::fprintf(stderr,
+                     "error: unknown transport %s (epoll | threaded)\n", V);
+        return false;
+      }
+    } else if (Arg == "--idle-timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.IdleTimeoutMs = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--spill-sync") {
+      Opts.SpillSync = true;
+    } else if (Arg == "--bots") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.NumBots = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--queries") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BotQueries = unsigned(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--bot-command") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BotCommand = V;
+    } else if (Arg == "--bot-program") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BotProgram = uint32_t(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--shared-session") {
+      Opts.BotShared = true;
+    } else if (Arg == "--no-hold") {
+      Opts.BotNoHold = true;
+    } else if (Arg == "--think-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BotThinkMs = unsigned(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--program") {
       const char *V = Next();
       if (!V)
@@ -828,8 +939,17 @@ std::unique_ptr<CompiledProgram> prepareProgram(const CliOptions &Opts,
 }
 
 int cmdServe(const CliOptions &Opts) {
-  if (Opts.SocketPath.empty()) {
-    std::fprintf(stderr, "error: serve needs --socket PATH\n");
+  if (Opts.SocketPath.empty() && Opts.TcpAddr.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs --socket PATH and/or --tcp "
+                 "HOST:PORT\n");
+    return 64;
+  }
+  if (Opts.Transport == "threaded" &&
+      (!Opts.TcpAddr.empty() || Opts.IdleTimeoutMs != 0)) {
+    std::fprintf(stderr,
+                 "error: --transport threaded is the unix-only legacy "
+                 "oracle; --tcp and --idle-timeout-ms need epoll\n");
     return 64;
   }
   ReplayEngineKind Engine;
@@ -905,19 +1025,102 @@ int cmdServe(const CliOptions &Opts) {
   IOpts.SpillDir = Opts.SpillDir;
   IOpts.CreditWindow = Opts.CreditWindow;
   IOpts.SpillBudget = Opts.SpillBudget;
+  IOpts.SpillSync = Opts.SpillSync;
   stream::IngestRegistry Ingest(Server, IOpts);
   Server.setStreamDispatcher(
       [&Ingest](const Request &Req) { return Ingest.dispatch(Req); });
 
-  int ListenFd = listenUnix(Opts.SocketPath);
-  if (ListenFd < 0)
-    return 1;
-  std::printf("ppd server listening on %s\n", Opts.SocketPath.c_str());
-  std::fflush(stdout);
-  int Rc = runUnixServer(Server, ListenFd, Opts.SocketPath);
+  raiseFdLimit();
+  int Rc;
+  if (Opts.Transport == "threaded") {
+    int ListenFd = listenUnix(Opts.SocketPath);
+    if (ListenFd < 0)
+      return 1;
+    std::printf("ppd server listening on %s\n", Opts.SocketPath.c_str());
+    std::fflush(stdout);
+    Rc = runUnixServer(Server, ListenFd, Opts.SocketPath);
+  } else {
+    EpollServerOptions EOpts;
+    if (!Opts.SocketPath.empty()) {
+      EOpts.UnixListenFd = listenUnix(Opts.SocketPath);
+      if (EOpts.UnixListenFd < 0)
+        return 1;
+      EOpts.UnixPath = Opts.SocketPath;
+      std::printf("ppd server listening on %s\n", Opts.SocketPath.c_str());
+    }
+    if (!Opts.TcpAddr.empty()) {
+      uint16_t BoundPort = 0;
+      EOpts.TcpListenFd = listenTcp(Opts.TcpAddr, &BoundPort);
+      if (EOpts.TcpListenFd < 0) {
+        if (EOpts.UnixListenFd >= 0) {
+          ::close(EOpts.UnixListenFd);
+          ::unlink(Opts.SocketPath.c_str());
+        }
+        return 1;
+      }
+      std::string Host;
+      uint16_t Port = 0;
+      splitHostPort(Opts.TcpAddr, Host, Port);
+      // E2e drivers and scripts parse this line for the ephemeral port.
+      std::printf("ppd server listening on tcp %s port %u\n",
+                  Host.empty() ? "0.0.0.0" : Host.c_str(),
+                  unsigned(BoundPort));
+    }
+    std::fflush(stdout);
+    EOpts.IdleTimeoutMs = Opts.IdleTimeoutMs;
+    Rc = runEpollServer(Server, EOpts);
+  }
   if (Opts.MetricsDump)
     std::printf("%s", Server.metricsReport().c_str());
   return Rc;
+}
+
+/// Endpoint resolution shared by client and bots: --tcp wins, --socket
+/// otherwise. Empty string when neither was given.
+std::string clientAddress(const CliOptions &Opts) {
+  if (!Opts.TcpAddr.empty())
+    return "tcp:" + Opts.TcpAddr;
+  return Opts.SocketPath;
+}
+
+int cmdBots(const CliOptions &Opts) {
+  std::string Address = clientAddress(Opts);
+  if (Address.empty()) {
+    std::fprintf(stderr,
+                 "error: bots needs --socket PATH or --tcp HOST:PORT\n");
+    return 64;
+  }
+  BotFleetOptions BOpts;
+  BOpts.Address = Address;
+  BOpts.NumBots = Opts.NumBots;
+  BOpts.QueriesPerBot = Opts.BotQueries;
+  BOpts.Command = Opts.BotCommand;
+  BOpts.ProgramIndex = Opts.BotProgram;
+  BOpts.SharedSession = Opts.BotShared;
+  BOpts.HoldOpen = !Opts.BotNoHold;
+  BOpts.ThinkMs = Opts.BotThinkMs;
+  BOpts.Progress = [](const std::string &Line) {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  };
+  BotFleetResult R = runBotFleet(BOpts);
+  std::printf("bots: %u requested, %llu connected, %llu completed, %llu "
+              "failed%s\n",
+              Opts.NumBots, (unsigned long long)R.Connected,
+              (unsigned long long)R.Completed,
+              (unsigned long long)R.Failed,
+              R.TimedOut ? " (deadline hit)" : "");
+  std::printf("peak concurrent connections: %llu\n",
+              (unsigned long long)R.PeakConcurrent);
+  std::printf("queries: %llu answered in %llu ms, latency mean %lluus, "
+              "p50 <%lluus, p99 <%lluus\n",
+              (unsigned long long)R.QueriesAnswered,
+              (unsigned long long)R.WallMs, (unsigned long long)R.MeanUs,
+              (unsigned long long)R.P50us, (unsigned long long)R.P99us);
+  if (R.BusyRetries != 0)
+    std::printf("busy retries: %llu\n", (unsigned long long)R.BusyRetries);
+  if (!R.Error.empty())
+    std::fprintf(stderr, "first failure: %s\n", R.Error.c_str());
+  return R.ok() ? 0 : 1;
 }
 
 /// One client command line → one request, or no request (errors, quit).
@@ -1027,14 +1230,15 @@ void printResponse(const Response &Resp) {
 }
 
 int cmdClient(const CliOptions &Opts) {
-  if (Opts.SocketPath.empty()) {
-    std::fprintf(stderr, "error: client needs --socket PATH\n");
+  std::string Address = clientAddress(Opts);
+  if (Address.empty()) {
+    std::fprintf(stderr,
+                 "error: client needs --socket PATH or --tcp HOST:PORT\n");
     return 64;
   }
   ClientConnection Conn;
-  if (!Conn.connect(Opts.SocketPath)) {
-    std::fprintf(stderr, "error: cannot connect to %s\n",
-                 Opts.SocketPath.c_str());
+  if (!Conn.connect(Address)) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", Address.c_str());
     return 1;
   }
   std::string Line;
@@ -1119,6 +1323,8 @@ int main(int Argc, char **Argv) {
     return cmdServe(Opts);
   if (Opts.Command == "client")
     return cmdClient(Opts);
+  if (Opts.Command == "bots")
+    return cmdBots(Opts);
   if (Opts.Command == "fuzz")
     return cmdFuzz(Opts);
   if (Opts.Command == "compact")

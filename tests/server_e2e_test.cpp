@@ -18,6 +18,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <sys/wait.h>
@@ -39,14 +40,25 @@ func main() {
 }
 )";
 
+/// The transport flag the serve child runs with. PPD_E2E_TRANSPORT=
+/// threaded re-runs this whole suite over the legacy thread-per-
+/// connection loop (a CI leg), anything else uses the epoll default.
+const char *transportUnderTest() {
+  const char *Env = ::getenv("PPD_E2E_TRANSPORT");
+  return (Env && std::string(Env) == "threaded") ? "threaded" : "epoll";
+}
+
 /// Runs one `ppd serve` child; kills it on destruction if still alive.
 struct ServerProcess {
   pid_t Pid = -1;
   std::string SocketPath;
   std::string ProgramPath;
+  int StdoutFd = -1; ///< read end of the child's stdout (TCP mode).
+  uint16_t TcpPort = 0;
 
-  bool start() {
-    std::string Base = "/tmp/ppd-e2e-" + std::to_string(::getpid());
+  bool start(bool WithTcp = false) {
+    std::string Base = "/tmp/ppd-e2e-" + std::to_string(::getpid()) + "-" +
+                       std::to_string(::rand());
     SocketPath = Base + ".sock";
     ProgramPath = Base + ".ppl";
     {
@@ -55,18 +67,55 @@ struct ServerProcess {
         return false;
       Out << E2eSource;
     }
+    int Pipe[2] = {-1, -1};
+    if (WithTcp && ::pipe(Pipe) != 0)
+      return false;
     Pid = ::fork();
     if (Pid < 0)
       return false;
     if (Pid == 0) {
+      if (WithTcp) {
+        ::dup2(Pipe[1], 1);
+        ::close(Pipe[0]);
+        ::close(Pipe[1]);
+      }
       // Inline request execution: frames on one connection are answered
       // strictly in order, which the pipelining assertions rely on.
-      ::execl(PPD_TOOL_PATH, "ppd", "serve", ProgramPath.c_str(),
-              "--socket", SocketPath.c_str(), "--server-threads", "0",
-              (char *)nullptr);
+      if (WithTcp)
+        ::execl(PPD_TOOL_PATH, "ppd", "serve", ProgramPath.c_str(),
+                "--socket", SocketPath.c_str(), "--tcp", "127.0.0.1:0",
+                "--server-threads", "0", (char *)nullptr);
+      else
+        ::execl(PPD_TOOL_PATH, "ppd", "serve", ProgramPath.c_str(),
+                "--socket", SocketPath.c_str(), "--server-threads", "0",
+                "--transport", transportUnderTest(), (char *)nullptr);
       _exit(127);
     }
+    if (WithTcp) {
+      ::close(Pipe[1]);
+      StdoutFd = Pipe[0];
+    }
     return true;
+  }
+
+  /// Reads the child's stdout until the "listening on tcp HOST port N"
+  /// line appears and returns N (the ephemeral port), or 0 on EOF.
+  uint16_t awaitTcpPort() {
+    std::string Buf;
+    char C;
+    while (TcpPort == 0 && ::read(StdoutFd, &C, 1) == 1) {
+      if (C != '\n') {
+        Buf.push_back(C);
+        continue;
+      }
+      size_t At = Buf.find("listening on tcp ");
+      size_t PortAt = Buf.rfind(" port ");
+      if (At != std::string::npos && PortAt != std::string::npos)
+        TcpPort = uint16_t(std::strtoul(Buf.c_str() + PortAt + 6,
+                                        nullptr, 10));
+      Buf.clear();
+    }
+    return TcpPort;
   }
 
   /// Polls until the server accepts a connection (it needs time to
@@ -107,6 +156,8 @@ struct ServerProcess {
       ::kill(Pid, SIGKILL);
       ::waitpid(Pid, nullptr, 0);
     }
+    if (StdoutFd >= 0)
+      ::close(StdoutFd);
     if (!SocketPath.empty())
       ::unlink(SocketPath.c_str());
     if (!ProgramPath.empty())
@@ -238,6 +289,54 @@ TEST(ServerE2eTest, MalformedStreamGetsErrorFrameNotCrash) {
   EXPECT_EQ(int(Ack.Type), int(RespType::ShutdownAck));
   Conn.disconnect();
   EXPECT_EQ(Server.waitExit(), 0);
+}
+
+TEST(ServerE2eTest, TcpListenerServesAndDrainsCleanly) {
+  // `ppd serve --tcp 127.0.0.1:0` picks an ephemeral port and prints it;
+  // the test parses the child's stdout for the port, then runs a full
+  // session over TCP — the unix listener stays usable on the same
+  // server — and shuts down over TCP.
+  ServerProcess Server;
+  ASSERT_TRUE(Server.start(/*WithTcp=*/true));
+  uint16_t Port = Server.awaitTcpPort();
+  ASSERT_NE(Port, 0) << "server never announced its TCP port";
+
+  std::string Endpoint = "tcp:127.0.0.1:" + std::to_string(Port);
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(Endpoint));
+
+  Request Req;
+  Response Resp;
+  Req.Type = MsgType::OpenSession;
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  ASSERT_EQ(int(Resp.Type), int(RespType::SessionOpened));
+  uint64_t Session = Resp.SessionId;
+
+  Req = Request();
+  Req.Type = MsgType::Query;
+  Req.SessionId = Session;
+  Req.Command = "restore 0 2";
+  ASSERT_TRUE(Conn.roundTrip(Req, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::Result));
+  EXPECT_NE(Resp.Text.find("total = 42"), std::string::npos);
+
+  // Both listeners front one server: the TCP session answers over unix.
+  ClientConnection Unix;
+  ASSERT_TRUE(Unix.connect(Server.SocketPath));
+  Req = Request();
+  Req.Type = MsgType::Query;
+  Req.SessionId = Session;
+  Req.Command = "where 0";
+  ASSERT_TRUE(Unix.roundTrip(Req, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::Result));
+  Unix.disconnect();
+
+  Request Shut;
+  Shut.Type = MsgType::Shutdown;
+  ASSERT_TRUE(Conn.roundTrip(Shut, Resp));
+  EXPECT_EQ(int(Resp.Type), int(RespType::ShutdownAck));
+  Conn.disconnect();
+  EXPECT_EQ(Server.waitExit(), 0) << "clean shutdown exits 0";
 }
 
 } // namespace

@@ -531,6 +531,71 @@ TEST(StreamSpillTest, EndedStreamFinalizesCanonicalV2Log) {
   EXPECT_EQ(Loaded.Output.size(), Run.BatchLog.Output.size());
 }
 
+// Durability (--spill-sync): the sync hook counts exactly the calls the
+// contract promises — finalization is always durable (fsync the tmp file
+// and the directory around the rename: 2 calls), and SpillSync adds one
+// fdatasync per acked cut on top. strace-free by injection.
+TEST(StreamSpillTest, SyncHookCountsFinalizeAlwaysPerCutWhenEnabled) {
+  for (bool SpillSync : {false, true}) {
+    std::string Dir = ::testing::TempDir();
+    uint64_t SyncCalls = 0;
+    stream::IngestOptions Options;
+    Options.SpillDir = Dir;
+    Options.SpillSync = SpillSync;
+    Options.Sync = [&SyncCalls](int Fd) {
+      EXPECT_GE(Fd, 0);
+      ++SyncCalls;
+      return 0; // counted, not performed: the test wants call sites
+    };
+    IngestFixture F(PipelineSource, Options);
+    StreamedRun Run = streamRun(F, 4);
+    ASSERT_GE(Run.Cuts, 1u);
+    uint64_t Expected = SpillSync ? 2 + Run.Cuts : 2;
+    EXPECT_EQ(SyncCalls, Expected)
+        << (SpillSync ? "with" : "without") << " --spill-sync over "
+        << Run.Cuts << " cuts";
+  }
+}
+
+TEST(StreamSpillTest, FailedFinalizeSyncKillsStreamAndRemovesTmp) {
+  std::string Dir = ::testing::TempDir();
+  stream::IngestOptions Options;
+  Options.SpillDir = Dir;
+  Options.Sync = [](int) { return -1; }; // the platter said no
+  IngestFixture F(PipelineSource, Options);
+
+  Response Hello = F.hello();
+  ASSERT_EQ(int(Hello.Type), int(RespType::Ack));
+  uint64_t Sid = Hello.StreamId;
+  stream::SealerOptions SOpts;
+  SOpts.ProgramIndex = F.ProgramIndex;
+  SOpts.ProgramHash = F.Hash;
+  SOpts.SectionRecords = 4;
+  stream::StreamSealer Sealer(SOpts);
+  Sealer.setStreamId(Sid);
+  MachineOptions MOpts;
+  MOpts.Mode = RunMode::Logging;
+  Machine M(*F.Prog, MOpts);
+  M.onRound([&](Machine &Mach) {
+    for (Request &Fr : Sealer.sealRound(Mach.log()))
+      ASSERT_EQ(int(F.Ingest.dispatch(Fr).Type), int(RespType::Ack));
+  });
+  M.run();
+  for (Request &Fr : Sealer.sealRound(M.log(), /*Force=*/true))
+    ASSERT_EQ(int(F.Ingest.dispatch(Fr).Type), int(RespType::Ack));
+
+  Response End = F.Ingest.dispatch(Sealer.endFrame(M.log()));
+  EXPECT_EQ(int(End.Type), int(RespType::Error))
+      << "an unsyncable finalized log must not be acked durable";
+  EXPECT_NE(End.Text.find("sync"), std::string::npos) << End.Text;
+  EXPECT_TRUE(F.Ingest.finalLogPathOf(Sid).empty());
+  // No half-finalized tmp file left behind.
+  std::string TmpPath =
+      Dir + "/stream-" + std::to_string(Sid) + ".ppdlog.tmp";
+  std::ifstream Tmp(TmpPath, std::ios::binary);
+  EXPECT_FALSE(Tmp.good()) << "tmp file survived the failed finalize";
+}
+
 //===----------------------------------------------------------------------===//
 // Spill budget
 //===----------------------------------------------------------------------===//
